@@ -1,0 +1,52 @@
+# Standard developer entry points. Everything is stdlib-only Go; no
+# generated code, no external tools beyond the Go toolchain.
+
+GO ?= go
+
+.PHONY: all build vet test test-short bench fuzz reproduce examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+	@test -z "$$(gofmt -l .)" || (gofmt -l . && echo "gofmt: files need formatting" && exit 1)
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Short fuzzing passes over the three fuzz targets (CI-friendly budgets).
+fuzz:
+	$(GO) test -fuzz FuzzPrimeArithmetic -fuzztime 10s ./internal/field/
+	$(GO) test -fuzz FuzzGF256Arithmetic -fuzztime 10s ./internal/field/
+	$(GO) test -fuzz FuzzTA1TA2Agreement -fuzztime 10s ./internal/alloc/
+	$(GO) test -fuzz FuzzEncodeDecodeGF256 -fuzztime 10s ./internal/coding/
+	$(GO) test -fuzz FuzzDecodeNeverPanics -fuzztime 10s ./internal/coding/
+
+# Regenerate every paper artifact into results/.
+reproduce:
+	$(GO) run ./cmd/experiments -fig all -claims -out results
+	$(GO) run ./cmd/experiments -fig rsweep -out results
+	$(GO) run ./cmd/experiments -fig delay -out results
+	$(GO) run ./cmd/experiments -fig comparison -out results
+	$(GO) run ./cmd/experiments -fig dist -out results
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/mlinference
+	$(GO) run ./examples/gradientdescent
+	$(GO) run ./examples/fleetplanner
+	$(GO) run ./examples/collusion
+	$(GO) run ./examples/quantized
+
+clean:
+	$(GO) clean ./...
+	rm -f test_output.txt bench_output.txt

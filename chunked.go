@@ -1,0 +1,101 @@
+package scec
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"github.com/scec/scec/internal/matrix"
+)
+
+// ChunkedDeployment splits a wide confidential matrix column-wise into
+// independently deployed chunks: A = [A_1 | A_2 | … | A_c] and
+// A·x = Σ_b A_b·x_b. Each chunk is its own MCSCEC deployment (allocation,
+// coding, random rows), so security holds chunk-wise for the same threat
+// model, and the user sums the decoded partial products.
+//
+// Chunking matters in two situations:
+//
+//   - quantized workloads, where the fixed-point overflow bound scales with
+//     the dot-product length l — halving the chunk width doubles the usable
+//     precision (see quant.CheckMatVec), and
+//   - very wide matrices, where per-device storage of full-width coded rows
+//     exceeds device capacity.
+type ChunkedDeployment[E comparable] struct {
+	f      Field[E]
+	chunks []*Deployment[E]
+	widths []int
+	l      int
+}
+
+// DeployChunked deploys a column-wise split of a with chunk width at most
+// chunkCols. Every chunk runs the full MCSCEC pipeline on the same fleet.
+func DeployChunked[E comparable](f Field[E], a *Matrix[E], chunkCols int, unitCosts []float64, rng *rand.Rand) (*ChunkedDeployment[E], error) {
+	if chunkCols < 1 {
+		return nil, fmt.Errorf("scec: chunk width %d, need >= 1", chunkCols)
+	}
+	if a.Cols() < 1 {
+		return nil, fmt.Errorf("scec: matrix has no columns")
+	}
+	cd := &ChunkedDeployment[E]{f: f, l: a.Cols()}
+	for from := 0; from < a.Cols(); from += chunkCols {
+		to := from + chunkCols
+		if to > a.Cols() {
+			to = a.Cols()
+		}
+		block := matrix.RowSliceCols(a, from, to)
+		dep, err := Deploy(f, block, unitCosts, rng)
+		if err != nil {
+			return nil, fmt.Errorf("scec: chunk [%d,%d): %w", from, to, err)
+		}
+		cd.chunks = append(cd.chunks, dep)
+		cd.widths = append(cd.widths, to-from)
+	}
+	return cd, nil
+}
+
+// Chunks returns the number of column chunks.
+func (d *ChunkedDeployment[E]) Chunks() int { return len(d.chunks) }
+
+// Cost returns the summed variable cost of all chunk deployments.
+func (d *ChunkedDeployment[E]) Cost() float64 {
+	total := 0.0
+	for _, c := range d.chunks {
+		total += c.Cost()
+	}
+	return total
+}
+
+// Audit aggregates the per-device leak dimensions across every chunk (all
+// zeros for the sound construction).
+func (d *ChunkedDeployment[E]) Audit() []int {
+	var leaks []int
+	for _, c := range d.chunks {
+		leaks = append(leaks, c.Audit()...)
+	}
+	return leaks
+}
+
+// MulVec computes A·x by summing the decoded partial products of every
+// chunk.
+func (d *ChunkedDeployment[E]) MulVec(x []E) ([]E, error) {
+	if len(x) != d.l {
+		return nil, fmt.Errorf("scec: input vector has %d entries, want %d", len(x), d.l)
+	}
+	var acc []E
+	at := 0
+	for i, c := range d.chunks {
+		part, err := c.MulVec(x[at : at+d.widths[i]])
+		if err != nil {
+			return nil, fmt.Errorf("scec: chunk %d: %w", i, err)
+		}
+		at += d.widths[i]
+		if acc == nil {
+			acc = part
+			continue
+		}
+		for p := range acc {
+			acc[p] = d.f.Add(acc[p], part[p])
+		}
+	}
+	return acc, nil
+}

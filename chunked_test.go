@@ -1,0 +1,103 @@
+package scec
+
+import (
+	"testing"
+)
+
+func TestDeployChunkedMatchesMonolithic(t *testing.T) {
+	f := PrimeField()
+	rng := testRNG()
+	a := RandomMatrix(f, rng, 25, 17) // 17 columns → chunks of 5,5,5,2
+	costs := []float64{1.2, 0.7, 2.1, 1.5}
+
+	cd, err := DeployChunked(f, a, 5, costs, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cd.Chunks() != 4 {
+		t.Fatalf("chunks = %d, want 4", cd.Chunks())
+	}
+	x := RandomVector(f, rng, 17)
+	got, err := cd.MulVec(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := MulVec(f, a, x)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("entry %d: %d != %d", i, got[i], want[i])
+		}
+	}
+	for j, leak := range cd.Audit() {
+		if leak != 0 {
+			t.Fatalf("chunk device %d leaks %d dimensions", j, leak)
+		}
+	}
+	if cd.Cost() <= 0 {
+		t.Fatal("chunked cost must be positive")
+	}
+}
+
+func TestDeployChunkedSingleChunkEqualsDeploy(t *testing.T) {
+	f := PrimeField()
+	rng1 := testRNG()
+	rng2 := testRNG()
+	a := RandomMatrix(f, rng1, 10, 6)
+	a2 := RandomMatrix(f, rng2, 10, 6) // identical draw
+	costs := []float64{1, 2, 3}
+
+	cd, err := DeployChunked(f, a, 100, costs, rng1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cd.Chunks() != 1 {
+		t.Fatalf("chunks = %d, want 1", cd.Chunks())
+	}
+	dep, err := Deploy(f, a2, costs, rng2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cd.Cost() != dep.Cost() {
+		t.Fatalf("single-chunk cost %g != monolithic %g", cd.Cost(), dep.Cost())
+	}
+}
+
+func TestDeployChunkedValidation(t *testing.T) {
+	f := PrimeField()
+	rng := testRNG()
+	a := RandomMatrix(f, rng, 5, 4)
+	if _, err := DeployChunked(f, a, 0, []float64{1, 2}, rng); err == nil {
+		t.Error("chunk width 0 should be rejected")
+	}
+	if _, err := DeployChunked(f, NewMatrix[uint64](5, 0), 2, []float64{1, 2}, rng); err == nil {
+		t.Error("zero-column matrix should be rejected")
+	}
+	cd, err := DeployChunked(f, a, 2, []float64{1, 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cd.MulVec(make([]uint64, 3)); err == nil {
+		t.Error("wrong input length should be rejected")
+	}
+}
+
+func TestDeployChunkedRealField(t *testing.T) {
+	f := RealField(1e-6)
+	rng := testRNG()
+	a := RandomMatrix(f, rng, 12, 9)
+	cd, err := DeployChunked(f, a, 4, []float64{1, 1, 1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := RandomVector(f, rng, 9)
+	got, err := cd.MulVec(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := MulVec(f, a, x)
+	for i := range got {
+		if d := got[i] - want[i]; d > 1e-6 || d < -1e-6 {
+			t.Fatalf("entry %d: %g vs %g", i, got[i], want[i])
+		}
+	}
+}

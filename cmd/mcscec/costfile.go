@@ -1,0 +1,92 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"github.com/scec/scec/internal/alloc"
+	"github.com/scec/scec/internal/cost"
+)
+
+// costFile is the JSON schema accepted by -costfile. Either give unit costs
+// directly:
+//
+//	{"m": 5000, "costs": [1.5, 0.7, 2.2]}
+//
+// or per-device component prices plus the row length l used to fold them
+// (Eq. (1)):
+//
+//	{"m": 5000, "l": 256,
+//	 "components": [{"storage": 0.01, "add": 0.004, "mul": 0.008, "comm": 0.9}, …]}
+type costFile struct {
+	M          int              `json:"m"`
+	Costs      []float64        `json:"costs,omitempty"`
+	L          int              `json:"l,omitempty"`
+	Components []costFileDevice `json:"components,omitempty"`
+}
+
+type costFileDevice struct {
+	Storage float64 `json:"storage"`
+	Add     float64 `json:"add"`
+	Mul     float64 `json:"mul"`
+	Comm    float64 `json:"comm"`
+}
+
+// loadCostFile parses a -costfile JSON document into an instance.
+func loadCostFile(path string) (alloc.Instance, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return alloc.Instance{}, fmt.Errorf("read cost file: %w", err)
+	}
+	var cf costFile
+	if err := json.Unmarshal(raw, &cf); err != nil {
+		return alloc.Instance{}, fmt.Errorf("parse cost file %s: %w", path, err)
+	}
+	switch {
+	case len(cf.Costs) > 0 && len(cf.Components) > 0:
+		return alloc.Instance{}, fmt.Errorf("cost file %s: give either costs or components, not both", path)
+	case len(cf.Costs) > 0:
+		return alloc.Instance{M: cf.M, Costs: cf.Costs}, nil
+	case len(cf.Components) > 0:
+		if cf.L < 1 {
+			return alloc.Instance{}, fmt.Errorf("cost file %s: components need a row length l >= 1", path)
+		}
+		comps := make([]cost.Components, len(cf.Components))
+		for j, d := range cf.Components {
+			comps[j] = cost.Components{Storage: d.Storage, Add: d.Add, Mul: d.Mul, Comm: d.Comm}
+		}
+		units, err := cost.Units(cf.L, comps)
+		if err != nil {
+			return alloc.Instance{}, fmt.Errorf("cost file %s: %w", path, err)
+		}
+		return alloc.Instance{M: cf.M, Costs: units}, nil
+	default:
+		return alloc.Instance{}, fmt.Errorf("cost file %s: no costs or components", path)
+	}
+}
+
+// planJSON is the -json output schema.
+type planJSON struct {
+	M           int               `json:"m"`
+	K           int               `json:"k"`
+	IStar       int               `json:"iStar"`
+	R           int               `json:"r"`
+	Devices     int               `json:"devices"`
+	Cost        float64           `json:"cost"`
+	LowerBound  float64           `json:"lowerBound"`
+	Assignments []assignmentJSON  `json:"assignments"`
+	Baselines   map[string]costJS `json:"baselines"`
+}
+
+type assignmentJSON struct {
+	Device   int     `json:"device"`
+	UnitCost float64 `json:"unitCost"`
+	Rows     int     `json:"rows"`
+}
+
+type costJS struct {
+	R    int     `json:"r"`
+	I    int     `json:"devices"`
+	Cost float64 `json:"cost"`
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "costs.json")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadCostFileUnitCosts(t *testing.T) {
+	path := writeTemp(t, `{"m": 50, "costs": [1.5, 0.7, 2.2]}`)
+	in, err := loadCostFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.M != 50 || in.K() != 3 || in.Costs[1] != 0.7 {
+		t.Fatalf("instance = %+v", in)
+	}
+}
+
+func TestLoadCostFileComponents(t *testing.T) {
+	path := writeTemp(t, `{
+		"m": 20, "l": 4,
+		"components": [
+			{"storage": 1, "add": 1, "mul": 2, "comm": 3},
+			{"storage": 0, "add": 0, "mul": 1, "comm": 0}
+		]}`)
+	in, err := loadCostFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// device 0: 5*1 + 4*2 + 3*1 + 3 = 19; device 1: 4*1 = 4
+	if in.M != 20 || in.Costs[0] != 19 || in.Costs[1] != 4 {
+		t.Fatalf("instance = %+v", in)
+	}
+}
+
+func TestLoadCostFileErrors(t *testing.T) {
+	cases := map[string]string{
+		"both forms":     `{"m": 5, "costs": [1], "components": [{"mul": 1}]}`,
+		"neither form":   `{"m": 5}`,
+		"missing l":      `{"m": 5, "components": [{"mul": 1}]}`,
+		"bad components": `{"m": 5, "l": 2, "components": [{"add": 3, "mul": 1}]}`,
+		"bad json":       `{`,
+	}
+	for name, content := range cases {
+		if _, err := loadCostFile(writeTemp(t, content)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+	if _, err := loadCostFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file: expected error")
+	}
+}
+
+func TestRunWithCostFileAndJSONOutput(t *testing.T) {
+	path := writeTemp(t, `{"m": 12, "costs": [1, 2, 3, 4]}`)
+	var out strings.Builder
+	if err := run([]string{"-costfile", path, "-json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var doc planJSON
+	if err := json.Unmarshal([]byte(out.String()), &doc); err != nil {
+		t.Fatalf("invalid JSON output: %v\n%s", err, out.String())
+	}
+	if doc.M != 12 || doc.K != 4 || doc.R < 1 || doc.Cost < doc.LowerBound-1e-9 {
+		t.Fatalf("doc = %+v", doc)
+	}
+	if len(doc.Baselines) != 4 {
+		t.Fatalf("baselines = %v", doc.Baselines)
+	}
+	if len(doc.Assignments) != doc.Devices {
+		t.Fatalf("%d assignments for %d devices", len(doc.Assignments), doc.Devices)
+	}
+}
+
+func TestRunCostFileMFallback(t *testing.T) {
+	path := writeTemp(t, `{"costs": [1, 2]}`)
+	var out strings.Builder
+	if err := run([]string{"-costfile", path, "-m", "7"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "m=7") {
+		t.Fatalf("fallback m not used:\n%s", out.String())
+	}
+}

@@ -1,0 +1,183 @@
+// Command mcscec solves one MCSCEC task-allocation instance and prints the
+// optimal plan next to the lower bound and every baseline from the paper's
+// evaluation.
+//
+// Device costs come from one of:
+//
+//	-costs 1.5,0.7,2.2      explicit per-device unit costs
+//	-k 25 -dist uniform     a fleet sampled from U(1, c_max)
+//	-k 25 -dist normal      a fleet sampled from N(mu, sigma²)
+//
+// Example:
+//
+//	mcscec -m 5000 -k 25 -dist uniform -cmax 5 -seed 7
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/scec/scec/internal/alloc"
+	"github.com/scec/scec/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mcscec:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("mcscec", flag.ContinueOnError)
+	var (
+		m        = fs.Int("m", 5000, "number of rows of the confidential matrix A")
+		costs    = fs.String("costs", "", "comma-separated per-device unit costs (overrides -k/-dist)")
+		k        = fs.Int("k", 25, "number of edge devices when sampling a fleet")
+		dist     = fs.String("dist", "uniform", "cost distribution: uniform | normal")
+		cmax     = fs.Float64("cmax", 5, "c_max for the uniform distribution U(1, c_max)")
+		mu       = fs.Float64("mu", 5, "mu for the normal distribution")
+		sigma    = fs.Float64("sigma", 1.25, "sigma for the normal distribution")
+		seed     = fs.Uint64("seed", 1, "random seed for fleet sampling and RNode")
+		verify   = fs.Bool("verify", true, "cross-check TA1 against TA2 and the plan invariants")
+		costfile = fs.String("costfile", "", "JSON cost file (see cmd doc); overrides -costs/-k/-dist")
+		jsonOut  = fs.Bool("json", false, "emit the result as JSON instead of text")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var in alloc.Instance
+	if *costfile != "" {
+		loaded, err := loadCostFile(*costfile)
+		if err != nil {
+			return err
+		}
+		in = loaded
+		if in.M == 0 {
+			in.M = *m
+		}
+	} else {
+		built, err := buildInstance(*m, *costs, *k, *dist, *cmax, *mu, *sigma, *seed)
+		if err != nil {
+			return err
+		}
+		in = built
+	}
+
+	plan, err := alloc.TA1(in)
+	if err != nil {
+		return err
+	}
+	if *verify {
+		p2, err := alloc.TA2(in)
+		if err != nil {
+			return err
+		}
+		if diff := plan.Cost - p2.Cost; diff > 1e-6 || diff < -1e-6 {
+			return fmt.Errorf("TA1 (%g) and TA2 (%g) disagree — please report this instance", plan.Cost, p2.Cost)
+		}
+		if err := alloc.Verify(in, plan); err != nil {
+			return err
+		}
+	}
+
+	lb, err := alloc.LowerBound(in)
+	if err != nil {
+		return err
+	}
+	star, err := alloc.IStar(in)
+	if err != nil {
+		return err
+	}
+
+	rng := rand.New(rand.NewPCG(*seed, 0xba5e))
+	baselines := []struct {
+		name  string
+		solve func() (alloc.Plan, error)
+	}{
+		{"TAw/oS", func() (alloc.Plan, error) { return alloc.TAWithoutSecurity(in) }},
+		{"MaxNode", func() (alloc.Plan, error) { return alloc.MaxNode(in) }},
+		{"MinNode", func() (alloc.Plan, error) { return alloc.MinNode(in) }},
+		{"RNode", func() (alloc.Plan, error) { return alloc.RNode(in, rng) }},
+	}
+
+	if *jsonOut {
+		doc := planJSON{
+			M: in.M, K: in.K(), IStar: star, R: plan.R, Devices: plan.I,
+			Cost: plan.Cost, LowerBound: lb,
+			Baselines: make(map[string]costJS, len(baselines)),
+		}
+		for _, a := range plan.Assignments {
+			doc.Assignments = append(doc.Assignments, assignmentJSON{
+				Device: a.Device, UnitCost: in.Costs[a.Device], Rows: a.Rows,
+			})
+		}
+		for _, b := range baselines {
+			p, err := b.solve()
+			if err != nil {
+				return err
+			}
+			doc.Baselines[b.name] = costJS{R: p.R, I: p.I, Cost: p.Cost}
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(doc)
+	}
+
+	fmt.Fprintf(out, "instance: m=%d k=%d i*=%d\n", in.M, in.K(), star)
+	fmt.Fprintf(out, "optimal plan (TA1): r=%d devices=%d cost=%.4f (lower bound %.4f, gap %.4f%%)\n",
+		plan.R, plan.I, plan.Cost, lb, 100*(plan.Cost-lb)/lb)
+	for _, a := range plan.Assignments {
+		fmt.Fprintf(out, "  device %2d  unit cost %8.4f  coded rows %d\n", a.Device, in.Costs[a.Device], a.Rows)
+	}
+
+	fmt.Fprintln(out, "baselines:")
+	for _, b := range baselines {
+		p, err := b.solve()
+		if err != nil {
+			return err
+		}
+		rel := 100 * (p.Cost - plan.Cost) / plan.Cost
+		fmt.Fprintf(out, "  %-7s r=%5d devices=%2d cost=%.4f (%+.2f%% vs optimal)\n", b.name, p.R, p.I, p.Cost, rel)
+	}
+	return nil
+}
+
+func buildInstance(m int, costsCSV string, k int, dist string, cmax, mu, sigma float64, seed uint64) (alloc.Instance, error) {
+	if costsCSV != "" {
+		parts := strings.Split(costsCSV, ",")
+		costs := make([]float64, 0, len(parts))
+		for _, p := range parts {
+			v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+			if err != nil {
+				return alloc.Instance{}, fmt.Errorf("parse cost %q: %w", p, err)
+			}
+			costs = append(costs, v)
+		}
+		return alloc.Instance{M: m, Costs: costs}, nil
+	}
+	rng := rand.New(rand.NewPCG(seed, 0xf1ee7))
+	switch dist {
+	case "uniform":
+		d := workload.Uniform{Max: cmax}
+		if err := d.Validate(); err != nil {
+			return alloc.Instance{}, err
+		}
+		return workload.Instance(rng, m, k, d), nil
+	case "normal":
+		d := workload.Normal{Mu: mu, Sigma: sigma}
+		if err := d.Validate(); err != nil {
+			return alloc.Instance{}, err
+		}
+		return workload.Instance(rng, m, k, d), nil
+	default:
+		return alloc.Instance{}, fmt.Errorf("unknown distribution %q (want uniform or normal)", dist)
+	}
+}

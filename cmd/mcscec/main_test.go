@@ -1,0 +1,72 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunWithExplicitCosts(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-m", "10", "-costs", "1,2,3,4"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"instance: m=10 k=4", "optimal plan (TA1)", "TAw/oS", "MaxNode", "MinNode", "RNode"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunWithSampledFleets(t *testing.T) {
+	for _, dist := range []string{"uniform", "normal"} {
+		var out strings.Builder
+		if err := run([]string{"-m", "100", "-k", "8", "-dist", dist, "-seed", "3"}, &out); err != nil {
+			t.Fatalf("%s: %v", dist, err)
+		}
+		if !strings.Contains(out.String(), "optimal plan") {
+			t.Fatalf("%s: no plan printed", dist)
+		}
+	}
+}
+
+func TestRunDeterministicForSeed(t *testing.T) {
+	var a, b strings.Builder
+	if err := run([]string{"-m", "50", "-k", "6", "-seed", "9"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-m", "50", "-k", "6", "-seed", "9"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("same seed must reproduce identical output")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-m", "0", "-costs", "1,2"},                     // invalid m
+		{"-m", "10", "-costs", "1"},                      // one device
+		{"-m", "10", "-costs", "1,abc"},                  // unparseable cost
+		{"-m", "10", "-dist", "exponential"},             // unknown distribution
+		{"-m", "10", "-dist", "uniform", "-cmax", "0.5"}, // invalid c_max
+		{"-m", "10", "-dist", "normal", "-mu", "-2"},     // invalid mu
+	}
+	for _, args := range cases {
+		var out strings.Builder
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v: expected error", args)
+		}
+	}
+}
+
+func TestBuildInstanceExplicit(t *testing.T) {
+	in, err := buildInstance(5, " 1.5, 2.5 ", 0, "", 0, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.M != 5 || in.K() != 2 || in.Costs[0] != 1.5 {
+		t.Fatalf("instance = %+v", in)
+	}
+}

@@ -1,0 +1,179 @@
+// Command scecnet runs the SCEC protocol over real TCP connections.
+//
+// Roles:
+//
+//	scecnet device -addr 127.0.0.1:7001
+//	    run one edge device (stores a coded block, answers compute requests)
+//
+//	scecnet drive -devices 127.0.0.1:7001,127.0.0.1:7002,... -m 100 -l 32
+//	    act as cloud + user against a running fleet: allocate, encode,
+//	    distribute the blocks, send x, gather, decode, verify
+//
+//	scecnet demo -m 100 -l 32 -k 8
+//	    start an ephemeral loopback fleet in-process and drive it end to end
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"github.com/scec/scec"
+	"github.com/scec/scec/internal/transport"
+	"github.com/scec/scec/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "scecnet:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: scecnet <device|drive|demo> [flags]")
+	}
+	switch args[0] {
+	case "device":
+		return runDevice(args[1:], out)
+	case "drive":
+		return runDrive(args[1:], out)
+	case "demo":
+		return runDemo(args[1:], out)
+	default:
+		return fmt.Errorf("unknown role %q (want device, drive, or demo)", args[0])
+	}
+}
+
+func runDevice(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("scecnet device", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:0", "listen address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	srv, err := transport.NewDeviceServer[uint64](scec.PrimeField(), *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "edge device listening on %s (ctrl-c to stop)\n", srv.Addr())
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	return srv.Close()
+}
+
+func runDrive(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("scecnet drive", flag.ContinueOnError)
+	var (
+		devices = fs.String("devices", "", "comma-separated device addresses, cheapest first")
+		m       = fs.Int("m", 100, "rows of the confidential matrix A")
+		l       = fs.Int("l", 32, "columns of A")
+		batch   = fs.Int("batch", 0, "additionally verify a batch A·X with this many columns")
+		seed    = fs.Uint64("seed", 1, "random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	addrs := splitAddrs(*devices)
+	if len(addrs) < 2 {
+		return fmt.Errorf("need at least two device addresses, got %d", len(addrs))
+	}
+	return drive(out, addrs, *m, *l, *batch, *seed)
+}
+
+func runDemo(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("scecnet demo", flag.ContinueOnError)
+	var (
+		m     = fs.Int("m", 100, "rows of the confidential matrix A")
+		l     = fs.Int("l", 32, "columns of A")
+		k     = fs.Int("k", 8, "devices to launch on loopback")
+		batch = fs.Int("batch", 4, "additionally verify a batch A·X with this many columns")
+		seed  = fs.Uint64("seed", 1, "random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	f := scec.PrimeField()
+	addrs := make([]string, *k)
+	for j := 0; j < *k; j++ {
+		srv, err := transport.NewDeviceServer[uint64](f, "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		addrs[j] = srv.Addr()
+	}
+	fmt.Fprintf(out, "launched %d loopback devices\n", *k)
+	return drive(out, addrs, *m, *l, *batch, *seed)
+}
+
+// drive plays cloud + user against a running fleet: the fleet's unit costs
+// are sampled (a real deployment would read device price sheets), the
+// cheapest plan.I devices are provisioned, and one multiplication is
+// verified end to end.
+func drive(out io.Writer, addrs []string, m, l, batch int, seed uint64) error {
+	f := scec.PrimeField()
+	rng := rand.New(rand.NewPCG(seed, 0xd21fe))
+	in := workload.Instance(rng, m, len(addrs), workload.Uniform{Max: 5})
+
+	a := scec.RandomMatrix(f, rng, m, l)
+	dep, err := scec.Deploy(f, a, in.Costs, rng)
+	if err != nil {
+		return err
+	}
+	// The plan's assignments are cheapest-first device indexes into addrs.
+	selected := make([]string, dep.Devices())
+	for j, as := range dep.Plan.Assignments {
+		selected[j] = addrs[as.Device]
+	}
+	fmt.Fprintf(out, "plan: r=%d, %d of %d devices selected, cost %.2f\n",
+		dep.Plan.R, dep.Devices(), len(addrs), dep.Cost())
+
+	if err := (transport.Cloud[uint64]{}).Distribute(selected, dep.Encoding); err != nil {
+		return fmt.Errorf("distribute: %w", err)
+	}
+	fmt.Fprintf(out, "cloud distributed %d coded rows across the fleet\n", m+dep.Plan.R)
+
+	client := transport.Client[uint64]{F: f, Scheme: dep.Scheme}
+	x := scec.RandomVector(f, rng, l)
+	got, err := client.MulVec(selected, x)
+	if err != nil {
+		return fmt.Errorf("gather: %w", err)
+	}
+	want := scec.MulVec(f, a, x)
+	for i := range got {
+		if got[i] != want[i] {
+			return fmt.Errorf("verification failed at entry %d", i)
+		}
+	}
+	fmt.Fprintf(out, "user decoded A·x over TCP and verified all %d entries\n", len(got))
+
+	if batch > 0 {
+		xm := scec.RandomMatrix(f, rng, l, batch)
+		gotM, err := client.MulMat(selected, xm)
+		if err != nil {
+			return fmt.Errorf("batch gather: %w", err)
+		}
+		if !scec.MatrixEqual(f, gotM, scec.Mul(f, a, xm)) {
+			return fmt.Errorf("batch verification failed")
+		}
+		fmt.Fprintf(out, "user decoded the batch A·X (%d columns) over TCP and verified it\n", batch)
+	}
+	return nil
+}
+
+func splitAddrs(csv string) []string {
+	var addrs []string
+	for _, a := range strings.Split(csv, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	return addrs
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/scec/scec"
+	"github.com/scec/scec/internal/transport"
+)
+
+func TestDemoEndToEnd(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"demo", "-m", "40", "-l", "8", "-k", "5", "-seed", "4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"launched 5 loopback devices", "plan:", "verified all 40 entries"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestDriveAgainstManagedFleet(t *testing.T) {
+	f := scec.PrimeField()
+	var addrs []string
+	for j := 0; j < 4; j++ {
+		srv, err := transport.NewDeviceServer[uint64](f, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = srv.Close() })
+		addrs = append(addrs, srv.Addr())
+	}
+	var out strings.Builder
+	args := []string{"drive", "-devices", strings.Join(addrs, ","), "-m", "30", "-l", "6"}
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "verified all 30 entries") {
+		t.Fatalf("drive did not verify:\n%s", out.String())
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err == nil {
+		t.Error("no args should error")
+	}
+	if err := run([]string{"bogus"}, &out); err == nil {
+		t.Error("unknown role should error")
+	}
+	if err := run([]string{"drive", "-devices", "only-one:1"}, &out); err == nil {
+		t.Error("single-device drive should error")
+	}
+}
+
+func TestSplitAddrs(t *testing.T) {
+	got := splitAddrs(" a:1, ,b:2,")
+	if len(got) != 2 || got[0] != "a:1" || got[1] != "b:2" {
+		t.Fatalf("splitAddrs = %v", got)
+	}
+}

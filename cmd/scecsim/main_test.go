@@ -1,0 +1,85 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/scec/scec/internal/sim"
+)
+
+func TestRunVerifiesPipeline(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-m", "100", "-l", "16", "-k", "6", "-seed", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"plan:", "totals:", "decoded result verified"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunWithStraggler(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-m", "60", "-l", "8", "-k", "5", "-straggler", "0=100"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "decoded result verified") {
+		t.Fatal("straggler run should still verify")
+	}
+}
+
+func TestRunWithForcedFailure(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-m", "60", "-l", "8", "-k", "5", "-fail", "0"}, &out)
+	if err == nil {
+		t.Fatal("forced failure should abort the run")
+	}
+	if !strings.Contains(out.String(), "FAILED") {
+		t.Fatalf("report should flag the failed device:\n%s", out.String())
+	}
+}
+
+func TestRunWithReplication(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-m", "60", "-l", "8", "-k", "5", "-replicas", "3", "-straggler", "0=100"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "replication x3") || !strings.Contains(got, "storage overhead 3.0x") {
+		t.Fatalf("replication summary missing:\n%s", got)
+	}
+	if !strings.Contains(got, "decoded result verified") {
+		t.Fatal("replicated run should verify")
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	cases := [][]string{
+		{"-m", "60", "-l", "8", "-k", "5", "-fail", "99"},
+		{"-m", "60", "-l", "8", "-k", "5", "-straggler", "bogus"},
+		{"-m", "60", "-l", "8", "-k", "5", "-straggler", "99=2"},
+		{"-m", "60", "-l", "8", "-k", "5", "-straggler", "x=2"},
+		{"-m", "60", "-l", "8", "-k", "5", "-straggler", "0=x"},
+	}
+	for _, args := range cases {
+		var out strings.Builder
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v: expected error", args)
+		}
+	}
+}
+
+func TestApplyStragglers(t *testing.T) {
+	profiles := []sim.DeviceProfile{sim.DefaultProfile(), sim.DefaultProfile()}
+	if err := applyStragglers(profiles, "1=4.5"); err != nil {
+		t.Fatal(err)
+	}
+	if profiles[1].StragglerFactor != 4.5 || profiles[0].StragglerFactor != 1 {
+		t.Fatalf("profiles = %+v", profiles)
+	}
+	if err := applyStragglers(profiles, ""); err != nil {
+		t.Fatal("empty spec should be a no-op")
+	}
+}

@@ -1,0 +1,111 @@
+package scec
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"github.com/scec/scec/internal/alloc"
+	"github.com/scec/scec/internal/coding"
+	"github.com/scec/scec/internal/cost"
+)
+
+// CostComponents holds one edge device's unit prices: storage per element,
+// one addition, one multiplication, and transmitting one value to the user.
+type CostComponents = cost.Components
+
+// UnitCost folds a device's component prices into the per-row unit cost c_j
+// used by Allocate, for coded rows of length l (Eq. (1) of the paper):
+// c_j = (l+1)·storage + l·mul + (l−1)·add + comm.
+func UnitCost(l int, c CostComponents) float64 { return c.Unit(l) }
+
+// UnitCosts maps a fleet of component prices to unit costs.
+func UnitCosts(l int, comps []CostComponents) ([]float64, error) { return cost.Units(l, comps) }
+
+// AmortizedUnitCosts maps component prices to the unit costs of a session
+// serving `queries` input vectors from one provisioned deployment: storage
+// is paid once, compute and communication per query. Feed the result to
+// Allocate to plan long-lived deployments (the device ranking can differ
+// from the one-shot case when storage and compute prices diverge).
+func AmortizedUnitCosts(l, queries int, comps []CostComponents) ([]float64, error) {
+	return cost.AmortizedUnits(l, queries, comps)
+}
+
+// Deployment is a fully provisioned secure multiplication service for one
+// confidential matrix: the optimal plan, the coding scheme it induces, and
+// every device's coded block.
+type Deployment[E comparable] struct {
+	// F is the arithmetic field.
+	F Field[E]
+	// Plan is the cost-optimal task allocation (TA1).
+	Plan Plan
+	// Scheme is the Eq. (8) coding design for (m, Plan.R).
+	Scheme *Scheme
+	// Encoding holds the coded blocks, in scheme device order; block j
+	// belongs to the device with index Plan.Assignments[j].Device in the
+	// caller's cost slice.
+	Encoding *Encoding[E]
+}
+
+// Deploy provisions secure coded multiplication for the confidential matrix
+// a over a fleet with the given per-row unit costs: it solves the MCSCEC
+// allocation, builds the coding scheme, and encodes a with fresh random
+// rows from rng. Costs are per device in the caller's order; the plan's
+// assignments refer back to those indexes.
+func Deploy[E comparable](f Field[E], a *Matrix[E], unitCosts []float64, rng *rand.Rand) (*Deployment[E], error) {
+	plan, err := alloc.TA1(Instance{M: a.Rows(), Costs: unitCosts})
+	if err != nil {
+		return nil, fmt.Errorf("scec: allocate: %w", err)
+	}
+	scheme, err := coding.New(a.Rows(), plan.R)
+	if err != nil {
+		return nil, fmt.Errorf("scec: coding design: %w", err)
+	}
+	if scheme.Devices() != plan.I {
+		// Cannot happen: both derive i = ⌈(m+r)/r⌉ from the same (m, r).
+		return nil, fmt.Errorf("scec: plan selects %d devices but scheme needs %d", plan.I, scheme.Devices())
+	}
+	enc, err := coding.Encode(f, scheme, a, rng)
+	if err != nil {
+		return nil, fmt.Errorf("scec: encode: %w", err)
+	}
+	return &Deployment[E]{F: f, Plan: plan, Scheme: scheme, Encoding: enc}, nil
+}
+
+// MulVec computes A·x through the deployment by running every device's
+// share in-process and decoding. Production systems instead ship
+// Encoding.Blocks to real devices (see internal/transport) and call Decode
+// on the gathered results; this method is the reference pipeline.
+func (d *Deployment[E]) MulVec(x []E) ([]E, error) {
+	if got, want := len(x), d.Encoding.Blocks[0].Cols(); got != want {
+		return nil, fmt.Errorf("scec: input vector has %d entries, want %d", got, want)
+	}
+	y := d.Encoding.ComputeAll(d.F, x)
+	return coding.Decode(d.F, d.Scheme, y)
+}
+
+// MulMat computes A·X for an l×n input matrix X (the paper's batch
+// generalization: n input vectors served by one round). Decoding costs m·n
+// subtractions.
+func (d *Deployment[E]) MulMat(x *Matrix[E]) (*Matrix[E], error) {
+	if got, want := x.Rows(), d.Encoding.Blocks[0].Cols(); got != want {
+		return nil, fmt.Errorf("scec: input matrix has %d rows, want %d", got, want)
+	}
+	y := d.Encoding.ComputeAllBatch(d.F, x)
+	return coding.DecodeBatch(d.F, d.Scheme, y)
+}
+
+// Cost returns the plan's variable cost Σ_j V(B_j)·c_j.
+func (d *Deployment[E]) Cost() float64 { return d.Plan.Cost }
+
+// Devices returns the number of participating edge devices.
+func (d *Deployment[E]) Devices() int { return d.Scheme.Devices() }
+
+// Audit runs the attack harness against every device and returns the
+// per-device leak dimensions (all zero for this construction).
+func (d *Deployment[E]) Audit() []int {
+	leaks := make([]int, d.Scheme.Devices())
+	for j := range leaks {
+		leaks[j] = AuditDevice(d.F, d.Scheme, j)
+	}
+	return leaks
+}

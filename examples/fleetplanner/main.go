@@ -1,0 +1,148 @@
+// Fleet planner — a capacity-planning study over a heterogeneous edge
+// fleet: given a catalogue of device classes with real-ish unit prices, how
+// much does confidentiality cost, which allocation strategy should run the
+// job, and how does the answer change as the fleet becomes more
+// heterogeneous?
+//
+// The example prices a 5000-row secure multiplication on mixed fleets,
+// prints the planning table (optimal vs lower bound vs every baseline), and
+// sweeps cost heterogeneity to find the MaxNode/MinNode crossover the paper
+// discusses for Fig. 2(d).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+	"os"
+	"text/tabwriter"
+
+	"github.com/scec/scec"
+	"github.com/scec/scec/internal/alloc"
+	"github.com/scec/scec/internal/workload"
+)
+
+// deviceClass is one hardware tier in the catalogue.
+type deviceClass struct {
+	name  string
+	comps scec.CostComponents
+	count int
+}
+
+func main() {
+	const (
+		m = 5000 // rows of the confidential matrix
+		l = 256  // row length
+	)
+
+	catalogue := []deviceClass{
+		{"sbc (Pi-class)", scec.CostComponents{Storage: 0.010, Add: 0.004, Mul: 0.008, Comm: 0.90}, 8},
+		{"mini-pc", scec.CostComponents{Storage: 0.014, Add: 0.005, Mul: 0.012, Comm: 1.20}, 6},
+		{"edge gateway", scec.CostComponents{Storage: 0.020, Add: 0.008, Mul: 0.018, Comm: 1.70}, 6},
+		{"micro-server", scec.CostComponents{Storage: 0.030, Add: 0.012, Mul: 0.028, Comm: 2.40}, 5},
+	}
+
+	var costs []float64
+	fmt.Println("fleet catalogue:")
+	for _, c := range catalogue {
+		unit := scec.UnitCost(l, c.comps)
+		fmt.Printf("  %-16s ×%d  unit cost %.2f per coded row\n", c.name, c.count, unit)
+		for i := 0; i < c.count; i++ {
+			costs = append(costs, unit)
+		}
+	}
+
+	in := scec.Instance{M: m, Costs: costs}
+	plan, err := scec.Allocate(m, costs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lb, err := scec.LowerBound(m, costs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nplanning a %d-row secure multiplication over %d devices:\n\n", m, len(costs))
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "strategy\tr\tdevices\tcost\tvs optimal\tsecure")
+	printRow(w, "lower bound (Thm 1)", 0, 0, lb, lb, true)
+	printPlan(w, "MCSCEC (optimal)", plan, plan.Cost)
+	for _, b := range []struct {
+		name   string
+		solve  func(scec.Instance) (scec.Plan, error)
+		secure bool
+	}{
+		{"TAw/oS", alloc.TAWithoutSecurity, false},
+		{"MaxNode", alloc.MaxNode, true},
+		{"MinNode", alloc.MinNode, true},
+	} {
+		p, err := b.solve(in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printPlanSecure(w, b.name, p, plan.Cost, b.secure)
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nconfidentiality premium: %.1f%% over the insecure split\n",
+		100*premium(in, plan.Cost))
+
+	// Heterogeneity sweep: when does concentrating (MinNode) overtake
+	// spreading (MaxNode)? 200 sampled fleets per sigma.
+	fmt.Println("\nheterogeneity sweep (normal costs, mu=5):")
+	fmt.Println("  sigma   MCSCEC   MaxNode  MinNode  winner")
+	rng := rand.New(rand.NewPCG(2019, 7))
+	for _, sigma := range []float64{0.01, 0.5, 1.0, 1.5, 2.0, 2.5} {
+		var opt, maxN, minN float64
+		const fleets = 200
+		for i := 0; i < fleets; i++ {
+			fi := workload.Instance(rng, m, len(costs), workload.Normal{Mu: 5, Sigma: sigma})
+			po, err := alloc.TA2(fi)
+			if err != nil {
+				log.Fatal(err)
+			}
+			pMax, err := alloc.MaxNode(fi)
+			if err != nil {
+				log.Fatal(err)
+			}
+			pMin, err := alloc.MinNode(fi)
+			if err != nil {
+				log.Fatal(err)
+			}
+			opt += po.Cost / fleets
+			maxN += pMax.Cost / fleets
+			minN += pMin.Cost / fleets
+		}
+		winner := "MaxNode"
+		if minN < maxN {
+			winner = "MinNode"
+		}
+		fmt.Printf("  %5.2f  %8.0f %8.0f %8.0f  %s\n", sigma, opt, maxN, minN, winner)
+	}
+}
+
+func printPlan(w *tabwriter.Writer, name string, p scec.Plan, opt float64) {
+	printPlanSecure(w, name, p, opt, p.R > 0)
+}
+
+func printPlanSecure(w *tabwriter.Writer, name string, p scec.Plan, opt float64, secure bool) {
+	printRow(w, name, p.R, p.I, p.Cost, opt, secure)
+}
+
+func printRow(w *tabwriter.Writer, name string, r, devices int, cost, opt float64, secure bool) {
+	secStr := "yes"
+	if !secure {
+		secStr = "NO"
+	}
+	fmt.Fprintf(w, "%s\t%d\t%d\t%.0f\t%+.1f%%\t%s\n", name, r, devices, cost, 100*(cost-opt)/opt, secStr)
+}
+
+func premium(in scec.Instance, optCost float64) float64 {
+	woS, err := alloc.TAWithoutSecurity(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return (optCost - woS.Cost) / woS.Cost
+}

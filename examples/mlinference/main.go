@@ -1,0 +1,143 @@
+// ML inference offload — the paper's motivating workload (§I, Fig. 1): a
+// pre-trained model layer y = W·x is evaluated on edge devices without
+// revealing the weights W to any of them.
+//
+// The example builds a small two-layer network over float64, deploys each
+// layer's weight matrix as a secure coded computation, and runs a batch of
+// inference requests through the fleet, comparing every activation with a
+// local plaintext forward pass.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand/v2"
+
+	"github.com/scec/scec"
+)
+
+// layer is one dense layer with a secure deployment of its weights.
+type layer struct {
+	dep  *scec.Deployment[float64]
+	w    *scec.Matrix[float64] // plaintext copy, used only for verification
+	bias []float64
+}
+
+func main() {
+	f := scec.RealField(1e-6)
+	rng := rand.New(rand.NewPCG(42, 7))
+
+	const (
+		inputDim  = 32
+		hiddenDim = 64
+		outputDim = 10
+		batch     = 8
+	)
+
+	// "Pre-trained" weights (random stand-ins) and a heterogeneous fleet:
+	// three cheap single-board devices, three mid-range boxes, two pricey
+	// gateways — priced per coded row via the Eq. (1) folding.
+	fleet := []scec.CostComponents{
+		{Storage: 0.02, Add: 0.01, Mul: 0.02, Comm: 0.5},
+		{Storage: 0.02, Add: 0.01, Mul: 0.02, Comm: 0.6},
+		{Storage: 0.03, Add: 0.01, Mul: 0.03, Comm: 0.5},
+		{Storage: 0.05, Add: 0.02, Mul: 0.05, Comm: 1.0},
+		{Storage: 0.05, Add: 0.02, Mul: 0.06, Comm: 1.2},
+		{Storage: 0.06, Add: 0.03, Mul: 0.06, Comm: 1.0},
+		{Storage: 0.10, Add: 0.05, Mul: 0.12, Comm: 2.5},
+		{Storage: 0.12, Add: 0.05, Mul: 0.14, Comm: 3.0},
+	}
+
+	l1, err := deployLayer(f, rng, hiddenDim, inputDim, fleet)
+	if err != nil {
+		log.Fatal(err)
+	}
+	l2, err := deployLayer(f, rng, outputDim, hiddenDim, fleet)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("layer 1: %d devices, %d random rows, cost %.2f, leakage %v\n",
+		l1.dep.Devices(), l1.dep.Plan.R, l1.dep.Cost(), l1.dep.Audit())
+	fmt.Printf("layer 2: %d devices, %d random rows, cost %.2f, leakage %v\n",
+		l2.dep.Devices(), l2.dep.Plan.R, l2.dep.Cost(), l2.dep.Audit())
+
+	for b := 0; b < batch; b++ {
+		x := scec.RandomVector(f, rng, inputDim)
+
+		// Secure forward pass: each layer's mat-vec runs on the fleet.
+		h, err := l1.forward(x)
+		if err != nil {
+			log.Fatal(err)
+		}
+		relu(h)
+		y, err := l2.forward(h)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Plaintext reference forward pass.
+		hRef := scec.MulVec(f, l1.w, x)
+		addBias(hRef, l1.bias)
+		relu(hRef)
+		yRef := scec.MulVec(f, l2.w, hRef)
+		addBias(yRef, l2.bias)
+
+		for i := range y {
+			if math.Abs(y[i]-yRef[i]) > 1e-6 {
+				log.Fatalf("request %d: logit %d differs: %g vs %g", b, i, y[i], yRef[i])
+			}
+		}
+		fmt.Printf("request %d: %d logits verified (argmax %d)\n", b, len(y), argmax(y))
+	}
+	fmt.Println("all inference requests matched the plaintext forward pass")
+}
+
+func deployLayer(f scec.Field[float64], rng *rand.Rand, rows, cols int, fleet []scec.CostComponents) (*layer, error) {
+	costs, err := scec.UnitCosts(cols, fleet)
+	if err != nil {
+		return nil, err
+	}
+	w := scec.RandomMatrix(f, rng, rows, cols)
+	dep, err := scec.Deploy(f, w, costs, rng)
+	if err != nil {
+		return nil, err
+	}
+	bias := scec.RandomVector(f, rng, rows)
+	return &layer{dep: dep, w: w, bias: bias}, nil
+}
+
+// forward computes W·x on the fleet, then adds the bias locally (the bias is
+// small and need not be offloaded).
+func (l *layer) forward(x []float64) ([]float64, error) {
+	y, err := l.dep.MulVec(x)
+	if err != nil {
+		return nil, err
+	}
+	addBias(y, l.bias)
+	return y, nil
+}
+
+func addBias(v, bias []float64) {
+	for i := range v {
+		v[i] += bias[i]
+	}
+}
+
+func relu(v []float64) {
+	for i := range v {
+		if v[i] < 0 {
+			v[i] = 0
+		}
+	}
+}
+
+func argmax(v []float64) int {
+	best := 0
+	for i, x := range v {
+		if x > v[best] {
+			best = i
+		}
+	}
+	return best
+}

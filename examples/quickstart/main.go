@@ -1,0 +1,51 @@
+// Quickstart: securely multiply a confidential matrix by a vector on a
+// fleet of untrusted edge devices, in ~30 lines against the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	"github.com/scec/scec"
+)
+
+func main() {
+	f := scec.PrimeField()
+	rng := rand.New(rand.NewPCG(1, 2))
+
+	// The confidential data: a 1000×64 matrix (e.g. a model layer).
+	a := scec.RandomMatrix(f, rng, 1000, 64)
+
+	// Per-row unit costs of the candidate edge devices (storage + compute +
+	// communication folded together; see scec.UnitCost).
+	costs := []float64{1.3, 2.1, 0.8, 1.7, 3.0, 1.1, 2.6}
+
+	// Deploy: optimal task allocation + secure linear coding + encoding.
+	dep, err := scec.Deploy(f, a, costs, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("selected %d of %d devices, %d random rows, cost %.2f\n",
+		dep.Devices(), len(costs), dep.Plan.R, dep.Cost())
+
+	// Every device is information-theoretically blind.
+	fmt.Printf("per-device leakage (dimensions of A's row space): %v\n", dep.Audit())
+
+	// Multiply: each device computes its coded share; the user decodes with
+	// 1000 subtractions.
+	x := scec.RandomVector(f, rng, 64)
+	y, err := dep.MulVec(x)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Verify against the plaintext product.
+	want := scec.MulVec(f, a, x)
+	for i := range y {
+		if y[i] != want[i] {
+			log.Fatalf("mismatch at entry %d", i)
+		}
+	}
+	fmt.Printf("decoded A·x matches the plaintext product (%d entries)\n", len(y))
+}

@@ -1,0 +1,3 @@
+module github.com/scec/scec
+
+go 1.24

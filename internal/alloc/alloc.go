@@ -1,0 +1,154 @@
+// Package alloc implements the task-allocation half of the MCSCEC problem:
+// choosing the number of random vectors r, the number of participating edge
+// devices i, and the per-device row counts V(B_j) that minimize the total
+// cost Σ_j V(B_j)·c_j subject to the availability and security conditions.
+//
+// The package contains the paper's two optimal algorithms (TA1, Algorithm 1;
+// TA2, Algorithm 2), the lower bound of Theorem 1, the four baselines of
+// §V (TAw/oS, MaxNode, MinNode, RNode), and an independent brute-force
+// optimum used by the test suite to validate optimality (Theorems 4–5).
+//
+// All entry points accept devices in arbitrary order; results refer back to
+// the caller's device indexes. Internally costs are sorted ascending, as the
+// paper assumes (c_1 ≤ c_2 ≤ … ≤ c_k).
+package alloc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Instance is one MCSCEC task-allocation problem: a confidential matrix with
+// M rows multiplied on a fleet of edge devices with the given per-row unit
+// costs (package cost folds storage/compute/communication prices into these).
+type Instance struct {
+	// M is the number of rows of the data matrix A. M ≥ 1.
+	M int
+	// Costs holds the unit cost c_j of each edge device, in the caller's
+	// device order. At least two devices are required (k ≥ 2) and every cost
+	// must be strictly positive, per the system model.
+	Costs []float64
+}
+
+// Validate reports whether the instance is well formed.
+func (in Instance) Validate() error {
+	if in.M < 1 {
+		return fmt.Errorf("alloc: m = %d, need m >= 1", in.M)
+	}
+	if len(in.Costs) < 2 {
+		return fmt.Errorf("alloc: k = %d devices, need k >= 2", len(in.Costs))
+	}
+	for j, c := range in.Costs {
+		if !(c > 0) || math.IsInf(c, 0) || math.IsNaN(c) {
+			return fmt.Errorf("alloc: device %d has invalid unit cost %g, need finite cost > 0", j, c)
+		}
+	}
+	return nil
+}
+
+// K returns the number of edge devices.
+func (in Instance) K() int { return len(in.Costs) }
+
+// Assignment is the number of coded rows placed on one device.
+type Assignment struct {
+	// Device is the caller's index of the device in Instance.Costs.
+	Device int
+	// Rows is V(B_j), the number of coded rows stored and computed there.
+	Rows int
+}
+
+// Plan is a complete task allocation.
+type Plan struct {
+	// Algorithm names the strategy that produced the plan (e.g. "TA1").
+	Algorithm string
+	// R is the number of random vectors encoded with the data rows. R == 0
+	// only for the insecure TAw/oS baseline.
+	R int
+	// I is the number of devices that participate (V(B_j) > 0).
+	I int
+	// Assignments lists the participating devices, cheapest first. The row
+	// counts sum to M + R.
+	Assignments []Assignment
+	// Cost is the variable objective Σ_j V(B_j)·c_j.
+	Cost float64
+}
+
+// RowsByDevice expands the plan into a dense per-device row-count slice of
+// length k, in the caller's device order.
+func (p Plan) RowsByDevice(k int) []int {
+	rows := make([]int, k)
+	for _, a := range p.Assignments {
+		rows[a.Device] = a.Rows
+	}
+	return rows
+}
+
+// errInfeasible is reported when no allocation satisfies the constraints;
+// with k ≥ 2 and m ≥ 1 this cannot happen, so it only guards internal logic.
+var errInfeasible = errors.New("alloc: infeasible instance")
+
+// byCost orders device indexes by ascending unit cost, breaking ties by the
+// original index so results are deterministic.
+type byCost struct {
+	order []int // sorted device indexes
+	costs []float64
+}
+
+// sortDevices returns the devices of in sorted by ascending cost.
+func sortDevices(in Instance) byCost {
+	order := make([]int, len(in.Costs))
+	for j := range order {
+		order[j] = j
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return in.Costs[order[a]] < in.Costs[order[b]]
+	})
+	sorted := make([]float64, len(order))
+	for pos, dev := range order {
+		sorted[pos] = in.Costs[dev]
+	}
+	return byCost{order: order, costs: sorted}
+}
+
+// ceilDiv returns ⌈a/b⌉ for positive integers.
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// shapeCost evaluates the Lemma 2 allocation shape for a given r over sorted
+// costs: the i−1 cheapest devices carry r rows each and device i carries the
+// remaining m − (i−2)·r rows, where i = ⌈(m+r)/r⌉. prefix[j] must hold
+// Σ_{p<j} costs[p]. It returns the resulting i and variable cost.
+func shapeCost(m, r int, prefix []float64, costs []float64) (i int, c float64) {
+	i = ceilDiv(m+r, r)
+	last := m - (i-2)*r // == m + r - (i-1)r
+	c = float64(r)*prefix[i-1] + float64(last)*costs[i-1]
+	return i, c
+}
+
+// buildPlan materializes the Lemma 2 shape into a Plan over the original
+// device indexes.
+func buildPlan(algorithm string, m, r int, dev byCost) Plan {
+	i := ceilDiv(m+r, r)
+	assignments := make([]Assignment, 0, i)
+	cost := 0.0
+	for pos := 0; pos < i; pos++ {
+		rows := r
+		if pos == i-1 {
+			rows = m - (i-2)*r
+		}
+		assignments = append(assignments, Assignment{Device: dev.order[pos], Rows: rows})
+		cost += float64(rows) * dev.costs[pos]
+	}
+	return Plan{Algorithm: algorithm, R: r, I: i, Assignments: assignments, Cost: cost}
+}
+
+// prefixSums returns p with p[j] = Σ_{q<j} costs[q], so p has len(costs)+1
+// entries and p[0] == 0.
+func prefixSums(costs []float64) []float64 {
+	p := make([]float64, len(costs)+1)
+	for j, c := range costs {
+		p[j+1] = p[j] + c
+	}
+	return p
+}

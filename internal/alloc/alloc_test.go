@@ -1,0 +1,507 @@
+package alloc
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func testRNG() *rand.Rand { return rand.New(rand.NewPCG(3, 9)) }
+
+// randomInstance draws a well-formed instance with m ∈ [1, maxM] rows and
+// k ∈ [2, maxK] devices with costs in (0, 10].
+func randomInstance(rng *rand.Rand, maxM, maxK int) Instance {
+	m := 1 + rng.IntN(maxM)
+	k := 2 + rng.IntN(maxK-1)
+	costs := make([]float64, k)
+	for j := range costs {
+		costs[j] = 0.01 + 10*rng.Float64()
+	}
+	return Instance{M: m, Costs: costs}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		in   Instance
+		ok   bool
+	}{
+		{"valid", Instance{M: 5, Costs: []float64{1, 2}}, true},
+		{"m zero", Instance{M: 0, Costs: []float64{1, 2}}, false},
+		{"one device", Instance{M: 5, Costs: []float64{1}}, false},
+		{"zero cost", Instance{M: 5, Costs: []float64{0, 1}}, false},
+		{"negative cost", Instance{M: 5, Costs: []float64{-1, 1}}, false},
+		{"nan cost", Instance{M: 5, Costs: []float64{math.NaN(), 1}}, false},
+		{"inf cost", Instance{M: 5, Costs: []float64{math.Inf(1), 1}}, false},
+	}
+	for _, tc := range cases {
+		err := tc.in.Validate()
+		if (err == nil) != tc.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+func TestIStarKnownValues(t *testing.T) {
+	cases := []struct {
+		name  string
+		costs []float64
+		want  int
+	}{
+		{"all equal", []float64{1, 1, 1, 1, 1}, 5},
+		{"two devices", []float64{3, 7}, 2},
+		{"steep jump", []float64{1, 2, 10}, 2},
+		{"gentle slope", []float64{1, 1, 4}, 2},
+		{"moderate", []float64{1, 2, 3}, 3},
+		{"unsorted input", []float64{10, 2, 1}, 2},
+		{"large homogeneous", make([]float64, 25), 25},
+	}
+	// fill the large homogeneous case
+	for j := range cases[6].costs {
+		cases[6].costs[j] = 5
+	}
+	for _, tc := range cases {
+		got, err := IStar(Instance{M: 10, Costs: tc.costs})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if got != tc.want {
+			t.Errorf("%s: i* = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestIStarPrefixProperty checks Lemma 3 empirically: with sorted costs the
+// defining inequality holds for every α ≤ i* and fails for every α > i*.
+func TestIStarPrefixProperty(t *testing.T) {
+	rng := testRNG()
+	for trial := 0; trial < 300; trial++ {
+		in := randomInstance(rng, 50, 12)
+		dev := sortDevices(in)
+		star := istar(dev.costs)
+		prefix := prefixSums(dev.costs)
+		for alpha := 2; alpha <= in.K(); alpha++ {
+			holds := prefix[alpha-1] >= float64(alpha-2)*dev.costs[alpha-1]
+			if alpha <= star && !holds {
+				t.Fatalf("Lemma 3 violated: alpha=%d <= i*=%d but inequality fails (costs %v)", alpha, star, dev.costs)
+			}
+			if alpha > star && holds {
+				t.Fatalf("Lemma 3 violated: alpha=%d > i*=%d but inequality holds (costs %v)", alpha, star, dev.costs)
+			}
+		}
+	}
+}
+
+func TestLowerBoundKnownValues(t *testing.T) {
+	cases := []struct {
+		name string
+		in   Instance
+		want float64
+	}{
+		{"uniform five", Instance{M: 4, Costs: []float64{1, 1, 1, 1, 1}}, 5},
+		{"steep", Instance{M: 5, Costs: []float64{1, 2, 10}}, 15},
+		{"two devices", Instance{M: 7, Costs: []float64{2, 3}}, 35},
+	}
+	for _, tc := range cases {
+		got, err := LowerBound(tc.in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("%s: LB = %g, want %g", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestTA1KnownValues(t *testing.T) {
+	cases := []struct {
+		name     string
+		in       Instance
+		wantR    int
+		wantI    int
+		wantCost float64
+	}{
+		{"uniform divisible", Instance{M: 4, Costs: []float64{1, 1, 1, 1, 1}}, 1, 5, 5},
+		{"steep prefers two", Instance{M: 5, Costs: []float64{1, 2, 10}}, 5, 2, 15},
+		{"uniform non-divisible", Instance{M: 5, Costs: []float64{1, 1, 1, 1}}, 2, 4, 7},
+		{"k2", Instance{M: 9, Costs: []float64{4, 1}}, 9, 2, 45},
+	}
+	for _, tc := range cases {
+		p, err := TA1(tc.in)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if p.R != tc.wantR || p.I != tc.wantI || math.Abs(p.Cost-tc.wantCost) > 1e-9 {
+			t.Errorf("%s: plan r=%d i=%d cost=%g, want r=%d i=%d cost=%g",
+				tc.name, p.R, p.I, p.Cost, tc.wantR, tc.wantI, tc.wantCost)
+		}
+		if err := Verify(tc.in, p); err != nil {
+			t.Errorf("%s: Verify: %v", tc.name, err)
+		}
+	}
+}
+
+func TestPlanShapeMatchesLemma2(t *testing.T) {
+	rng := testRNG()
+	for trial := 0; trial < 200; trial++ {
+		in := randomInstance(rng, 80, 12)
+		for _, solve := range []func(Instance) (Plan, error){TA1, TA2, MaxNode, MinNode} {
+			p, err := solve(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.I != ceilDiv(in.M+p.R, p.R) {
+				t.Fatalf("%s: i = %d, want ceil((m+r)/r) = %d", p.Algorithm, p.I, ceilDiv(in.M+p.R, p.R))
+			}
+			for idx, a := range p.Assignments {
+				want := p.R
+				if idx == p.I-1 {
+					want = in.M - (p.I-2)*p.R
+				}
+				if a.Rows != want {
+					t.Fatalf("%s: assignment %d has %d rows, want %d", p.Algorithm, idx, a.Rows, want)
+				}
+			}
+			if err := Verify(in, p); err != nil {
+				t.Fatalf("%s: %v", p.Algorithm, err)
+			}
+		}
+	}
+}
+
+// TestTA1EqualsTA2 is Theorems 4–5 in property-test form: the O(k) and
+// O(m+k) algorithms must always land on the same optimal cost.
+func TestTA1EqualsTA2(t *testing.T) {
+	rng := testRNG()
+	for trial := 0; trial < 2000; trial++ {
+		in := randomInstance(rng, 100, 15)
+		p1, err1 := TA1(in)
+		p2, err2 := TA2(in)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("TA1 err=%v TA2 err=%v", err1, err2)
+		}
+		if math.Abs(p1.Cost-p2.Cost) > 1e-6 {
+			t.Fatalf("TA1 cost %g != TA2 cost %g on m=%d costs=%v (r1=%d r2=%d)",
+				p1.Cost, p2.Cost, in.M, in.Costs, p1.R, p2.R)
+		}
+	}
+}
+
+// TestOptimalityAgainstBruteForce validates both algorithms against the
+// exhaustive optimum, which assumes none of the paper's structure beyond
+// Lemma 1 and greedy exchange.
+func TestOptimalityAgainstBruteForce(t *testing.T) {
+	rng := testRNG()
+	for trial := 0; trial < 400; trial++ {
+		in := randomInstance(rng, 40, 8)
+		want, err := BruteForce(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, solve := range []func(Instance) (Plan, error){TA1, TA2} {
+			p, err := solve(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.Cost > want.Cost+1e-6 {
+				t.Fatalf("%s cost %g exceeds brute-force optimum %g (m=%d costs=%v)",
+					p.Algorithm, p.Cost, want.Cost, in.M, in.Costs)
+			}
+			if p.Cost < want.Cost-1e-6 {
+				t.Fatalf("%s cost %g below brute-force optimum %g — brute force is broken", p.Algorithm, p.Cost, want.Cost)
+			}
+		}
+	}
+}
+
+// TestLowerBoundHolds is Theorem 1: no algorithm (and not even brute force)
+// beats c^L, and divisible instances attain it exactly (Corollary 1).
+func TestLowerBoundHolds(t *testing.T) {
+	rng := testRNG()
+	for trial := 0; trial < 500; trial++ {
+		in := randomInstance(rng, 60, 10)
+		lb, err := LowerBound(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := TA2(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Cost < lb-1e-6 {
+			t.Fatalf("optimal cost %g below lower bound %g (m=%d costs=%v)", p.Cost, lb, in.M, in.Costs)
+		}
+		star, _ := IStar(in)
+		if in.M%(star-1) == 0 && math.Abs(p.Cost-lb) > 1e-6 {
+			t.Fatalf("Corollary 1 violated: (i*-1)|m but cost %g != LB %g (m=%d i*=%d costs=%v)",
+				p.Cost, lb, in.M, star, in.Costs)
+		}
+	}
+}
+
+// TestTheorem2Range checks that every optimal plan (from TA1, TA2, and brute
+// force) uses ⌈m/(k−1)⌉ ≤ r ≤ m.
+func TestTheorem2Range(t *testing.T) {
+	rng := testRNG()
+	for trial := 0; trial < 300; trial++ {
+		in := randomInstance(rng, 40, 8)
+		lo := ceilDiv(in.M, in.K()-1)
+		for _, solve := range []func(Instance) (Plan, error){TA1, TA2, BruteForce} {
+			p, err := solve(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.R < lo || p.R > in.M {
+				t.Fatalf("%s: r = %d outside Theorem 2 range [%d, %d] (m=%d costs=%v)",
+					p.Algorithm, p.R, lo, in.M, in.M, in.Costs)
+			}
+		}
+	}
+}
+
+// TestLemma1Cap checks V(B_j) ≤ r on every produced secure plan.
+func TestLemma1Cap(t *testing.T) {
+	rng := testRNG()
+	for trial := 0; trial < 200; trial++ {
+		in := randomInstance(rng, 60, 10)
+		rp, err := RNode(in, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range []Plan{mustPlan(t, TA1, in), mustPlan(t, TA2, in), mustPlan(t, MaxNode, in), mustPlan(t, MinNode, in), rp} {
+			for _, a := range p.Assignments {
+				if a.Rows > p.R {
+					t.Fatalf("%s: device %d carries %d > r = %d", p.Algorithm, a.Device, a.Rows, p.R)
+				}
+			}
+		}
+	}
+}
+
+func mustPlan(t *testing.T, solve func(Instance) (Plan, error), in Instance) Plan {
+	t.Helper()
+	p, err := solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestBaselinesNeverBeatOptimal: MCSCEC (TA2) is at most every secure
+// baseline, and TAw/oS (which drops security) is at most MCSCEC.
+func TestBaselinesNeverBeatOptimal(t *testing.T) {
+	rng := testRNG()
+	for trial := 0; trial < 500; trial++ {
+		in := randomInstance(rng, 80, 12)
+		opt := mustPlan(t, TA2, in)
+		for _, solve := range []func(Instance) (Plan, error){MaxNode, MinNode} {
+			p := mustPlan(t, solve, in)
+			if p.Cost < opt.Cost-1e-6 {
+				t.Fatalf("%s cost %g beats optimal %g (m=%d costs=%v)", p.Algorithm, p.Cost, opt.Cost, in.M, in.Costs)
+			}
+		}
+		rp, err := RNode(in, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rp.Cost < opt.Cost-1e-6 {
+			t.Fatalf("RNode cost %g beats optimal %g", rp.Cost, opt.Cost)
+		}
+		woS, err := TAWithoutSecurity(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if woS.Cost > opt.Cost+1e-6 {
+			t.Fatalf("TAw/oS cost %g exceeds secure optimal %g — security overhead cannot be negative", woS.Cost, opt.Cost)
+		}
+	}
+}
+
+func TestTAWithoutSecurityShape(t *testing.T) {
+	in := Instance{M: 10, Costs: []float64{1, 1, 1, 2, 2}}
+	p, err := TAWithoutSecurity(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.R != 0 {
+		t.Fatalf("TAw/oS R = %d, want 0", p.R)
+	}
+	sum := 0
+	for _, a := range p.Assignments {
+		sum += a.Rows
+	}
+	if sum != in.M {
+		t.Fatalf("TAw/oS allocates %d rows, want m = %d", sum, in.M)
+	}
+	// Equal split: i* = 5 here (uniform-ish costs: check), rows differ by at most 1.
+	minRows, maxRows := p.Assignments[0].Rows, p.Assignments[0].Rows
+	for _, a := range p.Assignments {
+		if a.Rows < minRows {
+			minRows = a.Rows
+		}
+		if a.Rows > maxRows {
+			maxRows = a.Rows
+		}
+	}
+	if maxRows-minRows > 1 {
+		t.Fatalf("TAw/oS split uneven: min %d max %d", minRows, maxRows)
+	}
+}
+
+func TestTAWithoutSecurityFewRows(t *testing.T) {
+	// m smaller than i*: only m devices participate, one row each.
+	in := Instance{M: 2, Costs: []float64{1, 1, 1, 1, 1}}
+	p, err := TAWithoutSecurity(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.I != 2 || len(p.Assignments) != 2 {
+		t.Fatalf("expected 2 participating devices, got %d", p.I)
+	}
+	for _, a := range p.Assignments {
+		if a.Rows != 1 {
+			t.Fatalf("expected 1 row per device, got %d", a.Rows)
+		}
+	}
+}
+
+func TestMinNodeUsesTwoCheapest(t *testing.T) {
+	in := Instance{M: 6, Costs: []float64{5, 1, 3, 2}}
+	p, err := MinNode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.I != 2 || p.R != 6 {
+		t.Fatalf("MinNode i=%d r=%d, want i=2 r=6", p.I, p.R)
+	}
+	if p.Assignments[0].Device != 1 || p.Assignments[1].Device != 3 {
+		t.Fatalf("MinNode picked devices %v, want cheapest {1,3}", p.Assignments)
+	}
+	if p.Cost != 6*1+6*2 {
+		t.Fatalf("MinNode cost = %g, want 18", p.Cost)
+	}
+}
+
+func TestMaxNodeUsesMostDevices(t *testing.T) {
+	in := Instance{M: 6, Costs: []float64{1, 1, 1, 1}}
+	p, err := MaxNode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// r = ceil(6/3) = 2, i = ceil(8/2) = 4 — every device participates.
+	if p.R != 2 || p.I != 4 {
+		t.Fatalf("MaxNode r=%d i=%d, want r=2 i=4", p.R, p.I)
+	}
+}
+
+func TestRNodeWithinRangeAndDeterministicWithSeed(t *testing.T) {
+	in := Instance{M: 20, Costs: []float64{1, 2, 3, 4, 5}}
+	lo := ceilDiv(in.M, in.K()-1)
+	for trial := 0; trial < 100; trial++ {
+		p, err := RNode(in, testRNG())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.R < lo || p.R > in.M {
+			t.Fatalf("RNode r = %d outside [%d, %d]", p.R, lo, in.M)
+		}
+	}
+	p1, _ := RNode(in, rand.New(rand.NewPCG(42, 42)))
+	p2, _ := RNode(in, rand.New(rand.NewPCG(42, 42)))
+	if p1.R != p2.R {
+		t.Fatal("RNode must be deterministic for a fixed seed")
+	}
+}
+
+func TestPlansReferenceOriginalDeviceIndexes(t *testing.T) {
+	// Device 2 is the cheapest; plans must cite index 2, not position 0.
+	in := Instance{M: 4, Costs: []float64{9, 8, 1, 7}}
+	p := mustPlan(t, TA1, in)
+	if p.Assignments[0].Device != 2 {
+		t.Fatalf("cheapest assignment device = %d, want 2", p.Assignments[0].Device)
+	}
+	rows := p.RowsByDevice(in.K())
+	if len(rows) != 4 || rows[2] == 0 {
+		t.Fatalf("RowsByDevice = %v", rows)
+	}
+}
+
+func TestVerifyCatchesCorruptPlans(t *testing.T) {
+	in := Instance{M: 4, Costs: []float64{1, 2, 3}}
+	good := mustPlan(t, TA1, in)
+
+	bad := good
+	bad.R = good.R + 1 // row sum no longer matches m+r
+	if err := Verify(in, bad); err == nil {
+		t.Error("Verify should reject row-sum mismatch")
+	}
+
+	bad = good
+	bad.Cost = good.Cost + 5
+	if err := Verify(in, bad); err == nil {
+		t.Error("Verify should reject cost mismatch")
+	}
+
+	bad = good
+	bad.Assignments = append([]Assignment{}, good.Assignments...)
+	bad.Assignments[0].Device = 99
+	if err := Verify(in, bad); err == nil {
+		t.Error("Verify should reject out-of-range device")
+	}
+
+	bad = good
+	bad.I = good.I + 1
+	if err := Verify(in, bad); err == nil {
+		t.Error("Verify should reject I mismatch")
+	}
+}
+
+func TestDegenerateInstances(t *testing.T) {
+	// m = 1: one data row still needs one random row and two devices.
+	p := mustPlan(t, TA1, Instance{M: 1, Costs: []float64{1, 2}})
+	if p.R != 1 || p.I != 2 || p.Cost != 1*1+1*2 {
+		t.Fatalf("m=1 plan r=%d i=%d cost=%g", p.R, p.I, p.Cost)
+	}
+	// Identical costs, k=2.
+	p = mustPlan(t, TA2, Instance{M: 10, Costs: []float64{3, 3}})
+	if p.R != 10 || p.Cost != 60 {
+		t.Fatalf("k=2 plan r=%d cost=%g, want r=10 cost=60", p.R, p.Cost)
+	}
+	// Extreme cost spread: a single cheap pair dominates.
+	p = mustPlan(t, TA1, Instance{M: 12, Costs: []float64{0.001, 0.001, 1e6, 1e6, 1e6}})
+	if p.I != 2 {
+		t.Fatalf("extreme spread should select 2 devices, got %d", p.I)
+	}
+}
+
+func TestErrorsOnInvalidInstance(t *testing.T) {
+	bad := Instance{M: 0, Costs: []float64{1, 2}}
+	rng := testRNG()
+	if _, err := TA1(bad); err == nil {
+		t.Error("TA1 should reject invalid instance")
+	}
+	if _, err := TA2(bad); err == nil {
+		t.Error("TA2 should reject invalid instance")
+	}
+	if _, err := MaxNode(bad); err == nil {
+		t.Error("MaxNode should reject invalid instance")
+	}
+	if _, err := MinNode(bad); err == nil {
+		t.Error("MinNode should reject invalid instance")
+	}
+	if _, err := RNode(bad, rng); err == nil {
+		t.Error("RNode should reject invalid instance")
+	}
+	if _, err := TAWithoutSecurity(bad); err == nil {
+		t.Error("TAw/oS should reject invalid instance")
+	}
+	if _, err := BruteForce(bad); err == nil {
+		t.Error("BruteForce should reject invalid instance")
+	}
+	if _, err := LowerBound(bad); err == nil {
+		t.Error("LowerBound should reject invalid instance")
+	}
+	if _, err := IStar(bad); err == nil {
+		t.Error("IStar should reject invalid instance")
+	}
+}

@@ -1,0 +1,71 @@
+package alloc
+
+import (
+	"math/rand/v2"
+)
+
+// TAWithoutSecurity is the TAw/oS baseline of §V: the m data rows are spread
+// equally over the i* cheapest devices with no random vectors at all. It is
+// cheaper than any secure plan (it pays no redundancy) but offers no
+// confidentiality; the experiments use it to price the security overhead.
+func TAWithoutSecurity(in Instance) (Plan, error) {
+	if err := in.Validate(); err != nil {
+		return Plan{}, err
+	}
+	dev := sortDevices(in)
+	m := in.M
+	star := istar(dev.costs)
+	if star > m {
+		// Fewer rows than devices: each of the m cheapest devices takes one.
+		star = m
+	}
+	base, extra := m/star, m%star
+	assignments := make([]Assignment, 0, star)
+	total := 0.0
+	for pos := 0; pos < star; pos++ {
+		rows := base
+		if pos < extra {
+			// The remainder lands on the cheapest devices.
+			rows++
+		}
+		assignments = append(assignments, Assignment{Device: dev.order[pos], Rows: rows})
+		total += float64(rows) * dev.costs[pos]
+	}
+	return Plan{Algorithm: "TAw/oS", R: 0, I: star, Assignments: assignments, Cost: total}, nil
+}
+
+// MaxNode is the baseline that spreads the task as widely as possible:
+// r = ⌈m/(k−1)⌉, the smallest value Theorem 2 admits, which maximizes the
+// number of participating devices i = ⌈(m+r)/r⌉.
+func MaxNode(in Instance) (Plan, error) {
+	if err := in.Validate(); err != nil {
+		return Plan{}, err
+	}
+	dev := sortDevices(in)
+	p := buildPlan("MaxNode", in.M, ceilDiv(in.M, in.K()-1), dev)
+	return p, nil
+}
+
+// MinNode is the baseline that concentrates the task: r = m, its largest
+// admissible value, so only the two cheapest devices participate (i = 2).
+func MinNode(in Instance) (Plan, error) {
+	if err := in.Validate(); err != nil {
+		return Plan{}, err
+	}
+	dev := sortDevices(in)
+	p := buildPlan("MinNode", in.M, in.M, dev)
+	return p, nil
+}
+
+// RNode is the randomized baseline: r drawn uniformly from Theorem 2's range
+// [⌈m/(k−1)⌉, m], then the Lemma 2 shape.
+func RNode(in Instance, rng *rand.Rand) (Plan, error) {
+	if err := in.Validate(); err != nil {
+		return Plan{}, err
+	}
+	dev := sortDevices(in)
+	lo := ceilDiv(in.M, in.K()-1)
+	r := lo + rng.IntN(in.M-lo+1)
+	p := buildPlan("RNode", in.M, r, dev)
+	return p, nil
+}

@@ -1,0 +1,90 @@
+package alloc
+
+import "fmt"
+
+// BruteForce computes the exact MCSCEC optimum by exhaustive search, without
+// relying on i*, Theorem 2's range, or the Lemma 2 shape. The test suite uses
+// it as independent ground truth for Theorems 4–5.
+//
+// For each candidate r (scanned over 1 … 2m, deliberately wider than Theorem
+// 2's [⌈m/(k−1)⌉, m] so that the range result itself is validated), a
+// feasible allocation must place m+r rows with at most r per device
+// (Lemma 1). For fixed row counts the cost Σ V_j·c_j is minimized by filling
+// the cheapest devices first — a standard exchange argument — so the greedy
+// fill per r is exact and the search is exact overall.
+//
+// Cost is O(m·k); use only on small instances.
+func BruteForce(in Instance) (Plan, error) {
+	if err := in.Validate(); err != nil {
+		return Plan{}, err
+	}
+	dev := sortDevices(in)
+	m, k := in.M, in.K()
+
+	best := Plan{Cost: -1}
+	for r := 1; r <= 2*m; r++ {
+		if r*k < m+r {
+			continue // not enough capacity at ≤ r rows per device
+		}
+		total := 0.0
+		remaining := m + r
+		assignments := make([]Assignment, 0, ceilDiv(m+r, r))
+		for pos := 0; pos < k && remaining > 0; pos++ {
+			rows := r
+			if rows > remaining {
+				rows = remaining
+			}
+			assignments = append(assignments, Assignment{Device: dev.order[pos], Rows: rows})
+			total += float64(rows) * dev.costs[pos]
+			remaining -= rows
+		}
+		if best.Cost < 0 || total < best.Cost {
+			best = Plan{Algorithm: "BruteForce", R: r, I: len(assignments), Assignments: assignments, Cost: total}
+		}
+	}
+	if best.Cost < 0 {
+		return Plan{}, errInfeasible
+	}
+	return best, nil
+}
+
+// Verify checks the structural invariants of a secure plan against its
+// instance: every participating device exists and is distinct, row counts are
+// in [1, r] (Lemma 1), they sum to m+r, I matches, and Cost matches the
+// assignments. TAw/oS plans (R == 0) are exempt from the Lemma 1 cap and must
+// sum to m instead.
+func Verify(in Instance, p Plan) error {
+	if err := in.Validate(); err != nil {
+		return err
+	}
+	if p.I != len(p.Assignments) {
+		return fmt.Errorf("alloc: plan I = %d but %d assignments", p.I, len(p.Assignments))
+	}
+	seen := make(map[int]bool, len(p.Assignments))
+	sum, costSum := 0, 0.0
+	for _, a := range p.Assignments {
+		if a.Device < 0 || a.Device >= in.K() {
+			return fmt.Errorf("alloc: assignment references device %d of %d", a.Device, in.K())
+		}
+		if seen[a.Device] {
+			return fmt.Errorf("alloc: device %d assigned twice", a.Device)
+		}
+		seen[a.Device] = true
+		if a.Rows < 1 {
+			return fmt.Errorf("alloc: device %d assigned %d rows", a.Device, a.Rows)
+		}
+		if p.R > 0 && a.Rows > p.R {
+			return fmt.Errorf("alloc: device %d carries %d rows > r = %d (violates Lemma 1)", a.Device, a.Rows, p.R)
+		}
+		sum += a.Rows
+		costSum += float64(a.Rows) * in.Costs[a.Device]
+	}
+	want := in.M + p.R
+	if sum != want {
+		return fmt.Errorf("alloc: assignments carry %d rows, want m+r = %d", sum, want)
+	}
+	if diff := costSum - p.Cost; diff > 1e-6 || diff < -1e-6 {
+		return fmt.Errorf("alloc: plan cost %g does not match assignments (%g)", p.Cost, costSum)
+	}
+	return nil
+}

@@ -1,0 +1,55 @@
+package alloc
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzTA1TA2Agreement feeds arbitrary instances to both optimal algorithms
+// and demands the Theorems 4–5 guarantees: identical minimal cost, at or
+// above the Theorem 1 lower bound, with structurally valid plans.
+func FuzzTA1TA2Agreement(fz *testing.F) {
+	fz.Add(uint8(5), []byte{1, 2, 3})
+	fz.Add(uint8(100), []byte{5, 5, 5, 5, 5})
+	fz.Add(uint8(1), []byte{255, 1})
+	fz.Add(uint8(37), []byte{9, 3, 200, 14, 77, 2, 2})
+	fz.Fuzz(func(t *testing.T, mRaw uint8, costBytes []byte) {
+		m := 1 + int(mRaw)%100
+		if len(costBytes) < 2 {
+			costBytes = append(costBytes, 1, 1)
+		}
+		if len(costBytes) > 12 {
+			costBytes = costBytes[:12]
+		}
+		costs := make([]float64, len(costBytes))
+		for j, b := range costBytes {
+			costs[j] = 0.5 + float64(b) // strictly positive
+		}
+		in := Instance{M: m, Costs: costs}
+
+		p1, err := TA1(in)
+		if err != nil {
+			t.Fatalf("TA1: %v", err)
+		}
+		p2, err := TA2(in)
+		if err != nil {
+			t.Fatalf("TA2: %v", err)
+		}
+		if math.Abs(p1.Cost-p2.Cost) > 1e-6 {
+			t.Fatalf("TA1 cost %g != TA2 cost %g (m=%d costs=%v)", p1.Cost, p2.Cost, m, costs)
+		}
+		lb, err := LowerBound(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p1.Cost < lb-1e-6 {
+			t.Fatalf("cost %g below lower bound %g", p1.Cost, lb)
+		}
+		if err := Verify(in, p1); err != nil {
+			t.Fatalf("TA1 plan invalid: %v", err)
+		}
+		if err := Verify(in, p2); err != nil {
+			t.Fatalf("TA2 plan invalid: %v", err)
+		}
+	})
+}

@@ -1,0 +1,82 @@
+package alloc
+
+import (
+	"math"
+	"testing"
+)
+
+// TestExhaustiveGridAgainstBruteForce sweeps a deterministic grid of
+// instances — including ties, duplicated costs, and near-degenerate spreads
+// that random sampling rarely hits — and demands TA1 == TA2 == brute force
+// on every one.
+func TestExhaustiveGridAgainstBruteForce(t *testing.T) {
+	costVectors := [][]float64{
+		{1, 1},
+		{1, 2},
+		{2, 1, 3},
+		{1, 1, 1},
+		{1, 1, 100},
+		{1, 100, 100},
+		{0.001, 1000},
+		{5, 5, 5, 5, 5},
+		{1, 2, 3, 4, 5},
+		{5, 4, 3, 2, 1},
+		{1, 1, 2, 2, 3, 3},
+		{7, 7, 7, 1, 7, 7},
+		{1, 1.0000001, 1.0000002},
+		{3.5, 3.5, 3.5, 3.5},
+	}
+	for m := 1; m <= 25; m++ {
+		for ci, costs := range costVectors {
+			in := Instance{M: m, Costs: costs}
+			want, err := BruteForce(in)
+			if err != nil {
+				t.Fatalf("m=%d costs[%d]: %v", m, ci, err)
+			}
+			for _, solve := range []func(Instance) (Plan, error){TA1, TA2} {
+				p, err := solve(in)
+				if err != nil {
+					t.Fatalf("m=%d costs[%d]: %v", m, ci, err)
+				}
+				if math.Abs(p.Cost-want.Cost) > 1e-9*math.Max(1, want.Cost) {
+					t.Fatalf("%s: m=%d costs=%v: cost %g != brute force %g (r=%d vs %d)",
+						p.Algorithm, m, costs, p.Cost, want.Cost, p.R, want.R)
+				}
+				if err := Verify(in, p); err != nil {
+					t.Fatalf("m=%d costs[%d]: %v", m, ci, err)
+				}
+			}
+		}
+	}
+}
+
+// TestTieBreakingIsDeterministic: equal-cost devices must always be selected
+// in stable index order, so repeated planning of the same fleet is
+// reproducible.
+func TestTieBreakingIsDeterministic(t *testing.T) {
+	in := Instance{M: 9, Costs: []float64{2, 2, 2, 2, 2, 2}}
+	first, err := TA1(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 20; trial++ {
+		p, err := TA1(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(p.Assignments) != len(first.Assignments) {
+			t.Fatal("assignment count changed across runs")
+		}
+		for i := range p.Assignments {
+			if p.Assignments[i] != first.Assignments[i] {
+				t.Fatalf("assignment %d changed: %+v vs %+v", i, p.Assignments[i], first.Assignments[i])
+			}
+		}
+		// Stable tie-break: devices appear in ascending index order.
+		for i := 1; i < len(p.Assignments); i++ {
+			if p.Assignments[i].Device <= p.Assignments[i-1].Device {
+				t.Fatalf("equal-cost devices out of index order: %+v", p.Assignments)
+			}
+		}
+	}
+}

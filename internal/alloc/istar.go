@@ -1,0 +1,47 @@
+package alloc
+
+// istar computes i*, the maximum i ∈ {2, …, k} satisfying
+//
+//	Σ_{j=1}^{i-1} c_j ≥ (i-2)·c_i
+//
+// over costs sorted ascending (§III). Lemma 3 proves the satisfying set is
+// the prefix {2, …, i*}, so a single forward scan suffices and the first
+// violation pins i*. The scan is the O(k) heart of Algorithm 1.
+func istar(sorted []float64) int {
+	k := len(sorted)
+	prefix := sorted[0] // Σ_{j=1}^{i-1} c_j for i = 2
+	star := 2
+	for i := 3; i <= k; i++ {
+		prefix += sorted[i-2] // now Σ of the first i-1 costs
+		if prefix < float64(i-2)*sorted[i-1] {
+			break
+		}
+		star = i
+	}
+	return star
+}
+
+// IStar exposes the i* computation on an unsorted instance, mostly for tests
+// and diagnostics. It returns an error if the instance is invalid.
+func IStar(in Instance) (int, error) {
+	if err := in.Validate(); err != nil {
+		return 0, err
+	}
+	return istar(sortDevices(in).costs), nil
+}
+
+// LowerBound returns c^L = m/(i*−1) · Σ_{j=1}^{i*} c_j, the Theorem 1 lower
+// bound on the optimal MCSCEC cost. Corollary 1 shows it is attained exactly
+// when (i*−1) divides m.
+func LowerBound(in Instance) (float64, error) {
+	if err := in.Validate(); err != nil {
+		return 0, err
+	}
+	dev := sortDevices(in)
+	star := istar(dev.costs)
+	sum := 0.0
+	for j := 0; j < star; j++ {
+		sum += dev.costs[j]
+	}
+	return float64(in.M) / float64(star-1) * sum, nil
+}

@@ -1,0 +1,23 @@
+package alloc
+
+import "fmt"
+
+// PlanForR materializes the Lemma 2 allocation shape for a caller-chosen
+// number of random rows r: the i−1 cheapest devices carry r rows, device i
+// carries m−(i−2)·r, with i = ⌈(m+r)/r⌉. It validates Theorem 2's
+// admissible range ⌈m/(k−1)⌉ ≤ r ≤ m (outside it either some device would
+// exceed the Lemma 1 cap or the plan wastes rows).
+//
+// This is the c^(r) function at the heart of Theorem 4's proof: TA1 and TA2
+// both minimize it over r. Exposing it lets callers and the experiment
+// harness study the cost curve itself (see experiments.RSweep).
+func PlanForR(in Instance, r int) (Plan, error) {
+	if err := in.Validate(); err != nil {
+		return Plan{}, err
+	}
+	lo := ceilDiv(in.M, in.K()-1)
+	if r < lo || r > in.M {
+		return Plan{}, fmt.Errorf("alloc: r = %d outside Theorem 2's range [%d, %d]", r, lo, in.M)
+	}
+	return buildPlan(fmt.Sprintf("r=%d", r), in.M, r, sortDevices(in)), nil
+}

@@ -1,0 +1,82 @@
+package alloc
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPlanForRMatchesTA2Minimum(t *testing.T) {
+	rng := testRNG()
+	for trial := 0; trial < 200; trial++ {
+		in := randomInstance(rng, 60, 10)
+		opt := mustPlan(t, TA2, in)
+		lo := ceilDiv(in.M, in.K()-1)
+		best := math.Inf(1)
+		for r := lo; r <= in.M; r++ {
+			p, err := PlanForR(in, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := Verify(in, p); err != nil {
+				t.Fatalf("r=%d: %v", r, err)
+			}
+			if p.Cost < best {
+				best = p.Cost
+			}
+		}
+		if math.Abs(best-opt.Cost) > 1e-6 {
+			t.Fatalf("min over PlanForR = %g, TA2 = %g (m=%d costs=%v)", best, opt.Cost, in.M, in.Costs)
+		}
+	}
+}
+
+func TestPlanForRRangeValidation(t *testing.T) {
+	in := Instance{M: 10, Costs: []float64{1, 2, 3}}
+	lo := ceilDiv(in.M, in.K()-1)
+	if _, err := PlanForR(in, lo-1); err == nil {
+		t.Fatal("r below Theorem 2's range should be rejected")
+	}
+	if _, err := PlanForR(in, in.M+1); err == nil {
+		t.Fatal("r above m should be rejected")
+	}
+	if _, err := PlanForR(Instance{M: 0, Costs: []float64{1, 2}}, 1); err == nil {
+		t.Fatal("invalid instance should be rejected")
+	}
+}
+
+// TestCostCurveUnimodality verifies the shape result inside Theorem 4's
+// proof: c^(r) is non-increasing for r ≤ ⌊m/(i*−1)⌋ and non-decreasing for
+// r ≥ ⌈m/(i*−1)⌉.
+func TestCostCurveUnimodality(t *testing.T) {
+	rng := testRNG()
+	for trial := 0; trial < 300; trial++ {
+		in := randomInstance(rng, 50, 10)
+		star, err := IStar(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo := ceilDiv(in.M, in.K()-1)
+		floorR := in.M / (star - 1)
+		ceilR := ceilDiv(in.M, star-1)
+
+		cost := func(r int) float64 {
+			p, err := PlanForR(in, r)
+			if err != nil {
+				t.Fatalf("r=%d: %v", r, err)
+			}
+			return p.Cost
+		}
+		const eps = 1e-9
+		for r := lo; r < in.M; r++ {
+			c0, c1 := cost(r), cost(r+1)
+			if r+1 <= floorR && c1 > c0+eps {
+				t.Fatalf("c^(r) increased from r=%d (%g) to r=%d (%g) before the optimum (floor=%d, m=%d costs=%v)",
+					r, c0, r+1, c1, floorR, in.M, in.Costs)
+			}
+			if r >= ceilR && c1 < c0-eps {
+				t.Fatalf("c^(r) decreased from r=%d (%g) to r=%d (%g) after the optimum (ceil=%d, m=%d costs=%v)",
+					r, c0, r+1, c1, ceilR, in.M, in.Costs)
+			}
+		}
+	}
+}

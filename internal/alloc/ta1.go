@@ -1,0 +1,43 @@
+package alloc
+
+// TA1 runs Task Allocation Algorithm 1 (Algorithm 1, §IV-A) in O(k):
+//
+//  1. Compute i* by the linear scan justified by Lemma 3.
+//  2. If (i*−1) divides m, take r = m/(i*−1); Corollary 1 shows this attains
+//     the lower bound exactly.
+//  3. Otherwise r is one of ⌊m/(i*−1)⌋ and ⌈m/(i*−1)⌉ — the floor is only
+//     admissible when it respects Theorem 2's range r ≥ ⌈m/(k−1)⌉ — and the
+//     cheaper of the two (floor on ties, matching c_E ≤ c_F in the paper)
+//     wins.
+//
+// The returned plan has the Lemma 2 shape: the i−1 cheapest devices carry r
+// rows each and device i carries m − (i−2)·r rows, with i = ⌈(m+r)/r⌉.
+func TA1(in Instance) (Plan, error) {
+	if err := in.Validate(); err != nil {
+		return Plan{}, err
+	}
+	dev := sortDevices(in)
+	m, k := in.M, in.K()
+	star := istar(dev.costs)
+
+	var r int
+	switch {
+	case m%(star-1) == 0:
+		r = m / (star - 1)
+	case m/(star-1) < ceilDiv(m, k-1):
+		// The floor candidate violates Theorem 2's lower limit on r, so only
+		// the ceiling candidate remains.
+		r = ceilDiv(m, star-1)
+	default:
+		prefix := prefixSums(dev.costs)
+		rE, rF := m/(star-1), ceilDiv(m, star-1)
+		_, cE := shapeCost(m, rE, prefix, dev.costs)
+		_, cF := shapeCost(m, rF, prefix, dev.costs)
+		if cE <= cF {
+			r = rE
+		} else {
+			r = rF
+		}
+	}
+	return buildPlan("TA1", m, r, dev), nil
+}

@@ -1,0 +1,26 @@
+package alloc
+
+// TA2 runs Task Allocation Algorithm 2 (Algorithm 2, §IV-A) in O(m+k):
+// Theorem 2 restricts the optimal number of random vectors to
+// ⌈m/(k−1)⌉ ≤ r ≤ m, so TA2 evaluates the Lemma 2 allocation shape for every
+// r in that range (each evaluation is O(1) with prefix sums) and keeps the
+// cheapest. Theorem 5 proves the result is optimal; the test suite verifies
+// TA1 and TA2 always agree on cost.
+func TA2(in Instance) (Plan, error) {
+	if err := in.Validate(); err != nil {
+		return Plan{}, err
+	}
+	dev := sortDevices(in)
+	m, k := in.M, in.K()
+	prefix := prefixSums(dev.costs)
+
+	bestR := ceilDiv(m, k-1)
+	_, bestCost := shapeCost(m, bestR, prefix, dev.costs)
+	for r := bestR + 1; r <= m; r++ {
+		if _, c := shapeCost(m, r, prefix, dev.costs); c < bestCost {
+			bestR, bestCost = r, c
+		}
+	}
+	p := buildPlan("TA2", m, bestR, dev)
+	return p, nil
+}

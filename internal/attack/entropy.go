@@ -1,0 +1,127 @@
+package attack
+
+import (
+	"fmt"
+
+	"github.com/scec/scec/internal/field"
+	"github.com/scec/scec/internal/matrix"
+)
+
+// maxEnumeration bounds the (A, R) joint enumeration size of ExhaustiveITS.
+const maxEnumeration = 1 << 25
+
+// ExhaustiveITS verifies Definition 2 from first principles, by counting,
+// over GF(256) with column dimension l = 1: for the coefficient matrix b
+// (m data columns first, per-device row counts in rows) it enumerates every
+// data vector A ∈ GF(256)^m and every random vector R ∈ GF(256)^r, buckets
+// each device's observation B_j·T, and demands that the observation
+// histogram is identical for every value of A. That is exactly
+// H(A | B_j·T) = H(A): the device's view is statistically independent of
+// the secret.
+//
+// It returns nil when every device's view is independent of A, and an error
+// naming the first device whose posterior is skewed. Instances must satisfy
+// 256^(m+r) ≤ 2^25 and at most 3 coded rows per device; the algebraic
+// Leakage check covers everything larger.
+func ExhaustiveITS(b *matrix.Dense[byte], m int, rows []int) error {
+	f := field.GF256{}
+	n := b.Rows()
+	r := b.Cols() - m
+	if r < 0 {
+		return fmt.Errorf("attack: m = %d exceeds %d coefficient columns", m, b.Cols())
+	}
+	sum := 0
+	for j, v := range rows {
+		if v < 0 || v > 3 {
+			return fmt.Errorf("attack: device %d holds %d rows; exhaustive check supports 0..3", j, v)
+		}
+		sum += v
+	}
+	if sum != n {
+		return fmt.Errorf("attack: device rows sum to %d, want %d", sum, n)
+	}
+	// Compare in exponent space: 256^(m+r) ≤ maxEnumeration ⟺ 8(m+r) ≤ 25.
+	// Computing pow256 first would overflow int64 for m+r ≥ 8.
+	if 8*(m+r) > 25 {
+		return fmt.Errorf("attack: 256^(m+r) = 256^%d exceeds the enumeration budget", m+r)
+	}
+
+	// Precompute each device's row range.
+	starts := make([]int, len(rows)+1)
+	for j, v := range rows {
+		starts[j+1] = starts[j] + v
+	}
+
+	t := make([]byte, n) // T's single column: data then random entries
+	nA, nR := pow256(m), pow256(r)
+	reference := make([]map[uint32]int, len(rows))
+	hist := make([]map[uint32]int, len(rows))
+
+	for aIdx := 0; aIdx < nA; aIdx++ {
+		fillDigits(t[:m], aIdx)
+		for j := range hist {
+			hist[j] = make(map[uint32]int)
+		}
+		for rIdx := 0; rIdx < nR; rIdx++ {
+			fillDigits(t[m:], rIdx)
+			for j, v := range rows {
+				if v == 0 {
+					continue
+				}
+				var obs uint32
+				for g := starts[j]; g < starts[j+1]; g++ {
+					var acc byte
+					for c := 0; c < n; c++ {
+						acc = f.Add(acc, f.Mul(b.At(g, c), t[c]))
+					}
+					obs = obs<<8 | uint32(acc)
+				}
+				hist[j][obs]++
+			}
+		}
+		if aIdx == 0 {
+			for j := range hist {
+				reference[j] = hist[j]
+			}
+			continue
+		}
+		for j := range hist {
+			if rows[j] == 0 {
+				continue
+			}
+			if err := sameHistogram(reference[j], hist[j]); err != nil {
+				return fmt.Errorf("attack: device %d view depends on A (a=%d): %w", j, aIdx, err)
+			}
+		}
+	}
+	return nil
+}
+
+// pow256 returns 256^e for small e.
+func pow256(e int) int {
+	p := 1
+	for i := 0; i < e; i++ {
+		p *= 256
+	}
+	return p
+}
+
+// fillDigits writes idx base-256 into dst, least-significant digit first.
+func fillDigits(dst []byte, idx int) {
+	for i := range dst {
+		dst[i] = byte(idx)
+		idx >>= 8
+	}
+}
+
+func sameHistogram(a, b map[uint32]int) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("observation supports differ: %d vs %d", len(a), len(b))
+	}
+	for k, va := range a {
+		if vb, okB := b[k]; !okB || vb != va {
+			return fmt.Errorf("observation %#x occurs %d vs %d times", k, va, vb)
+		}
+	}
+	return nil
+}

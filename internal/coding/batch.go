@@ -1,0 +1,49 @@
+package coding
+
+import (
+	"fmt"
+
+	"github.com/scec/scec/internal/field"
+	"github.com/scec/scec/internal/matrix"
+)
+
+// Batch (matrix–matrix) computation: the paper's system model (§II-A) notes
+// that the scheme "can also be applied to more general cases that require
+// multiplication of two matrices and/or multiplication of a data matrix
+// with different input vectors". Both reduce to the same mechanics: the
+// input becomes an l×n matrix X whose columns are the n input vectors, each
+// device returns B_j·T·X (a V(B_j)×n block), and the user decodes every
+// column with the same m subtractions. Nothing about the security argument
+// changes — the devices' coefficient rows are identical.
+
+// ComputeDeviceBatch performs device j's share of A·X: its coded block times
+// the l×n input matrix.
+func (e *Encoding[E]) ComputeDeviceBatch(f field.Field[E], j int, x *matrix.Dense[E]) *matrix.Dense[E] {
+	return matrix.Mul(f, e.Blocks[j], x)
+}
+
+// ComputeAllBatch stacks every device's batch result in device order,
+// yielding B·T·X ((m+r)×n).
+func (e *Encoding[E]) ComputeAllBatch(f field.Field[E], x *matrix.Dense[E]) *matrix.Dense[E] {
+	blocks := make([]*matrix.Dense[E], len(e.Blocks))
+	for j := range e.Blocks {
+		blocks[j] = e.ComputeDeviceBatch(f, j, x)
+	}
+	return matrix.VStack(blocks...)
+}
+
+// DecodeBatch recovers A·X from the stacked intermediate block Y = B·T·X:
+// m·n subtractions, the column-wise generalization of Decode.
+func DecodeBatch[E comparable](f field.Field[E], s *Scheme, y *matrix.Dense[E]) (*matrix.Dense[E], error) {
+	if y.Rows() != s.m+s.r {
+		return nil, fmt.Errorf("coding: got %d intermediate rows, want m+r = %d", y.Rows(), s.m+s.r)
+	}
+	n := y.Cols()
+	ax := matrix.New[E](s.m, n)
+	for p := 0; p < s.m; p++ {
+		for c := 0; c < n; c++ {
+			ax.Set(p, c, f.Sub(y.At(s.r+p, c), y.At(p%s.r, c)))
+		}
+	}
+	return ax, nil
+}

@@ -1,0 +1,124 @@
+// Package coding implements the secure linear coding design of the MCSCEC
+// paper (§IV-B): the structured encoding coefficient matrix B of Eq. (8),
+// the cloud-side encoder that produces each device's coded rows B_j·T, the
+// user-side decoder that recovers Ax with m subtractions, and verifiers for
+// the availability (Definition 1) and information-theoretic security
+// (Definition 2) conditions.
+//
+// It also contains the paper's future-work extension (§VI): a Cauchy-based
+// coding design that remains secure when up to t devices collude.
+package coding
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/scec/scec/internal/field"
+	"github.com/scec/scec/internal/matrix"
+)
+
+// Errors reported by scheme construction and verification.
+var (
+	// ErrNotAvailable indicates the encoding coefficient matrix is not full
+	// rank, so the user could not decode (Definition 1 fails).
+	ErrNotAvailable = errors.New("coding: availability condition violated (B not full rank)")
+	// ErrNotSecure indicates some device's coded rows span a non-trivial
+	// intersection with the data subspace (Definition 2 fails).
+	ErrNotSecure = errors.New("coding: security condition violated")
+)
+
+// Scheme is the structured (m+r)-dimensional LCEC of Eq. (8). It fixes the
+// row layout
+//
+//	B = ⎡ O_{r,m}  E_r     ⎤   ← device 1: pure random combinations
+//	    ⎣ E_m      E_{m,r} ⎦   ← devices 2…i: one data row + one random row each
+//
+// where E_{m,r} stacks copies of E_r, i.e. (E_{m,r})_{p,q} = 1 iff
+// q ≡ p (mod r). Device j (0-based) holds the global rows
+// [j·r, min((j+1)·r, m+r)), which reproduces the Lemma 2 shape: the first
+// i−1 devices hold r rows, the last holds m−(i−2)·r.
+type Scheme struct {
+	m, r, i int
+}
+
+// New constructs the Eq. (8) scheme for m data rows and r random rows. The
+// number of participating devices is i = ⌈(m+r)/r⌉. It requires m ≥ 1 and
+// 1 ≤ r ≤ m (Theorem 2's admissible range at k unlimited; callers that
+// already ran task allocation pass the plan's r).
+func New(m, r int) (*Scheme, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("coding: m = %d, need m >= 1", m)
+	}
+	if r < 1 || r > m {
+		return nil, fmt.Errorf("coding: r = %d outside [1, m] = [1, %d]", r, m)
+	}
+	return &Scheme{m: m, r: r, i: (m + 2*r - 1) / r}, nil
+}
+
+// M returns the number of data rows.
+func (s *Scheme) M() int { return s.m }
+
+// R returns the number of random rows.
+func (s *Scheme) R() int { return s.r }
+
+// Devices returns i, the number of participating devices.
+func (s *Scheme) Devices() int { return s.i }
+
+// RowRange returns the half-open global row range [from, to) of B held by
+// 0-based device j. Device 0 corresponds to the paper's s_1.
+func (s *Scheme) RowRange(j int) (from, to int) {
+	if j < 0 || j >= s.i {
+		panic(fmt.Sprintf("coding: device %d out of range [0, %d)", j, s.i))
+	}
+	from = j * s.r
+	to = from + s.r
+	if to > s.m+s.r {
+		to = s.m + s.r
+	}
+	return from, to
+}
+
+// RowsOn returns V(B_j), the number of coded rows device j holds.
+func (s *Scheme) RowsOn(j int) int {
+	from, to := s.RowRange(j)
+	return to - from
+}
+
+// CoefficientMatrix materializes the full (m+r)×(m+r) matrix B over f.
+// The computing path never needs it (encoding and decoding exploit the
+// structure); it exists for the verifiers, the attack harness, and tests.
+func CoefficientMatrix[E comparable](f field.Field[E], s *Scheme) *matrix.Dense[E] {
+	n := s.m + s.r
+	b := matrix.New[E](n, n)
+	one := f.One()
+	// Top block [O_{r,m} | E_r].
+	for p := 0; p < s.r; p++ {
+		b.Set(p, s.m+p, one)
+	}
+	// Bottom block [E_m | E_{m,r}].
+	for p := 0; p < s.m; p++ {
+		b.Set(s.r+p, p, one)
+		b.Set(s.r+p, s.m+p%s.r, one)
+	}
+	return b
+}
+
+// DeviceMatrix materializes B_j, the coded-row coefficient block of 0-based
+// device j.
+func DeviceMatrix[E comparable](f field.Field[E], s *Scheme, j int) *matrix.Dense[E] {
+	from, to := s.RowRange(j)
+	n := s.m + s.r
+	b := matrix.New[E](to-from, n)
+	one := f.One()
+	for g := from; g < to; g++ {
+		row := g - from
+		if g < s.r {
+			b.Set(row, s.m+g, one)
+			continue
+		}
+		p := g - s.r
+		b.Set(row, p, one)
+		b.Set(row, s.m+p%s.r, one)
+	}
+	return b
+}

@@ -1,0 +1,54 @@
+package coding
+
+import (
+	"fmt"
+
+	"github.com/scec/scec/internal/field"
+	"github.com/scec/scec/internal/matrix"
+)
+
+// Decode is the Original Result Recovery step (§IV-B): given the
+// concatenated intermediate results y = B·T·x (device order, so the first r
+// values are the random projections R·x), it recovers Ax with exactly m
+// subtractions:
+//
+//	(Ax)_p = y_{r+p} − y_{p mod r}        (0-based p)
+//
+// matching the paper's 1-based identity
+// A_p·x = (BTx)_{r+p} − (BTx)_{p−(⌈p/r⌉−1)r}. This is the low-complexity
+// decoder the structured B was designed for; no elimination is needed.
+func Decode[E comparable](f field.Field[E], s *Scheme, y []E) ([]E, error) {
+	if len(y) != s.m+s.r {
+		return nil, fmt.Errorf("coding: got %d intermediate values, want m+r = %d", len(y), s.m+s.r)
+	}
+	ax := make([]E, s.m)
+	for p := 0; p < s.m; p++ {
+		ax[p] = f.Sub(y[s.r+p], y[p%s.r])
+	}
+	return ax, nil
+}
+
+// DecodeGaussian is the general decoder of the system model (§II-A): for any
+// full-rank coefficient matrix b (not only Eq. (8)), it solves B·(Tx) = y
+// by Gaussian elimination and returns the first m entries of Tx, i.e. Ax.
+// It returns matrix.ErrSingular when b violates the availability condition.
+//
+// It costs O((m+r)³); the structured Decode above is the production path and
+// the two are cross-checked in the test suite.
+func DecodeGaussian[E comparable](f field.Field[E], b *matrix.Dense[E], m int, y []E) ([]E, error) {
+	n := b.Rows()
+	if b.Cols() != n {
+		return nil, fmt.Errorf("coding: coefficient matrix is %dx%d, want square", b.Rows(), b.Cols())
+	}
+	if m < 1 || m > n {
+		return nil, fmt.Errorf("coding: m = %d outside [1, %d]", m, n)
+	}
+	if len(y) != n {
+		return nil, fmt.Errorf("coding: got %d intermediate values, want %d", len(y), n)
+	}
+	tx, err := matrix.Solve(f, b, y)
+	if err != nil {
+		return nil, err
+	}
+	return tx[:m], nil
+}

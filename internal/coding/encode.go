@@ -1,0 +1,103 @@
+package coding
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"github.com/scec/scec/internal/field"
+	"github.com/scec/scec/internal/matrix"
+)
+
+// Encoding is the cloud-side output of the pre-processing phase: the per-
+// device coded blocks B_j·T ready for distribution, plus the random rows R
+// (retained only by the cloud; they never leave it).
+type Encoding[E comparable] struct {
+	// Scheme is the coding design the blocks follow.
+	Scheme *Scheme
+	// Blocks[j] holds device j's coded rows B_j·T, a V(B_j)×l matrix.
+	Blocks []*matrix.Dense[E]
+	// Random holds the r random rows. Exposed for tests and for the general
+	// Gaussian decoding path; a deployment keeps it inside the cloud.
+	Random *matrix.Dense[E]
+}
+
+// Encode runs the Coded Data Distribution step of the MCSCEC framework
+// (§II-D): it draws r random rows over f and produces every device's coded
+// block. The structure of Eq. (8) lets it avoid forming B or T:
+//
+//   - device 0 (the paper's s_1) receives the random rows themselves, and
+//   - global data row p becomes the coded row A_p + R_{p mod r}.
+//
+// so encoding costs O((m+r)·l) field additions instead of a dense
+// (m+r)×(m+r) by (m+r)×l product.
+func Encode[E comparable](f field.Field[E], s *Scheme, a *matrix.Dense[E], rng *rand.Rand) (*Encoding[E], error) {
+	if a.Rows() != s.m {
+		return nil, fmt.Errorf("coding: data matrix has %d rows, scheme expects m = %d", a.Rows(), s.m)
+	}
+	if a.Cols() < 1 {
+		return nil, fmt.Errorf("coding: data matrix has %d columns, need at least 1", a.Cols())
+	}
+	random := matrix.Random(f, rng, s.r, a.Cols())
+	enc, err := EncodeWithRandom(f, s, a, random)
+	if err != nil {
+		return nil, err
+	}
+	return enc, nil
+}
+
+// EncodeWithRandom is Encode with caller-supplied random rows; the test
+// suite uses it for reproducibility, and a broken caller passing low-entropy
+// rows is exactly the failure mode the attack harness demonstrates.
+func EncodeWithRandom[E comparable](f field.Field[E], s *Scheme, a, random *matrix.Dense[E]) (*Encoding[E], error) {
+	if a.Rows() != s.m {
+		return nil, fmt.Errorf("coding: data matrix has %d rows, scheme expects m = %d", a.Rows(), s.m)
+	}
+	if random.Rows() != s.r || random.Cols() != a.Cols() {
+		return nil, fmt.Errorf("coding: random block is %dx%d, want %dx%d",
+			random.Rows(), random.Cols(), s.r, a.Cols())
+	}
+	l := a.Cols()
+	blocks := make([]*matrix.Dense[E], s.i)
+	for j := 0; j < s.i; j++ {
+		from, to := s.RowRange(j)
+		block := matrix.New[E](to-from, l)
+		for g := from; g < to; g++ {
+			row := g - from
+			if g < s.r {
+				block.SetRow(row, random.Row(g))
+				continue
+			}
+			p := g - s.r
+			ar, rr := a.Row(p), random.Row(p%s.r)
+			coded := make([]E, l)
+			for c := 0; c < l; c++ {
+				coded[c] = f.Add(ar[c], rr[c])
+			}
+			block.SetRow(row, coded)
+		}
+		blocks[j] = block
+	}
+	return &Encoding[E]{Scheme: s, Blocks: blocks, Random: random}, nil
+}
+
+// ComputeDevice performs device j's work in the Coded Edge Computing step:
+// multiply its coded block by the input vector x, yielding the V(B_j)
+// intermediate values it returns to the user.
+func (e *Encoding[E]) ComputeDevice(f field.Field[E], j int, x []E) []E {
+	return matrix.MulVec(f, e.Blocks[j], x)
+}
+
+// ComputeAll runs every device and concatenates the intermediate results in
+// device order, i.e. it returns B·T·x. The in-process simulator and tests
+// use it; the transport package does the same over TCP.
+func (e *Encoding[E]) ComputeAll(f field.Field[E], x []E) []E {
+	total := 0
+	for _, b := range e.Blocks {
+		total += b.Rows()
+	}
+	out := make([]E, 0, total)
+	for j := range e.Blocks {
+		out = append(out, e.ComputeDevice(f, j, x)...)
+	}
+	return out
+}

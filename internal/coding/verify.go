@@ -1,0 +1,89 @@
+package coding
+
+import (
+	"fmt"
+
+	"github.com/scec/scec/internal/field"
+	"github.com/scec/scec/internal/matrix"
+)
+
+// DataSubspace returns λ̄ = [E_m | O_{m,r}], the basis of the subspace of
+// coefficient vectors that reveal linear combinations of rows of A. The
+// security condition of Definition 2 (in its span form, per the theory of
+// secure network coding) is that every device's coefficient block intersects
+// this subspace trivially.
+func DataSubspace[E comparable](f field.Field[E], m, r int) *matrix.Dense[E] {
+	lambda := matrix.New[E](m, m+r)
+	one := f.One()
+	for p := 0; p < m; p++ {
+		lambda.Set(p, p, one)
+	}
+	return lambda
+}
+
+// CheckAvailability verifies Definition 1 for an arbitrary coefficient
+// matrix: B must be square and full rank. It returns ErrNotAvailable
+// (wrapped with the rank found) on failure.
+func CheckAvailability[E comparable](f field.Field[E], b *matrix.Dense[E]) error {
+	if b.Rows() != b.Cols() {
+		return fmt.Errorf("%w: B is %dx%d, not square", ErrNotAvailable, b.Rows(), b.Cols())
+	}
+	if rank := matrix.Rank(f, b); rank != b.Rows() {
+		return fmt.Errorf("%w: rank %d of %d", ErrNotAvailable, rank, b.Rows())
+	}
+	return nil
+}
+
+// CheckSecurity verifies Definition 2 for an arbitrary coefficient matrix
+// split into per-device row counts: for each device j,
+// dim(L(B_j) ∩ L(λ̄)) must be 0. rows[j] gives V(B_j); the counts must sum
+// to B's row count, and m = B.Cols() − r data rows are assumed to occupy the
+// first m columns. It returns ErrNotSecure naming the first offending
+// device.
+func CheckSecurity[E comparable](f field.Field[E], b *matrix.Dense[E], m int, rows []int) error {
+	n := b.Rows()
+	r := b.Cols() - m
+	if r < 0 {
+		return fmt.Errorf("coding: m = %d exceeds B's %d columns", m, b.Cols())
+	}
+	sum := 0
+	for _, v := range rows {
+		if v < 0 {
+			return fmt.Errorf("coding: negative device row count %d", v)
+		}
+		sum += v
+	}
+	if sum != n {
+		return fmt.Errorf("coding: device row counts sum to %d, want %d", sum, n)
+	}
+	lambda := DataSubspace(f, m, r)
+	at := 0
+	for j, v := range rows {
+		if v == 0 {
+			continue
+		}
+		bj := matrix.RowSlice(b, at, at+v)
+		at += v
+		if dim := matrix.SpanIntersectionDim(f, bj, lambda); dim != 0 {
+			return fmt.Errorf("%w: device %d leaks a %d-dimensional data subspace", ErrNotSecure, j, dim)
+		}
+	}
+	return nil
+}
+
+// Verify runs both Theorem 3 checks on the structured scheme: it
+// materializes B from Eq. (8) over f and confirms availability and
+// per-device security. The construction guarantees both (Theorem 3); this
+// function exists so deployments and tests can re-establish the guarantee
+// for any concrete (m, r).
+func Verify[E comparable](f field.Field[E], s *Scheme) error {
+	b := CoefficientMatrix(f, s)
+	if err := CheckAvailability(f, b); err != nil {
+		return err
+	}
+	rows := make([]int, s.i)
+	for j := range rows {
+		rows[j] = s.RowsOn(j)
+	}
+	return CheckSecurity(f, b, s.m, rows)
+}

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+)
+
+// Claim is one quantified statement from §I/§V together with its measured
+// counterpart.
+type Claim struct {
+	// ID is a short handle, e.g. "lb-gap".
+	ID string
+	// Statement quotes the paper's claim.
+	Statement string
+	// PaperValue is the quantitative bound from the paper, as a fraction
+	// (0.005 for "0.5%").
+	PaperValue float64
+	// Measured is the value observed in this run, same units.
+	Measured float64
+	// Holds reports whether the measured value satisfies the claim's
+	// direction (see Direction).
+	Holds bool
+	// Direction is "<=" when the claim bounds the measured value from above
+	// and ">=" when from below.
+	Direction string
+}
+
+// ClaimReport aggregates the headline-claim measurements.
+type ClaimReport struct {
+	Claims []Claim
+	// SigmaCrossover is the σ at which the MaxNode and MinNode curves of
+	// Fig. 2(d) cross (MaxNode cheaper to the left, MinNode to the right);
+	// NaN when no crossing is observed.
+	SigmaCrossover float64
+}
+
+// at extracts a series mean at the last sweep point ("sufficiently large").
+func last(res Result, series string) float64 {
+	return res.Points[len(res.Points)-1].Mean[series]
+}
+
+// Claims measures the paper's headline numbers on regenerated panels. It
+// expects the five figure results in FigureIDs order (e.g. from All).
+func Claims(results []Result) (ClaimReport, error) {
+	if len(results) != len(FigureIDs) {
+		return ClaimReport{}, fmt.Errorf("experiments: got %d results, want %d", len(results), len(FigureIDs))
+	}
+	byID := make(map[string]Result, len(results))
+	for _, r := range results {
+		byID[r.ID] = r
+	}
+	for _, id := range FigureIDs {
+		if _, covered := byID[id]; !covered {
+			return ClaimReport{}, fmt.Errorf("experiments: missing figure %q", id)
+		}
+	}
+	a, b, c, d, e := byID["fig2a"], byID["fig2b"], byID["fig2c"], byID["fig2d"], byID["fig2e"]
+
+	report := ClaimReport{}
+	add := func(id, statement string, paper, measured float64, dir string) {
+		holds := measured <= paper
+		if dir == ">=" {
+			holds = measured >= paper
+		}
+		report.Claims = append(report.Claims, Claim{
+			ID: id, Statement: statement, PaperValue: paper,
+			Measured: measured, Holds: holds, Direction: dir,
+		})
+	}
+
+	// "the total cost obtained by the proposed MCSCEC scheme is less than
+	// 0.5% higher than the lower bound" — measured as the worst relative gap
+	// across every point of every panel.
+	worstGap := 0.0
+	for _, r := range results {
+		for _, p := range r.Points {
+			gap := (p.Mean[SeriesMCSCEC] - p.Mean[SeriesLB]) / p.Mean[SeriesLB]
+			if gap > worstGap {
+				worstGap = gap
+			}
+		}
+	}
+	add("lb-gap", "MCSCEC is <0.5% above the lower bound", 0.005, worstGap, "<=")
+
+	// "the MCSCEC algorithm can reduce the total cost by more than 43%, 18%,
+	// and 13%, respectively, when m, k and c_max are sufficiently large" —
+	// reduction vs the costliest secure baseline at the largest sweep value
+	// of Fig. 2(a)/(b)/(c).
+	reduction := func(r Result) float64 {
+		worst := math.Max(last(r, SeriesMaxNode), math.Max(last(r, SeriesMinNode), last(r, SeriesRNode)))
+		return (worst - last(r, SeriesMCSCEC)) / worst
+	}
+	add("savings-m", "≥43% cheaper than the worst baseline at large m", 0.43, reduction(a), ">=")
+	add("savings-k", "≥18% cheaper than the worst baseline at large k", 0.18, reduction(b), ">=")
+	add("savings-cmax", "≥13% cheaper than the worst baseline at large c_max", 0.13, reduction(c), ">=")
+
+	// "the cost only increases less than 26%, 19% and 14%, respectively,
+	// even when m, k and μ are sufficiently large" and "no more than 36% and
+	// 48% ... when c_max and σ become sufficiently large" — security
+	// overhead vs TAw/oS at the largest sweep value.
+	overhead := func(r Result) float64 {
+		woS := last(r, SeriesTAwoS)
+		return (last(r, SeriesMCSCEC) - woS) / woS
+	}
+	add("overhead-m", "security overhead ≤26% vs TAw/oS at large m", 0.26, overhead(a), "<=")
+	add("overhead-k", "security overhead ≤19% vs TAw/oS at large k", 0.19, overhead(b), "<=")
+	add("overhead-mu", "security overhead ≤14% vs TAw/oS at large μ", 0.14, overhead(e), "<=")
+	add("overhead-cmax", "security overhead ≤36% vs TAw/oS at large c_max", 0.36, overhead(c), "<=")
+	add("overhead-sigma", "security overhead ≤48% vs TAw/oS at large σ", 0.48, overhead(d), "<=")
+
+	// Fig. 2(d) crossover: MaxNode beats MinNode at small σ and loses at
+	// large σ.
+	report.SigmaCrossover = math.NaN()
+	for i := 1; i < len(d.Points); i++ {
+		prev := d.Points[i-1].Mean[SeriesMaxNode] - d.Points[i-1].Mean[SeriesMinNode]
+		cur := d.Points[i].Mean[SeriesMaxNode] - d.Points[i].Mean[SeriesMinNode]
+		if prev <= 0 && cur > 0 {
+			// Linear interpolation between the bracketing sigmas.
+			x0, x1 := d.Points[i-1].X, d.Points[i].X
+			report.SigmaCrossover = x0 + (x1-x0)*(-prev)/(cur-prev)
+			break
+		}
+	}
+	crossMeasured := 0.0
+	if !math.IsNaN(report.SigmaCrossover) {
+		crossMeasured = 1
+	}
+	add("sigma-crossover", "MaxNode and MinNode cross as σ grows (Fig. 2(d))", 1, crossMeasured, ">=")
+
+	return report, nil
+}

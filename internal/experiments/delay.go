@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/scec/scec/internal/alloc"
+	"github.com/scec/scec/internal/coding"
+	"github.com/scec/scec/internal/field"
+	"github.com/scec/scec/internal/matrix"
+	"github.com/scec/scec/internal/sim"
+	"github.com/scec/scec/internal/workload"
+)
+
+// DelayPoint is one (replication factor, straggler probability) cell of the
+// delay study.
+type DelayPoint struct {
+	// Replicas is how many devices host each coded block.
+	Replicas int
+	// StragglerProb is the per-replica probability of a 10× slowdown.
+	StragglerProb float64
+	// SuccessRate is the fraction of trials where every block had at least
+	// one surviving replica.
+	SuccessRate float64
+	// MeanCompletion averages completion time over successful trials.
+	MeanCompletion time.Duration
+	// StorageOverhead is provisioned rows / (m+r).
+	StorageOverhead float64
+}
+
+// DelayResult is the full study.
+type DelayResult struct {
+	// M, L, R document the coded workload simulated.
+	M, L, R int
+	// Points holds one cell per (replicas, stragglerProb) pair.
+	Points []DelayPoint
+}
+
+// Delay-study constants: a mid-sized workload, a 10× straggler model, and a
+// 3% independent replica failure probability.
+const (
+	delayM          = 200
+	delayL          = 32
+	delayStraggle   = 10.0
+	delayFailProb   = 0.03
+	delayTrialCount = 150
+	saltDelay       = 0xde1a
+)
+
+// DelaySweep quantifies Remark 1 and the §II-A availability assumption on
+// the event-level simulator: how replication of coded blocks trades storage
+// for completion-time stability and success rate under stragglers and
+// failures. For each replication factor 1–3 and straggler probability in
+// {0, 0.2, 0.5}, it runs many seeded trials of the full protocol.
+func DelaySweep(cfg Config) (DelayResult, error) {
+	f := field.Prime{}
+	rng := workload.RNG(cfg.Seed^saltDelay, 0, 0)
+
+	in := workload.Instance(rng, delayM, 10, workload.Uniform{Max: cfg.Defaults.CMax})
+	plan, err := alloc.TA1(in)
+	if err != nil {
+		return DelayResult{}, err
+	}
+	scheme, err := coding.New(delayM, plan.R)
+	if err != nil {
+		return DelayResult{}, err
+	}
+	a := matrix.Random(f, rng, delayM, delayL)
+	enc, err := coding.Encode(f, scheme, a, rng)
+	if err != nil {
+		return DelayResult{}, err
+	}
+	x := matrix.RandomVec(f, rng, delayL)
+	want := matrix.MulVec(f, a, x)
+
+	res := DelayResult{M: delayM, L: delayL, R: plan.R}
+	for _, replicas := range []int{1, 2, 3} {
+		for _, pStraggle := range []float64{0, 0.2, 0.5} {
+			pt := DelayPoint{Replicas: replicas, StragglerProb: pStraggle}
+			successes := 0
+			var totalCompletion time.Duration
+			for trial := 0; trial < delayTrialCount; trial++ {
+				trialRNG := workload.RNG(cfg.Seed^saltDelay, replicas*1000+int(pStraggle*10), trial)
+				rcfg := sim.ReplicatedConfig{
+					Replicas:        make([][]sim.DeviceProfile, scheme.Devices()),
+					UserComputeRate: 1e9,
+					Seed:            trialRNG.Uint64(),
+				}
+				for j := range rcfg.Replicas {
+					group := make([]sim.DeviceProfile, replicas)
+					for rIdx := range group {
+						p := sim.DefaultProfile()
+						p.FailProb = delayFailProb
+						if trialRNG.Float64() < pStraggle {
+							p.StragglerFactor = delayStraggle
+						}
+						group[rIdx] = p
+					}
+					rcfg.Replicas[j] = group
+				}
+				got, rep, err := sim.RunReplicated(f, enc, x, rcfg)
+				if err != nil {
+					continue // all replicas of some block failed
+				}
+				if !matrix.VecEqual(f, got, want) {
+					return DelayResult{}, fmt.Errorf("experiments: delay trial decoded the wrong result")
+				}
+				successes++
+				totalCompletion += rep.CompletionTime
+				pt.StorageOverhead = rep.StorageOverhead
+			}
+			pt.SuccessRate = float64(successes) / float64(delayTrialCount)
+			if successes > 0 {
+				pt.MeanCompletion = totalCompletion / time.Duration(successes)
+			}
+			res.Points = append(res.Points, pt)
+		}
+	}
+	return res, nil
+}
+
+// WriteDelayMarkdown renders the delay study as a markdown table.
+func WriteDelayMarkdown(w io.Writer, res DelayResult) error {
+	if _, err := fmt.Fprintf(w, "### delay — replication vs stragglers/failures (m=%d, l=%d, r=%d, %d trials/cell)\n\n",
+		res.M, res.L, res.R, delayTrialCount); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "| replicas | straggler prob | success rate | mean completion | storage overhead |\n|---|---|---|---|---|"); err != nil {
+		return err
+	}
+	for _, p := range res.Points {
+		if _, err := fmt.Fprintf(w, "| %d | %.1f | %.1f%% | %.3fms | %.1fx |\n",
+			p.Replicas, p.StragglerProb, 100*p.SuccessRate,
+			float64(p.MeanCompletion.Microseconds())/1000, p.StorageOverhead); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}

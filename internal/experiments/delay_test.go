@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDelaySweepShape(t *testing.T) {
+	res, err := DelaySweep(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 9 {
+		t.Fatalf("%d cells, want 9 (3 replication factors × 3 straggler probs)", len(res.Points))
+	}
+
+	byCell := map[[2]int]DelayPoint{}
+	for _, p := range res.Points {
+		byCell[[2]int{p.Replicas, int(p.StragglerProb * 10)}] = p
+	}
+
+	// Replication lifts the success rate under the fixed failure model.
+	for _, ps := range []int{0, 2, 5} {
+		r1, r3 := byCell[[2]int{1, ps}], byCell[[2]int{3, ps}]
+		if r3.SuccessRate < r1.SuccessRate {
+			t.Fatalf("straggle=%d: success rate fell with replication: %g -> %g", ps, r1.SuccessRate, r3.SuccessRate)
+		}
+	}
+	// Triple replication should be near-perfect at 3% per-replica failures:
+	// the per-block failure probability is (0.03)³ ≈ 3e-5.
+	if byCell[[2]int{3, 0}].SuccessRate < 0.99 {
+		t.Fatalf("3-way replication success rate = %g, want ≥ 0.99", byCell[[2]int{3, 0}].SuccessRate)
+	}
+	// With a 50% straggler rate, replication should shorten mean completion
+	// (the user consumes the fastest replica).
+	r1, r3 := byCell[[2]int{1, 5}], byCell[[2]int{3, 5}]
+	if r1.SuccessRate > 0 && r3.SuccessRate > 0 && r3.MeanCompletion >= r1.MeanCompletion {
+		t.Fatalf("replication should mask stragglers: %v (x1) vs %v (x3)", r1.MeanCompletion, r3.MeanCompletion)
+	}
+	// Storage overhead equals the replication factor.
+	for _, p := range res.Points {
+		if p.SuccessRate > 0 && p.StorageOverhead != float64(p.Replicas) {
+			t.Fatalf("overhead %g != replicas %d", p.StorageOverhead, p.Replicas)
+		}
+	}
+}
+
+func TestWriteDelayMarkdown(t *testing.T) {
+	res, err := DelaySweep(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var md strings.Builder
+	if err := WriteDelayMarkdown(&md, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(md.String(), "replication vs stragglers") {
+		t.Fatal("markdown missing title")
+	}
+	if strings.Count(md.String(), "\n| ") < 9 {
+		t.Fatalf("markdown should contain 9 data rows:\n%s", md.String())
+	}
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDistSweepShape(t *testing.T) {
+	cfg := quickConfig()
+	res, err := DistSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 4 {
+		t.Fatalf("%d distributions, want 4", len(res.Points))
+	}
+	for _, p := range res.Points {
+		// The structural ordering holds under every distribution.
+		assertOrdering(t, Point{X: 0, Mean: p.Mean})
+	}
+	// Pareto is the heavy-tail regime: MaxNode (forced to use expensive
+	// devices) should trail MCSCEC by a larger factor than under uniform.
+	byName := map[string]DistPoint{}
+	for _, p := range res.Points {
+		byName[p.Dist] = p
+	}
+	uni := byName["U(1, 5)"]
+	par := byName["Pareto(1.5)"]
+	uniGap := uni.Mean[SeriesMaxNode] / uni.Mean[SeriesMCSCEC]
+	parGap := par.Mean[SeriesMaxNode] / par.Mean[SeriesMCSCEC]
+	if parGap <= uniGap {
+		t.Fatalf("heavy tails should widen MaxNode's gap: uniform %.2f vs pareto %.2f", uniGap, parGap)
+	}
+}
+
+func TestWriteDistMarkdown(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Defaults.Instances = 5
+	res, err := DistSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var md strings.Builder
+	if err := WriteDistMarkdown(&md, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(md.String(), "Pareto(1.5)") {
+		t.Fatal("markdown missing distribution rows")
+	}
+}
+
+func TestDistSweepRejectsZeroInstances(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Defaults.Instances = 0
+	if _, err := DistSweep(cfg); err == nil {
+		t.Fatal("zero instances should error")
+	}
+}

@@ -1,0 +1,134 @@
+// Package experiments regenerates the paper's evaluation (§V): the five
+// panels of Fig. 2 — total cost as a function of m, k, c_max, σ, and μ — and
+// the headline claims quoted in §I/§V. Each sweep point averages the total
+// cost of six series over many independently sampled device fleets:
+//
+//	MCSCEC   the proposed optimal allocation (TA1/TA2 agree; TA2 is used)
+//	LB       the Theorem 1 lower bound
+//	TAw/oS   equal split over the i* cheapest devices, no security
+//	MaxNode  r = ⌈m/(k−1)⌉ (widest fleet)
+//	MinNode  r = m (two devices)
+//	RNode    r uniform in Theorem 2's range
+//
+// Everything is deterministic given Config.Seed.
+package experiments
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"github.com/scec/scec/internal/alloc"
+	"github.com/scec/scec/internal/workload"
+)
+
+// Series names, in presentation order.
+const (
+	SeriesMCSCEC  = "MCSCEC"
+	SeriesLB      = "LB"
+	SeriesTAwoS   = "TAw/oS"
+	SeriesMaxNode = "MaxNode"
+	SeriesMinNode = "MinNode"
+	SeriesRNode   = "RNode"
+)
+
+// AllSeries lists every series in presentation order.
+var AllSeries = []string{SeriesMCSCEC, SeriesLB, SeriesTAwoS, SeriesMaxNode, SeriesMinNode, SeriesRNode}
+
+// Config parameterizes a run.
+type Config struct {
+	// Defaults are the fixed parameters (paper: m=5000, k=25, c_max=5, μ=5,
+	// σ=1.25, 1000 instances per point).
+	Defaults workload.Defaults
+	// Seed drives all sampling; identical seeds reproduce identical output.
+	Seed uint64
+}
+
+// DefaultConfig returns the paper's §V setup.
+func DefaultConfig() Config {
+	return Config{Defaults: workload.PaperDefaults(), Seed: 20190707}
+}
+
+// Point is one sweep position with the mean total cost of each series.
+type Point struct {
+	// X is the sweep value (m, k, c_max, σ, or μ depending on the figure).
+	X float64
+	// Mean maps series name to the mean variable cost over all instances.
+	Mean map[string]float64
+}
+
+// Result is one regenerated figure.
+type Result struct {
+	// ID is the figure identifier, e.g. "fig2a".
+	ID string
+	// Title describes the panel.
+	Title string
+	// XLabel names the sweep parameter.
+	XLabel string
+	// Points holds one entry per sweep value, in sweep order.
+	Points []Point
+}
+
+// evalPoint averages every series over cfg.Defaults.Instances fleets drawn
+// for one sweep position. pointIdx salts the RNG stream so points are
+// independent.
+func evalPoint(cfg Config, figSalt uint64, pointIdx, m, k int, dist workload.CostDist) (map[string]float64, error) {
+	sums := make(map[string]float64, len(AllSeries))
+	n := cfg.Defaults.Instances
+	if n < 1 {
+		return nil, fmt.Errorf("experiments: %d instances per point", n)
+	}
+	for inst := 0; inst < n; inst++ {
+		rng := workload.RNG(cfg.Seed^figSalt, pointIdx, inst)
+		in := workload.Instance(rng, m, k, dist)
+		costs, err := solveAll(in, rng)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: point %d instance %d: %w", pointIdx, inst, err)
+		}
+		for name, c := range costs {
+			sums[name] += c
+		}
+	}
+	for name := range sums {
+		sums[name] /= float64(n)
+	}
+	return sums, nil
+}
+
+// solveAll runs every series on one instance.
+func solveAll(in alloc.Instance, rng *rand.Rand) (map[string]float64, error) {
+	out := make(map[string]float64, len(AllSeries))
+
+	opt, err := alloc.TA2(in)
+	if err != nil {
+		return nil, err
+	}
+	out[SeriesMCSCEC] = opt.Cost
+
+	lb, err := alloc.LowerBound(in)
+	if err != nil {
+		return nil, err
+	}
+	out[SeriesLB] = lb
+
+	for _, s := range []struct {
+		name  string
+		solve func(alloc.Instance) (alloc.Plan, error)
+	}{
+		{SeriesTAwoS, alloc.TAWithoutSecurity},
+		{SeriesMaxNode, alloc.MaxNode},
+		{SeriesMinNode, alloc.MinNode},
+	} {
+		p, err := s.solve(in)
+		if err != nil {
+			return nil, err
+		}
+		out[s.name] = p.Cost
+	}
+
+	rp, err := alloc.RNode(in, rng)
+	if err != nil {
+		return nil, err
+	}
+	out[SeriesRNode] = rp.Cost
+	return out, nil
+}

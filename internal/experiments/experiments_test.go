@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/scec/scec/internal/workload"
+)
+
+// quickConfig shrinks the run so the full suite stays fast; shape assertions
+// still hold at this scale.
+func quickConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Defaults.M = 500
+	cfg.Defaults.Instances = 40
+	return cfg
+}
+
+func TestFigureUnknownID(t *testing.T) {
+	if _, err := Figure(quickConfig(), "fig9z"); err == nil {
+		t.Fatal("unknown figure should error")
+	}
+}
+
+func TestFig2aShape(t *testing.T) {
+	cfg := quickConfig()
+	res, err := Fig2a(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != len(SweepM) {
+		t.Fatalf("%d points, want %d", len(res.Points), len(SweepM))
+	}
+	for _, p := range res.Points {
+		for _, s := range AllSeries {
+			if _, covered := p.Mean[s]; !covered {
+				t.Fatalf("point %g missing series %s", p.X, s)
+			}
+		}
+		assertOrdering(t, p)
+	}
+	// Cost grows with m for every series.
+	for i := 1; i < len(res.Points); i++ {
+		if res.Points[i].Mean[SeriesMCSCEC] <= res.Points[i-1].Mean[SeriesMCSCEC] {
+			t.Fatalf("MCSCEC cost should grow with m: %v -> %v",
+				res.Points[i-1].Mean[SeriesMCSCEC], res.Points[i].Mean[SeriesMCSCEC])
+		}
+	}
+}
+
+// assertOrdering checks the structural relations every point must satisfy:
+// TAw/oS ≤ LB ≤ MCSCEC ≤ each secure baseline.
+func assertOrdering(t *testing.T, p Point) {
+	t.Helper()
+	const eps = 1e-9
+	if p.Mean[SeriesLB] > p.Mean[SeriesMCSCEC]+eps {
+		t.Fatalf("x=%g: LB %g above MCSCEC %g", p.X, p.Mean[SeriesLB], p.Mean[SeriesMCSCEC])
+	}
+	if p.Mean[SeriesTAwoS] > p.Mean[SeriesMCSCEC]+eps {
+		t.Fatalf("x=%g: TAw/oS %g above MCSCEC %g", p.X, p.Mean[SeriesTAwoS], p.Mean[SeriesMCSCEC])
+	}
+	for _, s := range []string{SeriesMaxNode, SeriesMinNode, SeriesRNode} {
+		if p.Mean[s]+eps < p.Mean[SeriesMCSCEC] {
+			t.Fatalf("x=%g: %s %g below optimal %g", p.X, s, p.Mean[s], p.Mean[SeriesMCSCEC])
+		}
+	}
+}
+
+func TestFig2dCrossover(t *testing.T) {
+	cfg := quickConfig()
+	res, err := Fig2d(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, lastPt := res.Points[0], res.Points[len(res.Points)-1]
+	// σ = 0.01: near-homogeneous costs, spreading wide wins.
+	if first.Mean[SeriesMaxNode] >= first.Mean[SeriesMinNode] {
+		t.Fatalf("at σ=%g MaxNode (%g) should beat MinNode (%g)",
+			first.X, first.Mean[SeriesMaxNode], first.Mean[SeriesMinNode])
+	}
+	// σ = 2.5: heterogeneous costs, concentrating on the cheap pair wins.
+	if lastPt.Mean[SeriesMinNode] >= lastPt.Mean[SeriesMaxNode] {
+		t.Fatalf("at σ=%g MinNode (%g) should beat MaxNode (%g)",
+			lastPt.X, lastPt.Mean[SeriesMinNode], lastPt.Mean[SeriesMaxNode])
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Defaults.Instances = 10
+	a, err := Fig2c(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig2c(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Points {
+		for _, s := range AllSeries {
+			if a.Points[i].Mean[s] != b.Points[i].Mean[s] {
+				t.Fatalf("point %d series %s differs across identical runs", i, s)
+			}
+		}
+	}
+	cfg.Seed++
+	c, err := Fig2c(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Points[0].Mean[SeriesMCSCEC] == a.Points[0].Mean[SeriesMCSCEC] {
+		t.Fatal("different seeds should shift the sampled fleets")
+	}
+}
+
+func TestClaimsOnQuickRun(t *testing.T) {
+	cfg := quickConfig()
+	results, err := All(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Claims(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Claims) != 10 {
+		t.Fatalf("%d claims, want 10", len(rep.Claims))
+	}
+	byID := map[string]Claim{}
+	for _, c := range rep.Claims {
+		byID[c.ID] = c
+	}
+	// The LB gap claim must hold at any scale: it follows from Theorem 1 +
+	// Corollary 1 regardless of sweep sizes.
+	if g := byID["lb-gap"]; !g.Holds {
+		t.Fatalf("lb-gap measured %.4f%% exceeds 0.5%%", 100*g.Measured)
+	}
+	// The crossover claim is structural too.
+	if cr := byID["sigma-crossover"]; !cr.Holds || math.IsNaN(rep.SigmaCrossover) {
+		t.Fatalf("sigma crossover not observed (%v)", rep.SigmaCrossover)
+	}
+	if rep.SigmaCrossover <= 0.01 || rep.SigmaCrossover >= 2.5 {
+		t.Fatalf("crossover σ = %g outside the sweep interior", rep.SigmaCrossover)
+	}
+}
+
+func TestClaimsInputValidation(t *testing.T) {
+	if _, err := Claims(nil); err == nil {
+		t.Fatal("missing results should error")
+	}
+	bogus := make([]Result, len(FigureIDs))
+	if _, err := Claims(bogus); err == nil {
+		t.Fatal("results with wrong IDs should error")
+	}
+}
+
+func TestRenderCSVAndMarkdown(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Defaults.Instances = 5
+	res, err := Fig2e(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var csv strings.Builder
+	if err := WriteCSV(&csv, res); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != 1+len(SweepMu) {
+		t.Fatalf("CSV has %d lines, want %d", len(lines), 1+len(SweepMu))
+	}
+	if !strings.HasPrefix(lines[0], "mu,MCSCEC,LB,") {
+		t.Fatalf("CSV header = %q", lines[0])
+	}
+
+	var md strings.Builder
+	if err := WriteMarkdown(&md, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(md.String(), "| mu | MCSCEC |") {
+		t.Fatalf("markdown header missing:\n%s", md.String())
+	}
+
+	results, err := All(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Claims(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cm strings.Builder
+	if err := WriteClaims(&cm, rep); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(cm.String(), "Headline claims") {
+		t.Fatal("claims table missing title")
+	}
+}
+
+func TestEvalPointRejectsZeroInstances(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Defaults.Instances = 0
+	if _, err := evalPoint(cfg, 1, 0, 100, 10, workload.Uniform{Max: 5}); err == nil {
+		t.Fatal("zero instances should error")
+	}
+}

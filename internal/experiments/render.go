@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WriteCSV renders a figure as CSV: a header with the sweep parameter and
+// every series, then one row per point.
+func WriteCSV(w io.Writer, r Result) error {
+	cols := append([]string{r.XLabel}, AllSeries...)
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for _, p := range r.Points {
+		row := make([]string, 0, len(cols))
+		row = append(row, strconv.FormatFloat(p.X, 'g', -1, 64))
+		for _, s := range AllSeries {
+			row = append(row, strconv.FormatFloat(p.Mean[s], 'f', 2, 64))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteMarkdown renders a figure as a GitHub-flavoured markdown table with a
+// caption.
+func WriteMarkdown(w io.Writer, r Result) error {
+	if _, err := fmt.Fprintf(w, "### %s — %s\n\n", r.ID, r.Title); err != nil {
+		return err
+	}
+	header := append([]string{r.XLabel}, AllSeries...)
+	if _, err := fmt.Fprintf(w, "| %s |\n|%s\n", strings.Join(header, " | "), strings.Repeat("---|", len(header))); err != nil {
+		return err
+	}
+	for _, p := range r.Points {
+		cells := make([]string, 0, len(header))
+		cells = append(cells, strconv.FormatFloat(p.X, 'g', -1, 64))
+		for _, s := range AllSeries {
+			cells = append(cells, strconv.FormatFloat(p.Mean[s], 'f', 1, 64))
+		}
+		if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(cells, " | ")); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// WriteClaims renders the headline-claim report as a markdown table.
+func WriteClaims(w io.Writer, rep ClaimReport) error {
+	if _, err := fmt.Fprintf(w, "### Headline claims (paper §I/§V vs this run)\n\n"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "| claim | paper bound | measured | holds |\n|---|---|---|---|"); err != nil {
+		return err
+	}
+	for _, c := range rep.Claims {
+		status := "yes"
+		if !c.Holds {
+			status = "NO"
+		}
+		if _, err := fmt.Fprintf(w, "| %s | %s %.1f%% | %.2f%% | %s |\n",
+			c.Statement, c.Direction, 100*c.PaperValue, 100*c.Measured, status); err != nil {
+			return err
+		}
+	}
+	if math.IsNaN(rep.SigmaCrossover) {
+		_, err := fmt.Fprintf(w, "\nMaxNode/MinNode crossover in Fig. 2(d): not observed.\n")
+		return err
+	}
+	_, err := fmt.Fprintf(w, "\nMaxNode/MinNode crossover in Fig. 2(d): σ ≈ %.2f.\n", rep.SigmaCrossover)
+	return err
+}

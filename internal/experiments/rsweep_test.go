@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRSweepShape(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Defaults.Instances = 25
+	res, err := RSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) == 0 {
+		t.Fatal("empty sweep")
+	}
+	// r ranges from ⌈m/(k−1)⌉ to m.
+	lo := (res.M + res.K - 2) / (res.K - 1)
+	if res.Points[0].R != lo || res.Points[len(res.Points)-1].R != res.M {
+		t.Fatalf("r range [%d, %d], want [%d, %d]",
+			res.Points[0].R, res.Points[len(res.Points)-1].R, lo, res.M)
+	}
+
+	// Per-fleet unimodality is proven in Theorem 4 and tested in
+	// internal/alloc; the *mean* curve satisfies weaker but still telling
+	// properties. First, every point of the mean curve dominates the mean
+	// per-fleet optimum (each fleet's c^(r) is ≥ its own minimum), and the
+	// curve minimum is close to it.
+	minIdx := 0
+	for i, p := range res.Points {
+		if p.MeanCost < res.Points[minIdx].MeanCost {
+			minIdx = i
+		}
+		if p.MeanCost < res.MeanOptimal-1e-6 {
+			t.Fatalf("mean c^(%d) = %g below the mean optimum %g", p.R, p.MeanCost, res.MeanOptimal)
+		}
+	}
+	if res.Points[minIdx].MeanCost > 1.10*res.MeanOptimal {
+		t.Fatalf("curve minimum %g far above mean TA2 cost %g", res.Points[minIdx].MeanCost, res.MeanOptimal)
+	}
+	// Second, r = m (the MinNode corner) is strictly worse than the minimum:
+	// the ascent phase is visible in the mean.
+	if lastCost := res.Points[len(res.Points)-1].MeanCost; lastCost <= res.Points[minIdx].MeanCost {
+		t.Fatalf("mean cost at r=m (%g) should exceed the curve minimum (%g)", lastCost, res.Points[minIdx].MeanCost)
+	}
+	if res.MeanLB > res.MeanOptimal+1e-9 {
+		t.Fatal("lower bound above the optimum")
+	}
+	if res.MeanRStar < float64(res.Points[0].R) || res.MeanRStar > float64(res.M) {
+		t.Fatalf("mean r* = %g outside the admissible range", res.MeanRStar)
+	}
+}
+
+func TestRSweepRendering(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Defaults.Instances = 5
+	res, err := RSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var csv strings.Builder
+	if err := WriteRSweepCSV(&csv, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csv.String(), "r,mean_cost\n") {
+		t.Fatalf("csv header missing: %q", csv.String()[:30])
+	}
+	var md strings.Builder
+	if err := WriteRSweepMarkdown(&md, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(md.String(), "unimodal") {
+		t.Fatal("markdown summary missing")
+	}
+}
+
+func TestRSweepRejectsZeroInstances(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Defaults.Instances = 0
+	if _, err := RSweep(cfg); err == nil {
+		t.Fatal("zero instances should error")
+	}
+}

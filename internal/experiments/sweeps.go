@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/scec/scec/internal/workload"
+)
+
+// Default sweep grids. The paper plots m up to 10^4 rows, k up to a few
+// dozen devices, c_max up to 5-and-beyond under U(1, c_max), σ from "almost
+// homogeneous" (0.01) to 2.5, and μ around 5.
+var (
+	SweepM     = []int{100, 200, 500, 1000, 2000, 5000, 10000}
+	SweepK     = []int{5, 10, 15, 20, 25, 30, 35, 40, 45, 50}
+	SweepCMax  = []float64{2, 3, 4, 5, 6, 7, 8, 9, 10}
+	SweepSigma = []float64{0.01, 0.25, 0.5, 0.75, 1, 1.25, 1.5, 1.75, 2, 2.25, 2.5}
+	SweepMu    = []float64{2, 3, 4, 5, 6, 7, 8, 9, 10}
+)
+
+// figure salts keep the five panels on independent RNG streams.
+const (
+	saltFig2a = 0xa1
+	saltFig2b = 0xb2
+	saltFig2c = 0xc3
+	saltFig2d = 0xd4
+	saltFig2e = 0xe5
+)
+
+// Fig2a regenerates Fig. 2(a): total cost vs m under U(1, c_max).
+func Fig2a(cfg Config) (Result, error) {
+	d := cfg.Defaults
+	res := Result{ID: "fig2a", Title: "Total cost vs number of data rows m", XLabel: "m"}
+	for idx, m := range SweepM {
+		mean, err := evalPoint(cfg, saltFig2a, idx, m, d.K, workload.Uniform{Max: d.CMax})
+		if err != nil {
+			return Result{}, fmt.Errorf("fig2a m=%d: %w", m, err)
+		}
+		res.Points = append(res.Points, Point{X: float64(m), Mean: mean})
+	}
+	return res, nil
+}
+
+// Fig2b regenerates Fig. 2(b): total cost vs number of edge devices k.
+func Fig2b(cfg Config) (Result, error) {
+	d := cfg.Defaults
+	res := Result{ID: "fig2b", Title: "Total cost vs number of edge devices k", XLabel: "k"}
+	for idx, k := range SweepK {
+		mean, err := evalPoint(cfg, saltFig2b, idx, d.M, k, workload.Uniform{Max: d.CMax})
+		if err != nil {
+			return Result{}, fmt.Errorf("fig2b k=%d: %w", k, err)
+		}
+		res.Points = append(res.Points, Point{X: float64(k), Mean: mean})
+	}
+	return res, nil
+}
+
+// Fig2c regenerates Fig. 2(c): total cost vs c_max under U(1, c_max).
+func Fig2c(cfg Config) (Result, error) {
+	d := cfg.Defaults
+	res := Result{ID: "fig2c", Title: "Total cost vs maximum unit cost c_max", XLabel: "c_max"}
+	for idx, cmax := range SweepCMax {
+		mean, err := evalPoint(cfg, saltFig2c, idx, d.M, d.K, workload.Uniform{Max: cmax})
+		if err != nil {
+			return Result{}, fmt.Errorf("fig2c c_max=%g: %w", cmax, err)
+		}
+		res.Points = append(res.Points, Point{X: cmax, Mean: mean})
+	}
+	return res, nil
+}
+
+// Fig2d regenerates Fig. 2(d): total cost vs σ under N(μ, σ²).
+func Fig2d(cfg Config) (Result, error) {
+	d := cfg.Defaults
+	res := Result{ID: "fig2d", Title: "Total cost vs cost deviation sigma", XLabel: "sigma"}
+	for idx, sigma := range SweepSigma {
+		mean, err := evalPoint(cfg, saltFig2d, idx, d.M, d.K, workload.Normal{Mu: d.Mu, Sigma: sigma})
+		if err != nil {
+			return Result{}, fmt.Errorf("fig2d sigma=%g: %w", sigma, err)
+		}
+		res.Points = append(res.Points, Point{X: sigma, Mean: mean})
+	}
+	return res, nil
+}
+
+// Fig2e regenerates Fig. 2(e): total cost vs μ under N(μ, σ²).
+func Fig2e(cfg Config) (Result, error) {
+	d := cfg.Defaults
+	res := Result{ID: "fig2e", Title: "Total cost vs mean unit cost mu", XLabel: "mu"}
+	for idx, mu := range SweepMu {
+		mean, err := evalPoint(cfg, saltFig2e, idx, d.M, d.K, workload.Normal{Mu: mu, Sigma: d.Sigma})
+		if err != nil {
+			return Result{}, fmt.Errorf("fig2e mu=%g: %w", mu, err)
+		}
+		res.Points = append(res.Points, Point{X: mu, Mean: mean})
+	}
+	return res, nil
+}
+
+// Figure runs one panel by ID ("fig2a" … "fig2e").
+func Figure(cfg Config, id string) (Result, error) {
+	switch id {
+	case "fig2a":
+		return Fig2a(cfg)
+	case "fig2b":
+		return Fig2b(cfg)
+	case "fig2c":
+		return Fig2c(cfg)
+	case "fig2d":
+		return Fig2d(cfg)
+	case "fig2e":
+		return Fig2e(cfg)
+	default:
+		return Result{}, fmt.Errorf("experiments: unknown figure %q", id)
+	}
+}
+
+// FigureIDs lists every panel in order.
+var FigureIDs = []string{"fig2a", "fig2b", "fig2c", "fig2d", "fig2e"}
+
+// All regenerates every panel.
+func All(cfg Config) ([]Result, error) {
+	out := make([]Result, 0, len(FigureIDs))
+	for _, id := range FigureIDs {
+		r, err := Figure(cfg, id)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,61 @@
+package field
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestFermatLittleTheorem: a^p ≡ a (mod p) for the Mersenne prime — a deep
+// consistency check of the exponentiation chain Inv is built on.
+func TestFermatLittleTheorem(t *testing.T) {
+	f := Prime{}
+	pow := func(base, e uint64) uint64 {
+		result := uint64(1)
+		for e > 0 {
+			if e&1 == 1 {
+				result = f.Mul(result, base)
+			}
+			base = f.Mul(base, base)
+			e >>= 1
+		}
+		return result
+	}
+	check := func(a uint64) bool {
+		a %= Modulus
+		return pow(a, Modulus) == a
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGF256FrobeniusIsLinear: squaring is additive in characteristic 2 —
+// (a+b)² = a² + b² exhaustively.
+func TestGF256FrobeniusIsLinear(t *testing.T) {
+	f := GF256{}
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b++ {
+			ab := f.Add(byte(a), byte(b))
+			left := f.Mul(ab, ab)
+			right := f.Add(f.Mul(byte(a), byte(a)), f.Mul(byte(b), byte(b)))
+			if left != right {
+				t.Fatalf("(%d+%d)² != %d² + %d²", a, b, a, b)
+			}
+		}
+	}
+}
+
+// TestGF256MultiplicativeOrderDividesGroupOrder: a^255 = 1 for every
+// non-zero element (the multiplicative group has order 255).
+func TestGF256MultiplicativeOrderDividesGroupOrder(t *testing.T) {
+	f := GF256{}
+	for a := 1; a < 256; a++ {
+		acc := byte(1)
+		for i := 0; i < 255; i++ {
+			acc = f.Mul(acc, byte(a))
+		}
+		if acc != 1 {
+			t.Fatalf("%d^255 = %d, want 1", a, acc)
+		}
+	}
+}

@@ -1,0 +1,258 @@
+package field
+
+import (
+	"errors"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func testRNG() *rand.Rand { return rand.New(rand.NewPCG(1, 2)) }
+
+// axioms exercises the field axioms for an arbitrary Field implementation on
+// elements produced by gen. It is shared by the Prime and GF256 tests.
+func axioms[E comparable](t *testing.T, f Field[E], gen func() E) {
+	t.Helper()
+	for trial := 0; trial < 2000; trial++ {
+		a, b, c := gen(), gen(), gen()
+
+		if got := f.Add(a, b); !f.Equal(got, f.Add(b, a)) {
+			t.Fatalf("%s: Add not commutative: %v vs %v", f.Name(), f.String(got), f.String(f.Add(b, a)))
+		}
+		if got := f.Mul(a, b); !f.Equal(got, f.Mul(b, a)) {
+			t.Fatalf("%s: Mul not commutative", f.Name())
+		}
+		if got, want := f.Add(f.Add(a, b), c), f.Add(a, f.Add(b, c)); !f.Equal(got, want) {
+			t.Fatalf("%s: Add not associative", f.Name())
+		}
+		if got, want := f.Mul(f.Mul(a, b), c), f.Mul(a, f.Mul(b, c)); !f.Equal(got, want) {
+			t.Fatalf("%s: Mul not associative", f.Name())
+		}
+		if got, want := f.Mul(a, f.Add(b, c)), f.Add(f.Mul(a, b), f.Mul(a, c)); !f.Equal(got, want) {
+			t.Fatalf("%s: Mul does not distribute over Add", f.Name())
+		}
+		if !f.Equal(f.Add(a, f.Zero()), a) {
+			t.Fatalf("%s: Zero is not additive identity", f.Name())
+		}
+		if !f.Equal(f.Mul(a, f.One()), a) {
+			t.Fatalf("%s: One is not multiplicative identity", f.Name())
+		}
+		if !f.IsZero(f.Add(a, f.Neg(a))) {
+			t.Fatalf("%s: a + (-a) != 0 for a=%v", f.Name(), f.String(a))
+		}
+		if !f.Equal(f.Sub(a, b), f.Add(a, f.Neg(b))) {
+			t.Fatalf("%s: Sub(a,b) != a + (-b)", f.Name())
+		}
+		if !f.IsZero(a) {
+			inv, err := f.Inv(a)
+			if err != nil {
+				t.Fatalf("%s: Inv(%v): %v", f.Name(), f.String(a), err)
+			}
+			if !f.Equal(f.Mul(a, inv), f.One()) {
+				t.Fatalf("%s: a * a^-1 != 1 for a=%v", f.Name(), f.String(a))
+			}
+		}
+	}
+}
+
+func TestPrimeAxioms(t *testing.T) {
+	f := Prime{}
+	rng := testRNG()
+	axioms[uint64](t, f, func() uint64 { return f.Rand(rng) })
+}
+
+func TestGF256Axioms(t *testing.T) {
+	f := GF256{}
+	rng := testRNG()
+	axioms[byte](t, f, func() byte { return f.Rand(rng) })
+}
+
+func TestPrimeMulMatchesBigIntSemantics(t *testing.T) {
+	f := Prime{}
+	cases := []struct{ a, b, want uint64 }{
+		{0, 0, 0},
+		{1, 1, 1},
+		{Modulus - 1, 1, Modulus - 1},
+		{Modulus - 1, Modulus - 1, 1}, // (-1)*(-1) = 1
+		{2, Modulus - 1, Modulus - 2}, // 2*(-1) = -2
+		{1 << 60, 2, 1},               // 2^61 ≡ 1 (mod 2^61-1)
+		{1 << 30, 1 << 31, 1},         // 2^61 ≡ 1 again
+		{123456789, 987654321, func() uint64 {
+			// schoolbook check below modulus range: product < 2^63 fits uint64 only
+			// via careful arithmetic, so precompute: 123456789*987654321 =
+			// 121932631112635269, reduce mod 2^61-1.
+			const prod = uint64(121932631112635269)
+			return prod % Modulus
+		}()},
+	}
+	for _, tc := range cases {
+		if got := f.Mul(tc.a, tc.b); got != tc.want {
+			t.Errorf("Mul(%d,%d) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestPrimeMulAgainstSlowReference(t *testing.T) {
+	// Reference implementation via repeated doubling (no 128-bit tricks).
+	slowMul := func(a, b uint64) uint64 {
+		var acc uint64
+		for b > 0 {
+			if b&1 == 1 {
+				acc += a
+				if acc >= Modulus {
+					acc -= Modulus
+				}
+			}
+			a += a
+			if a >= Modulus {
+				a -= Modulus
+			}
+			b >>= 1
+		}
+		return acc
+	}
+	f := Prime{}
+	rng := testRNG()
+	check := func() bool {
+		a, b := f.Rand(rng), f.Rand(rng)
+		return f.Mul(a, b) == slowMul(a, b)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrimeInvZero(t *testing.T) {
+	f := Prime{}
+	if _, err := f.Inv(0); !errors.Is(err, ErrDivisionByZero) {
+		t.Fatalf("Inv(0) error = %v, want ErrDivisionByZero", err)
+	}
+	if _, err := f.Div(1, 0); !errors.Is(err, ErrDivisionByZero) {
+		t.Fatalf("Div(1,0) error = %v, want ErrDivisionByZero", err)
+	}
+}
+
+func TestPrimeFromInt64(t *testing.T) {
+	f := Prime{}
+	cases := []struct {
+		in   int64
+		want uint64
+	}{
+		{0, 0},
+		{1, 1},
+		{-1, Modulus - 1},
+		{int64(Modulus), 0},
+		{-int64(Modulus), 0},
+		{int64(Modulus) + 5, 5},
+		{-7, Modulus - 7},
+	}
+	for _, tc := range cases {
+		if got := f.FromInt64(tc.in); got != tc.want {
+			t.Errorf("FromInt64(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestGF256ExhaustiveInverse(t *testing.T) {
+	f := GF256{}
+	for a := 1; a < 256; a++ {
+		inv, err := f.Inv(byte(a))
+		if err != nil {
+			t.Fatalf("Inv(%d): %v", a, err)
+		}
+		if got := f.Mul(byte(a), inv); got != 1 {
+			t.Fatalf("%d * Inv(%d) = %d, want 1", a, a, got)
+		}
+	}
+	if _, err := f.Inv(0); !errors.Is(err, ErrDivisionByZero) {
+		t.Fatalf("Inv(0) error = %v, want ErrDivisionByZero", err)
+	}
+}
+
+func TestGF256MulMatchesSchoolbook(t *testing.T) {
+	// Carry-less polynomial multiplication followed by reduction mod 0x11B.
+	slowMul := func(a, b byte) byte {
+		var p uint16
+		aa, bb := uint16(a), uint16(b)
+		for i := 0; i < 8; i++ {
+			if bb&1 == 1 {
+				p ^= aa
+			}
+			bb >>= 1
+			aa <<= 1
+			if aa&0x100 != 0 {
+				aa ^= gf256Poly
+			}
+		}
+		return byte(p)
+	}
+	f := GF256{}
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b++ {
+			if got, want := f.Mul(byte(a), byte(b)), slowMul(byte(a), byte(b)); got != want {
+				t.Fatalf("Mul(%d,%d) = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestRealToleranceComparisons(t *testing.T) {
+	f := Real{}
+	if !f.Equal(1.0, 1.0+1e-12) {
+		t.Error("Equal should absorb tiny rounding noise")
+	}
+	if f.Equal(1.0, 1.0+1e-3) {
+		t.Error("Equal should reject genuinely different values")
+	}
+	if !f.IsZero(1e-12) {
+		t.Error("IsZero should treat 1e-12 as zero")
+	}
+	if f.IsZero(1e-3) {
+		t.Error("IsZero should not treat 1e-3 as zero")
+	}
+
+	loose := Real{Tol: 0.1}
+	if !loose.Equal(1.0, 1.05) {
+		t.Error("custom tolerance not honoured")
+	}
+}
+
+func TestRealDivByZero(t *testing.T) {
+	f := Real{}
+	if _, err := f.Div(1, 0); !errors.Is(err, ErrDivisionByZero) {
+		t.Fatalf("Div(1,0) error = %v, want ErrDivisionByZero", err)
+	}
+	if _, err := f.Inv(1e-15); !errors.Is(err, ErrDivisionByZero) {
+		t.Fatalf("Inv(~0) error = %v, want ErrDivisionByZero", err)
+	}
+}
+
+func TestRandProducesSpread(t *testing.T) {
+	// A crude distribution sanity check: 1000 draws from each field should
+	// produce many distinct values.
+	rng := testRNG()
+
+	pf := Prime{}
+	seen := make(map[uint64]bool)
+	for i := 0; i < 1000; i++ {
+		seen[pf.Rand(rng)] = true
+	}
+	if len(seen) < 990 {
+		t.Errorf("Prime.Rand produced only %d distinct values in 1000 draws", len(seen))
+	}
+
+	gf := GF256{}
+	seenB := make(map[byte]bool)
+	for i := 0; i < 4096; i++ {
+		seenB[gf.Rand(rng)] = true
+	}
+	if len(seenB) != 256 {
+		t.Errorf("GF256.Rand covered %d of 256 values in 4096 draws", len(seenB))
+	}
+}
+
+func TestNames(t *testing.T) {
+	if Prime.Name(Prime{}) == "" || GF256.Name(GF256{}) == "" || Real.Name(Real{}) == "" {
+		t.Fatal("field names must be non-empty")
+	}
+}

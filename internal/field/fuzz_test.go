@@ -1,0 +1,92 @@
+package field
+
+import "testing"
+
+// FuzzPrimeArithmetic cross-checks the Mersenne-reduction multiplication
+// against a shift-and-add reference and exercises the ring axioms on
+// arbitrary residues.
+func FuzzPrimeArithmetic(fz *testing.F) {
+	fz.Add(uint64(0), uint64(0))
+	fz.Add(uint64(1), Modulus-1)
+	fz.Add(Modulus-1, Modulus-1)
+	fz.Add(uint64(1)<<60, uint64(2))
+	fz.Add(uint64(123456789), uint64(987654321))
+	fz.Fuzz(func(t *testing.T, a, b uint64) {
+		f := Prime{}
+		a %= Modulus
+		b %= Modulus
+
+		slowMul := func(x, y uint64) uint64 {
+			var acc uint64
+			for y > 0 {
+				if y&1 == 1 {
+					acc += x
+					if acc >= Modulus {
+						acc -= Modulus
+					}
+				}
+				x += x
+				if x >= Modulus {
+					x -= Modulus
+				}
+				y >>= 1
+			}
+			return acc
+		}
+		if got, want := f.Mul(a, b), slowMul(a, b); got != want {
+			t.Fatalf("Mul(%d,%d) = %d, want %d", a, b, got, want)
+		}
+		if f.Add(a, b) != f.Add(b, a) {
+			t.Fatal("Add not commutative")
+		}
+		if f.Sub(f.Add(a, b), b) != a {
+			t.Fatal("(a+b)-b != a")
+		}
+		if f.Add(a, f.Neg(a)) != 0 {
+			t.Fatal("a + (-a) != 0")
+		}
+		if a != 0 {
+			inv, err := f.Inv(a)
+			if err != nil {
+				t.Fatalf("Inv(%d): %v", a, err)
+			}
+			if f.Mul(a, inv) != 1 {
+				t.Fatalf("a·a⁻¹ != 1 for a=%d", a)
+			}
+		}
+	})
+}
+
+// FuzzGF256Arithmetic exercises the byte field's table-based operations on
+// arbitrary pairs.
+func FuzzGF256Arithmetic(fz *testing.F) {
+	fz.Add(byte(0), byte(0))
+	fz.Add(byte(1), byte(255))
+	fz.Add(byte(0x53), byte(0xCA))
+	fz.Fuzz(func(t *testing.T, a, b byte) {
+		f := GF256{}
+		if f.Mul(a, b) != f.Mul(b, a) {
+			t.Fatal("Mul not commutative")
+		}
+		if f.Add(a, b) != a^b {
+			t.Fatal("Add must be XOR")
+		}
+		if a != 0 {
+			inv, err := f.Inv(a)
+			if err != nil {
+				t.Fatalf("Inv(%d): %v", a, err)
+			}
+			if f.Mul(a, inv) != 1 {
+				t.Fatalf("a·a⁻¹ != 1 for a=%d", a)
+			}
+			// Division must invert multiplication.
+			q, err := f.Div(f.Mul(a, b), a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if q != b {
+				t.Fatalf("(a·b)/a = %d, want %d", q, b)
+			}
+		}
+	})
+}

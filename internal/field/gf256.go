@@ -1,0 +1,105 @@
+package field
+
+import (
+	"math/rand/v2"
+	"strconv"
+)
+
+// gf256Poly is the AES reduction polynomial x^8 + x^4 + x^3 + x + 1.
+const gf256Poly = 0x11B
+
+// gf256Tables holds the exp/log tables for GF(2^8) generated from the
+// primitive element 3 (0x03), the smallest generator for the AES polynomial.
+type gf256Tables struct {
+	exp [512]byte // doubled so exp[logA+logB] needs no modular reduction
+	log [256]byte
+}
+
+// _gf256 is immutable after package initialization; building the 768-byte
+// table eagerly is deterministic and free of I/O, which keeps this init
+// within the narrow set of acceptable uses.
+var _gf256 = buildGF256Tables()
+
+func buildGF256Tables() *gf256Tables {
+	t := &gf256Tables{}
+	x := 1
+	for i := 0; i < 255; i++ {
+		t.exp[i] = byte(x)
+		t.exp[i+255] = byte(x)
+		t.log[byte(x)] = byte(i)
+		// multiply x by the generator 0x03 = x + 1 in GF(2^8)
+		x = x ^ (x << 1)
+		if x&0x100 != 0 {
+			x ^= gf256Poly
+		}
+	}
+	return t
+}
+
+// GF256 is the field GF(2^8) with the AES reduction polynomial. Elements are
+// bytes. Addition is XOR; multiplication uses log/exp tables. The zero value
+// is ready to use.
+//
+// Its 256 elements make exhaustive security arguments tractable: the attack
+// harness can enumerate every linear combination a single device could form.
+type GF256 struct{}
+
+// Zero returns 0.
+func (GF256) Zero() byte { return 0 }
+
+// One returns 1.
+func (GF256) One() byte { return 1 }
+
+// Name implements Field.
+func (GF256) Name() string { return "GF(256)" }
+
+// FromInt64 embeds v by truncation to its low byte. In characteristic 2 every
+// integer reduces to a byte-sized representative; callers that care about the
+// exact embedding should pass values in [0, 255].
+func (GF256) FromInt64(v int64) byte { return byte(uint64(v) & 0xFF) }
+
+// Add returns a + b (XOR in characteristic 2).
+func (GF256) Add(a, b byte) byte { return a ^ b }
+
+// Sub returns a - b, which equals a + b in characteristic 2.
+func (GF256) Sub(a, b byte) byte { return a ^ b }
+
+// Neg returns -a == a in characteristic 2.
+func (GF256) Neg(a byte) byte { return a }
+
+// Mul returns a * b via the log/exp tables.
+func (GF256) Mul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return _gf256.exp[int(_gf256.log[a])+int(_gf256.log[b])]
+}
+
+// Inv returns the multiplicative inverse, or ErrDivisionByZero for 0.
+func (GF256) Inv(a byte) (byte, error) {
+	if a == 0 {
+		return 0, ErrDivisionByZero
+	}
+	return _gf256.exp[255-int(_gf256.log[a])], nil
+}
+
+// Div returns a / b, or ErrDivisionByZero when b == 0.
+func (f GF256) Div(a, b byte) (byte, error) {
+	bi, err := f.Inv(b)
+	if err != nil {
+		return 0, err
+	}
+	return f.Mul(a, bi), nil
+}
+
+// Equal reports exact equality.
+func (GF256) Equal(a, b byte) bool { return a == b }
+
+// IsZero reports whether a == 0.
+func (GF256) IsZero(a byte) bool { return a == 0 }
+
+// Rand returns a uniformly random byte.
+func (GF256) Rand(rng *rand.Rand) byte { return byte(rng.Uint64N(256)) }
+
+// String renders the element as 0xNN.
+func (GF256) String(a byte) string { return "0x" + strconv.FormatUint(uint64(a), 16) }

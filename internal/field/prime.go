@@ -1,0 +1,119 @@
+package field
+
+import (
+	"math/bits"
+	"math/rand/v2"
+	"strconv"
+)
+
+// Modulus is the prime modulus of the Prime field: the Mersenne prime
+// 2^61 - 1. A Mersenne modulus admits a branch-light reduction after the
+// 128-bit product of two 61-bit residues, which keeps exact coded computing
+// within a small constant factor of float64 arithmetic.
+const Modulus uint64 = (1 << 61) - 1
+
+// Prime is the prime field F_p with p = Modulus. Elements are canonical
+// residues in [0, p). The zero value is ready to use.
+type Prime struct{}
+
+// Zero returns 0.
+func (Prime) Zero() uint64 { return 0 }
+
+// One returns 1.
+func (Prime) One() uint64 { return 1 }
+
+// Name implements Field.
+func (Prime) Name() string { return "F_p(2^61-1)" }
+
+// FromInt64 embeds v into F_p, mapping negative integers to p - |v| mod p.
+func (Prime) FromInt64(v int64) uint64 {
+	m := v % int64(Modulus)
+	if m < 0 {
+		m += int64(Modulus)
+	}
+	return uint64(m)
+}
+
+// Add returns a + b mod p.
+func (Prime) Add(a, b uint64) uint64 {
+	s := a + b // a, b < 2^61 so no uint64 overflow
+	if s >= Modulus {
+		s -= Modulus
+	}
+	return s
+}
+
+// Sub returns a - b mod p.
+func (Prime) Sub(a, b uint64) uint64 {
+	if a >= b {
+		return a - b
+	}
+	return a + Modulus - b
+}
+
+// Neg returns -a mod p.
+func (Prime) Neg(a uint64) uint64 {
+	if a == 0 {
+		return 0
+	}
+	return Modulus - a
+}
+
+// Mul returns a * b mod p using the Mersenne reduction
+// x mod (2^61-1) == (x >> 61) + (x & (2^61-1)), iterated once.
+func (Prime) Mul(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	// The 122-bit product is hi*2^64 + lo. Split at bit 61:
+	// x = top*2^61 + bottom  =>  x ≡ top + bottom (mod 2^61-1).
+	top := hi<<3 | lo>>61
+	bottom := lo & Modulus
+	s := top + bottom // < 2^62, one conditional subtraction may be short; fold again
+	s = (s >> 61) + (s & Modulus)
+	if s >= Modulus {
+		s -= Modulus
+	}
+	return s
+}
+
+// Inv returns a^(p-2) mod p via square-and-multiply (Fermat's little
+// theorem), or ErrDivisionByZero when a == 0.
+func (f Prime) Inv(a uint64) (uint64, error) {
+	if a == 0 {
+		return 0, ErrDivisionByZero
+	}
+	// exponent p-2 = 2^61 - 3
+	var (
+		result uint64 = 1
+		base          = a
+		e             = Modulus - 2
+	)
+	for e > 0 {
+		if e&1 == 1 {
+			result = f.Mul(result, base)
+		}
+		base = f.Mul(base, base)
+		e >>= 1
+	}
+	return result, nil
+}
+
+// Div returns a / b mod p, or ErrDivisionByZero when b == 0.
+func (f Prime) Div(a, b uint64) (uint64, error) {
+	bi, err := f.Inv(b)
+	if err != nil {
+		return 0, err
+	}
+	return f.Mul(a, bi), nil
+}
+
+// Equal reports exact equality of canonical residues.
+func (Prime) Equal(a, b uint64) bool { return a == b }
+
+// IsZero reports whether a == 0.
+func (Prime) IsZero(a uint64) bool { return a == 0 }
+
+// Rand returns a uniformly random residue in [0, p).
+func (Prime) Rand(rng *rand.Rand) uint64 { return rng.Uint64N(Modulus) }
+
+// String renders the residue in decimal.
+func (Prime) String(a uint64) string { return strconv.FormatUint(a, 10) }

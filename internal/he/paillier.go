@@ -1,0 +1,173 @@
+// Package he contains a minimal Paillier cryptosystem used solely as the
+// baseline for the paper's motivating comparison (§I): homomorphic
+// encryption can also hide A from edge devices, but computing on ciphertexts
+// is orders of magnitude slower than the linear-coding approach. The
+// benchmark harness multiplies a matrix by a vector once in plaintext and
+// once under Paillier and reports the ratio (the paper quotes >2×10³ using
+// HElib; our implementation reproduces the qualitative gap, not HElib's
+// exact constant).
+//
+// Paillier is additively homomorphic — Enc(a)·Enc(b) = Enc(a+b) and
+// Enc(a)^k = Enc(k·a) — which is exactly what an untrusted device needs to
+// evaluate its share of A·x on encrypted coefficients.
+//
+// This implementation is for benchmarking only: it uses textbook parameter
+// sizes and must not be used to protect real data.
+package he
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+// PublicKey holds the Paillier public parameters.
+type PublicKey struct {
+	// N is the modulus p·q.
+	N *big.Int
+	// N2 caches N².
+	N2 *big.Int
+}
+
+// PrivateKey holds the decryption parameters.
+type PrivateKey struct {
+	PublicKey
+	// Lambda is lcm(p−1, q−1).
+	Lambda *big.Int
+	// Mu is (L(g^Lambda mod N²))⁻¹ mod N.
+	Mu *big.Int
+}
+
+// ErrMessageRange is returned when a plaintext does not lie in [0, N).
+var ErrMessageRange = errors.New("he: message outside [0, N)")
+
+// GenerateKey creates a Paillier key pair with primes of the given bit size
+// (so N has about 2·bits bits). The standard g = N+1 variant is used.
+func GenerateKey(random io.Reader, bits int) (*PrivateKey, error) {
+	if bits < 16 {
+		return nil, fmt.Errorf("he: prime size %d too small", bits)
+	}
+	p, err := rand.Prime(random, bits)
+	if err != nil {
+		return nil, fmt.Errorf("he: generate p: %w", err)
+	}
+	var q *big.Int
+	for {
+		q, err = rand.Prime(random, bits)
+		if err != nil {
+			return nil, fmt.Errorf("he: generate q: %w", err)
+		}
+		if q.Cmp(p) != 0 {
+			break
+		}
+	}
+	n := new(big.Int).Mul(p, q)
+	n2 := new(big.Int).Mul(n, n)
+
+	pm1 := new(big.Int).Sub(p, big.NewInt(1))
+	qm1 := new(big.Int).Sub(q, big.NewInt(1))
+	gcd := new(big.Int).GCD(nil, nil, pm1, qm1)
+	lambda := new(big.Int).Mul(pm1, qm1)
+	lambda.Div(lambda, gcd)
+
+	// With g = n+1: L(g^λ mod n²) = λ mod n, so μ = λ⁻¹ mod n.
+	mu := new(big.Int).ModInverse(new(big.Int).Mod(lambda, n), n)
+	if mu == nil {
+		return nil, errors.New("he: lambda not invertible mod n (degenerate primes)")
+	}
+	return &PrivateKey{
+		PublicKey: PublicKey{N: n, N2: n2},
+		Lambda:    lambda,
+		Mu:        mu,
+	}, nil
+}
+
+// Encrypt returns Enc(m) = (1 + m·N)·r^N mod N² for random r in Z*_N. The
+// plaintext must lie in [0, N).
+func (pk *PublicKey) Encrypt(random io.Reader, m *big.Int) (*big.Int, error) {
+	if m.Sign() < 0 || m.Cmp(pk.N) >= 0 {
+		return nil, ErrMessageRange
+	}
+	var r *big.Int
+	for {
+		var err error
+		r, err = rand.Int(random, pk.N)
+		if err != nil {
+			return nil, fmt.Errorf("he: sample r: %w", err)
+		}
+		if r.Sign() > 0 && new(big.Int).GCD(nil, nil, r, pk.N).Cmp(big.NewInt(1)) == 0 {
+			break
+		}
+	}
+	// g^m mod n² with g = n+1 is 1 + m·n (binomial theorem mod n²).
+	gm := new(big.Int).Mul(m, pk.N)
+	gm.Add(gm, big.NewInt(1))
+	gm.Mod(gm, pk.N2)
+	rn := new(big.Int).Exp(r, pk.N, pk.N2)
+	c := gm.Mul(gm, rn)
+	return c.Mod(c, pk.N2), nil
+}
+
+// Decrypt recovers the plaintext: m = L(c^λ mod N²)·μ mod N.
+func (sk *PrivateKey) Decrypt(c *big.Int) (*big.Int, error) {
+	if c.Sign() <= 0 || c.Cmp(sk.N2) >= 0 {
+		return nil, fmt.Errorf("he: ciphertext outside (0, N²)")
+	}
+	u := new(big.Int).Exp(c, sk.Lambda, sk.N2)
+	u.Sub(u, big.NewInt(1))
+	u.Div(u, sk.N)
+	u.Mul(u, sk.Mu)
+	return u.Mod(u, sk.N), nil
+}
+
+// AddCipher returns Enc(a+b) from Enc(a) and Enc(b): the ciphertext product.
+func (pk *PublicKey) AddCipher(ca, cb *big.Int) *big.Int {
+	out := new(big.Int).Mul(ca, cb)
+	return out.Mod(out, pk.N2)
+}
+
+// ScalarMulCipher returns Enc(k·a) from Enc(a): the ciphertext power.
+func (pk *PublicKey) ScalarMulCipher(c *big.Int, k *big.Int) *big.Int {
+	kk := new(big.Int).Mod(k, pk.N)
+	return new(big.Int).Exp(c, kk, pk.N2)
+}
+
+// EncryptMatrix encrypts every entry of a non-negative int64 matrix.
+func (pk *PublicKey) EncryptMatrix(random io.Reader, a [][]int64) ([][]*big.Int, error) {
+	out := make([][]*big.Int, len(a))
+	for i, row := range a {
+		out[i] = make([]*big.Int, len(row))
+		for j, v := range row {
+			if v < 0 {
+				return nil, fmt.Errorf("he: negative entry %d at (%d,%d)", v, i, j)
+			}
+			c, err := pk.Encrypt(random, big.NewInt(v))
+			if err != nil {
+				return nil, err
+			}
+			out[i][j] = c
+		}
+	}
+	return out, nil
+}
+
+// MulVecCipher computes Enc(A·x) from an encrypted matrix and a plaintext
+// vector: each output entry is Π_j Enc(A_ij)^{x_j} — the work an untrusted
+// edge device performs in the HE alternative to coded computing.
+func (pk *PublicKey) MulVecCipher(encA [][]*big.Int, x []int64) ([]*big.Int, error) {
+	out := make([]*big.Int, len(encA))
+	for i, row := range encA {
+		if len(row) != len(x) {
+			return nil, fmt.Errorf("he: row %d has %d entries, x has %d", i, len(row), len(x))
+		}
+		acc := big.NewInt(1)
+		for j, c := range row {
+			term := pk.ScalarMulCipher(c, big.NewInt(x[j]))
+			acc = pk.AddCipher(acc, term)
+		}
+		out[i] = acc
+	}
+	return out, nil
+}

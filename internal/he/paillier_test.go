@@ -1,0 +1,147 @@
+package he
+
+import (
+	"crypto/rand"
+	"errors"
+	"math/big"
+	"testing"
+)
+
+// testBits keeps key generation fast in tests; benchmarks use larger keys.
+const testBits = 128
+
+func testKey(t *testing.T) *PrivateKey {
+	t.Helper()
+	sk, err := GenerateKey(rand.Reader, testBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sk
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	sk := testKey(t)
+	for _, m := range []int64{0, 1, 2, 255, 1 << 30, 987654321} {
+		c, err := sk.Encrypt(rand.Reader, big.NewInt(m))
+		if err != nil {
+			t.Fatalf("Encrypt(%d): %v", m, err)
+		}
+		got, err := sk.Decrypt(c)
+		if err != nil {
+			t.Fatalf("Decrypt: %v", err)
+		}
+		if got.Int64() != m {
+			t.Fatalf("round trip %d -> %d", m, got.Int64())
+		}
+	}
+}
+
+func TestEncryptionIsRandomized(t *testing.T) {
+	sk := testKey(t)
+	m := big.NewInt(42)
+	c1, err := sk.Encrypt(rand.Reader, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := sk.Encrypt(rand.Reader, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.Cmp(c2) == 0 {
+		t.Fatal("two encryptions of the same plaintext must differ")
+	}
+}
+
+func TestAdditiveHomomorphism(t *testing.T) {
+	sk := testKey(t)
+	a, b := big.NewInt(1234), big.NewInt(5678)
+	ca, err := sk.Encrypt(rand.Reader, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := sk.Encrypt(rand.Reader, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := sk.Decrypt(sk.AddCipher(ca, cb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Int64() != 6912 {
+		t.Fatalf("Enc(a)·Enc(b) decrypted to %d, want 6912", sum.Int64())
+	}
+	prod, err := sk.Decrypt(sk.ScalarMulCipher(ca, big.NewInt(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prod.Int64() != 8638 {
+		t.Fatalf("Enc(a)^7 decrypted to %d, want 8638", prod.Int64())
+	}
+}
+
+func TestMessageRangeErrors(t *testing.T) {
+	sk := testKey(t)
+	if _, err := sk.Encrypt(rand.Reader, big.NewInt(-1)); !errors.Is(err, ErrMessageRange) {
+		t.Fatalf("negative message err = %v, want ErrMessageRange", err)
+	}
+	if _, err := sk.Encrypt(rand.Reader, new(big.Int).Set(sk.N)); !errors.Is(err, ErrMessageRange) {
+		t.Fatalf("m = N err = %v, want ErrMessageRange", err)
+	}
+	if _, err := sk.Decrypt(big.NewInt(0)); err == nil {
+		t.Fatal("zero ciphertext should be rejected")
+	}
+	if _, err := sk.Decrypt(new(big.Int).Set(sk.N2)); err == nil {
+		t.Fatal("ciphertext >= N² should be rejected")
+	}
+}
+
+func TestGenerateKeyValidation(t *testing.T) {
+	if _, err := GenerateKey(rand.Reader, 8); err == nil {
+		t.Fatal("tiny primes should be rejected")
+	}
+}
+
+func TestEncryptedMatVecMatchesPlaintext(t *testing.T) {
+	sk := testKey(t)
+	a := [][]int64{
+		{1, 2, 3},
+		{4, 5, 6},
+	}
+	x := []int64{7, 8, 9}
+	encA, err := sk.EncryptMatrix(rand.Reader, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	encY, err := sk.MulVecCipher(encA, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{1*7 + 2*8 + 3*9, 4*7 + 5*8 + 6*9}
+	for i, c := range encY {
+		got, err := sk.Decrypt(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Int64() != want[i] {
+			t.Fatalf("row %d: decrypted %d, want %d", i, got.Int64(), want[i])
+		}
+	}
+}
+
+func TestEncryptMatrixRejectsNegatives(t *testing.T) {
+	sk := testKey(t)
+	if _, err := sk.EncryptMatrix(rand.Reader, [][]int64{{-1}}); err == nil {
+		t.Fatal("negative entries should be rejected")
+	}
+}
+
+func TestMulVecCipherShapeMismatch(t *testing.T) {
+	sk := testKey(t)
+	encA, err := sk.EncryptMatrix(rand.Reader, [][]int64{{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sk.MulVecCipher(encA, []int64{1}); err == nil {
+		t.Fatal("shape mismatch should be rejected")
+	}
+}

@@ -1,0 +1,125 @@
+package matrix
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"github.com/scec/scec/internal/field"
+)
+
+// Substrate benchmarks: the dense kernels every other package sits on,
+// across the three fields (the repro note flags Go's linear-algebra gap —
+// these pin what our from-scratch kernels deliver).
+
+const (
+	benchN = 128 // square dimension for Mul/Rank/LU
+	benchL = 512 // row length for MulVec
+)
+
+func benchRNG() *rand.Rand { return rand.New(rand.NewPCG(99, 101)) }
+
+func BenchmarkMulPrime(b *testing.B) {
+	f := field.Prime{}
+	rng := benchRNG()
+	x := Random[uint64](f, rng, benchN, benchN)
+	y := Random[uint64](f, rng, benchN, benchN)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Mul[uint64](f, x, y)
+	}
+}
+
+func BenchmarkMulReal(b *testing.B) {
+	f := field.Real{}
+	rng := benchRNG()
+	x := Random[float64](f, rng, benchN, benchN)
+	y := Random[float64](f, rng, benchN, benchN)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Mul[float64](f, x, y)
+	}
+}
+
+func BenchmarkMulGF256(b *testing.B) {
+	f := field.GF256{}
+	rng := benchRNG()
+	x := Random[byte](f, rng, benchN, benchN)
+	y := Random[byte](f, rng, benchN, benchN)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Mul[byte](f, x, y)
+	}
+}
+
+func BenchmarkMulVecPrime(b *testing.B) {
+	f := field.Prime{}
+	rng := benchRNG()
+	a := Random[uint64](f, rng, benchN, benchL)
+	x := RandomVec[uint64](f, rng, benchL)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = MulVec[uint64](f, a, x)
+	}
+}
+
+func BenchmarkRankPrime(b *testing.B) {
+	f := field.Prime{}
+	rng := benchRNG()
+	a := Random[uint64](f, rng, benchN, benchN)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Rank[uint64](f, a)
+	}
+}
+
+func BenchmarkLUFactorPrime(b *testing.B) {
+	f := field.Prime{}
+	rng := benchRNG()
+	a := Random[uint64](f, rng, benchN, benchN)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Factor[uint64](f, a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLUSolvePrime measures the per-solve cost after factoring —
+// compare with BenchmarkSolvePrime (fresh elimination per solve).
+func BenchmarkLUSolvePrime(b *testing.B) {
+	f := field.Prime{}
+	rng := benchRNG()
+	a := Random[uint64](f, rng, benchN, benchN)
+	lu, err := Factor[uint64](f, a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rhs := RandomVec[uint64](f, rng, benchN)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lu.Solve(rhs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolvePrime(b *testing.B) {
+	f := field.Prime{}
+	rng := benchRNG()
+	a := Random[uint64](f, rng, benchN, benchN)
+	rhs := RandomVec[uint64](f, rng, benchN)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve[uint64](f, a, rhs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

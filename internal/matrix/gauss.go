@@ -1,0 +1,207 @@
+package matrix
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/scec/scec/internal/field"
+)
+
+// ErrSingular is returned by Solve and Inverse when the system matrix is not
+// invertible (or, over Real, is numerically singular at the field tolerance).
+var ErrSingular = errors.New("matrix: singular matrix")
+
+// PivotScorer is an optional interface a field may implement to rank pivot
+// candidates for numerical stability. Exact fields do not need it (any
+// non-zero pivot is as good as any other); field.Real implements it with the
+// absolute value so elimination uses partial pivoting.
+type PivotScorer[E comparable] interface {
+	PivotScore(E) float64
+}
+
+// findPivot returns the index of the best pivot row in rows [from, m.rows)
+// of column col, or -1 when the column is (numerically) zero below from.
+func findPivot[E comparable](f field.Field[E], m *Dense[E], from, col int) int {
+	scorer, scored := any(f).(PivotScorer[E])
+	best, bestScore := -1, 0.0
+	for r := from; r < m.rows; r++ {
+		v := m.data[r*m.cols+col]
+		if f.IsZero(v) {
+			continue
+		}
+		if !scored {
+			return r
+		}
+		if s := scorer.PivotScore(v); s > bestScore {
+			best, bestScore = r, s
+		}
+	}
+	return best
+}
+
+// swapRows exchanges rows i and j in place.
+func (m *Dense[E]) swapRows(i, j int) {
+	if i == j {
+		return
+	}
+	ri, rj := m.rowView(i), m.rowView(j)
+	for k := range ri {
+		ri[k], rj[k] = rj[k], ri[k]
+	}
+}
+
+// ref reduces m (in place) to row echelon form and returns its rank. Callers
+// pass a clone when the original must be preserved.
+func ref[E comparable](f field.Field[E], m *Dense[E]) int {
+	rank := 0
+	for col := 0; col < m.cols && rank < m.rows; col++ {
+		p := findPivot(f, m, rank, col)
+		if p < 0 {
+			continue
+		}
+		m.swapRows(rank, p)
+		pivotRow := m.rowView(rank)
+		pivot := pivotRow[col]
+		for r := rank + 1; r < m.rows; r++ {
+			row := m.rowView(r)
+			if f.IsZero(row[col]) {
+				continue
+			}
+			// factor = row[col]/pivot; pivot is non-zero by construction.
+			factor, err := f.Div(row[col], pivot)
+			if err != nil {
+				panic(fmt.Sprintf("matrix: non-zero pivot reported zero: %v", err))
+			}
+			row[col] = f.Zero()
+			for c := col + 1; c < m.cols; c++ {
+				row[c] = f.Sub(row[c], f.Mul(factor, pivotRow[c]))
+			}
+		}
+		rank++
+	}
+	return rank
+}
+
+// Rank returns the rank of m over f. The input is not modified. An empty
+// matrix has rank 0.
+func Rank[E comparable](f field.Field[E], m *Dense[E]) int {
+	if m.IsEmpty() {
+		return 0
+	}
+	return ref(f, m.Clone())
+}
+
+// IsFullRank reports whether rank(m) == min(rows, cols). The availability
+// condition of the paper (Definition 1) is IsFullRank of the square encoding
+// coefficient matrix B.
+func IsFullRank[E comparable](f field.Field[E], m *Dense[E]) bool {
+	want := m.rows
+	if m.cols < want {
+		want = m.cols
+	}
+	return Rank(f, m) == want
+}
+
+// gaussJordan reduces the augmented matrix [A | aug] with Gauss–Jordan
+// elimination, requiring A (n×n, the left block) to be invertible. On return
+// the left block is the identity and the right block holds A⁻¹·aug.
+func gaussJordan[E comparable](f field.Field[E], a *Dense[E], n int) error {
+	for col := 0; col < n; col++ {
+		p := findPivot(f, a, col, col)
+		if p < 0 {
+			return ErrSingular
+		}
+		a.swapRows(col, p)
+		pivotRow := a.rowView(col)
+		inv, err := f.Inv(pivotRow[col])
+		if err != nil {
+			return ErrSingular
+		}
+		for c := col; c < a.cols; c++ {
+			pivotRow[c] = f.Mul(pivotRow[c], inv)
+		}
+		for r := 0; r < a.rows; r++ {
+			if r == col {
+				continue
+			}
+			row := a.rowView(r)
+			factor := row[col]
+			if f.IsZero(factor) {
+				continue
+			}
+			for c := col; c < a.cols; c++ {
+				row[c] = f.Sub(row[c], f.Mul(factor, pivotRow[c]))
+			}
+		}
+	}
+	return nil
+}
+
+// Solve solves the square linear system A·x = b and returns x. It returns
+// ErrSingular when A is not invertible. This is the general-purpose decoder
+// path of the paper's system model (§II-A): the user recovers Tx from BTx by
+// elimination when it does not use the structured O(m) decoder.
+func Solve[E comparable](f field.Field[E], a *Dense[E], b []E) ([]E, error) {
+	if a.rows != a.cols {
+		panic(fmt.Sprintf("matrix: Solve requires a square system, got %dx%d", a.rows, a.cols))
+	}
+	if len(b) != a.rows {
+		panic(fmt.Sprintf("matrix: Solve rhs length %d != %d", len(b), a.rows))
+	}
+	n := a.rows
+	aug := New[E](n, n+1)
+	for i := 0; i < n; i++ {
+		copy(aug.rowView(i), a.rowView(i))
+		aug.Set(i, n, b[i])
+	}
+	if err := gaussJordan(f, aug, n); err != nil {
+		return nil, err
+	}
+	x := make([]E, n)
+	for i := 0; i < n; i++ {
+		x[i] = aug.At(i, n)
+	}
+	return x, nil
+}
+
+// Inverse returns A⁻¹ for a square matrix, or ErrSingular.
+func Inverse[E comparable](f field.Field[E], a *Dense[E]) (*Dense[E], error) {
+	if a.rows != a.cols {
+		panic(fmt.Sprintf("matrix: Inverse requires a square matrix, got %dx%d", a.rows, a.cols))
+	}
+	n := a.rows
+	aug := HStack(a, Identity(f, n))
+	if err := gaussJordan(f, aug, n); err != nil {
+		return nil, err
+	}
+	return RowSliceCols(aug, n, 2*n), nil
+}
+
+// RowSliceCols returns a copy of columns [from, to) as a new matrix.
+func RowSliceCols[E comparable](a *Dense[E], from, to int) *Dense[E] {
+	if from < 0 || to > a.cols || from > to {
+		panic(fmt.Sprintf("matrix: RowSliceCols [%d,%d) out of range for %d cols", from, to, a.cols))
+	}
+	out := New[E](a.rows, to-from)
+	for i := 0; i < a.rows; i++ {
+		copy(out.rowView(i), a.rowView(i)[from:to])
+	}
+	return out
+}
+
+// SpanIntersectionDim returns dim(L(a) ∩ L(b)), the dimension of the
+// intersection of the row spaces of a and b over f, computed with the
+// identity dim(U∩V) = dim U + dim V − dim(U+V). The paper's security
+// condition (Definition 2, via [20]) is SpanIntersectionDim(B_j, λ̄) == 0
+// with λ̄ = [E_m | 0].
+//
+// Both inputs must share a column count unless one is empty.
+func SpanIntersectionDim[E comparable](f field.Field[E], a, b *Dense[E]) int {
+	da := Rank(f, a)
+	db := Rank(f, b)
+	if da == 0 || db == 0 {
+		return 0
+	}
+	sum := Rank(f, VStack(a, b))
+	return da + db - sum
+}

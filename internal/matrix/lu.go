@@ -1,0 +1,135 @@
+package matrix
+
+import (
+	"fmt"
+
+	"github.com/scec/scec/internal/field"
+)
+
+// LU is a factorization P·A = L·U of a square matrix, stored compactly: the
+// strict lower triangle holds L (unit diagonal implied) and the upper
+// triangle holds U. It exists for the factor-once / solve-many pattern: a
+// decoder that repeatedly solves against the same coefficient matrix (e.g.
+// the collusion scheme's B) pays the O(n³) elimination once and O(n²) per
+// subsequent right-hand side.
+type LU[E comparable] struct {
+	f      field.Field[E]
+	lu     *Dense[E]
+	pivots []int // pivots[i] = row swapped into position i during step i
+}
+
+// Factor computes the LU factorization with (scored, for Real) partial
+// pivoting. It returns ErrSingular when a is not invertible.
+func Factor[E comparable](f field.Field[E], a *Dense[E]) (*LU[E], error) {
+	if a.rows != a.cols {
+		panic(fmt.Sprintf("matrix: Factor requires a square matrix, got %dx%d", a.rows, a.cols))
+	}
+	n := a.rows
+	lu := a.Clone()
+	pivots := make([]int, n)
+	for col := 0; col < n; col++ {
+		p := findPivot(f, lu, col, col)
+		if p < 0 {
+			return nil, ErrSingular
+		}
+		lu.swapRows(col, p)
+		pivots[col] = p
+		pivotRow := lu.rowView(col)
+		inv, err := f.Inv(pivotRow[col])
+		if err != nil {
+			return nil, ErrSingular
+		}
+		for r := col + 1; r < n; r++ {
+			row := lu.rowView(r)
+			if f.IsZero(row[col]) {
+				continue
+			}
+			factor := f.Mul(row[col], inv)
+			row[col] = factor // store the L multiplier in place
+			for c := col + 1; c < n; c++ {
+				row[c] = f.Sub(row[c], f.Mul(factor, pivotRow[c]))
+			}
+		}
+	}
+	return &LU[E]{f: f, lu: lu, pivots: pivots}, nil
+}
+
+// N returns the dimension of the factored matrix.
+func (d *LU[E]) N() int { return d.lu.rows }
+
+// Solve solves A·x = b for one right-hand side in O(n²). The input is not
+// modified.
+func (d *LU[E]) Solve(b []E) ([]E, error) {
+	n := d.lu.rows
+	if len(b) != n {
+		return nil, fmt.Errorf("matrix: LU solve rhs length %d != %d", len(b), n)
+	}
+	f := d.f
+	x := make([]E, n)
+	copy(x, b)
+	// Apply the recorded row swaps.
+	for i, p := range d.pivots {
+		if p != i {
+			x[i], x[p] = x[p], x[i]
+		}
+	}
+	// Forward substitution with unit-diagonal L.
+	for i := 1; i < n; i++ {
+		row := d.lu.rowView(i)
+		acc := x[i]
+		for j := 0; j < i; j++ {
+			acc = f.Sub(acc, f.Mul(row[j], x[j]))
+		}
+		x[i] = acc
+	}
+	// Back substitution with U.
+	for i := n - 1; i >= 0; i-- {
+		row := d.lu.rowView(i)
+		acc := x[i]
+		for j := i + 1; j < n; j++ {
+			acc = f.Sub(acc, f.Mul(row[j], x[j]))
+		}
+		inv, err := f.Inv(row[i])
+		if err != nil {
+			return nil, ErrSingular
+		}
+		x[i] = f.Mul(acc, inv)
+	}
+	return x, nil
+}
+
+// SolveMat solves A·X = B column by column.
+func (d *LU[E]) SolveMat(b *Dense[E]) (*Dense[E], error) {
+	n := d.lu.rows
+	if b.rows != n {
+		return nil, fmt.Errorf("matrix: LU SolveMat rhs has %d rows, want %d", b.rows, n)
+	}
+	out := New[E](n, b.cols)
+	col := make([]E, n)
+	for c := 0; c < b.cols; c++ {
+		for i := 0; i < n; i++ {
+			col[i] = b.At(i, c)
+		}
+		x, err := d.Solve(col)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			out.Set(i, c, x[i])
+		}
+	}
+	return out, nil
+}
+
+// Det returns the determinant, computed as ±Π U_ii from the factorization.
+func (d *LU[E]) Det() E {
+	f := d.f
+	det := f.One()
+	for i := 0; i < d.lu.rows; i++ {
+		det = f.Mul(det, d.lu.At(i, i))
+		if d.pivots[i] != i {
+			det = f.Neg(det)
+		}
+	}
+	return det
+}

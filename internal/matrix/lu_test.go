@@ -1,0 +1,161 @@
+package matrix
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/scec/scec/internal/field"
+)
+
+func TestLUSolveMatchesGaussian(t *testing.T) {
+	f := field.Prime{}
+	rng := testRNG()
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.IntN(10)
+		a := Random[uint64](f, rng, n, n)
+		lu, err := Factor[uint64](f, a)
+		if errors.Is(err, ErrSingular) {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := RandomVec[uint64](f, rng, n)
+		want, err := Solve[uint64](f, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := lu.Solve(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !VecEqual[uint64](f, got, want) {
+			t.Fatal("LU solve != Gaussian solve")
+		}
+		// Reuse the factorization: a second right-hand side.
+		b2 := RandomVec[uint64](f, rng, n)
+		want2, err := Solve[uint64](f, a, b2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got2, err := lu.Solve(b2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !VecEqual[uint64](f, got2, want2) {
+			t.Fatal("LU factor reuse produced a wrong solve")
+		}
+	}
+}
+
+func TestLUSolveReal(t *testing.T) {
+	f := field.Real{Tol: 1e-6}
+	rng := testRNG()
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.IntN(8)
+		a := Random[float64](f, rng, n, n)
+		x := RandomVec[float64](f, rng, n)
+		b := MulVec[float64](f, a, x)
+		lu, err := Factor[float64](f, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := lu.Solve(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !VecEqual[float64](f, got, x) {
+			t.Fatalf("LU solve round trip failed: got %v want %v", got, x)
+		}
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	f := field.Prime{}
+	if _, err := Factor[uint64](f, FromRows([][]uint64{{1, 2}, {2, 4}})); !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+	if _, err := Factor[uint64](f, New[uint64](3, 3)); !errors.Is(err, ErrSingular) {
+		t.Fatalf("zero matrix err = %v, want ErrSingular", err)
+	}
+}
+
+func TestLUFactorPreservesInput(t *testing.T) {
+	f := field.Prime{}
+	a := FromRows([][]uint64{{2, 1}, {1, 3}})
+	before := a.Clone()
+	if _, err := Factor[uint64](f, a); err != nil {
+		t.Fatal(err)
+	}
+	if !Equal[uint64](f, a, before) {
+		t.Fatal("Factor must not modify its input")
+	}
+}
+
+func TestLUSolveMat(t *testing.T) {
+	f := field.Prime{}
+	rng := testRNG()
+	n := 6
+	a := Random[uint64](f, rng, n, n)
+	lu, err := Factor[uint64](f, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := Random[uint64](f, rng, n, 4)
+	b := Mul[uint64](f, a, x)
+	got, err := lu.SolveMat(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal[uint64](f, got, x) {
+		t.Fatal("SolveMat round trip failed")
+	}
+	if _, err := lu.SolveMat(New[uint64](n+1, 2)); err == nil {
+		t.Fatal("row mismatch should error")
+	}
+}
+
+func TestLUSolveValidation(t *testing.T) {
+	f := field.Prime{}
+	lu, err := Factor[uint64](f, Identity[uint64](f, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lu.Solve(make([]uint64, 2)); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+	if lu.N() != 3 {
+		t.Fatalf("N = %d, want 3", lu.N())
+	}
+}
+
+func TestLUDet(t *testing.T) {
+	f := field.Real{}
+	cases := []struct {
+		m    *Dense[float64]
+		want float64
+	}{
+		{FromRows([][]float64{{3}}), 3},
+		{FromRows([][]float64{{1, 2}, {3, 4}}), -2},
+		{Identity[float64](f, 4), 1},
+		{FromRows([][]float64{{2, 0, 0}, {0, 3, 0}, {0, 0, 4}}), 24},
+	}
+	for _, tc := range cases {
+		lu, err := Factor[float64](f, tc.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := lu.Det(); !f.Equal(got, tc.want) {
+			t.Errorf("Det = %g, want %g", got, tc.want)
+		}
+	}
+}
+
+func TestLUFactorPanicsOnNonSquare(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	_, _ = Factor[uint64](field.Prime{}, New[uint64](2, 3))
+}

@@ -1,0 +1,377 @@
+package matrix
+
+import (
+	"errors"
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"github.com/scec/scec/internal/field"
+)
+
+func testRNG() *rand.Rand { return rand.New(rand.NewPCG(7, 11)) }
+
+func TestNewAndAccessors(t *testing.T) {
+	m := New[uint64](2, 3)
+	if m.Rows() != 2 || m.Cols() != 3 {
+		t.Fatalf("shape = %dx%d, want 2x3", m.Rows(), m.Cols())
+	}
+	m.Set(1, 2, 42)
+	if got := m.At(1, 2); got != 42 {
+		t.Fatalf("At(1,2) = %d, want 42", got)
+	}
+	if got := m.At(0, 0); got != 0 {
+		t.Fatalf("At(0,0) = %d, want 0", got)
+	}
+}
+
+func TestNewPanicsOnNegativeDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative dimensions")
+		}
+	}()
+	New[uint64](-1, 2)
+}
+
+func TestBoundsPanics(t *testing.T) {
+	m := New[uint64](2, 2)
+	for _, fn := range []func(){
+		func() { m.At(2, 0) },
+		func() { m.At(0, -1) },
+		func() { m.Set(-1, 0, 1) },
+		func() { m.Row(5) },
+		func() { m.SetRow(0, []uint64{1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected bounds panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFromRowsAndRowCopySemantics(t *testing.T) {
+	src := [][]uint64{{1, 2}, {3, 4}}
+	m := FromRows(src)
+	src[0][0] = 99 // must not alias
+	if m.At(0, 0) != 1 {
+		t.Fatal("FromRows must copy its input")
+	}
+	r := m.Row(1)
+	r[0] = 99 // must not alias
+	if m.At(1, 0) != 3 {
+		t.Fatal("Row must return a copy")
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for ragged rows")
+		}
+	}()
+	FromRows([][]uint64{{1, 2}, {3}})
+}
+
+func TestIdentityMulIsIdentityPrime(t *testing.T) {
+	f := field.Prime{}
+	rng := testRNG()
+	a := Random[uint64](f, rng, 6, 6)
+	i6 := Identity[uint64](f, 6)
+	if !Equal[uint64](f, Mul[uint64](f, a, i6), a) {
+		t.Fatal("A·I != A")
+	}
+	if !Equal[uint64](f, Mul[uint64](f, i6, a), a) {
+		t.Fatal("I·A != A")
+	}
+}
+
+func TestMulKnownValues(t *testing.T) {
+	f := field.Real{}
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	if got := Mul[float64](f, a, b); !Equal[float64](f, got, want) {
+		t.Fatalf("Mul = %v, want %v", got, want)
+	}
+}
+
+func TestMulAssociativity(t *testing.T) {
+	f := field.Prime{}
+	rng := testRNG()
+	for trial := 0; trial < 20; trial++ {
+		a := Random[uint64](f, rng, 4, 5)
+		b := Random[uint64](f, rng, 5, 3)
+		c := Random[uint64](f, rng, 3, 6)
+		left := Mul[uint64](f, Mul[uint64](f, a, b), c)
+		right := Mul[uint64](f, a, Mul[uint64](f, b, c))
+		if !Equal[uint64](f, left, right) {
+			t.Fatal("(AB)C != A(BC)")
+		}
+	}
+}
+
+func TestMulVecMatchesMul(t *testing.T) {
+	f := field.Prime{}
+	rng := testRNG()
+	a := Random[uint64](f, rng, 7, 5)
+	x := RandomVec[uint64](f, rng, 5)
+	xm := New[uint64](5, 1)
+	for i, v := range x {
+		xm.Set(i, 0, v)
+	}
+	prod := Mul[uint64](f, a, xm)
+	got := MulVec[uint64](f, a, x)
+	for i := range got {
+		if got[i] != prod.At(i, 0) {
+			t.Fatalf("MulVec[%d] = %d, want %d", i, got[i], prod.At(i, 0))
+		}
+	}
+}
+
+func TestMulShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for shape mismatch")
+		}
+	}()
+	f := field.Prime{}
+	Mul[uint64](f, New[uint64](2, 3), New[uint64](2, 3))
+}
+
+func TestAddSubScale(t *testing.T) {
+	f := field.Prime{}
+	rng := testRNG()
+	a := Random[uint64](f, rng, 3, 4)
+	b := Random[uint64](f, rng, 3, 4)
+	if !Equal[uint64](f, Sub[uint64](f, Add[uint64](f, a, b), b), a) {
+		t.Fatal("(A+B)-B != A")
+	}
+	two := f.FromInt64(2)
+	if !Equal[uint64](f, Scale[uint64](f, two, a), Add[uint64](f, a, a)) {
+		t.Fatal("2A != A+A")
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := field.GF256{}
+	rng := testRNG()
+	a := Random[byte](f, rng, 4, 7)
+	if !Equal[byte](f, Transpose(Transpose(a)), a) {
+		t.Fatal("transpose is not an involution")
+	}
+	if got := Transpose(a); got.Rows() != 7 || got.Cols() != 4 {
+		t.Fatalf("transpose shape = %dx%d, want 7x4", got.Rows(), got.Cols())
+	}
+}
+
+func TestVStackHStack(t *testing.T) {
+	f := field.Real{}
+	a := FromRows([][]float64{{1, 2}})
+	b := FromRows([][]float64{{3, 4}, {5, 6}})
+	v := VStack(a, b)
+	if v.Rows() != 3 || v.Cols() != 2 || v.At(2, 1) != 6 {
+		t.Fatalf("VStack wrong: %v", v)
+	}
+	h := HStack(Transpose(a), Transpose(b))
+	if h.Rows() != 2 || h.Cols() != 3 || h.At(1, 2) != 6 {
+		t.Fatalf("HStack wrong: %v", h)
+	}
+	// Empty blocks are skipped.
+	if got := VStack(New[float64](0, 0), b); !Equal[float64](f, got, b) {
+		t.Fatal("VStack should skip empty blocks")
+	}
+	if got := VStack[float64](); got.Rows() != 0 || got.Cols() != 0 {
+		t.Fatal("VStack() should be empty")
+	}
+}
+
+func TestVStackMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	VStack(New[uint64](1, 2), New[uint64](1, 3))
+}
+
+func TestRowSlice(t *testing.T) {
+	m := FromRows([][]uint64{{1}, {2}, {3}, {4}})
+	s := RowSlice(m, 1, 3)
+	if s.Rows() != 2 || s.At(0, 0) != 2 || s.At(1, 0) != 3 {
+		t.Fatalf("RowSlice wrong: %v", s)
+	}
+	if s2 := RowSlice(m, 2, 2); s2.Rows() != 0 {
+		t.Fatal("empty RowSlice should have 0 rows")
+	}
+}
+
+func TestRankPrime(t *testing.T) {
+	f := field.Prime{}
+	cases := []struct {
+		name string
+		m    *Dense[uint64]
+		want int
+	}{
+		{"identity", Identity[uint64](f, 5), 5},
+		{"zero", New[uint64](3, 3), 0},
+		{"empty", New[uint64](0, 0), 0},
+		{"duplicated rows", FromRows([][]uint64{{1, 2, 3}, {1, 2, 3}, {0, 1, 0}}), 2},
+		{"dependent", FromRows([][]uint64{{1, 2}, {2, 4}}), 1},
+		{"wide", FromRows([][]uint64{{1, 0, 0, 7}, {0, 1, 0, 7}}), 2},
+	}
+	for _, tc := range cases {
+		if got := Rank[uint64](f, tc.m); got != tc.want {
+			t.Errorf("%s: rank = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestRankRealNeedsPivoting(t *testing.T) {
+	f := field.Real{}
+	// A matrix engineered so naive first-nonzero pivoting accumulates error:
+	// tiny leading entry with large rows below.
+	m := FromRows([][]float64{
+		{1e-13, 1, 0},
+		{1, 1, 1},
+		{2, 2, 2},
+	})
+	// Row 3 = 2·row 2, so the true numerical rank at our tolerance is 2.
+	if got := Rank[float64](f, m); got != 2 {
+		t.Fatalf("rank = %d, want 2 (partial pivoting)", got)
+	}
+}
+
+func TestRankPreservesInput(t *testing.T) {
+	f := field.Prime{}
+	m := FromRows([][]uint64{{1, 2}, {3, 4}})
+	before := m.Clone()
+	Rank[uint64](f, m)
+	if !Equal[uint64](f, m, before) {
+		t.Fatal("Rank must not modify its input")
+	}
+}
+
+func TestSolveRoundTrip(t *testing.T) {
+	rng := testRNG()
+	t.Run("prime", func(t *testing.T) {
+		f := field.Prime{}
+		for trial := 0; trial < 25; trial++ {
+			n := 1 + rng.IntN(8)
+			a := Random[uint64](f, rng, n, n)
+			if !IsFullRank[uint64](f, a) {
+				continue // random singular matrix: astronomically rare, skip
+			}
+			x := RandomVec[uint64](f, rng, n)
+			b := MulVec[uint64](f, a, x)
+			got, err := Solve[uint64](f, a, b)
+			if err != nil {
+				t.Fatalf("Solve: %v", err)
+			}
+			if !VecEqual[uint64](f, got, x) {
+				t.Fatal("Solve round trip failed")
+			}
+		}
+	})
+	t.Run("real", func(t *testing.T) {
+		f := field.Real{Tol: 1e-6}
+		for trial := 0; trial < 25; trial++ {
+			n := 1 + rng.IntN(8)
+			a := Random[float64](f, rng, n, n)
+			x := RandomVec[float64](f, rng, n)
+			b := MulVec[float64](f, a, x)
+			got, err := Solve[float64](f, a, b)
+			if err != nil {
+				t.Fatalf("Solve: %v", err)
+			}
+			if !VecEqual[float64](f, got, x) {
+				t.Fatalf("Solve round trip failed: got %v want %v", got, x)
+			}
+		}
+	})
+}
+
+func TestSolveSingular(t *testing.T) {
+	f := field.Prime{}
+	a := FromRows([][]uint64{{1, 2}, {2, 4}})
+	if _, err := Solve[uint64](f, a, []uint64{1, 2}); !errors.Is(err, ErrSingular) {
+		t.Fatalf("Solve singular error = %v, want ErrSingular", err)
+	}
+}
+
+func TestInverse(t *testing.T) {
+	f := field.Prime{}
+	rng := testRNG()
+	for trial := 0; trial < 15; trial++ {
+		n := 1 + rng.IntN(7)
+		a := Random[uint64](f, rng, n, n)
+		inv, err := Inverse[uint64](f, a)
+		if errors.Is(err, ErrSingular) {
+			continue
+		}
+		if err != nil {
+			t.Fatalf("Inverse: %v", err)
+		}
+		if !Equal[uint64](f, Mul[uint64](f, a, inv), Identity[uint64](f, n)) {
+			t.Fatal("A·A⁻¹ != I")
+		}
+		if !Equal[uint64](f, Mul[uint64](f, inv, a), Identity[uint64](f, n)) {
+			t.Fatal("A⁻¹·A != I")
+		}
+	}
+	if _, err := Inverse[uint64](f, New[uint64](2, 2)); !errors.Is(err, ErrSingular) {
+		t.Fatal("inverse of zero matrix should be ErrSingular")
+	}
+}
+
+func TestSpanIntersectionDim(t *testing.T) {
+	f := field.Prime{}
+	e3 := Identity[uint64](f, 3)
+	cases := []struct {
+		name string
+		a, b *Dense[uint64]
+		want int
+	}{
+		{"identical spans", e3, e3.Clone(), 3},
+		{"disjoint axes", FromRows([][]uint64{{1, 0, 0}}), FromRows([][]uint64{{0, 1, 0}}), 0},
+		{"one shared direction", FromRows([][]uint64{{1, 0, 0}, {0, 1, 0}}), FromRows([][]uint64{{1, 0, 0}, {0, 0, 1}}), 1},
+		{"empty operand", New[uint64](0, 0), e3, 0},
+		{"mixed combo", FromRows([][]uint64{{1, 1, 0}}), FromRows([][]uint64{{1, 0, 0}, {0, 1, 0}}), 1},
+	}
+	for _, tc := range cases {
+		if got := SpanIntersectionDim[uint64](f, tc.a, tc.b); got != tc.want {
+			t.Errorf("%s: dim = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestEqualShapes(t *testing.T) {
+	f := field.Prime{}
+	if Equal[uint64](f, New[uint64](1, 2), New[uint64](2, 1)) {
+		t.Fatal("different shapes must be unequal")
+	}
+}
+
+func TestStringElides(t *testing.T) {
+	small := FromRows([][]uint64{{1, 2}})
+	if s := small.String(); !strings.Contains(s, "[1 2]") {
+		t.Errorf("small String = %q", s)
+	}
+	big := New[uint64](100, 100)
+	if s := big.String(); !strings.Contains(s, "elided") {
+		t.Errorf("big String should be elided, got %q", s)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := FromRows([][]uint64{{1, 2}})
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone must not share storage")
+	}
+}

@@ -1,0 +1,75 @@
+package matrix
+
+import (
+	"github.com/scec/scec/internal/field"
+)
+
+// NullSpace returns a basis of the right null space {x : A·x = 0} as the
+// rows of the returned matrix (dimension (cols−rank) × cols). A full-rank
+// square or tall matrix yields a 0×cols result.
+//
+// The attack harness uses this constructively: a passive adversary that
+// wants a linear combination of its coded rows lying in the data subspace
+// needs a left-null vector of the random-column block, i.e.
+// NullSpace(Transpose(randomBlock)).
+func NullSpace[E comparable](f field.Field[E], a *Dense[E]) *Dense[E] {
+	if a.IsEmpty() {
+		return New[E](0, a.cols)
+	}
+	// Reduce a clone to RREF, tracking pivot columns.
+	m := a.Clone()
+	pivots := make([]int, 0, m.rows)
+	rank := 0
+	for col := 0; col < m.cols && rank < m.rows; col++ {
+		p := findPivot(f, m, rank, col)
+		if p < 0 {
+			continue
+		}
+		m.swapRows(rank, p)
+		pivotRow := m.rowView(rank)
+		inv, err := f.Inv(pivotRow[col])
+		if err != nil {
+			// findPivot returned a zero pivot: impossible by construction.
+			panic("matrix: zero pivot in NullSpace")
+		}
+		for c := col; c < m.cols; c++ {
+			pivotRow[c] = f.Mul(pivotRow[c], inv)
+		}
+		for r := 0; r < m.rows; r++ {
+			if r == rank {
+				continue
+			}
+			row := m.rowView(r)
+			factor := row[col]
+			if f.IsZero(factor) {
+				continue
+			}
+			for c := col; c < m.cols; c++ {
+				row[c] = f.Sub(row[c], f.Mul(factor, pivotRow[c]))
+			}
+		}
+		pivots = append(pivots, col)
+		rank++
+	}
+
+	isPivot := make([]bool, m.cols)
+	for _, c := range pivots {
+		isPivot[c] = true
+	}
+	basis := New[E](m.cols-rank, m.cols)
+	one := f.One()
+	bi := 0
+	for free := 0; free < m.cols; free++ {
+		if isPivot[free] {
+			continue
+		}
+		row := basis.rowView(bi)
+		row[free] = one
+		// Each pivot variable equals minus the RREF entry in the free column.
+		for pi, pcol := range pivots {
+			row[pcol] = f.Neg(m.At(pi, free))
+		}
+		bi++
+	}
+	return basis
+}

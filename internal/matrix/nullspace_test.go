@@ -1,0 +1,77 @@
+package matrix
+
+import (
+	"testing"
+
+	"github.com/scec/scec/internal/field"
+)
+
+func TestNullSpaceFullRankIsEmpty(t *testing.T) {
+	f := field.Prime{}
+	ns := NullSpace[uint64](f, Identity[uint64](f, 4))
+	if ns.Rows() != 0 || ns.Cols() != 4 {
+		t.Fatalf("null space of identity = %dx%d, want 0x4", ns.Rows(), ns.Cols())
+	}
+}
+
+func TestNullSpaceDimensionTheorem(t *testing.T) {
+	f := field.Prime{}
+	rng := testRNG()
+	for trial := 0; trial < 100; trial++ {
+		rows := 1 + rng.IntN(6)
+		cols := 1 + rng.IntN(8)
+		a := Random[uint64](f, rng, rows, cols)
+		// Plant dependencies: duplicate some columns to force rank deficits.
+		if cols >= 2 {
+			for i := 0; i < rows; i++ {
+				a.Set(i, cols-1, a.At(i, 0))
+			}
+		}
+		rank := Rank[uint64](f, a)
+		ns := NullSpace[uint64](f, a)
+		if ns.Rows() != cols-rank {
+			t.Fatalf("nullity = %d, want cols-rank = %d", ns.Rows(), cols-rank)
+		}
+		// Every basis vector must be annihilated by a.
+		for b := 0; b < ns.Rows(); b++ {
+			x := ns.Row(b)
+			ax := MulVec[uint64](f, a, x)
+			for _, v := range ax {
+				if v != 0 {
+					t.Fatalf("A·(null basis row %d) != 0", b)
+				}
+			}
+		}
+		// The basis itself must be independent.
+		if ns.Rows() > 0 && Rank[uint64](f, ns) != ns.Rows() {
+			t.Fatal("null-space basis rows are dependent")
+		}
+	}
+}
+
+func TestNullSpaceKnownExample(t *testing.T) {
+	f := field.Real{}
+	// x + y = 0 over two unknowns: null space spanned by (1, -1).
+	a := FromRows([][]float64{{1, 1}})
+	ns := NullSpace[float64](f, a)
+	if ns.Rows() != 1 {
+		t.Fatalf("nullity = %d, want 1", ns.Rows())
+	}
+	v := ns.Row(0)
+	if !f.IsZero(v[0] + v[1]) {
+		t.Fatalf("basis %v not in null space", v)
+	}
+}
+
+func TestNullSpaceEmptyMatrix(t *testing.T) {
+	f := field.Prime{}
+	ns := NullSpace[uint64](f, New[uint64](0, 3))
+	if ns.Rows() != 0 || ns.Cols() != 3 {
+		t.Fatalf("null space of empty = %dx%d, want 0x3", ns.Rows(), ns.Cols())
+	}
+	// Zero matrix: the whole domain.
+	ns = NullSpace[uint64](f, New[uint64](2, 3))
+	if ns.Rows() != 3 {
+		t.Fatalf("nullity of zero matrix = %d, want 3", ns.Rows())
+	}
+}

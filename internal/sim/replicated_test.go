@@ -1,0 +1,171 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/scec/scec/internal/matrix"
+)
+
+func replicatedConfig(blocks, replicas int) ReplicatedConfig {
+	groups := make([][]DeviceProfile, blocks)
+	for j := range groups {
+		groups[j] = make([]DeviceProfile, replicas)
+		for r := range groups[j] {
+			groups[j][r] = DefaultProfile()
+		}
+	}
+	return ReplicatedConfig{Replicas: groups, UserComputeRate: 1e9, Seed: 1}
+}
+
+func TestRunReplicatedDecodes(t *testing.T) {
+	f, enc, a, x := setup(t)
+	cfg := replicatedConfig(len(enc.Blocks), 2)
+	got, rep, err := RunReplicated(f, enc, x, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := matrix.MulVec[uint64](f, a, x)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatal("replicated pipeline decoded the wrong result")
+		}
+	}
+	if rep.StorageOverhead != 2 {
+		t.Fatalf("storage overhead = %g, want 2 (two replicas)", rep.StorageOverhead)
+	}
+	usedPerBlock := map[int]int{}
+	for _, r := range rep.Replicas {
+		if r.Used {
+			usedPerBlock[r.Block]++
+		}
+	}
+	for j := 0; j < len(enc.Blocks); j++ {
+		if usedPerBlock[j] != 1 {
+			t.Fatalf("block %d consumed %d replicas, want exactly 1", j, usedPerBlock[j])
+		}
+	}
+}
+
+func TestRunReplicatedMasksStraggler(t *testing.T) {
+	f, enc, _, x := setup(t)
+
+	// Unreplicated baseline with a severe straggler on device 0.
+	slow := uniformConfig(len(enc.Blocks))
+	slow.Profiles[0].StragglerFactor = 1000
+	_, slowRep, err := Run(f, enc, x, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Replicated: the same straggler, but each block has a nominal backup.
+	cfg := replicatedConfig(len(enc.Blocks), 2)
+	cfg.Replicas[0][0].StragglerFactor = 1000
+	_, fastRep, err := RunReplicated(f, enc, x, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fastRep.CompletionTime >= slowRep.CompletionTime {
+		t.Fatalf("replication should mask the straggler: %v vs %v", fastRep.CompletionTime, slowRep.CompletionTime)
+	}
+	// The straggling replica must not be the one consumed.
+	for _, r := range fastRep.Replicas {
+		if r.Block == 0 && r.Replica == 0 && r.Used {
+			t.Fatal("the straggling replica was consumed despite a faster backup")
+		}
+	}
+}
+
+func TestRunReplicatedSurvivesFailures(t *testing.T) {
+	f, enc, a, x := setup(t)
+	cfg := replicatedConfig(len(enc.Blocks), 2)
+	// Fail the first replica of every block; the backups carry the run.
+	for j := range cfg.Replicas {
+		cfg.Replicas[j][0].FailProb = 1
+	}
+	got, rep, err := RunReplicated(f, enc, x, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := matrix.MulVec[uint64](f, a, x)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatal("wrong result after failover")
+		}
+	}
+	for _, r := range rep.Replicas {
+		if r.Replica == 0 && !r.Failed {
+			t.Fatal("primary replicas should all be failed")
+		}
+		if r.Replica == 0 && r.Used {
+			t.Fatal("failed replica marked used")
+		}
+	}
+}
+
+func TestRunReplicatedAllReplicasFail(t *testing.T) {
+	f, enc, _, x := setup(t)
+	cfg := replicatedConfig(len(enc.Blocks), 2)
+	for r := range cfg.Replicas[1] {
+		cfg.Replicas[1][r].FailProb = 1
+	}
+	if _, _, err := RunReplicated(f, enc, x, cfg); !errors.Is(err, ErrAllReplicasFailed) {
+		t.Fatalf("err = %v, want ErrAllReplicasFailed", err)
+	}
+}
+
+func TestRunReplicatedValidation(t *testing.T) {
+	f, enc, _, x := setup(t)
+
+	cfg := replicatedConfig(len(enc.Blocks)-1, 1)
+	if _, _, err := RunReplicated(f, enc, x, cfg); err == nil {
+		t.Error("replica-group count mismatch should error")
+	}
+
+	cfg = replicatedConfig(len(enc.Blocks), 1)
+	cfg.Replicas[0] = nil
+	if _, _, err := RunReplicated(f, enc, x, cfg); err == nil {
+		t.Error("empty replica group should error")
+	}
+
+	cfg = replicatedConfig(len(enc.Blocks), 1)
+	cfg.UserComputeRate = 0
+	if _, _, err := RunReplicated(f, enc, x, cfg); err == nil {
+		t.Error("zero user compute rate should error")
+	}
+
+	cfg = replicatedConfig(len(enc.Blocks), 1)
+	cfg.Replicas[0][0].Latency = -time.Second
+	if _, _, err := RunReplicated(f, enc, x, cfg); err == nil {
+		t.Error("invalid profile should error")
+	}
+
+	cfg = replicatedConfig(len(enc.Blocks), 1)
+	if _, _, err := RunReplicated(f, enc, x[:1], cfg); err == nil {
+		t.Error("input length mismatch should error")
+	}
+}
+
+func TestSingleReplicaMatchesBaseRunResult(t *testing.T) {
+	f, enc, _, x := setup(t)
+	base := uniformConfig(len(enc.Blocks))
+	wantVec, _, err := Run(f, enc, x, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := replicatedConfig(len(enc.Blocks), 1)
+	got, rep, err := RunReplicated(f, enc, x, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != wantVec[i] {
+			t.Fatal("single-replica result differs from base run")
+		}
+	}
+	if rep.StorageOverhead != 1 {
+		t.Fatalf("single replica overhead = %g, want 1", rep.StorageOverhead)
+	}
+
+}

@@ -1,0 +1,204 @@
+// Package sim is an event-level simulator of the SCEC protocol on an edge
+// network. It executes the real encoding/compute/decode code paths from
+// package coding, while modelling — on a virtual clock, deterministically —
+// the performance dimensions the cost model abstracts away: compute rates,
+// up/downlink rates, network latency, stragglers, and device failures.
+//
+// The paper assumes every selected device responds correctly and in time
+// (§II-A) and remarks (Remark 1) that because Lemma 1 caps per-device work
+// at r rows, completion time is bounded. The simulator makes both points
+// measurable: completion time is the maximum over device timelines, and a
+// failed device aborts the run with ErrDeviceFailed, demonstrating why the
+// availability assumption (or straggler-tolerant redundancy) matters.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"github.com/scec/scec/internal/coding"
+	"github.com/scec/scec/internal/field"
+)
+
+// ErrDeviceFailed is returned when a device configured to fail never
+// delivers its intermediate results, so the user cannot decode.
+var ErrDeviceFailed = errors.New("sim: device failed; decoding impossible")
+
+// DeviceProfile models one edge device's performance characteristics.
+type DeviceProfile struct {
+	// ComputeRate is sustained field operations per second. Must be > 0.
+	ComputeRate float64
+	// UplinkRate is values/second from the user to the device (delivery of
+	// the input vector x). Must be > 0.
+	UplinkRate float64
+	// DownlinkRate is values/second from the device back to the user
+	// (intermediate results). Must be > 0.
+	DownlinkRate float64
+	// Latency is the one-way network latency between user and device.
+	Latency time.Duration
+	// StragglerFactor multiplies compute time; 1 is nominal, 3 models a
+	// device that is transiently three times slower. Must be >= 1.
+	StragglerFactor float64
+	// FailProb is the probability the device never responds. Sampled once
+	// per run from the run's seeded RNG.
+	FailProb float64
+}
+
+// Validate reports whether the profile is usable.
+func (p DeviceProfile) Validate() error {
+	if p.ComputeRate <= 0 || p.UplinkRate <= 0 || p.DownlinkRate <= 0 {
+		return fmt.Errorf("sim: rates must be positive, got %+v", p)
+	}
+	if p.Latency < 0 {
+		return fmt.Errorf("sim: negative latency %v", p.Latency)
+	}
+	if p.StragglerFactor < 1 {
+		return fmt.Errorf("sim: straggler factor %g < 1", p.StragglerFactor)
+	}
+	if p.FailProb < 0 || p.FailProb > 1 {
+		return fmt.Errorf("sim: failure probability %g outside [0, 1]", p.FailProb)
+	}
+	return nil
+}
+
+// DefaultProfile is a nominal edge device: 100 MF/s compute, 1M values/s
+// links, 5 ms latency, no straggling, no failures.
+func DefaultProfile() DeviceProfile {
+	return DeviceProfile{
+		ComputeRate:     100e6,
+		UplinkRate:      1e6,
+		DownlinkRate:    1e6,
+		Latency:         5 * time.Millisecond,
+		StragglerFactor: 1,
+	}
+}
+
+// Config configures one simulated run.
+type Config struct {
+	// Profiles holds one profile per participating device, in scheme device
+	// order. len(Profiles) must equal the number of coded blocks.
+	Profiles []DeviceProfile
+	// UserComputeRate is the user device's field-operations-per-second rate,
+	// used for the decode step. Must be > 0.
+	UserComputeRate float64
+	// Seed drives failure sampling.
+	Seed uint64
+}
+
+// DeviceReport is the per-device outcome.
+type DeviceReport struct {
+	// Device is the scheme-order device index.
+	Device int
+	// Rows is V(B_j), the coded rows the device held and multiplied.
+	Rows int
+	// FieldOps counts the multiply and add operations the device performed.
+	FieldOps int64
+	// ValuesSent is the number of intermediate values returned.
+	ValuesSent int
+	// StorageValues is the number of field values resident on the device:
+	// the coded block, the input vector, and the intermediate results
+	// (matching the storage term of Eq. (1)).
+	StorageValues int
+	// XArrives, ComputeDone, and ResultArrives are virtual-clock timestamps
+	// (zero is the moment the user starts broadcasting x).
+	XArrives, ComputeDone, ResultArrives time.Duration
+	// Failed reports whether the device was sampled to fail.
+	Failed bool
+}
+
+// Report summarizes a run.
+type Report struct {
+	// Devices holds one report per device.
+	Devices []DeviceReport
+	// CompletionTime is the virtual time at which the user finished
+	// decoding: last result arrival plus decode time.
+	CompletionTime time.Duration
+	// DecodeOps is the user-side operation count (m subtractions for the
+	// structured scheme).
+	DecodeOps int64
+	// TotalFieldOps, TotalValuesSent, and TotalStorageValues aggregate the
+	// device columns.
+	TotalFieldOps      int64
+	TotalValuesSent    int
+	TotalStorageValues int
+}
+
+// Run simulates the full protocol for an encoding produced by
+// coding.Encode: broadcast x, compute every device's block, return
+// intermediate results, decode. It returns the decoded Ax together with the
+// report. A failed device yields ErrDeviceFailed (with the partial report's
+// Failed flags set).
+func Run[E comparable](f field.Field[E], enc *coding.Encoding[E], x []E, cfg Config) ([]E, Report, error) {
+	if enc.Scheme == nil {
+		return nil, Report{}, errors.New("sim: encoding has no structured scheme attached")
+	}
+	s := enc.Scheme
+	if len(cfg.Profiles) != len(enc.Blocks) {
+		return nil, Report{}, fmt.Errorf("sim: %d profiles for %d devices", len(cfg.Profiles), len(enc.Blocks))
+	}
+	if cfg.UserComputeRate <= 0 {
+		return nil, Report{}, fmt.Errorf("sim: user compute rate %g must be positive", cfg.UserComputeRate)
+	}
+	for j, p := range cfg.Profiles {
+		if err := p.Validate(); err != nil {
+			return nil, Report{}, fmt.Errorf("sim: device %d: %w", j, err)
+		}
+	}
+	l := len(x)
+	if l != enc.Blocks[0].Cols() {
+		return nil, Report{}, fmt.Errorf("sim: input vector length %d, coded rows have %d columns", l, enc.Blocks[0].Cols())
+	}
+
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0x5cec^uint64(s.M())))
+	rep := Report{Devices: make([]DeviceReport, len(enc.Blocks))}
+	y := make([]E, 0, s.M()+s.R())
+	failed := false
+
+	for j, block := range enc.Blocks {
+		p := cfg.Profiles[j]
+		rows := block.Rows()
+		d := DeviceReport{Device: j, Rows: rows}
+
+		// Device work: rows×l multiplications and rows×(l−1) additions.
+		d.FieldOps = int64(rows) * int64(2*l-1)
+		d.ValuesSent = rows
+		d.StorageValues = rows*l + l + rows
+
+		d.XArrives = p.Latency + seconds(float64(l)/p.UplinkRate)
+		compute := seconds(float64(d.FieldOps) / p.ComputeRate * p.StragglerFactor)
+		d.ComputeDone = d.XArrives + compute
+		d.ResultArrives = d.ComputeDone + p.Latency + seconds(float64(rows)/p.DownlinkRate)
+		d.Failed = rng.Float64() < p.FailProb
+
+		rep.Devices[j] = d
+		rep.TotalFieldOps += d.FieldOps
+		rep.TotalValuesSent += d.ValuesSent
+		rep.TotalStorageValues += d.StorageValues
+		if d.Failed {
+			failed = true
+			continue
+		}
+		y = append(y, enc.ComputeDevice(f, j, x)...)
+		if d.ResultArrives > rep.CompletionTime {
+			rep.CompletionTime = d.ResultArrives
+		}
+	}
+	if failed {
+		return nil, rep, ErrDeviceFailed
+	}
+
+	ax, err := coding.Decode(f, s, y)
+	if err != nil {
+		return nil, rep, fmt.Errorf("sim: decode: %w", err)
+	}
+	rep.DecodeOps = int64(s.M())
+	rep.CompletionTime += seconds(float64(rep.DecodeOps) / cfg.UserComputeRate)
+	return ax, rep, nil
+}
+
+// seconds converts a float64 second count to a Duration.
+func seconds(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}

@@ -1,0 +1,461 @@
+// Package transport runs the SCEC protocol over real TCP connections using
+// encoding/gob framing. It implements the three roles of the paper's system
+// model (§II-A):
+//
+//   - the cloud pre-processes A (package coding) and pushes each device's
+//     coded block B_j·T to it (Store),
+//   - each edge device is a DeviceServer that stores its block and answers
+//     compute requests with B_j·T·x,
+//   - the user is a Client that broadcasts x to the selected devices,
+//     gathers the intermediate results in device order, and decodes Ax with
+//     m subtractions.
+//
+// The package is generic over the field element type; each request opens one
+// connection (device fleets are small and requests are large, so connection
+// reuse buys nothing at this scale and keeps the protocol trivially
+// debuggable with netcat-style tooling).
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/scec/scec/internal/coding"
+	"github.com/scec/scec/internal/field"
+	"github.com/scec/scec/internal/matrix"
+)
+
+// Message kinds.
+const (
+	kindStore        = "store"
+	kindCompute      = "compute"
+	kindComputeBatch = "compute-batch"
+	kindPing         = "ping"
+)
+
+// DefaultTimeout bounds every network round trip.
+const DefaultTimeout = 10 * time.Second
+
+// ErrRemote wraps an error string reported by the peer.
+var ErrRemote = errors.New("transport: remote error")
+
+// request is the single envelope both roles send to a device.
+type request[E comparable] struct {
+	// Kind selects the operation: kindStore, kindCompute, or kindPing.
+	Kind string
+	// Block carries the coded rows for a store request.
+	Block [][]E
+	// X carries the input vector for a compute request.
+	X []E
+	// XMat carries the input matrix (rows) for a batch compute request.
+	XMat [][]E
+}
+
+// response is the device's answer.
+type response[E comparable] struct {
+	// Err is non-empty when the request failed remotely.
+	Err string
+	// Y carries the intermediate results of a compute request.
+	Y []E
+	// YMat carries the intermediate result rows of a batch compute request.
+	YMat [][]E
+}
+
+// DefaultMaxElements bounds the number of field elements a device accepts
+// in a single store or batch-compute request (64 Mi elements ≈ 512 MB of
+// uint64), so a misbehaving peer cannot exhaust device memory.
+const DefaultMaxElements = 1 << 26
+
+// DeviceServer is one edge device: it stores a coded block pushed by the
+// cloud and multiplies it by input vectors on request.
+type DeviceServer[E comparable] struct {
+	f           field.Field[E]
+	timeout     time.Duration
+	maxElements int
+
+	ln        net.Listener
+	wg        sync.WaitGroup
+	done      chan struct{}
+	closeOnce sync.Once
+
+	mu    sync.Mutex
+	block *matrix.Dense[E]
+	stats Stats
+}
+
+// Stats counts the requests a device served; the fleet operator reads them
+// for capacity accounting (the live counterpart of the Eq. (1) cost terms).
+type Stats struct {
+	// Stores counts coded-block installations.
+	Stores int
+	// Computes counts vector compute requests served.
+	Computes int
+	// BatchComputes counts batch (matrix) compute requests served.
+	BatchComputes int
+	// ValuesReturned totals the intermediate values sent back to users.
+	ValuesReturned int
+}
+
+// NewDeviceServer starts an edge device listening on addr (use "127.0.0.1:0"
+// for an ephemeral port; Addr reports the bound address) with
+// DefaultMaxElements as its request-size cap.
+func NewDeviceServer[E comparable](f field.Field[E], addr string) (*DeviceServer[E], error) {
+	return NewDeviceServerLimited(f, addr, DefaultMaxElements)
+}
+
+// NewDeviceServerLimited is NewDeviceServer with an explicit cap on the
+// number of field elements accepted per store or batch-compute request.
+func NewDeviceServerLimited[E comparable](f field.Field[E], addr string, maxElements int) (*DeviceServer[E], error) {
+	if maxElements < 1 {
+		return nil, fmt.Errorf("transport: max elements %d, need >= 1", maxElements)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	s := &DeviceServer[E]{f: f, timeout: DefaultTimeout, maxElements: maxElements, ln: ln, done: make(chan struct{})}
+	s.wg.Add(1)
+	go s.serve()
+	return s, nil
+}
+
+// Addr returns the device's bound address.
+func (s *DeviceServer[E]) Addr() string { return s.ln.Addr().String() }
+
+// StoredRows reports how many coded rows the device currently holds.
+func (s *DeviceServer[E]) StoredRows() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.block == nil {
+		return 0
+	}
+	return s.block.Rows()
+}
+
+// Stats returns a snapshot of the request counters.
+func (s *DeviceServer[E]) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Close stops accepting connections and waits for in-flight requests. It is
+// idempotent; repeated calls return nil.
+func (s *DeviceServer[E]) Close() error {
+	var err error
+	s.closeOnce.Do(func() {
+		close(s.done)
+		err = s.ln.Close()
+		s.wg.Wait()
+	})
+	return err
+}
+
+func (s *DeviceServer[E]) serve() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return
+			default:
+				// Transient accept error: keep serving.
+				continue
+			}
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+func (s *DeviceServer[E]) handle(conn net.Conn) {
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(s.timeout)); err != nil {
+		return
+	}
+	var req request[E]
+	if err := gob.NewDecoder(conn).Decode(&req); err != nil {
+		return // malformed request: nothing sensible to answer
+	}
+	resp := s.dispatch(req)
+	// Encoding errors leave the client to observe a broken connection; the
+	// deadline above already bounds the exchange.
+	_ = gob.NewEncoder(conn).Encode(resp)
+}
+
+func (s *DeviceServer[E]) dispatch(req request[E]) response[E] {
+	switch req.Kind {
+	case kindPing:
+		return response[E]{}
+	case kindStore:
+		if len(req.Block) == 0 {
+			return response[E]{Err: "store: empty coded block"}
+		}
+		for i, row := range req.Block {
+			if len(row) != len(req.Block[0]) {
+				return response[E]{Err: fmt.Sprintf("store: ragged block (row %d)", i)}
+			}
+		}
+		if total := len(req.Block) * len(req.Block[0]); total > s.maxElements {
+			return response[E]{Err: fmt.Sprintf("store: block of %d elements exceeds the device cap of %d", total, s.maxElements)}
+		}
+		block := matrix.FromRows(req.Block)
+		s.mu.Lock()
+		s.block = block
+		s.stats.Stores++
+		s.mu.Unlock()
+		return response[E]{}
+	case kindCompute:
+		s.mu.Lock()
+		block := s.block
+		s.mu.Unlock()
+		if block == nil {
+			return response[E]{Err: "compute: no coded block stored"}
+		}
+		if len(req.X) != block.Cols() {
+			return response[E]{Err: fmt.Sprintf("compute: x has %d entries, coded rows have %d columns", len(req.X), block.Cols())}
+		}
+		y := matrix.MulVec(s.f, block, req.X)
+		s.mu.Lock()
+		s.stats.Computes++
+		s.stats.ValuesReturned += len(y)
+		s.mu.Unlock()
+		return response[E]{Y: y}
+	case kindComputeBatch:
+		s.mu.Lock()
+		block := s.block
+		s.mu.Unlock()
+		if block == nil {
+			return response[E]{Err: "compute-batch: no coded block stored"}
+		}
+		if len(req.XMat) != block.Cols() {
+			return response[E]{Err: fmt.Sprintf("compute-batch: X has %d rows, coded rows have %d columns", len(req.XMat), block.Cols())}
+		}
+		for i, row := range req.XMat {
+			if len(row) != len(req.XMat[0]) {
+				return response[E]{Err: fmt.Sprintf("compute-batch: ragged X (row %d)", i)}
+			}
+		}
+		if len(req.XMat[0]) == 0 {
+			return response[E]{Err: "compute-batch: X has no columns"}
+		}
+		if total := len(req.XMat) * len(req.XMat[0]); total > s.maxElements {
+			return response[E]{Err: fmt.Sprintf("compute-batch: X of %d elements exceeds the device cap of %d", total, s.maxElements)}
+		}
+		y := matrix.Mul(s.f, block, matrix.FromRows(req.XMat))
+		rows := make([][]E, y.Rows())
+		for i := range rows {
+			rows[i] = y.Row(i)
+		}
+		s.mu.Lock()
+		s.stats.BatchComputes++
+		s.stats.ValuesReturned += y.Rows() * y.Cols()
+		s.mu.Unlock()
+		return response[E]{YMat: rows}
+	default:
+		return response[E]{Err: fmt.Sprintf("unknown request kind %q", req.Kind)}
+	}
+}
+
+// roundTrip dials addr, sends req, and decodes the response.
+func roundTrip[E comparable](addr string, timeout time.Duration, req request[E]) (response[E], error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return response[E]{}, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return response[E]{}, fmt.Errorf("transport: deadline %s: %w", addr, err)
+	}
+	if err := gob.NewEncoder(conn).Encode(req); err != nil {
+		return response[E]{}, fmt.Errorf("transport: send to %s: %w", addr, err)
+	}
+	var resp response[E]
+	if err := gob.NewDecoder(conn).Decode(&resp); err != nil {
+		return response[E]{}, fmt.Errorf("transport: receive from %s: %w", addr, err)
+	}
+	if resp.Err != "" {
+		return response[E]{}, fmt.Errorf("%w: %s: %s", ErrRemote, addr, resp.Err)
+	}
+	return resp, nil
+}
+
+// Cloud is the pre-processing role: it distributes an encoding to a fleet.
+type Cloud[E comparable] struct {
+	// Timeout bounds each push; zero means DefaultTimeout.
+	Timeout time.Duration
+}
+
+// Distribute pushes coded block j of enc to addrs[j] for every device. It
+// requires exactly one address per block.
+func (c Cloud[E]) Distribute(addrs []string, enc *coding.Encoding[E]) error {
+	if len(addrs) != len(enc.Blocks) {
+		return fmt.Errorf("transport: %d addresses for %d coded blocks", len(addrs), len(enc.Blocks))
+	}
+	timeout := c.Timeout
+	if timeout == 0 {
+		timeout = DefaultTimeout
+	}
+	for j, addr := range addrs {
+		block := enc.Blocks[j]
+		rows := make([][]E, block.Rows())
+		for i := range rows {
+			rows[i] = block.Row(i)
+		}
+		if _, err := roundTrip(addr, timeout, request[E]{Kind: kindStore, Block: rows}); err != nil {
+			return fmt.Errorf("transport: distribute to device %d: %w", j, err)
+		}
+	}
+	return nil
+}
+
+// Client is the user role: it queries the fleet and decodes the result.
+type Client[E comparable] struct {
+	// F is the arithmetic field shared with the fleet.
+	F field.Field[E]
+	// Scheme is the coding design the fleet was provisioned with.
+	Scheme *coding.Scheme
+	// Timeout bounds each device round trip; zero means DefaultTimeout.
+	Timeout time.Duration
+}
+
+// Gather sends x to every device concurrently and concatenates the
+// intermediate results in device order, returning the raw vector B·T·x
+// without decoding. rowsOn[j] gives the expected result length of device j.
+// Callers with a structured scheme use MulVec instead; Gather exists for
+// custom decoders (e.g. the collusion scheme's Gaussian decoding).
+func (c Client[E]) Gather(addrs []string, rowsOn []int, x []E) ([]E, error) {
+	if len(addrs) != len(rowsOn) {
+		return nil, fmt.Errorf("transport: %d addresses for %d row counts", len(addrs), len(rowsOn))
+	}
+	timeout := c.Timeout
+	if timeout == 0 {
+		timeout = DefaultTimeout
+	}
+	parts := make([][]E, len(addrs))
+	errs := make([]error, len(addrs))
+	var wg sync.WaitGroup
+	for j, addr := range addrs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := roundTrip(addr, timeout, request[E]{Kind: kindCompute, X: x})
+			if err != nil {
+				errs[j] = err
+				return
+			}
+			if len(resp.Y) != rowsOn[j] {
+				errs[j] = fmt.Errorf("transport: device %d returned %d values, want %d", j, len(resp.Y), rowsOn[j])
+				return
+			}
+			parts[j] = resp.Y
+		}()
+	}
+	wg.Wait()
+	total := 0
+	for j, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+		total += rowsOn[j]
+	}
+	y := make([]E, 0, total)
+	for _, p := range parts {
+		y = append(y, p...)
+	}
+	return y, nil
+}
+
+// MulVec computes Ax through the fleet: it sends x to every device
+// concurrently, concatenates the intermediate results in device order, and
+// decodes with m subtractions. addrs must list the fleet in scheme device
+// order.
+func (c Client[E]) MulVec(addrs []string, x []E) ([]E, error) {
+	rowsOn, err := c.schemeRows(addrs)
+	if err != nil {
+		return nil, err
+	}
+	y, err := c.Gather(addrs, rowsOn, x)
+	if err != nil {
+		return nil, err
+	}
+	return coding.Decode(c.F, c.Scheme, y)
+}
+
+// MulMat computes A·X through the fleet for an l×n input matrix — the batch
+// generalization (§II-A): each device returns its V(B_j)×n block and the
+// user decodes with m·n subtractions.
+func (c Client[E]) MulMat(addrs []string, x *matrix.Dense[E]) (*matrix.Dense[E], error) {
+	rowsOn, err := c.schemeRows(addrs)
+	if err != nil {
+		return nil, err
+	}
+	timeout := c.Timeout
+	if timeout == 0 {
+		timeout = DefaultTimeout
+	}
+	xRows := make([][]E, x.Rows())
+	for i := range xRows {
+		xRows[i] = x.Row(i)
+	}
+	parts := make([]*matrix.Dense[E], len(addrs))
+	errs := make([]error, len(addrs))
+	var wg sync.WaitGroup
+	for j, addr := range addrs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := roundTrip(addr, timeout, request[E]{Kind: kindComputeBatch, XMat: xRows})
+			if err != nil {
+				errs[j] = err
+				return
+			}
+			if len(resp.YMat) != rowsOn[j] {
+				errs[j] = fmt.Errorf("transport: device %d returned %d rows, want %d", j, len(resp.YMat), rowsOn[j])
+				return
+			}
+			parts[j] = matrix.FromRows(resp.YMat)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	y := matrix.VStack(parts...)
+	return coding.DecodeBatch(c.F, c.Scheme, y)
+}
+
+// schemeRows validates the client configuration and returns per-device
+// expected row counts.
+func (c Client[E]) schemeRows(addrs []string) ([]int, error) {
+	if c.Scheme == nil {
+		return nil, errors.New("transport: client has no coding scheme")
+	}
+	if len(addrs) != c.Scheme.Devices() {
+		return nil, fmt.Errorf("transport: %d addresses for %d devices", len(addrs), c.Scheme.Devices())
+	}
+	rowsOn := make([]int, len(addrs))
+	for j := range rowsOn {
+		rowsOn[j] = c.Scheme.RowsOn(j)
+	}
+	return rowsOn, nil
+}
+
+// Ping checks a device is reachable.
+func Ping[E comparable](addr string, timeout time.Duration) error {
+	if timeout == 0 {
+		timeout = DefaultTimeout
+	}
+	_, err := roundTrip(addr, timeout, request[E]{Kind: kindPing})
+	return err
+}

@@ -1,0 +1,262 @@
+package transport
+
+import (
+	"errors"
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"github.com/scec/scec/internal/coding"
+	"github.com/scec/scec/internal/field"
+	"github.com/scec/scec/internal/matrix"
+)
+
+func testRNG() *rand.Rand { return rand.New(rand.NewPCG(41, 43)) }
+
+// startFleet launches n device servers on loopback and returns their
+// addresses plus a shutdown function.
+func startFleet[E comparable](t *testing.T, f field.Field[E], n int) ([]string, []*DeviceServer[E]) {
+	t.Helper()
+	addrs := make([]string, n)
+	servers := make([]*DeviceServer[E], n)
+	for j := 0; j < n; j++ {
+		s, err := NewDeviceServer(f, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = s.Close() })
+		addrs[j] = s.Addr()
+		servers[j] = s
+	}
+	return addrs, servers
+}
+
+func TestEndToEndPrime(t *testing.T) {
+	f := field.Prime{}
+	rng := testRNG()
+	const m, l, r = 10, 6, 4
+
+	s, err := coding.New(m, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := matrix.Random[uint64](f, rng, m, l)
+	enc, err := coding.Encode[uint64](f, s, a, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	addrs, servers := startFleet[uint64](t, f, s.Devices())
+	if err := (Cloud[uint64]{}).Distribute(addrs, enc); err != nil {
+		t.Fatal(err)
+	}
+	for j, srv := range servers {
+		if got, want := srv.StoredRows(), s.RowsOn(j); got != want {
+			t.Fatalf("device %d stored %d rows, want %d", j, got, want)
+		}
+	}
+
+	client := Client[uint64]{F: f, Scheme: s}
+	x := matrix.RandomVec[uint64](f, rng, l)
+	got, err := client.MulVec(addrs, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := matrix.MulVec[uint64](f, a, x); !matrix.VecEqual[uint64](f, got, want) {
+		t.Fatal("TCP pipeline decoded the wrong result")
+	}
+}
+
+func TestEndToEndReal(t *testing.T) {
+	f := field.Real{Tol: 1e-6}
+	rng := testRNG()
+	const m, l, r = 6, 3, 3
+
+	s, err := coding.New(m, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := matrix.Random[float64](f, rng, m, l)
+	enc, err := coding.Encode[float64](f, s, a, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs, _ := startFleet[float64](t, f, s.Devices())
+	if err := (Cloud[float64]{}).Distribute(addrs, enc); err != nil {
+		t.Fatal(err)
+	}
+	client := Client[float64]{F: f, Scheme: s}
+	x := matrix.RandomVec[float64](f, rng, l)
+	got, err := client.MulVec(addrs, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := matrix.MulVec[float64](f, a, x); !matrix.VecEqual[float64](f, got, want) {
+		t.Fatal("TCP pipeline (real field) decoded the wrong result")
+	}
+}
+
+func TestComputeBeforeStoreFails(t *testing.T) {
+	f := field.Prime{}
+	s, err := coding.New(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs, _ := startFleet[uint64](t, f, s.Devices())
+	client := Client[uint64]{F: f, Scheme: s}
+	if _, err := client.MulVec(addrs, make([]uint64, 3)); !errors.Is(err, ErrRemote) {
+		t.Fatalf("err = %v, want ErrRemote (no block stored)", err)
+	}
+}
+
+func TestWrongInputLengthRejectedRemotely(t *testing.T) {
+	f := field.Prime{}
+	rng := testRNG()
+	s, err := coding.New(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := matrix.Random[uint64](f, rng, 4, 5)
+	enc, err := coding.Encode[uint64](f, s, a, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs, _ := startFleet[uint64](t, f, s.Devices())
+	if err := (Cloud[uint64]{}).Distribute(addrs, enc); err != nil {
+		t.Fatal(err)
+	}
+	client := Client[uint64]{F: f, Scheme: s}
+	if _, err := client.MulVec(addrs, make([]uint64, 2)); !errors.Is(err, ErrRemote) {
+		t.Fatalf("err = %v, want ErrRemote (bad x length)", err)
+	}
+}
+
+func TestUnreachableDevice(t *testing.T) {
+	f := field.Prime{}
+	s, err := coding.New(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := Client[uint64]{F: f, Scheme: s, Timeout: 500 * time.Millisecond}
+	// Reserve ports that nothing is listening on by binding and closing.
+	addrs, servers := startFleet[uint64](t, f, s.Devices())
+	for _, srv := range servers {
+		_ = srv.Close()
+	}
+	if _, err := client.MulVec(addrs, make([]uint64, 3)); err == nil {
+		t.Fatal("expected a dial error against a closed fleet")
+	}
+}
+
+func TestDistributeValidation(t *testing.T) {
+	f := field.Prime{}
+	rng := testRNG()
+	s, err := coding.New(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := matrix.Random[uint64](f, rng, 4, 5)
+	enc, err := coding.Encode[uint64](f, s, a, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := (Cloud[uint64]{}).Distribute([]string{"127.0.0.1:1"}, enc); err == nil {
+		t.Fatal("address/block count mismatch should error")
+	}
+}
+
+func TestClientValidation(t *testing.T) {
+	f := field.Prime{}
+	s, err := coding.New(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Client[uint64]{F: f, Scheme: s}
+	if _, err := c.MulVec([]string{"127.0.0.1:1"}, make([]uint64, 3)); err == nil {
+		t.Fatal("address count mismatch should error")
+	}
+	c.Scheme = nil
+	if _, err := c.MulVec(nil, nil); err == nil {
+		t.Fatal("missing scheme should error")
+	}
+}
+
+func TestPingAndUnknownKind(t *testing.T) {
+	f := field.Prime{}
+	srv, err := NewDeviceServer(f, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if err := Ping[uint64](srv.Addr(), time.Second); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	if _, err := roundTrip[uint64](srv.Addr(), time.Second, request[uint64]{Kind: "bogus"}); !errors.Is(err, ErrRemote) {
+		t.Fatalf("unknown kind err = %v, want ErrRemote", err)
+	}
+	if _, err := roundTrip[uint64](srv.Addr(), time.Second, request[uint64]{Kind: kindStore}); !errors.Is(err, ErrRemote) {
+		t.Fatalf("empty store err = %v, want ErrRemote", err)
+	}
+}
+
+func TestServerCloseIsIdempotentForRequests(t *testing.T) {
+	f := field.Prime{}
+	srv, err := NewDeviceServer(f, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := Ping[uint64](addr, 300*time.Millisecond); err == nil {
+		t.Fatal("closed server should not answer")
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	f := field.Prime{}
+	rng := testRNG()
+	const m, l, r = 8, 4, 4
+	s, err := coding.New(m, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := matrix.Random[uint64](f, rng, m, l)
+	enc, err := coding.Encode[uint64](f, s, a, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs, _ := startFleet[uint64](t, f, s.Devices())
+	if err := (Cloud[uint64]{}).Distribute(addrs, enc); err != nil {
+		t.Fatal(err)
+	}
+	client := Client[uint64]{F: f, Scheme: s}
+
+	const parallel = 8
+	xs := make([][]uint64, parallel)
+	for i := range xs {
+		xs[i] = matrix.RandomVec[uint64](f, rng, l)
+	}
+	results := make([][]uint64, parallel)
+	errs := make([]error, parallel)
+	done := make(chan int, parallel)
+	for i := 0; i < parallel; i++ {
+		go func() {
+			results[i], errs[i] = client.MulVec(addrs, xs[i])
+			done <- i
+		}()
+	}
+	for i := 0; i < parallel; i++ {
+		<-done
+	}
+	for i := 0; i < parallel; i++ {
+		if errs[i] != nil {
+			t.Fatalf("client %d: %v", i, errs[i])
+		}
+		want := matrix.MulVec[uint64](f, a, xs[i])
+		if !matrix.VecEqual[uint64](f, results[i], want) {
+			t.Fatalf("client %d decoded the wrong result", i)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+// Package workload generates the statistical instances of the paper's
+// evaluation (§V): fleets of edge devices whose unit costs follow either a
+// uniform distribution U(1, c_max) or a normal distribution N(μ, σ²), plus
+// random data matrices and input vectors for the end-to-end pipeline.
+//
+// All generation is driven by an explicit seeded *rand.Rand so every
+// experiment is reproducible; the experiment harness derives one PCG stream
+// per (figure, point, instance) triple.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"github.com/scec/scec/internal/alloc"
+)
+
+// minCost is the floor applied to sampled unit costs. The system model
+// requires c_j > 0, and the truncated-normal regime of Fig. 2(d) (σ up to
+// 2.5 around μ = 5) occasionally samples near zero.
+const minCost = 1e-3
+
+// CostDist samples one device unit cost.
+type CostDist interface {
+	// Sample draws one unit cost, always > 0.
+	Sample(rng *rand.Rand) float64
+	// Name identifies the distribution in experiment output.
+	Name() string
+}
+
+// Uniform is U(1, Max), the distribution of Fig. 2(a)–(c).
+type Uniform struct {
+	// Max is c_max, the upper edge of the support. Must exceed 1.
+	Max float64
+}
+
+// Sample implements CostDist.
+func (u Uniform) Sample(rng *rand.Rand) float64 {
+	return 1 + (u.Max-1)*rng.Float64()
+}
+
+// Name implements CostDist.
+func (u Uniform) Name() string { return fmt.Sprintf("U(1, %g)", u.Max) }
+
+// Validate checks the support is non-degenerate.
+func (u Uniform) Validate() error {
+	if u.Max < 1 {
+		return fmt.Errorf("workload: c_max = %g < 1", u.Max)
+	}
+	return nil
+}
+
+// Normal is N(Mu, Sigma²) truncated to positive values, the distribution of
+// Fig. 2(d)–(e).
+type Normal struct {
+	// Mu is the mean unit cost μ.
+	Mu float64
+	// Sigma is the standard deviation σ.
+	Sigma float64
+}
+
+// Sample implements CostDist: it resamples on non-positive draws (rare for
+// the paper's parameter ranges) and floors at a small positive constant.
+func (n Normal) Sample(rng *rand.Rand) float64 {
+	for attempt := 0; attempt < 64; attempt++ {
+		if v := n.Mu + n.Sigma*rng.NormFloat64(); v > minCost {
+			return v
+		}
+	}
+	return minCost
+}
+
+// Name implements CostDist.
+func (n Normal) Name() string { return fmt.Sprintf("N(%g, %g²)", n.Mu, n.Sigma) }
+
+// Validate checks the parameters describe a mostly-positive cost population.
+func (n Normal) Validate() error {
+	if n.Mu <= 0 {
+		return fmt.Errorf("workload: mu = %g <= 0", n.Mu)
+	}
+	if n.Sigma < 0 {
+		return fmt.Errorf("workload: sigma = %g < 0", n.Sigma)
+	}
+	return nil
+}
+
+// Exponential is an exponential cost distribution with the given mean,
+// shifted to start at 1 (every device pays at least a baseline cost). Not
+// used by the paper's figures; provided for heterogeneity studies beyond
+// §V's two distributions.
+type Exponential struct {
+	// Mean is the mean of the exponential part; total mean is 1 + Mean.
+	Mean float64
+}
+
+// Sample implements CostDist.
+func (e Exponential) Sample(rng *rand.Rand) float64 {
+	return 1 + e.Mean*rng.ExpFloat64()
+}
+
+// Name implements CostDist.
+func (e Exponential) Name() string { return fmt.Sprintf("1+Exp(%g)", e.Mean) }
+
+// Validate checks the mean is positive.
+func (e Exponential) Validate() error {
+	if e.Mean <= 0 {
+		return fmt.Errorf("workload: exponential mean = %g <= 0", e.Mean)
+	}
+	return nil
+}
+
+// Pareto is a heavy-tailed cost distribution with scale 1 and the given
+// shape α: most devices are cheap, a few are very expensive — the regime
+// where concentrating on cheap devices pays off most.
+type Pareto struct {
+	// Alpha is the tail index; smaller means heavier tail. Must exceed 0.
+	Alpha float64
+}
+
+// Sample implements CostDist via inverse-CDF sampling.
+func (p Pareto) Sample(rng *rand.Rand) float64 {
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	return math.Pow(u, -1/p.Alpha)
+}
+
+// Name implements CostDist.
+func (p Pareto) Name() string { return fmt.Sprintf("Pareto(%g)", p.Alpha) }
+
+// Validate checks the shape parameter.
+func (p Pareto) Validate() error {
+	if p.Alpha <= 0 {
+		return fmt.Errorf("workload: pareto alpha = %g <= 0", p.Alpha)
+	}
+	return nil
+}
+
+// Instance draws one task-allocation instance: m data rows and k devices
+// with unit costs sampled i.i.d. from dist.
+func Instance(rng *rand.Rand, m, k int, dist CostDist) alloc.Instance {
+	costs := make([]float64, k)
+	for j := range costs {
+		costs[j] = dist.Sample(rng)
+	}
+	return alloc.Instance{M: m, Costs: costs}
+}
+
+// Defaults holds the paper's default simulation parameters (§V).
+type Defaults struct {
+	M         int     // rows of A
+	K         int     // edge devices
+	CMax      float64 // U(1, c_max)
+	Mu        float64 // N(μ, σ²)
+	Sigma     float64
+	Instances int // instances averaged per configuration point
+}
+
+// PaperDefaults returns the §V values: m = 5000, k = 25, c_max = 5, μ = 5,
+// σ = 1.25, 1000 instances per point.
+func PaperDefaults() Defaults {
+	return Defaults{M: 5000, K: 25, CMax: 5, Mu: 5, Sigma: 1.25, Instances: 1000}
+}
+
+// RNG builds a deterministic generator from a experiment label and indexes,
+// so that every (figure, sweep point, instance) triple gets an independent
+// but reproducible stream.
+func RNG(seed uint64, point, instance int) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, uint64(point)<<32|uint64(uint32(instance))))
+}

@@ -1,0 +1,177 @@
+package workload
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func testRNG() *rand.Rand { return rand.New(rand.NewPCG(17, 19)) }
+
+func TestUniformSupport(t *testing.T) {
+	u := Uniform{Max: 5}
+	if err := u.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rng := testRNG()
+	sum := 0.0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := u.Sample(rng)
+		if v < 1 || v > 5 {
+			t.Fatalf("sample %g outside [1, 5]", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-3) > 0.05 {
+		t.Fatalf("mean = %g, want ≈ 3", mean)
+	}
+}
+
+func TestUniformValidate(t *testing.T) {
+	if err := (Uniform{Max: 0.5}).Validate(); err == nil {
+		t.Fatal("c_max < 1 should be invalid")
+	}
+	if err := (Uniform{Max: 1}).Validate(); err != nil {
+		t.Fatalf("degenerate-but-legal support rejected: %v", err)
+	}
+}
+
+func TestNormalPositivityAndMoments(t *testing.T) {
+	n := Normal{Mu: 5, Sigma: 1.25}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rng := testRNG()
+	sum, sumSq := 0.0, 0.0
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		v := n.Sample(rng)
+		if v <= 0 {
+			t.Fatalf("non-positive sample %g", v)
+		}
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / draws
+	std := math.Sqrt(sumSq/draws - mean*mean)
+	if math.Abs(mean-5) > 0.05 {
+		t.Fatalf("mean = %g, want ≈ 5", mean)
+	}
+	if math.Abs(std-1.25) > 0.05 {
+		t.Fatalf("std = %g, want ≈ 1.25", std)
+	}
+}
+
+func TestNormalExtremeTruncation(t *testing.T) {
+	// μ far below zero: resampling gives up and returns the floor.
+	n := Normal{Mu: 0.0001, Sigma: 0.00001}
+	rng := testRNG()
+	for i := 0; i < 100; i++ {
+		if v := n.Sample(rng); v <= 0 {
+			t.Fatalf("non-positive sample %g", v)
+		}
+	}
+}
+
+func TestNormalValidate(t *testing.T) {
+	if err := (Normal{Mu: -1, Sigma: 1}).Validate(); err == nil {
+		t.Fatal("negative mu should be invalid")
+	}
+	if err := (Normal{Mu: 1, Sigma: -1}).Validate(); err == nil {
+		t.Fatal("negative sigma should be invalid")
+	}
+}
+
+func TestExponentialSupportAndMean(t *testing.T) {
+	e := Exponential{Mean: 2}
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rng := testRNG()
+	sum := 0.0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := e.Sample(rng)
+		if v < 1 {
+			t.Fatalf("sample %g below the shift", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-3) > 0.1 {
+		t.Fatalf("mean = %g, want ≈ 3", mean)
+	}
+	if err := (Exponential{Mean: 0}).Validate(); err == nil {
+		t.Fatal("zero mean should be invalid")
+	}
+}
+
+func TestParetoSupportAndTail(t *testing.T) {
+	p := Pareto{Alpha: 2}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rng := testRNG()
+	const n = 20000
+	big := 0
+	for i := 0; i < n; i++ {
+		v := p.Sample(rng)
+		if v < 1 {
+			t.Fatalf("sample %g below scale 1", v)
+		}
+		if v > 10 {
+			big++
+		}
+	}
+	// P(V > 10) = 10^-α = 1% for α = 2.
+	if frac := float64(big) / n; math.Abs(frac-0.01) > 0.005 {
+		t.Fatalf("tail mass above 10 = %g, want ≈ 0.01", frac)
+	}
+	if err := (Pareto{Alpha: -1}).Validate(); err == nil {
+		t.Fatal("negative alpha should be invalid")
+	}
+	if (Pareto{Alpha: 2}).Name() != "Pareto(2)" || (Exponential{Mean: 2}).Name() != "1+Exp(2)" {
+		t.Fatal("names wrong")
+	}
+}
+
+func TestInstanceShapeAndValidity(t *testing.T) {
+	rng := testRNG()
+	in := Instance(rng, 100, 25, Uniform{Max: 5})
+	if in.M != 100 || in.K() != 25 {
+		t.Fatalf("instance m=%d k=%d, want 100, 25", in.M, in.K())
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGDeterminismAndIndependence(t *testing.T) {
+	a := RNG(1, 2, 3)
+	b := RNG(1, 2, 3)
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("same triple must produce the same stream")
+	}
+	c := RNG(1, 2, 4)
+	d := RNG(1, 3, 3)
+	ref := RNG(1, 2, 3)
+	if v := ref.Uint64(); c.Uint64() == v || d.Uint64() == v {
+		t.Fatal("different triples should produce different streams")
+	}
+}
+
+func TestPaperDefaults(t *testing.T) {
+	d := PaperDefaults()
+	if d.M != 5000 || d.K != 25 || d.CMax != 5 || d.Mu != 5 || d.Sigma != 1.25 || d.Instances != 1000 {
+		t.Fatalf("defaults %+v do not match §V", d)
+	}
+}
+
+func TestNames(t *testing.T) {
+	if (Uniform{Max: 5}).Name() != "U(1, 5)" {
+		t.Errorf("uniform name = %q", (Uniform{Max: 5}).Name())
+	}
+	if (Normal{Mu: 5, Sigma: 1.25}).Name() != "N(5, 1.25²)" {
+		t.Errorf("normal name = %q", (Normal{Mu: 5, Sigma: 1.25}).Name())
+	}
+}

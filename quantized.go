@@ -1,0 +1,76 @@
+package scec
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"github.com/scec/scec/internal/quant"
+)
+
+// Quantizer converts between float64 values and exact fixed-point residues
+// in the prime field. See DeployQuantized for the high-level path.
+type Quantizer = quant.Quantizer
+
+// NewQuantizer builds a fixed-point quantizer with the given number of
+// fractional bits (1–28).
+func NewQuantizer(fracBits uint) (Quantizer, error) { return quant.NewQuantizer(fracBits) }
+
+// QuantizedDeployment wraps a prime-field Deployment of a quantized float
+// matrix: callers keep working in float64 while the fleet computes exactly
+// in F_p — so the coded rows are uniform field elements and Definition 2's
+// information-theoretic security holds verbatim, unlike the float path
+// where "uniformly random real" is ill-defined.
+type QuantizedDeployment struct {
+	// Deployment is the underlying exact deployment; its Plan, Audit, and
+	// Cost describe this workload.
+	*Deployment[uint64]
+	q    Quantizer
+	l    int
+	maxA float64
+}
+
+// DeployQuantized quantizes the float matrix a at fracBits fractional bits
+// and deploys it over the prime field. maxX must bound the absolute value
+// of every future input entry; it is checked now (against the static
+// overflow bound of the 61-bit modulus) and again on every query.
+func DeployQuantized(a *Matrix[float64], fracBits uint, maxX float64, unitCosts []float64, rng *rand.Rand) (*QuantizedDeployment, error) {
+	q, err := quant.NewQuantizer(fracBits)
+	if err != nil {
+		return nil, err
+	}
+	maxA := quant.MaxAbs(a)
+	if err := q.CheckMatVec(a.Cols(), maxA, maxX); err != nil {
+		return nil, fmt.Errorf("scec: workload would overflow the field: %w", err)
+	}
+	aq, err := q.QuantizeMatrix(a)
+	if err != nil {
+		return nil, err
+	}
+	dep, err := Deploy(PrimeField(), aq, unitCosts, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &QuantizedDeployment{Deployment: dep, q: q, l: a.Cols(), maxA: maxA}, nil
+}
+
+// MulVec computes A·x through the fleet: x is quantized, the exact coded
+// pipeline runs in F_p, and the result is scaled back to float64. The only
+// error relative to the float product is the fixed-point quantization of
+// the operands; the coding itself is exact.
+func (d *QuantizedDeployment) MulVec(x []float64) ([]float64, error) {
+	if len(x) != d.l {
+		return nil, fmt.Errorf("scec: input vector has %d entries, want %d", len(x), d.l)
+	}
+	if err := d.q.CheckMatVec(d.l, d.maxA, quant.MaxAbsVec(x)); err != nil {
+		return nil, fmt.Errorf("scec: input would overflow the field: %w", err)
+	}
+	xq, err := d.q.QuantizeVec(x)
+	if err != nil {
+		return nil, err
+	}
+	yq, err := d.Deployment.MulVec(xq)
+	if err != nil {
+		return nil, err
+	}
+	return d.q.DequantizeDotVec(yq), nil
+}

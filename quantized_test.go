@@ -1,0 +1,61 @@
+package scec
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeployQuantizedEndToEnd(t *testing.T) {
+	rng := testRNG()
+	fR := RealField(0)
+	a := RandomMatrix(fR, rng, 30, 12) // standard normals
+	costs := []float64{1.5, 0.8, 2.2, 1.1}
+
+	dep, err := DeployQuantized(a, 16, 8, costs, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The underlying deployment is audited like any other.
+	for j, leak := range dep.Audit() {
+		if leak != 0 {
+			t.Fatalf("device %d leaks %d dimensions", j, leak)
+		}
+	}
+
+	x := RandomVector(fR, rng, 12)
+	got, err := dep.MulVec(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := MulVec(fR, a, x)
+	for i := range got {
+		// 12 accumulated products, each with ~2^-17 operand error.
+		if math.Abs(got[i]-want[i]) > 12*8.0/65536 {
+			t.Fatalf("entry %d: %g vs %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDeployQuantizedValidation(t *testing.T) {
+	rng := testRNG()
+	fR := RealField(0)
+	a := RandomMatrix(fR, rng, 5, 3)
+
+	if _, err := DeployQuantized(a, 0, 1, []float64{1, 2}, rng); err == nil {
+		t.Error("invalid fracBits should be rejected")
+	}
+	// Precision so high the dot products overflow 61 bits.
+	if _, err := DeployQuantized(a, 28, 1e9, []float64{1, 2}, rng); err == nil {
+		t.Error("overflowing workload should be rejected")
+	}
+	dep, err := DeployQuantized(a, 16, 4, []float64{1, 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dep.MulVec([]float64{1, 2}); err == nil {
+		t.Error("wrong input length should be rejected")
+	}
+	if _, err := dep.MulVec([]float64{1e12, 0, 0}); err == nil {
+		t.Error("out-of-range input should be rejected at query time")
+	}
+}
