@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench fuzz reproduce examples clean
+.PHONY: all build vet test test-short bench bench-json fuzz reproduce examples clean
 
 all: build vet test
 
@@ -22,6 +22,11 @@ test-short:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable pipeline micro-benchmarks (results/bench.json), so the
+# performance trajectory can be tracked commit over commit.
+bench-json:
+	$(GO) run ./cmd/experiments -fig bench -out results
 
 # Short fuzzing passes over the three fuzz targets (CI-friendly budgets).
 fuzz:

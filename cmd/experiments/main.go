@@ -31,7 +31,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		fig       = fs.String("fig", "all", "figure to regenerate: 2a|2b|2c|2d|2e|all|rsweep|delay|comparison|dist")
+		fig       = fs.String("fig", "all", "figure to regenerate: 2a|2b|2c|2d|2e|all|rsweep|delay|comparison|dist|bench")
 		claims    = fs.Bool("claims", true, "also evaluate the headline claims (requires -fig all)")
 		outDir    = fs.String("out", "", "directory for CSV + markdown output (empty: stdout only)")
 		instances = fs.Int("instances", 0, "instances per sweep point (0: paper default of 1000)")
@@ -87,11 +87,21 @@ func run(args []string, out io.Writer) error {
 			}
 			return experiments.WriteRSweepCSV(w, res)
 		}},
+		"bench": {"bench.json", func(w io.Writer) error {
+			rep, err := experiments.Bench(cfg)
+			if err != nil {
+				return err
+			}
+			for _, r := range rep.Results {
+				fmt.Fprintf(out, "%-34s %8d iters %14.0f ns/op\n", r.Name, r.Iters, r.NsPerOp)
+			}
+			return experiments.WriteBenchJSON(w, rep)
+		}},
 	}
 	if sp, special := specials[*fig]; special {
-		if *fig != "rsweep" {
-			// rsweep's render writes its own stdout summary; the others
-			// render identical content to stdout and to the file.
+		if *fig != "rsweep" && *fig != "bench" {
+			// rsweep and bench write their own stdout summaries; the
+			// others render identical content to stdout and to the file.
 			if err := sp.render(out); err != nil {
 				return err
 			}
@@ -111,7 +121,7 @@ func run(args []string, out io.Writer) error {
 			if werr != nil {
 				return werr
 			}
-		} else if *fig == "rsweep" {
+		} else if *fig == "rsweep" || *fig == "bench" {
 			if err := sp.render(io.Discard); err != nil {
 				return err
 			}

@@ -11,6 +11,11 @@
 //
 //	scecnet demo -m 100 -l 32 -k 8
 //	    start an ephemeral loopback fleet in-process and drive it end to end
+//
+// Every role accepts -metrics-addr to serve the telemetry bundle
+// (/metrics, /metrics.json, /healthz, /debug/pprof/*, /debug/vars) while it
+// runs; drive and demo print a per-stage timing table on completion, and
+// device/drive accept -timeout to override the 10s round-trip bound.
 package main
 
 import (
@@ -22,8 +27,10 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"github.com/scec/scec"
+	"github.com/scec/scec/internal/obs"
 	"github.com/scec/scec/internal/transport"
 	"github.com/scec/scec/internal/workload"
 )
@@ -51,13 +58,44 @@ func run(args []string, out io.Writer) error {
 	}
 }
 
+// startMetrics serves the telemetry bundle on addr when non-empty; the
+// returned closer is nil when no server was requested.
+func startMetrics(out io.Writer, addr string) (io.Closer, error) {
+	if addr == "" {
+		return nil, nil
+	}
+	srv, err := obs.StartServer(nil, addr)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(out, "serving telemetry on http://%s/metrics (also /healthz, /debug/pprof/, /debug/vars)\n", srv.Addr())
+	return srv, nil
+}
+
+// writeStageTable prints the per-stage timing table when any stage ran.
+func writeStageTable(out io.Writer) error {
+	fmt.Fprintln(out, "stage timings:")
+	return obs.WriteStageTable(out, nil)
+}
+
 func runDevice(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("scecnet device", flag.ContinueOnError)
-	addr := fs.String("addr", "127.0.0.1:0", "listen address")
+	var (
+		addr        = fs.String("addr", "127.0.0.1:0", "listen address")
+		metricsAddr = fs.String("metrics-addr", "", "serve /metrics, /healthz, and /debug endpoints on this address")
+		timeout     = fs.Duration("timeout", transport.DefaultTimeout, "per-request exchange bound")
+	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	srv, err := transport.NewDeviceServer[uint64](scec.PrimeField(), *addr)
+	ms, err := startMetrics(out, *metricsAddr)
+	if err != nil {
+		return err
+	}
+	if ms != nil {
+		defer ms.Close()
+	}
+	srv, err := transport.NewDeviceServerOptions[uint64](scec.PrimeField(), *addr, transport.Options{Timeout: *timeout})
 	if err != nil {
 		return err
 	}
@@ -71,11 +109,13 @@ func runDevice(args []string, out io.Writer) error {
 func runDrive(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("scecnet drive", flag.ContinueOnError)
 	var (
-		devices = fs.String("devices", "", "comma-separated device addresses, cheapest first")
-		m       = fs.Int("m", 100, "rows of the confidential matrix A")
-		l       = fs.Int("l", 32, "columns of A")
-		batch   = fs.Int("batch", 0, "additionally verify a batch A·X with this many columns")
-		seed    = fs.Uint64("seed", 1, "random seed")
+		devices     = fs.String("devices", "", "comma-separated device addresses, cheapest first")
+		m           = fs.Int("m", 100, "rows of the confidential matrix A")
+		l           = fs.Int("l", 32, "columns of A")
+		batch       = fs.Int("batch", 0, "additionally verify a batch A·X with this many columns")
+		seed        = fs.Uint64("seed", 1, "random seed")
+		metricsAddr = fs.String("metrics-addr", "", "serve /metrics, /healthz, and /debug endpoints on this address")
+		timeout     = fs.Duration("timeout", transport.DefaultTimeout, "per-round-trip bound for store and compute requests")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -84,25 +124,41 @@ func runDrive(args []string, out io.Writer) error {
 	if len(addrs) < 2 {
 		return fmt.Errorf("need at least two device addresses, got %d", len(addrs))
 	}
-	return drive(out, addrs, *m, *l, *batch, *seed)
+	ms, err := startMetrics(out, *metricsAddr)
+	if err != nil {
+		return err
+	}
+	if ms != nil {
+		defer ms.Close()
+	}
+	return drive(out, addrs, *m, *l, *batch, *seed, *timeout)
 }
 
 func runDemo(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("scecnet demo", flag.ContinueOnError)
 	var (
-		m     = fs.Int("m", 100, "rows of the confidential matrix A")
-		l     = fs.Int("l", 32, "columns of A")
-		k     = fs.Int("k", 8, "devices to launch on loopback")
-		batch = fs.Int("batch", 4, "additionally verify a batch A·X with this many columns")
-		seed  = fs.Uint64("seed", 1, "random seed")
+		m           = fs.Int("m", 100, "rows of the confidential matrix A")
+		l           = fs.Int("l", 32, "columns of A")
+		k           = fs.Int("k", 8, "devices to launch on loopback")
+		batch       = fs.Int("batch", 4, "additionally verify a batch A·X with this many columns")
+		seed        = fs.Uint64("seed", 1, "random seed")
+		metricsAddr = fs.String("metrics-addr", "", "serve /metrics, /healthz, and /debug endpoints on this address")
+		timeout     = fs.Duration("timeout", transport.DefaultTimeout, "per-round-trip bound for store and compute requests")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	ms, err := startMetrics(out, *metricsAddr)
+	if err != nil {
+		return err
+	}
+	if ms != nil {
+		defer ms.Close()
+	}
 	f := scec.PrimeField()
 	addrs := make([]string, *k)
 	for j := 0; j < *k; j++ {
-		srv, err := transport.NewDeviceServer[uint64](f, "127.0.0.1:0")
+		srv, err := transport.NewDeviceServerOptions[uint64](f, "127.0.0.1:0", transport.Options{Timeout: *timeout})
 		if err != nil {
 			return err
 		}
@@ -110,14 +166,14 @@ func runDemo(args []string, out io.Writer) error {
 		addrs[j] = srv.Addr()
 	}
 	fmt.Fprintf(out, "launched %d loopback devices\n", *k)
-	return drive(out, addrs, *m, *l, *batch, *seed)
+	return drive(out, addrs, *m, *l, *batch, *seed, *timeout)
 }
 
 // drive plays cloud + user against a running fleet: the fleet's unit costs
 // are sampled (a real deployment would read device price sheets), the
 // cheapest plan.I devices are provisioned, and one multiplication is
-// verified end to end.
-func drive(out io.Writer, addrs []string, m, l, batch int, seed uint64) error {
+// verified end to end. Completion prints the per-stage timing table.
+func drive(out io.Writer, addrs []string, m, l, batch int, seed uint64, timeout time.Duration) error {
 	f := scec.PrimeField()
 	rng := rand.New(rand.NewPCG(seed, 0xd21fe))
 	in := workload.Instance(rng, m, len(addrs), workload.Uniform{Max: 5})
@@ -135,12 +191,12 @@ func drive(out io.Writer, addrs []string, m, l, batch int, seed uint64) error {
 	fmt.Fprintf(out, "plan: r=%d, %d of %d devices selected, cost %.2f\n",
 		dep.Plan.R, dep.Devices(), len(addrs), dep.Cost())
 
-	if err := (transport.Cloud[uint64]{}).Distribute(selected, dep.Encoding); err != nil {
+	if err := (transport.Cloud[uint64]{Timeout: timeout}).Distribute(selected, dep.Encoding); err != nil {
 		return fmt.Errorf("distribute: %w", err)
 	}
 	fmt.Fprintf(out, "cloud distributed %d coded rows across the fleet\n", m+dep.Plan.R)
 
-	client := transport.Client[uint64]{F: f, Scheme: dep.Scheme}
+	client := transport.Client[uint64]{F: f, Scheme: dep.Scheme, Timeout: timeout}
 	x := scec.RandomVector(f, rng, l)
 	got, err := client.MulVec(selected, x)
 	if err != nil {
@@ -165,7 +221,7 @@ func drive(out io.Writer, addrs []string, m, l, batch int, seed uint64) error {
 		}
 		fmt.Fprintf(out, "user decoded the batch A·X (%d columns) over TCP and verified it\n", batch)
 	}
-	return nil
+	return writeStageTable(out)
 }
 
 func splitAddrs(csv string) []string {

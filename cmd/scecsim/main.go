@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"github.com/scec/scec"
+	"github.com/scec/scec/internal/obs"
 	"github.com/scec/scec/internal/sim"
 	"github.com/scec/scec/internal/workload"
 )
@@ -41,6 +42,7 @@ func run(args []string, out io.Writer) error {
 		straggler = fs.String("straggler", "", "per-device slowdowns, e.g. 0=10,2=3")
 		failDev   = fs.Int("fail", -1, "force this device (scheme order) to fail")
 		replicas  = fs.Int("replicas", 1, "copies of each coded block (replication masks stragglers/failures)")
+		metrics   = fs.String("metrics-json", "", "write the run's telemetry snapshot as JSON to this path (- for stdout)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -100,7 +102,7 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "replication x%d: completion %.3fms, storage overhead %.1fx\n",
 			*replicas, float64(rrep.CompletionTime.Microseconds())/1000, rrep.StorageOverhead)
 		fmt.Fprintf(out, "decoded result verified against plaintext A·x (%d entries)\n", len(got))
-		return nil
+		return finish(out, *metrics)
 	}
 
 	got, rep, err := sim.Run(f, dep.Encoding, x, cfg)
@@ -115,7 +117,33 @@ func run(args []string, out io.Writer) error {
 	}
 	printReport(out, rep)
 	fmt.Fprintf(out, "decoded result verified against plaintext A·x (%d entries)\n", len(got))
-	return nil
+	return finish(out, *metrics)
+}
+
+// finish prints the registry-backed stage timing table (virtual durations
+// for the simulated stages, wall clock for allocate/encode) and optionally
+// dumps the full telemetry snapshot as JSON.
+func finish(out io.Writer, metricsPath string) error {
+	fmt.Fprintln(out, "stage timings (virtual clock for store/compute/gather/decode):")
+	if err := obs.WriteStageTable(out, nil); err != nil {
+		return err
+	}
+	switch metricsPath {
+	case "":
+		return nil
+	case "-":
+		return obs.Default().WriteJSON(out)
+	default:
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			return err
+		}
+		werr := obs.Default().WriteJSON(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		return werr
+	}
 }
 
 func printReport(out io.Writer, rep sim.Report) {

@@ -7,6 +7,7 @@ import (
 	"github.com/scec/scec/internal/alloc"
 	"github.com/scec/scec/internal/coding"
 	"github.com/scec/scec/internal/cost"
+	"github.com/scec/scec/internal/obs"
 )
 
 // CostComponents holds one edge device's unit prices: storage per element,
@@ -52,7 +53,9 @@ type Deployment[E comparable] struct {
 // rows from rng. Costs are per device in the caller's order; the plan's
 // assignments refer back to those indexes.
 func Deploy[E comparable](f Field[E], a *Matrix[E], unitCosts []float64, rng *rand.Rand) (*Deployment[E], error) {
+	allocate := obs.StartStage(nil, obs.StageAllocate)
 	plan, err := alloc.TA1(Instance{M: a.Rows(), Costs: unitCosts})
+	allocate.End()
 	if err != nil {
 		return nil, fmt.Errorf("scec: allocate: %w", err)
 	}
@@ -64,7 +67,9 @@ func Deploy[E comparable](f Field[E], a *Matrix[E], unitCosts []float64, rng *ra
 		// Cannot happen: both derive i = ⌈(m+r)/r⌉ from the same (m, r).
 		return nil, fmt.Errorf("scec: plan selects %d devices but scheme needs %d", plan.I, scheme.Devices())
 	}
+	encode := obs.StartStage(nil, obs.StageEncode)
 	enc, err := coding.Encode(f, scheme, a, rng)
+	encode.End()
 	if err != nil {
 		return nil, fmt.Errorf("scec: encode: %w", err)
 	}
@@ -79,7 +84,10 @@ func (d *Deployment[E]) MulVec(x []E) ([]E, error) {
 	if got, want := len(x), d.Encoding.Blocks[0].Cols(); got != want {
 		return nil, fmt.Errorf("scec: input vector has %d entries, want %d", got, want)
 	}
+	compute := obs.StartStage(nil, obs.StageCompute)
 	y := d.Encoding.ComputeAll(d.F, x)
+	compute.End()
+	defer obs.StartStage(nil, obs.StageDecode).End()
 	return coding.Decode(d.F, d.Scheme, y)
 }
 
@@ -90,7 +98,10 @@ func (d *Deployment[E]) MulMat(x *Matrix[E]) (*Matrix[E], error) {
 	if got, want := x.Rows(), d.Encoding.Blocks[0].Cols(); got != want {
 		return nil, fmt.Errorf("scec: input matrix has %d rows, want %d", got, want)
 	}
+	compute := obs.StartStage(nil, obs.StageCompute)
 	y := d.Encoding.ComputeAllBatch(d.F, x)
+	compute.End()
+	defer obs.StartStage(nil, obs.StageDecode).End()
 	return coding.DecodeBatch(d.F, d.Scheme, y)
 }
 

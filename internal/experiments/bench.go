@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+	"math/rand/v2"
+	"runtime"
+	"time"
+
+	"github.com/scec/scec/internal/alloc"
+	"github.com/scec/scec/internal/coding"
+	"github.com/scec/scec/internal/field"
+	"github.com/scec/scec/internal/matrix"
+	"github.com/scec/scec/internal/workload"
+)
+
+// BenchResult is one measured micro-benchmark: the hot path named by Name
+// at the stated problem size, averaged over Iters runs.
+type BenchResult struct {
+	Name    string  `json:"name"`
+	Iters   int     `json:"iters"`
+	NsPerOp float64 `json:"ns_per_op"`
+	OpsPerS float64 `json:"ops_per_sec"`
+}
+
+// BenchReport is the machine-readable benchmark output accumulated under
+// results/bench.json so the performance trajectory can be tracked PR over
+// PR.
+type BenchReport struct {
+	GoVersion string        `json:"go_version"`
+	GOARCH    string        `json:"goarch"`
+	Seed      uint64        `json:"seed"`
+	Results   []BenchResult `json:"results"`
+}
+
+// benchCase measures fn, which performs one operation per call, over iters
+// iterations after one warm-up call.
+func benchCase(name string, iters int, fn func()) BenchResult {
+	fn() // warm-up: pull code and data into caches
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		fn()
+	}
+	elapsed := time.Since(start)
+	ns := float64(elapsed.Nanoseconds()) / float64(iters)
+	r := BenchResult{Name: name, Iters: iters, NsPerOp: ns}
+	if ns > 0 {
+		r.OpsPerS = 1e9 / ns
+	}
+	return r
+}
+
+// Bench measures the pipeline's hot paths — allocation, encoding,
+// device-side compute, and decoding — at a representative problem size.
+// Everything is deterministic given cfg.Seed; timings of course are not.
+func Bench(cfg Config) (BenchReport, error) {
+	const m, l, k = 1000, 64, 25
+	rep := BenchReport{GoVersion: runtime.Version(), GOARCH: runtime.GOARCH, Seed: cfg.Seed}
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0xbe7c4))
+	f := field.Prime{}
+	in := workload.Instance(rng, m, k, workload.Uniform{Max: 5})
+
+	plan, err := alloc.TA1(alloc.Instance{M: m, Costs: in.Costs})
+	if err != nil {
+		return rep, err
+	}
+	rep.Results = append(rep.Results, benchCase("allocate/ta1/m=1000,k=25", 200, func() {
+		_, _ = alloc.TA1(alloc.Instance{M: m, Costs: in.Costs})
+	}))
+
+	scheme, err := coding.New(m, plan.R)
+	if err != nil {
+		return rep, err
+	}
+	a := matrix.Random[uint64](f, rng, m, l)
+	enc, err := coding.Encode[uint64](f, scheme, a, rng)
+	if err != nil {
+		return rep, err
+	}
+	rep.Results = append(rep.Results, benchCase("encode/m=1000,l=64", 10, func() {
+		_, _ = coding.Encode[uint64](f, scheme, a, rng)
+	}))
+
+	x := matrix.RandomVec[uint64](f, rng, l)
+	rep.Results = append(rep.Results, benchCase("compute/all-devices/m=1000,l=64", 10, func() {
+		_ = enc.ComputeAll(f, x)
+	}))
+
+	y := enc.ComputeAll(f, x)
+	rep.Results = append(rep.Results, benchCase("decode/m=1000", 100, func() {
+		_, _ = coding.Decode[uint64](f, scheme, y)
+	}))
+	return rep, nil
+}
+
+// WriteBenchJSON renders the report as indented JSON.
+func WriteBenchJSON(w io.Writer, rep BenchReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -1,0 +1,31 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark run takes ~100ms of pure timing loops")
+	}
+	rep, err := Bench(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 4 {
+		t.Fatalf("want 4 benchmark cases, got %d", len(rep.Results))
+	}
+	for _, r := range rep.Results {
+		if r.NsPerOp <= 0 || r.OpsPerS <= 0 || r.Iters <= 0 {
+			t.Errorf("%s: non-positive measurement: %+v", r.Name, r)
+		}
+	}
+	var b strings.Builder
+	if err := WriteBenchJSON(&b, rep); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"ns_per_op"`) {
+		t.Errorf("JSON missing ns_per_op:\n%s", b.String())
+	}
+}

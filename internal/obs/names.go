@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Metric names wired through the stack. Real transport runs and simulated
+// runs use the same names so their exports are directly comparable; the
+// README's Observability section documents each one.
+const (
+	// MetricStageSeconds is the per-stage latency histogram, labelled
+	// stage=allocate|encode|store|compute|gather|decode. Real runs observe
+	// wall-clock durations; internal/sim observes virtual-clock durations.
+	MetricStageSeconds = "scec_stage_duration_seconds"
+	// MetricStageLastSeconds is a gauge holding the most recent duration of
+	// each stage, for cheap "what just happened" introspection.
+	MetricStageLastSeconds = "scec_stage_last_seconds"
+
+	// Client-side (user/cloud role) RPC metrics, labelled by request kind
+	// (store|compute|compute-batch|ping).
+	MetricRPCClientRequests = "scec_rpc_client_requests_total"
+	MetricRPCClientErrors   = "scec_rpc_client_errors_total"
+	MetricRPCClientSeconds  = "scec_rpc_client_latency_seconds"
+	MetricRPCClientSent     = "scec_rpc_client_sent_bytes_total"
+	MetricRPCClientReceived = "scec_rpc_client_received_bytes_total"
+
+	// Device-server-side RPC metrics, labelled by request kind; malformed
+	// requests that never decode are counted under kind="malformed".
+	MetricRPCServerRequests = "scec_rpc_server_requests_total"
+	MetricRPCServerErrors   = "scec_rpc_server_errors_total"
+	MetricRPCServerSeconds  = "scec_rpc_server_latency_seconds"
+	MetricRPCServerRead     = "scec_rpc_server_read_bytes_total"
+	MetricRPCServerWritten  = "scec_rpc_server_written_bytes_total"
+
+	// MetricSimDeviceResultSeconds is a per-device gauge (label device="j",
+	// scheme order) of the virtual time at which device j's intermediate
+	// results reached the user in the most recent simulated run.
+	MetricSimDeviceResultSeconds = "scec_sim_device_result_seconds"
+	// MetricSimRuns counts completed simulator runs.
+	MetricSimRuns = "scec_sim_runs_total"
+)
+
+// Pipeline stage names, the values of the stage label on
+// MetricStageSeconds/MetricStageLastSeconds.
+const (
+	StageAllocate = "allocate" // TA1 task allocation
+	StageEncode   = "encode"   // cloud-side package coding B_j·T
+	StageStore    = "store"    // pushing coded blocks to the fleet
+	StageCompute  = "compute"  // device-side B_j·T·x (per device)
+	StageGather   = "gather"   // broadcast x + collect intermediate results
+	StageDecode   = "decode"   // user-side m subtractions
+)
+
+// Stages lists every pipeline stage in execution order.
+var Stages = []string{StageAllocate, StageEncode, StageStore, StageCompute, StageGather, StageDecode}
+
+// stageHelp documents the stage histogram family.
+const stageHelp = "Pipeline stage duration in seconds (wall clock for real runs, virtual clock for simulated runs)."
+
+// ObserveStage records one stage duration (histogram + last-value gauge).
+// A nil registry records into Default().
+func ObserveStage(r *Registry, stage string, d time.Duration) {
+	if r == nil {
+		r = Default()
+	}
+	l := L("stage", stage)
+	r.Histogram(MetricStageSeconds, stageHelp, DefLatencyBuckets, l).ObserveDuration(d)
+	r.Gauge(MetricStageLastSeconds, "Most recent duration of each pipeline stage in seconds.", l).Set(d.Seconds())
+}
+
+// Span is an in-flight stage timing started by StartStage.
+type Span struct {
+	reg   *Registry
+	stage string
+	start time.Time
+}
+
+// StartStage starts timing a pipeline stage against the wall clock. A nil
+// registry records into Default().
+func StartStage(r *Registry, stage string) Span {
+	return Span{reg: r, stage: stage, start: time.Now()}
+}
+
+// End records the elapsed time and returns it.
+func (s Span) End() time.Duration {
+	d := time.Since(s.start)
+	ObserveStage(s.reg, s.stage, d)
+	return d
+}
+
+// WriteStageTable renders a human-readable per-stage timing table from the
+// registry's stage histogram, in pipeline order: observation count, last,
+// mean, and total duration. Stages never observed are omitted; nothing is
+// printed when no stage ran. A nil registry reads Default().
+func WriteStageTable(w io.Writer, r *Registry) error {
+	if r == nil {
+		r = Default()
+	}
+	type row struct {
+		stage             string
+		count             int64
+		last, mean, total float64
+	}
+	var rows []row
+	for _, stage := range Stages {
+		labels := []Label{L("stage", stage)}
+		s := r.find(MetricStageSeconds, labels)
+		if s == nil || s.hist == nil || s.hist.Count() == 0 {
+			continue
+		}
+		h := s.hist
+		n := h.Count()
+		var last float64
+		if ls := r.find(MetricStageLastSeconds, labels); ls != nil && ls.gauge != nil {
+			last = ls.gauge.Value()
+		}
+		rows = append(rows, row{stage, n, last * 1e3, h.Sum() / float64(n) * 1e3, h.Sum() * 1e3})
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "stage     count    last-ms    mean-ms   total-ms\n"); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if _, err := fmt.Fprintf(w, "%-8s %6d %10.3f %10.3f %10.3f\n",
+			row.stage, row.count, row.last, row.mean, row.total); err != nil {
+			return err
+		}
+	}
+	return nil
+}

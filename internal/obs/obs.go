@@ -1,0 +1,295 @@
+// Package obs is the repository's zero-dependency telemetry layer: atomic
+// counters, float gauges, fixed-bucket histograms, and lightweight stage
+// span timers, collected in a Registry that renders both Prometheus text
+// exposition and JSON snapshots and serves an optional net/http handler
+// bundle (/metrics, /healthz, /debug/pprof/*, /debug/vars).
+//
+// The repo is deliberately dependency-free, so everything here is standard
+// library only. All metric updates are lock-free atomics; registration
+// (get-or-create of a named series) takes a mutex but callers cache the
+// returned handle, so hot paths never contend.
+//
+// Real runs (internal/transport) and simulated runs (internal/sim) record
+// the same metric names — see names.go — so a Prometheus scrape of a live
+// fleet and the JSON snapshot of a virtual-clock simulation are directly
+// comparable.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one name/value pair attached to a metric series.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing count.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add increases the counter by n; negative deltas are ignored (counters are
+// monotone by contract).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a float64 value that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add shifts the gauge by delta.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket cumulative histogram (Prometheus semantics:
+// each bucket counts observations ≤ its upper bound, plus an implicit +Inf
+// bucket). Buckets are fixed at registration; observations are atomic.
+type Histogram struct {
+	bounds  []float64      // ascending upper bounds, +Inf implicit
+	counts  []atomic.Int64 // len(bounds)+1; last is the +Inf overflow
+	total   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds (the unit every *_seconds
+// histogram in this repo uses).
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.total.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// DefLatencyBuckets spans 100µs to 10s, the range of interest for both RPC
+// round trips on loopback/LAN fleets and virtual-clock stage durations.
+var DefLatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+type metricType string
+
+const (
+	typeCounter   metricType = "counter"
+	typeGauge     metricType = "gauge"
+	typeHistogram metricType = "histogram"
+)
+
+// series is one labelled instance of a metric family; exactly one of the
+// three value fields is non-nil, matching the family type.
+type series struct {
+	labels  []Label
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// family groups every series sharing a metric name.
+type family struct {
+	name    string
+	help    string
+	typ     metricType
+	buckets []float64
+
+	mu     sync.Mutex
+	series map[string]*series
+	order  []string
+}
+
+func (f *family) get(labels []Label) *series {
+	key := canonical(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series[key]; ok {
+		return s
+	}
+	ls := make([]Label, len(labels))
+	copy(ls, labels)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	s := &series{labels: ls}
+	switch f.typ {
+	case typeCounter:
+		s.counter = &Counter{}
+	case typeGauge:
+		s.gauge = &Gauge{}
+	case typeHistogram:
+		s.hist = newHistogram(f.buckets)
+	}
+	f.series[key] = s
+	f.order = append(f.order, key)
+	return s
+}
+
+// canonical renders labels as a stable sorted key.
+func canonical(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := make([]Label, len(labels))
+	copy(ls, labels)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+// Registry holds named metric families. The zero value is not usable; call
+// New (or use Default for the process-wide registry).
+type Registry struct {
+	start time.Time
+
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{start: time.Now(), families: make(map[string]*family)}
+}
+
+var std = New()
+
+// Default returns the process-wide registry. The façade (package scec), the
+// transport, and the simulator all record here unless explicitly given
+// another registry, so one /metrics endpoint sees the whole stack.
+func Default() *Registry { return std }
+
+func (r *Registry) family(name, help string, t metricType, buckets []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.typ != t {
+			panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.typ, t))
+		}
+		return f
+	}
+	f := &family{name: name, help: help, typ: t, buckets: buckets, series: make(map[string]*series)}
+	r.families[name] = f
+	r.order = append(r.order, name)
+	return f
+}
+
+// Counter returns the counter series for name+labels, creating it on first
+// use. help is recorded on first registration of the family.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	return r.family(name, help, typeCounter, nil).get(labels).counter
+}
+
+// Gauge returns the gauge series for name+labels, creating it on first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	return r.family(name, help, typeGauge, nil).get(labels).gauge
+}
+
+// Histogram returns the histogram series for name+labels, creating it on
+// first use. buckets applies on first registration of the family; later
+// calls reuse the registered layout.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	return r.family(name, help, typeHistogram, buckets).get(labels).hist
+}
+
+// find returns the series for name+labels if it exists, without creating
+// it (reads must not mint empty series into the export).
+func (r *Registry) find(name string, labels []Label) *series {
+	r.mu.Lock()
+	f := r.families[name]
+	r.mu.Unlock()
+	if f == nil {
+		return nil
+	}
+	key := canonical(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.series[key]
+}
+
+// Uptime reports how long the registry has existed.
+func (r *Registry) Uptime() time.Duration { return time.Since(r.start) }
+
+// visit walks families and series in registration order under the locks.
+func (r *Registry) visit(fn func(f *family, s *series)) {
+	r.mu.Lock()
+	names := make([]string, len(r.order))
+	copy(names, r.order)
+	fams := make([]*family, len(names))
+	for i, n := range names {
+		fams[i] = r.families[n]
+	}
+	r.mu.Unlock()
+	for _, f := range fams {
+		f.mu.Lock()
+		keys := make([]string, len(f.order))
+		copy(keys, f.order)
+		ss := make([]*series, len(keys))
+		for i, k := range keys {
+			ss[i] = f.series[k]
+		}
+		f.mu.Unlock()
+		for _, s := range ss {
+			fn(f, s)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"github.com/scec/scec/internal/coding"
+	"github.com/scec/scec/internal/field"
+	"github.com/scec/scec/internal/matrix"
+	"github.com/scec/scec/internal/obs"
+)
+
+// TestRunRecordsStageMetrics checks a simulated run reports the pipeline
+// stages under the same metric names a real transport run uses, on the
+// virtual clock, plus per-device result gauges.
+func TestRunRecordsStageMetrics(t *testing.T) {
+	f := field.Prime{}
+	rng := rand.New(rand.NewPCG(7, 9))
+	const m, l, r = 12, 8, 6
+
+	s, err := coding.New(m, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := matrix.Random[uint64](f, rng, m, l)
+	enc, err := coding.Encode[uint64](f, s, a, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.New()
+	cfg := Config{UserComputeRate: 1e9, Seed: 1, Metrics: reg}
+	cfg.Profiles = make([]DeviceProfile, s.Devices())
+	for j := range cfg.Profiles {
+		cfg.Profiles[j] = DefaultProfile()
+	}
+	x := matrix.RandomVec[uint64](f, rng, l)
+	_, rep, err := Run(f, enc, x, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.StoreTime <= 0 {
+		t.Fatalf("StoreTime = %v, want > 0", rep.StoreTime)
+	}
+
+	snap := reg.Snapshot()
+	stages := map[string]int64{}
+	devices := 0
+	var simRuns float64
+	for _, fam := range snap.Metrics {
+		switch fam.Name {
+		case obs.MetricStageSeconds:
+			for _, sr := range fam.Series {
+				stages[sr.Labels["stage"]] += sr.Count
+			}
+		case obs.MetricSimDeviceResultSeconds:
+			for _, sr := range fam.Series {
+				if sr.Value <= 0 {
+					t.Errorf("device %s result gauge = %g, want > 0", sr.Labels["device"], sr.Value)
+				}
+				devices++
+			}
+		case obs.MetricSimRuns:
+			simRuns = fam.Series[0].Value
+		}
+	}
+	// The simulator must export the stages it models: store, one compute
+	// per device, gather, and decode (allocate/encode happen before Run and
+	// are recorded by scec.Deploy against the same names).
+	if stages[obs.StageStore] != 1 || stages[obs.StageGather] != 1 || stages[obs.StageDecode] != 1 {
+		t.Errorf("store/gather/decode counts = %v, want 1 each", stages)
+	}
+	if got := stages[obs.StageCompute]; got != int64(s.Devices()) {
+		t.Errorf("compute stage observed %d times, want one per device (%d)", got, s.Devices())
+	}
+	if devices != s.Devices() {
+		t.Errorf("result gauges for %d devices, want %d", devices, s.Devices())
+	}
+	if simRuns != 1 {
+		t.Errorf("%s = %g, want 1", obs.MetricSimRuns, simRuns)
+	}
+}
+
+// TestFailedRunSkipsAggregateStages: a failed device aborts before the
+// store/gather/decode observations and the runs counter.
+func TestFailedRunSkipsAggregateStages(t *testing.T) {
+	f := field.Prime{}
+	rng := rand.New(rand.NewPCG(7, 9))
+	s, err := coding.New(6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := matrix.Random[uint64](f, rng, 6, 4)
+	enc, err := coding.Encode[uint64](f, s, a, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.New()
+	cfg := Config{UserComputeRate: 1e9, Seed: 1, Metrics: reg}
+	cfg.Profiles = make([]DeviceProfile, s.Devices())
+	for j := range cfg.Profiles {
+		cfg.Profiles[j] = DefaultProfile()
+	}
+	cfg.Profiles[0].FailProb = 1
+	if _, _, err := Run(f, enc, matrix.RandomVec[uint64](f, rng, 4), cfg); err == nil {
+		t.Fatal("run with a guaranteed failure succeeded")
+	}
+	for _, fam := range reg.Snapshot().Metrics {
+		if fam.Name == obs.MetricSimRuns {
+			t.Fatalf("failed run incremented %s", obs.MetricSimRuns)
+		}
+		if fam.Name == obs.MetricStageSeconds {
+			for _, sr := range fam.Series {
+				if st := sr.Labels["stage"]; st == obs.StageGather || st == obs.StageDecode {
+					t.Fatalf("failed run observed stage %q", st)
+				}
+			}
+		}
+	}
+}

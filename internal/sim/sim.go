@@ -16,10 +16,12 @@ import (
 	"errors"
 	"fmt"
 	"math/rand/v2"
+	"strconv"
 	"time"
 
 	"github.com/scec/scec/internal/coding"
 	"github.com/scec/scec/internal/field"
+	"github.com/scec/scec/internal/obs"
 )
 
 // ErrDeviceFailed is returned when a device configured to fail never
@@ -85,6 +87,11 @@ type Config struct {
 	UserComputeRate float64
 	// Seed drives failure sampling.
 	Seed uint64
+	// Metrics receives the run's telemetry on the virtual clock, under the
+	// same metric names a real transport run records (see internal/obs), so
+	// simulated and live exports are directly comparable. Nil means
+	// obs.Default().
+	Metrics *obs.Registry
 }
 
 // DeviceReport is the per-device outcome.
@@ -115,6 +122,11 @@ type Report struct {
 	// CompletionTime is the virtual time at which the user finished
 	// decoding: last result arrival plus decode time.
 	CompletionTime time.Duration
+	// StoreTime is the virtual duration of the provisioning push: the
+	// slowest device's coded block delivered over its uplink. Like the real
+	// pipeline's store stage it happens once, before the compute round, and
+	// is not part of CompletionTime.
+	StoreTime time.Duration
 	// DecodeOps is the user-side operation count (m subtractions for the
 	// structured scheme).
 	DecodeOps int64
@@ -151,6 +163,10 @@ func Run[E comparable](f field.Field[E], enc *coding.Encoding[E], x []E, cfg Con
 		return nil, Report{}, fmt.Errorf("sim: input vector length %d, coded rows have %d columns", l, enc.Blocks[0].Cols())
 	}
 
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.Default()
+	}
 	rng := rand.New(rand.NewPCG(cfg.Seed, 0x5cec^uint64(s.M())))
 	rep := Report{Devices: make([]DeviceReport, len(enc.Blocks))}
 	y := make([]E, 0, s.M()+s.R())
@@ -166,6 +182,12 @@ func Run[E comparable](f field.Field[E], enc *coding.Encoding[E], x []E, cfg Con
 		d.ValuesSent = rows
 		d.StorageValues = rows*l + l + rows
 
+		// Provisioning: the coded block travels cloud→device over the same
+		// uplink direction x does; the slowest push bounds the store stage.
+		if push := p.Latency + seconds(float64(rows*l)/p.UplinkRate); push > rep.StoreTime {
+			rep.StoreTime = push
+		}
+
 		d.XArrives = p.Latency + seconds(float64(l)/p.UplinkRate)
 		compute := seconds(float64(d.FieldOps) / p.ComputeRate * p.StragglerFactor)
 		d.ComputeDone = d.XArrives + compute
@@ -180,6 +202,10 @@ func Run[E comparable](f field.Field[E], enc *coding.Encoding[E], x []E, cfg Con
 			failed = true
 			continue
 		}
+		obs.ObserveStage(reg, obs.StageCompute, compute)
+		reg.Gauge(obs.MetricSimDeviceResultSeconds,
+			"Virtual time at which each simulated device's results reached the user, in seconds.",
+			obs.L("device", strconv.Itoa(j))).Set(d.ResultArrives.Seconds())
 		y = append(y, enc.ComputeDevice(f, j, x)...)
 		if d.ResultArrives > rep.CompletionTime {
 			rep.CompletionTime = d.ResultArrives
@@ -188,13 +214,20 @@ func Run[E comparable](f field.Field[E], enc *coding.Encoding[E], x []E, cfg Con
 	if failed {
 		return nil, rep, ErrDeviceFailed
 	}
+	obs.ObserveStage(reg, obs.StageStore, rep.StoreTime)
+	// The gather stage mirrors the transport client's: broadcast of x up to
+	// the last intermediate result's arrival.
+	obs.ObserveStage(reg, obs.StageGather, rep.CompletionTime)
 
 	ax, err := coding.Decode(f, s, y)
 	if err != nil {
 		return nil, rep, fmt.Errorf("sim: decode: %w", err)
 	}
 	rep.DecodeOps = int64(s.M())
-	rep.CompletionTime += seconds(float64(rep.DecodeOps) / cfg.UserComputeRate)
+	decode := seconds(float64(rep.DecodeOps) / cfg.UserComputeRate)
+	rep.CompletionTime += decode
+	obs.ObserveStage(reg, obs.StageDecode, decode)
+	reg.Counter(obs.MetricSimRuns, "Completed simulator runs.").Inc()
 	return ax, rep, nil
 }
 

@@ -173,12 +173,12 @@ func TestDeviceElementCap(t *testing.T) {
 	for i := range big {
 		big[i] = make([]uint64, 3)
 	}
-	if _, err := roundTrip[uint64](srv.Addr(), time.Second, request[uint64]{Kind: kindStore, Block: big}); !errors.Is(err, ErrRemote) {
+	if _, err := roundTrip[uint64](srv.Addr(), time.Second, nil, request[uint64]{Kind: kindStore, Block: big}); !errors.Is(err, ErrRemote) {
 		t.Fatalf("oversized store err = %v, want ErrRemote", err)
 	}
 	// A 2×3 block (6 elements) fits.
 	small := big[:2]
-	if _, err := roundTrip[uint64](srv.Addr(), time.Second, request[uint64]{Kind: kindStore, Block: small}); err != nil {
+	if _, err := roundTrip[uint64](srv.Addr(), time.Second, nil, request[uint64]{Kind: kindStore, Block: small}); err != nil {
 		t.Fatalf("in-cap store rejected: %v", err)
 	}
 	// An oversized batch request is rejected too.
@@ -186,7 +186,7 @@ func TestDeviceElementCap(t *testing.T) {
 	for i := range xm {
 		xm[i] = make([]uint64, 4)
 	}
-	if _, err := roundTrip[uint64](srv.Addr(), time.Second, request[uint64]{Kind: kindComputeBatch, XMat: xm}); !errors.Is(err, ErrRemote) {
+	if _, err := roundTrip[uint64](srv.Addr(), time.Second, nil, request[uint64]{Kind: kindComputeBatch, XMat: xm}); !errors.Is(err, ErrRemote) {
 		t.Fatalf("oversized batch err = %v, want ErrRemote", err)
 	}
 

@@ -27,6 +27,7 @@ import (
 	"github.com/scec/scec/internal/coding"
 	"github.com/scec/scec/internal/field"
 	"github.com/scec/scec/internal/matrix"
+	"github.com/scec/scec/internal/obs"
 )
 
 // Message kinds.
@@ -76,6 +77,7 @@ type DeviceServer[E comparable] struct {
 	f           field.Field[E]
 	timeout     time.Duration
 	maxElements int
+	metrics     *obs.Registry
 
 	ln        net.Listener
 	wg        sync.WaitGroup
@@ -100,11 +102,23 @@ type Stats struct {
 	ValuesReturned int
 }
 
+// Options tunes a DeviceServer; the zero value selects every default.
+type Options struct {
+	// Timeout bounds each request exchange; zero means DefaultTimeout.
+	Timeout time.Duration
+	// MaxElements caps the field elements accepted per store or
+	// batch-compute request; zero means DefaultMaxElements.
+	MaxElements int
+	// Metrics receives the server's RPC and compute-stage telemetry; nil
+	// means obs.Default().
+	Metrics *obs.Registry
+}
+
 // NewDeviceServer starts an edge device listening on addr (use "127.0.0.1:0"
 // for an ephemeral port; Addr reports the bound address) with
 // DefaultMaxElements as its request-size cap.
 func NewDeviceServer[E comparable](f field.Field[E], addr string) (*DeviceServer[E], error) {
-	return NewDeviceServerLimited(f, addr, DefaultMaxElements)
+	return NewDeviceServerOptions(f, addr, Options{})
 }
 
 // NewDeviceServerLimited is NewDeviceServer with an explicit cap on the
@@ -113,11 +127,35 @@ func NewDeviceServerLimited[E comparable](f field.Field[E], addr string, maxElem
 	if maxElements < 1 {
 		return nil, fmt.Errorf("transport: max elements %d, need >= 1", maxElements)
 	}
+	return NewDeviceServerOptions(f, addr, Options{MaxElements: maxElements})
+}
+
+// NewDeviceServerOptions is NewDeviceServer with explicit Options.
+func NewDeviceServerOptions[E comparable](f field.Field[E], addr string, opts Options) (*DeviceServer[E], error) {
+	if opts.Timeout == 0 {
+		opts.Timeout = DefaultTimeout
+	}
+	if opts.Timeout < 0 {
+		return nil, fmt.Errorf("transport: negative timeout %v", opts.Timeout)
+	}
+	if opts.MaxElements == 0 {
+		opts.MaxElements = DefaultMaxElements
+	}
+	if opts.MaxElements < 1 {
+		return nil, fmt.Errorf("transport: max elements %d, need >= 1", opts.MaxElements)
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
-	s := &DeviceServer[E]{f: f, timeout: DefaultTimeout, maxElements: maxElements, ln: ln, done: make(chan struct{})}
+	s := &DeviceServer[E]{
+		f:           f,
+		timeout:     opts.Timeout,
+		maxElements: opts.MaxElements,
+		metrics:     metricsOrDefault(opts.Metrics),
+		ln:          ln,
+		done:        make(chan struct{}),
+	}
 	s.wg.Add(1)
 	go s.serve()
 	return s, nil
@@ -178,17 +216,26 @@ func (s *DeviceServer[E]) serve() {
 
 func (s *DeviceServer[E]) handle(conn net.Conn) {
 	defer conn.Close()
+	start := time.Now()
+	cc := &countingConn{Conn: conn}
+	kind := "malformed"
+	errored := true
+	defer func() {
+		recordServer(s.metrics, kind, time.Since(start), cc.read, cc.written, errored)
+	}()
 	if err := conn.SetDeadline(time.Now().Add(s.timeout)); err != nil {
 		return
 	}
 	var req request[E]
-	if err := gob.NewDecoder(conn).Decode(&req); err != nil {
+	if err := gob.NewDecoder(cc).Decode(&req); err != nil {
 		return // malformed request: nothing sensible to answer
 	}
+	kind = knownKind(req.Kind)
 	resp := s.dispatch(req)
+	errored = resp.Err != ""
 	// Encoding errors leave the client to observe a broken connection; the
 	// deadline above already bounds the exchange.
-	_ = gob.NewEncoder(conn).Encode(resp)
+	_ = gob.NewEncoder(cc).Encode(resp)
 }
 
 func (s *DeviceServer[E]) dispatch(req request[E]) response[E] {
@@ -223,7 +270,9 @@ func (s *DeviceServer[E]) dispatch(req request[E]) response[E] {
 		if len(req.X) != block.Cols() {
 			return response[E]{Err: fmt.Sprintf("compute: x has %d entries, coded rows have %d columns", len(req.X), block.Cols())}
 		}
+		sp := obs.StartStage(s.metrics, obs.StageCompute)
 		y := matrix.MulVec(s.f, block, req.X)
+		sp.End()
 		s.mu.Lock()
 		s.stats.Computes++
 		s.stats.ValuesReturned += len(y)
@@ -250,7 +299,9 @@ func (s *DeviceServer[E]) dispatch(req request[E]) response[E] {
 		if total := len(req.XMat) * len(req.XMat[0]); total > s.maxElements {
 			return response[E]{Err: fmt.Sprintf("compute-batch: X of %d elements exceeds the device cap of %d", total, s.maxElements)}
 		}
+		sp := obs.StartStage(s.metrics, obs.StageCompute)
 		y := matrix.Mul(s.f, block, matrix.FromRows(req.XMat))
+		sp.End()
 		rows := make([][]E, y.Rows())
 		for i := range rows {
 			rows[i] = y.Row(i)
@@ -265,21 +316,31 @@ func (s *DeviceServer[E]) dispatch(req request[E]) response[E] {
 	}
 }
 
-// roundTrip dials addr, sends req, and decodes the response.
-func roundTrip[E comparable](addr string, timeout time.Duration, req request[E]) (response[E], error) {
+// roundTrip dials addr, sends req, and decodes the response, recording the
+// round trip (count, latency, bytes, outcome) into reg.
+func roundTrip[E comparable](addr string, timeout time.Duration, reg *obs.Registry, req request[E]) (resp response[E], err error) {
+	start := time.Now()
+	var cc *countingConn
+	defer func() {
+		var sent, received int64
+		if cc != nil {
+			sent, received = cc.written, cc.read
+		}
+		recordClient(reg, req.Kind, time.Since(start), sent, received, err)
+	}()
 	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return response[E]{}, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
 	defer conn.Close()
+	cc = &countingConn{Conn: conn}
 	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
 		return response[E]{}, fmt.Errorf("transport: deadline %s: %w", addr, err)
 	}
-	if err := gob.NewEncoder(conn).Encode(req); err != nil {
+	if err := gob.NewEncoder(cc).Encode(req); err != nil {
 		return response[E]{}, fmt.Errorf("transport: send to %s: %w", addr, err)
 	}
-	var resp response[E]
-	if err := gob.NewDecoder(conn).Decode(&resp); err != nil {
+	if err := gob.NewDecoder(cc).Decode(&resp); err != nil {
 		return response[E]{}, fmt.Errorf("transport: receive from %s: %w", addr, err)
 	}
 	if resp.Err != "" {
@@ -292,10 +353,14 @@ func roundTrip[E comparable](addr string, timeout time.Duration, req request[E])
 type Cloud[E comparable] struct {
 	// Timeout bounds each push; zero means DefaultTimeout.
 	Timeout time.Duration
+	// Metrics receives RPC and store-stage telemetry; nil means
+	// obs.Default().
+	Metrics *obs.Registry
 }
 
 // Distribute pushes coded block j of enc to addrs[j] for every device. It
-// requires exactly one address per block.
+// requires exactly one address per block and records the push as the
+// pipeline's store stage.
 func (c Cloud[E]) Distribute(addrs []string, enc *coding.Encoding[E]) error {
 	if len(addrs) != len(enc.Blocks) {
 		return fmt.Errorf("transport: %d addresses for %d coded blocks", len(addrs), len(enc.Blocks))
@@ -304,13 +369,15 @@ func (c Cloud[E]) Distribute(addrs []string, enc *coding.Encoding[E]) error {
 	if timeout == 0 {
 		timeout = DefaultTimeout
 	}
+	reg := metricsOrDefault(c.Metrics)
+	defer obs.StartStage(reg, obs.StageStore).End()
 	for j, addr := range addrs {
 		block := enc.Blocks[j]
 		rows := make([][]E, block.Rows())
 		for i := range rows {
 			rows[i] = block.Row(i)
 		}
-		if _, err := roundTrip(addr, timeout, request[E]{Kind: kindStore, Block: rows}); err != nil {
+		if _, err := roundTrip(addr, timeout, reg, request[E]{Kind: kindStore, Block: rows}); err != nil {
 			return fmt.Errorf("transport: distribute to device %d: %w", j, err)
 		}
 	}
@@ -325,6 +392,9 @@ type Client[E comparable] struct {
 	Scheme *coding.Scheme
 	// Timeout bounds each device round trip; zero means DefaultTimeout.
 	Timeout time.Duration
+	// Metrics receives RPC and gather/decode-stage telemetry; nil means
+	// obs.Default().
+	Metrics *obs.Registry
 }
 
 // Gather sends x to every device concurrently and concatenates the
@@ -340,6 +410,8 @@ func (c Client[E]) Gather(addrs []string, rowsOn []int, x []E) ([]E, error) {
 	if timeout == 0 {
 		timeout = DefaultTimeout
 	}
+	reg := metricsOrDefault(c.Metrics)
+	defer obs.StartStage(reg, obs.StageGather).End()
 	parts := make([][]E, len(addrs))
 	errs := make([]error, len(addrs))
 	var wg sync.WaitGroup
@@ -347,7 +419,7 @@ func (c Client[E]) Gather(addrs []string, rowsOn []int, x []E) ([]E, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			resp, err := roundTrip(addr, timeout, request[E]{Kind: kindCompute, X: x})
+			resp, err := roundTrip(addr, timeout, reg, request[E]{Kind: kindCompute, X: x})
 			if err != nil {
 				errs[j] = err
 				return
@@ -387,6 +459,7 @@ func (c Client[E]) MulVec(addrs []string, x []E) ([]E, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer obs.StartStage(c.Metrics, obs.StageDecode).End()
 	return coding.Decode(c.F, c.Scheme, y)
 }
 
@@ -402,6 +475,8 @@ func (c Client[E]) MulMat(addrs []string, x *matrix.Dense[E]) (*matrix.Dense[E],
 	if timeout == 0 {
 		timeout = DefaultTimeout
 	}
+	reg := metricsOrDefault(c.Metrics)
+	gather := obs.StartStage(reg, obs.StageGather)
 	xRows := make([][]E, x.Rows())
 	for i := range xRows {
 		xRows[i] = x.Row(i)
@@ -413,7 +488,7 @@ func (c Client[E]) MulMat(addrs []string, x *matrix.Dense[E]) (*matrix.Dense[E],
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			resp, err := roundTrip(addr, timeout, request[E]{Kind: kindComputeBatch, XMat: xRows})
+			resp, err := roundTrip(addr, timeout, reg, request[E]{Kind: kindComputeBatch, XMat: xRows})
 			if err != nil {
 				errs[j] = err
 				return
@@ -426,12 +501,14 @@ func (c Client[E]) MulMat(addrs []string, x *matrix.Dense[E]) (*matrix.Dense[E],
 		}()
 	}
 	wg.Wait()
+	gather.End()
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
 	}
 	y := matrix.VStack(parts...)
+	defer obs.StartStage(reg, obs.StageDecode).End()
 	return coding.DecodeBatch(c.F, c.Scheme, y)
 }
 
@@ -456,6 +533,6 @@ func Ping[E comparable](addr string, timeout time.Duration) error {
 	if timeout == 0 {
 		timeout = DefaultTimeout
 	}
-	_, err := roundTrip(addr, timeout, request[E]{Kind: kindPing})
+	_, err := roundTrip(addr, timeout, nil, request[E]{Kind: kindPing})
 	return err
 }

@@ -191,10 +191,10 @@ func TestPingAndUnknownKind(t *testing.T) {
 	if err := Ping[uint64](srv.Addr(), time.Second); err != nil {
 		t.Fatalf("ping: %v", err)
 	}
-	if _, err := roundTrip[uint64](srv.Addr(), time.Second, request[uint64]{Kind: "bogus"}); !errors.Is(err, ErrRemote) {
+	if _, err := roundTrip[uint64](srv.Addr(), time.Second, nil, request[uint64]{Kind: "bogus"}); !errors.Is(err, ErrRemote) {
 		t.Fatalf("unknown kind err = %v, want ErrRemote", err)
 	}
-	if _, err := roundTrip[uint64](srv.Addr(), time.Second, request[uint64]{Kind: kindStore}); !errors.Is(err, ErrRemote) {
+	if _, err := roundTrip[uint64](srv.Addr(), time.Second, nil, request[uint64]{Kind: kindStore}); !errors.Is(err, ErrRemote) {
 		t.Fatalf("empty store err = %v, want ErrRemote", err)
 	}
 }
