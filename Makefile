@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench bench-json fuzz reproduce examples clean
+.PHONY: all build vet test test-short bench bench-json bench-check fuzz reproduce examples clean
 
 all: build vet test
 
@@ -27,6 +27,14 @@ bench:
 # performance trajectory can be tracked commit over commit.
 bench-json:
 	$(GO) run ./cmd/experiments -fig bench -out results
+
+# Bench smoke guard: run the pipeline micro-benchmarks and fail on NaN or
+# zero throughput (a hung or broken kernel path), then give the kernel
+# dispatch layer a full (un-short) race pass — the worker pool and the
+# atomic tuning knobs live in internal/matrix.
+bench-check:
+	$(GO) run ./cmd/experiments -fig bench -check
+	$(GO) test -race ./internal/matrix/
 
 # Short fuzzing passes over the three fuzz targets (CI-friendly budgets).
 fuzz:

@@ -36,6 +36,7 @@ func run(args []string, out io.Writer) error {
 		outDir    = fs.String("out", "", "directory for CSV + markdown output (empty: stdout only)")
 		instances = fs.Int("instances", 0, "instances per sweep point (0: paper default of 1000)")
 		seed      = fs.Uint64("seed", 0, "random seed (0: fixed default)")
+		check     = fs.Bool("check", false, "with -fig bench: fail on NaN or zero throughput (CI smoke guard)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -93,7 +94,13 @@ func run(args []string, out io.Writer) error {
 				return err
 			}
 			for _, r := range rep.Results {
-				fmt.Fprintf(out, "%-34s %8d iters %14.0f ns/op\n", r.Name, r.Iters, r.NsPerOp)
+				fmt.Fprintf(out, "%-50s %8d iters %14.0f ns/op\n", r.Name, r.Iters, r.NsPerOp)
+			}
+			if *check {
+				if err := experiments.CheckBench(rep); err != nil {
+					return err
+				}
+				fmt.Fprintf(out, "bench check ok: %d cases, all finite non-zero throughput\n", len(rep.Results))
 			}
 			return experiments.WriteBenchJSON(w, rep)
 		}},

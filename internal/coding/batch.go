@@ -23,26 +23,40 @@ func (e *Encoding[E]) ComputeDeviceBatch(f field.Field[E], j int, x *matrix.Dens
 }
 
 // ComputeAllBatch stacks every device's batch result in device order,
-// yielding B·T·X ((m+r)×n).
+// yielding B·T·X ((m+r)×n). Devices run in parallel across the shared
+// kernel pool; each per-device product dispatches to the field-specialized
+// matrix kernels.
 func (e *Encoding[E]) ComputeAllBatch(f field.Field[E], x *matrix.Dense[E]) *matrix.Dense[E] {
 	blocks := make([]*matrix.Dense[E], len(e.Blocks))
-	for j := range e.Blocks {
-		blocks[j] = e.ComputeDeviceBatch(f, j, x)
+	rows := 0
+	for _, b := range e.Blocks {
+		rows += b.Rows()
 	}
+	matrix.ParallelFor(len(e.Blocks), rows*x.Rows()*x.Cols(), func(jlo, jhi int) {
+		for j := jlo; j < jhi; j++ {
+			blocks[j] = e.ComputeDeviceBatch(f, j, x)
+		}
+	})
 	return matrix.VStack(blocks...)
 }
 
 // DecodeBatch recovers A·X from the stacked intermediate block Y = B·T·X:
-// m·n subtractions, the column-wise generalization of Decode.
+// m·n subtractions, the column-wise generalization of Decode. Each output
+// row is one vector subtraction over row views (no per-element index
+// arithmetic or bounds-checked At calls), with the random-row index carried
+// as a counter instead of a per-row modulo.
 func DecodeBatch[E comparable](f field.Field[E], s *Scheme, y *matrix.Dense[E]) (*matrix.Dense[E], error) {
 	if y.Rows() != s.m+s.r {
 		return nil, fmt.Errorf("coding: got %d intermediate rows, want m+r = %d", y.Rows(), s.m+s.r)
 	}
 	n := y.Cols()
 	ax := matrix.New[E](s.m, n)
+	q := 0 // p mod s.r, maintained incrementally
 	for p := 0; p < s.m; p++ {
-		for c := 0; c < n; c++ {
-			ax.Set(p, c, f.Sub(y.At(s.r+p, c), y.At(p%s.r, c)))
+		matrix.VecSubInto(f, ax.RowView(p), y.RowView(s.r+p), y.RowView(q))
+		q++
+		if q == s.r {
+			q = 0
 		}
 	}
 	return ax, nil

@@ -21,9 +21,16 @@ func Decode[E comparable](f field.Field[E], s *Scheme, y []E) ([]E, error) {
 	if len(y) != s.m+s.r {
 		return nil, fmt.Errorf("coding: got %d intermediate values, want m+r = %d", len(y), s.m+s.r)
 	}
+	// For p in [b, b+r) with b a multiple of r, p mod r = p − b, so the m
+	// subtractions decompose into ⌈m/r⌉ vector subtractions of y's random
+	// prefix from r-sized chunks of its data suffix — no per-element modulo,
+	// and each chunk runs the field-specialized subtract kernel. Decode is
+	// pure subtraction; this keeps it memory-bound.
 	ax := make([]E, s.m)
-	for p := 0; p < s.m; p++ {
-		ax[p] = f.Sub(y[s.r+p], y[p%s.r])
+	data := y[s.r:]
+	for b := 0; b < s.m; b += s.r {
+		n := min(s.r, s.m-b)
+		matrix.VecSubInto(f, ax[b:b+n], data[b:b+n], y[:n])
 	}
 	return ax, nil
 }

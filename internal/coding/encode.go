@@ -57,26 +57,47 @@ func EncodeWithRandom[E comparable](f field.Field[E], s *Scheme, a, random *matr
 			random.Rows(), random.Cols(), s.r, a.Cols())
 	}
 	l := a.Cols()
+	// All blocks share one backing slab: one allocation per encoding instead
+	// of one per device, and consecutive devices stay adjacent in memory.
 	blocks := make([]*matrix.Dense[E], s.i)
+	slab := make([]E, (s.m+s.r)*l)
+	off := 0
 	for j := 0; j < s.i; j++ {
 		from, to := s.RowRange(j)
-		block := matrix.New[E](to-from, l)
-		for g := from; g < to; g++ {
-			row := g - from
-			if g < s.r {
-				block.SetRow(row, random.Row(g))
-				continue
-			}
-			p := g - s.r
-			ar, rr := a.Row(p), random.Row(p%s.r)
-			coded := make([]E, l)
-			for c := 0; c < l; c++ {
-				coded[c] = f.Add(ar[c], rr[c])
-			}
-			block.SetRow(row, coded)
-		}
-		blocks[j] = block
+		n := (to - from) * l
+		blocks[j] = matrix.FromSlice(to-from, l, slab[off:off+n:off+n])
+		off += n
 	}
+	// Devices are independent: shard the fleet across the kernel worker
+	// pool (total work is one vector add per coded row). Within a device,
+	// consecutive global rows map to consecutive data rows and — until
+	// p mod r wraps — consecutive random rows, so each run of rows is one
+	// contiguous vector-add (or copy, for the raw random rows) instead of
+	// a call per row.
+	matrix.ParallelFor(s.i, (s.m+s.r)*l, func(jlo, jhi int) {
+		for j := jlo; j < jhi; j++ {
+			from, to := s.RowRange(j)
+			block := blocks[j]
+			g := from
+			// Global rows below r are the random rows themselves.
+			if cut := min(to, s.r); g < cut {
+				copy(block.RowsView(0, cut-from), random.RowsView(g, cut))
+				g = cut
+			}
+			// Row g ≥ r carries A_p + R_{p mod r} with p = g - r; chunks
+			// break where p mod r wraps back to 0.
+			for g < to {
+				p := g - s.r
+				q := p % s.r
+				n := min(to-g, s.r-q)
+				matrix.VecAddInto(f,
+					block.RowsView(g-from, g-from+n),
+					a.RowsView(p, p+n),
+					random.RowsView(q, q+n))
+				g += n
+			}
+		}
+	})
 	return &Encoding[E]{Scheme: s, Blocks: blocks, Random: random}, nil
 }
 
@@ -89,15 +110,19 @@ func (e *Encoding[E]) ComputeDevice(f field.Field[E], j int, x []E) []E {
 
 // ComputeAll runs every device and concatenates the intermediate results in
 // device order, i.e. it returns B·T·x. The in-process simulator and tests
-// use it; the transport package does the same over TCP.
+// use it; the transport package does the same over TCP. Devices run in
+// parallel across the shared kernel pool, each multiplying directly into
+// its slot of the result.
 func (e *Encoding[E]) ComputeAll(f field.Field[E], x []E) []E {
-	total := 0
-	for _, b := range e.Blocks {
-		total += b.Rows()
+	offsets := make([]int, len(e.Blocks)+1)
+	for j, b := range e.Blocks {
+		offsets[j+1] = offsets[j] + b.Rows()
 	}
-	out := make([]E, 0, total)
-	for j := range e.Blocks {
-		out = append(out, e.ComputeDevice(f, j, x)...)
-	}
+	out := make([]E, offsets[len(e.Blocks)])
+	matrix.ParallelFor(len(e.Blocks), offsets[len(e.Blocks)]*len(x), func(jlo, jhi int) {
+		for j := jlo; j < jhi; j++ {
+			matrix.MulVecInto(f, e.Blocks[j], x, out[offsets[j]:offsets[j+1]])
+		}
+	})
 	return out
 }

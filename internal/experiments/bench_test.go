@@ -13,13 +13,50 @@ func TestBench(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Results) != 4 {
-		t.Fatalf("want 4 benchmark cases, got %d", len(rep.Results))
+	if len(rep.Results) != 9 {
+		t.Fatalf("want 9 benchmark cases, got %d", len(rep.Results))
+	}
+	for _, want := range []string{
+		"allocate/ta1/m=1000,k=25",
+		"encode/m=1000,l=64",
+		"encode/m=1000,l=64/generic-serial",
+		"compute/all-devices/m=1000,l=64",
+		"compute/all-devices/m=1000,l=64/generic-serial",
+		"compute/batch/m=1000,l=64,n=8",
+		"compute/batch/m=1000,l=64,n=8/generic-serial",
+		"decode/m=1000",
+		"decode/batch/m=1000,n=8",
+	} {
+		found := false
+		for _, r := range rep.Results {
+			if r.Name == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("bench case %q missing", want)
+		}
 	}
 	for _, r := range rep.Results {
 		if r.NsPerOp <= 0 || r.OpsPerS <= 0 || r.Iters <= 0 {
 			t.Errorf("%s: non-positive measurement: %+v", r.Name, r)
 		}
+	}
+	if rep.KernelPoolSize < 1 {
+		t.Errorf("KernelPoolSize = %d, want >= 1", rep.KernelPoolSize)
+	}
+	if err := CheckBench(rep); err != nil {
+		t.Errorf("CheckBench: %v", err)
+	}
+	if err := CheckBench(BenchReport{}); err == nil {
+		t.Error("CheckBench accepted an empty report")
+	}
+	bad := rep
+	bad.Results = append([]BenchResult(nil), rep.Results...)
+	bad.Results[0].OpsPerS = 0
+	if err := CheckBench(bad); err == nil {
+		t.Error("CheckBench accepted zero throughput")
 	}
 	var b strings.Builder
 	if err := WriteBenchJSON(&b, rep); err != nil {

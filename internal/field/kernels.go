@@ -1,0 +1,222 @@
+package field
+
+import "math/bits"
+
+// Vector kernels: monomorphized inner loops for the three concrete fields.
+//
+// The generic matrix code pays one dynamic dispatch per element; for the hot
+// paths (dot product, AXPY, element-wise add/sub) that cost dominates the
+// arithmetic. Each concrete field therefore exposes slice kernels that
+// package matrix selects by type switch. The kernels are semantically exact:
+// over Prime and GF256 they produce the identical canonical representatives
+// the element-wise methods produce, and over Real they perform the identical
+// float64 operations in the identical order (no fused multiply-add, no
+// reassociation), so every kernel path is bit-compatible with the generic
+// one.
+
+// reduce128 reduces the 128-bit value hi·2^64 + lo modulo 2^61 − 1 to the
+// canonical representative in [0, p). Because 2^61 ≡ 1 (mod p), the value
+// splits into three 61-bit limbs whose sum is congruent to it.
+func reduce128(hi, lo uint64) uint64 {
+	s := (lo & Modulus) + ((hi<<3 | lo>>61) & Modulus) + hi>>58
+	s = s>>61 + s&Modulus
+	if s >= Modulus {
+		s -= Modulus
+	}
+	return s
+}
+
+// foldMul64 returns a value < 2^62 congruent to a·b (mod 2^61 − 1) for
+// canonical a, b: the 122-bit product folded once at bit 61. This is the
+// "lazy" half of Prime.Mul — no conditional subtractions, not canonical.
+func foldMul64(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	return (hi<<3 | lo>>61) + lo&Modulus
+}
+
+// Reduce128 reduces the 128-bit value hi·2^64 + lo to its canonical
+// representative mod 2^61 − 1. Callers accumulate folded products with
+// FoldMulAdd64 and reduce once per row.
+func (Prime) Reduce128(hi, lo uint64) uint64 { return reduce128(hi, lo) }
+
+// FoldMulAdd64 adds the once-folded product of canonical residues a and b
+// (a value < 2^62 congruent to a·b mod 2^61 − 1) to acc, returning the low
+// word and the carry into the high word of a 128-bit accumulator. It is the
+// building block of the lazy-reduction matrix kernels in package matrix.
+func FoldMulAdd64(acc, a, b uint64) (lo, carry uint64) {
+	return bits.Add64(acc, foldMul64(a, b), 0)
+}
+
+// DotVec returns Σ a[i]·x[i] mod p over min(len(a), len(x)) elements. Each
+// product is folded to 62 bits and accumulated into a 128-bit sum, so the
+// loop performs no modular reduction at all; one reduce128 runs per call
+// ("one reduction per row"). The accumulator cannot overflow for any slice
+// length addressable in Go (it would take 2^66 terms).
+func (Prime) DotVec(a, x []uint64) uint64 {
+	if len(x) < len(a) {
+		a = a[:len(x)]
+	}
+	x = x[:len(a)]
+	var hi, lo, carry uint64
+	for i, av := range a {
+		lo, carry = bits.Add64(lo, foldMul64(av, x[i]), 0)
+		hi += carry
+	}
+	return reduce128(hi, lo)
+}
+
+// AXPYVec performs dst[i] = dst[i] + s·src[i] mod p over min(len(dst),
+// len(src)) elements, the row update of the i-k-j matrix product. Each
+// element needs one fold and one conditional subtraction — cheaper than
+// Mul followed by Add, and the result stays canonical so the next AXPY pass
+// can build on it.
+func (Prime) AXPYVec(dst []uint64, s uint64, src []uint64) {
+	if s == 0 {
+		return
+	}
+	if len(src) < len(dst) {
+		dst = dst[:len(src)]
+	}
+	src = src[:len(dst)]
+	for i, sv := range src {
+		t := foldMul64(s, sv) + dst[i] // < 2^62 + 2^61 < 2^63
+		t = t>>61 + t&Modulus          // ≤ p + 3
+		if t >= Modulus {
+			t -= Modulus
+		}
+		dst[i] = t
+	}
+}
+
+// AddVecInto sets dst[i] = a[i] + b[i] mod p. All three slices must share a
+// length (enforced by truncation to the shortest; package matrix always
+// passes equal lengths).
+func (Prime) AddVecInto(dst, a, b []uint64) {
+	n := min(len(dst), len(a), len(b))
+	dst, a, b = dst[:n], a[:n], b[:n]
+	for i, av := range a {
+		s := av + b[i]
+		if s >= Modulus {
+			s -= Modulus
+		}
+		dst[i] = s
+	}
+}
+
+// SubVecInto sets dst[i] = a[i] − b[i] mod p.
+func (Prime) SubVecInto(dst, a, b []uint64) {
+	n := min(len(dst), len(a), len(b))
+	dst, a, b = dst[:n], a[:n], b[:n]
+	for i, av := range a {
+		bv := b[i]
+		if av >= bv {
+			dst[i] = av - bv
+		} else {
+			dst[i] = av + Modulus - bv
+		}
+	}
+}
+
+// gf256Mul is the full 64 KiB multiplication table for GF(2^8), built once
+// at startup from the exp/log tables. Row s is the multiplication-by-s map,
+// which turns the AXPY inner loop into one table lookup and one XOR per
+// element with no zero-checks.
+var gf256Mul = buildGF256MulTable()
+
+func buildGF256MulTable() *[256][256]byte {
+	t := &[256][256]byte{}
+	var f GF256
+	for a := 1; a < 256; a++ {
+		for b := a; b < 256; b++ {
+			p := f.Mul(byte(a), byte(b))
+			t[a][b] = p
+			t[b][a] = p
+		}
+	}
+	return t
+}
+
+// DotVec returns Σ a[i]·x[i] over GF(2^8) (sum = XOR).
+func (GF256) DotVec(a, x []byte) byte {
+	if len(x) < len(a) {
+		a = a[:len(x)]
+	}
+	x = x[:len(a)]
+	var acc byte
+	for i, av := range a {
+		acc ^= gf256Mul[av][x[i]]
+	}
+	return acc
+}
+
+// AXPYVec performs dst[i] ^= s·src[i] over GF(2^8) using the s-row of the
+// multiplication table.
+func (GF256) AXPYVec(dst []byte, s byte, src []byte) {
+	if s == 0 {
+		return
+	}
+	if len(src) < len(dst) {
+		dst = dst[:len(src)]
+	}
+	src = src[:len(dst)]
+	row := &gf256Mul[s]
+	for i, sv := range src {
+		dst[i] ^= row[sv]
+	}
+}
+
+// AddVecInto sets dst[i] = a[i] + b[i] = a[i] XOR b[i]. Subtraction is the
+// same operation in characteristic 2, so no SubVecInto exists.
+func (GF256) AddVecInto(dst, a, b []byte) {
+	n := min(len(dst), len(a), len(b))
+	dst, a, b = dst[:n], a[:n], b[:n]
+	for i, av := range a {
+		dst[i] = av ^ b[i]
+	}
+}
+
+// DotVec returns Σ a[i]·x[i] over float64, accumulating left to right with
+// each product explicitly rounded to float64 (the conversion forbids the
+// compiler from fusing into FMA), so the result is bit-identical to the
+// generic Add/Mul sequence on every architecture.
+func (Real) DotVec(a, x []float64) float64 {
+	if len(x) < len(a) {
+		a = a[:len(x)]
+	}
+	x = x[:len(a)]
+	var acc float64
+	for i, av := range a {
+		acc += float64(av * x[i])
+	}
+	return acc
+}
+
+// AXPYVec performs dst[i] += s·src[i] over float64, with the product
+// explicitly rounded (no FMA) to stay bit-identical to the generic path.
+func (Real) AXPYVec(dst []float64, s float64, src []float64) {
+	if len(src) < len(dst) {
+		dst = dst[:len(src)]
+	}
+	src = src[:len(dst)]
+	for i, sv := range src {
+		dst[i] += float64(s * sv)
+	}
+}
+
+// AddVecInto sets dst[i] = a[i] + b[i].
+func (Real) AddVecInto(dst, a, b []float64) {
+	n := min(len(dst), len(a), len(b))
+	dst, a, b = dst[:n], a[:n], b[:n]
+	for i, av := range a {
+		dst[i] = av + b[i]
+	}
+}
+
+// SubVecInto sets dst[i] = a[i] − b[i].
+func (Real) SubVecInto(dst, a, b []float64) {
+	n := min(len(dst), len(a), len(b))
+	dst, a, b = dst[:n], a[:n], b[:n]
+	for i, av := range a {
+		dst[i] = av - b[i]
+	}
+}

@@ -1,0 +1,220 @@
+package field
+
+import (
+	"math/big"
+	"math/rand/v2"
+	"testing"
+)
+
+// kernelLens exercises empty, single-element, and odd lengths, plus lengths
+// long enough for the 128-bit accumulator to see many folded products.
+var kernelLens = []int{0, 1, 2, 3, 7, 31, 64, 65, 100, 257, 1000}
+
+func primeVec(rng *rand.Rand, n int) []uint64 {
+	var f Prime
+	v := make([]uint64, n)
+	for i := range v {
+		v[i] = f.Rand(rng)
+	}
+	return v
+}
+
+// TestPrimeDotVecAgainstBigInt checks the lazy-reduction dot product against
+// an exact big.Int evaluation, on uniform vectors and on the adversarial
+// all-(p−1) vectors that maximize every intermediate value.
+func TestPrimeDotVecAgainstBigInt(t *testing.T) {
+	var f Prime
+	rng := rand.New(rand.NewPCG(3, 5))
+	mod := new(big.Int).SetUint64(Modulus)
+	check := func(a, x []uint64) {
+		t.Helper()
+		want := new(big.Int)
+		for i := range a {
+			term := new(big.Int).Mul(new(big.Int).SetUint64(a[i]), new(big.Int).SetUint64(x[i]))
+			want.Add(want, term)
+		}
+		want.Mod(want, mod)
+		if got := f.DotVec(a, x); got != want.Uint64() {
+			t.Fatalf("DotVec(len %d) = %d, want %d", len(a), got, want.Uint64())
+		}
+	}
+	for _, n := range kernelLens {
+		check(primeVec(rng, n), primeVec(rng, n))
+		worst := make([]uint64, n)
+		for i := range worst {
+			worst[i] = Modulus - 1
+		}
+		check(worst, worst)
+	}
+}
+
+// TestPrimeKernelsMatchScalarOps checks every Prime vector kernel against
+// the element-wise field methods: identical canonical outputs.
+func TestPrimeKernelsMatchScalarOps(t *testing.T) {
+	var f Prime
+	rng := rand.New(rand.NewPCG(7, 11))
+	for _, n := range kernelLens {
+		a, b := primeVec(rng, n), primeVec(rng, n)
+
+		dst := append([]uint64(nil), a...)
+		for _, s := range []uint64{0, 1, Modulus - 1, f.Rand(rng)} {
+			want := make([]uint64, n)
+			for i := range want {
+				want[i] = f.Add(dst[i], f.Mul(s, b[i]))
+			}
+			f.AXPYVec(dst, s, b)
+			for i := range want {
+				if dst[i] != want[i] {
+					t.Fatalf("AXPYVec(s=%d, len %d)[%d] = %d, want %d", s, n, i, dst[i], want[i])
+				}
+			}
+		}
+
+		sum, diff := make([]uint64, n), make([]uint64, n)
+		f.AddVecInto(sum, a, b)
+		f.SubVecInto(diff, a, b)
+		for i := range a {
+			if want := f.Add(a[i], b[i]); sum[i] != want {
+				t.Fatalf("AddVecInto[%d] = %d, want %d", i, sum[i], want)
+			}
+			if want := f.Sub(a[i], b[i]); diff[i] != want {
+				t.Fatalf("SubVecInto[%d] = %d, want %d", i, diff[i], want)
+			}
+		}
+	}
+}
+
+// TestPrimeReduce128 checks the 128-bit reduction against big.Int over
+// boundary values and random pairs.
+func TestPrimeReduce128(t *testing.T) {
+	var f Prime
+	rng := rand.New(rand.NewPCG(13, 17))
+	mod := new(big.Int).SetUint64(Modulus)
+	cases := [][2]uint64{
+		{0, 0}, {0, Modulus}, {0, Modulus - 1}, {0, ^uint64(0)},
+		{1, 0}, {^uint64(0), ^uint64(0)}, {1 << 61, 42},
+	}
+	for i := 0; i < 200; i++ {
+		cases = append(cases, [2]uint64{rng.Uint64(), rng.Uint64()})
+	}
+	for _, c := range cases {
+		hi, lo := c[0], c[1]
+		want := new(big.Int).Lsh(new(big.Int).SetUint64(hi), 64)
+		want.Add(want, new(big.Int).SetUint64(lo))
+		want.Mod(want, mod)
+		if got := f.Reduce128(hi, lo); got != want.Uint64() {
+			t.Fatalf("Reduce128(%d, %d) = %d, want %d", hi, lo, got, want.Uint64())
+		}
+	}
+}
+
+// TestFoldMulAdd64 checks the accumulate step keeps congruence: folding a
+// product and reducing matches Mul directly.
+func TestFoldMulAdd64(t *testing.T) {
+	var f Prime
+	rng := rand.New(rand.NewPCG(19, 23))
+	for i := 0; i < 500; i++ {
+		a, b := f.Rand(rng), f.Rand(rng)
+		lo, carry := FoldMulAdd64(0, a, b)
+		if got, want := f.Reduce128(carry, lo), f.Mul(a, b); got != want {
+			t.Fatalf("fold(%d·%d) reduces to %d, want %d", a, b, got, want)
+		}
+	}
+}
+
+// TestGF256MulTableExhaustive checks the full 64 KiB multiplication table
+// against the log/exp Mul over every pair of bytes.
+func TestGF256MulTableExhaustive(t *testing.T) {
+	var f GF256
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b++ {
+			if got, want := gf256Mul[a][b], f.Mul(byte(a), byte(b)); got != want {
+				t.Fatalf("gf256Mul[%#x][%#x] = %#x, want %#x", a, b, got, want)
+			}
+		}
+	}
+}
+
+// TestGF256KernelsMatchScalarOps checks the GF(256) vector kernels against
+// the element-wise methods.
+func TestGF256KernelsMatchScalarOps(t *testing.T) {
+	var f GF256
+	rng := rand.New(rand.NewPCG(29, 31))
+	for _, n := range kernelLens {
+		a, b := make([]byte, n), make([]byte, n)
+		for i := range a {
+			a[i], b[i] = f.Rand(rng), f.Rand(rng)
+		}
+		var dot byte
+		for i := range a {
+			dot = f.Add(dot, f.Mul(a[i], b[i]))
+		}
+		if got := f.DotVec(a, b); got != dot {
+			t.Fatalf("DotVec(len %d) = %#x, want %#x", n, got, dot)
+		}
+
+		for _, s := range []byte{0, 1, 0x53, f.Rand(rng)} {
+			dst := append([]byte(nil), a...)
+			want := make([]byte, n)
+			for i := range want {
+				want[i] = f.Add(a[i], f.Mul(s, b[i]))
+			}
+			f.AXPYVec(dst, s, b)
+			for i := range want {
+				if dst[i] != want[i] {
+					t.Fatalf("AXPYVec(s=%#x)[%d] = %#x, want %#x", s, i, dst[i], want[i])
+				}
+			}
+		}
+
+		sum := make([]byte, n)
+		f.AddVecInto(sum, a, b)
+		for i := range a {
+			if want := a[i] ^ b[i]; sum[i] != want {
+				t.Fatalf("AddVecInto[%d] = %#x, want %#x", i, sum[i], want)
+			}
+		}
+	}
+}
+
+// TestRealKernelsBitIdentical checks the float64 kernels reproduce the
+// generic Add/Mul sequences bit for bit (same order, no FMA contraction).
+func TestRealKernelsBitIdentical(t *testing.T) {
+	var f Real
+	rng := rand.New(rand.NewPCG(37, 41))
+	for _, n := range kernelLens {
+		a, b := make([]float64, n), make([]float64, n)
+		for i := range a {
+			a[i], b[i] = f.Rand(rng), f.Rand(rng)
+		}
+		var dot float64
+		for i := range a {
+			dot = f.Add(dot, f.Mul(a[i], b[i]))
+		}
+		if got := f.DotVec(a, b); got != dot {
+			t.Fatalf("DotVec(len %d) = %v, want %v (bitwise)", n, got, dot)
+		}
+
+		s := f.Rand(rng)
+		dst := append([]float64(nil), a...)
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = f.Add(a[i], f.Mul(s, b[i]))
+		}
+		f.AXPYVec(dst, s, b)
+		for i := range want {
+			if dst[i] != want[i] {
+				t.Fatalf("AXPYVec[%d] = %v, want %v (bitwise)", i, dst[i], want[i])
+			}
+		}
+
+		sum, diff := make([]float64, n), make([]float64, n)
+		f.AddVecInto(sum, a, b)
+		f.SubVecInto(diff, a, b)
+		for i := range a {
+			if sum[i] != a[i]+b[i] || diff[i] != a[i]-b[i] {
+				t.Fatalf("Add/SubVecInto[%d] mismatch", i)
+			}
+		}
+	}
+}

@@ -18,6 +18,109 @@ const (
 
 func benchRNG() *rand.Rand { return rand.New(rand.NewPCG(99, 101)) }
 
+// withKernelConfig pins the dispatch knobs for one sub-benchmark and
+// restores them afterwards.
+func withKernelConfig(b *testing.B, spec, par bool, fn func(b *testing.B)) {
+	prevSpec := SetSpecializedKernels(spec)
+	prevPar := SetParallelKernels(par)
+	defer func() {
+		SetSpecializedKernels(prevSpec)
+		SetParallelKernels(prevPar)
+	}()
+	fn(b)
+}
+
+// kernelVariants runs fn under the four dispatch configurations so
+// generic-vs-specialized and serial-vs-parallel are directly comparable in
+// one `go test -bench` run.
+func kernelVariants(b *testing.B, fn func(b *testing.B)) {
+	for _, v := range []struct {
+		name      string
+		spec, par bool
+	}{
+		{"generic-serial", false, false},
+		{"specialized-serial", true, false},
+		{"generic-parallel", false, true},
+		{"specialized-parallel", true, true},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			withKernelConfig(b, v.spec, v.par, func(b *testing.B) {
+				b.ReportAllocs()
+				b.ResetTimer()
+				fn(b)
+			})
+		})
+	}
+}
+
+// BenchmarkMulVariantsPrime compares the dense product across every
+// dispatch configuration at a parallel-eligible size.
+func BenchmarkMulVariantsPrime(b *testing.B) {
+	f := field.Prime{}
+	rng := benchRNG()
+	x := Random[uint64](f, rng, benchN, benchN)
+	y := Random[uint64](f, rng, benchN, benchN)
+	kernelVariants(b, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = Mul[uint64](f, x, y)
+		}
+	})
+}
+
+// BenchmarkMulVariantsGF256 is the GF(256) table-kernel comparison.
+func BenchmarkMulVariantsGF256(b *testing.B) {
+	f := field.GF256{}
+	rng := benchRNG()
+	x := Random[byte](f, rng, benchN, benchN)
+	y := Random[byte](f, rng, benchN, benchN)
+	kernelVariants(b, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = Mul[byte](f, x, y)
+		}
+	})
+}
+
+// BenchmarkMulVariantsReal is the float64 comparison.
+func BenchmarkMulVariantsReal(b *testing.B) {
+	f := field.Real{}
+	rng := benchRNG()
+	x := Random[float64](f, rng, benchN, benchN)
+	y := Random[float64](f, rng, benchN, benchN)
+	kernelVariants(b, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = Mul[float64](f, x, y)
+		}
+	})
+}
+
+// BenchmarkMulVecVariantsPrime compares the matrix–vector hot path (the
+// per-device compute kernel) across dispatch configurations.
+func BenchmarkMulVecVariantsPrime(b *testing.B) {
+	f := field.Prime{}
+	rng := benchRNG()
+	a := Random[uint64](f, rng, 1024, benchL)
+	x := RandomVec[uint64](f, rng, benchL)
+	kernelVariants(b, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = MulVec[uint64](f, a, x)
+		}
+	})
+}
+
+// BenchmarkAddVariantsPrime compares the element-wise kernels (the encode
+// inner loop) across dispatch configurations.
+func BenchmarkAddVariantsPrime(b *testing.B) {
+	f := field.Prime{}
+	rng := benchRNG()
+	x := Random[uint64](f, rng, 1024, benchL)
+	y := Random[uint64](f, rng, 1024, benchL)
+	kernelVariants(b, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = Add[uint64](f, x, y)
+		}
+	})
+}
+
 func BenchmarkMulPrime(b *testing.B) {
 	f := field.Prime{}
 	rng := benchRNG()

@@ -119,6 +119,45 @@ func (m *Dense[E]) rowView(i int) []E {
 	return m.data[i*m.cols : (i+1)*m.cols]
 }
 
+// RowView returns the backing slice of row i without copying. The slice
+// aliases the matrix, so writes through it mutate the matrix; it exists as
+// the performance escape hatch for the row-wise hot paths in package coding
+// (encode and batch decode), which would otherwise copy every row. General
+// callers should prefer Row and SetRow, which preserve the package's
+// immutable-by-convention contract.
+func (m *Dense[E]) RowView(i int) []E {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("matrix: row %d out of range for %dx%d", i, m.rows, m.cols))
+	}
+	return m.rowView(i)
+}
+
+// RowsView returns the backing storage of rows [from, to) as one flat
+// row-major slice of length (to-from)*Cols(), without copying. Like RowView
+// it aliases the matrix and exists for the coding hot paths, which process
+// runs of consecutive rows with a single vector-kernel call instead of one
+// call per row.
+func (m *Dense[E]) RowsView(from, to int) []E {
+	if from < 0 || to < from || to > m.rows {
+		panic(fmt.Sprintf("matrix: row range [%d, %d) out of range for %dx%d", from, to, m.rows, m.cols))
+	}
+	return m.data[from*m.cols : to*m.cols]
+}
+
+// FromSlice wraps data as a rows×cols matrix without copying; the matrix
+// aliases data, so the caller must not reuse it. It panics unless
+// len(data) == rows*cols. Package coding uses it to carve one encoding's
+// device blocks out of a single allocation.
+func FromSlice[E comparable](rows, cols int, data []E) *Dense[E] {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("matrix: negative dimension %dx%d", rows, cols))
+	}
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("matrix: FromSlice data length %d != %d*%d", len(data), rows, cols))
+	}
+	return &Dense[E]{rows: rows, cols: cols, data: data}
+}
+
 // Clone returns a deep copy.
 func (m *Dense[E]) Clone() *Dense[E] {
 	out := &Dense[E]{rows: m.rows, cols: m.cols, data: make([]E, len(m.data))}

@@ -1,0 +1,108 @@
+package matrix
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"github.com/scec/scec/internal/field"
+	"github.com/scec/scec/internal/obs"
+)
+
+// TestKernelDispatchMetricsBoundedCardinality drives every op across every
+// dispatch configuration and checks the kernel metrics stay within their
+// fixed label sets: at most 4 ops × 2 impls × 2 modes = 16 counter series
+// plus one pool-size gauge, no matter how many operations run. This matches
+// the PR-1 convention of collapsing labels to bounded sets so hot paths can
+// never explode /metrics.
+func TestKernelDispatchMetricsBoundedCardinality(t *testing.T) {
+	restoreKernelConfig(t)
+	f := field.Prime{}
+	rng := rand.New(rand.NewPCG(61, 67))
+	a := Random(f, rng, 40, 40)
+	b := Random(f, rng, 40, 40)
+	x := RandomVec(f, rng, 40)
+
+	for _, spec := range []bool{false, true} {
+		for _, par := range []bool{false, true} {
+			SetSpecializedKernels(spec)
+			SetParallelKernels(par)
+			SetParallelThreshold(1)
+			for i := 0; i < 3; i++ {
+				_ = Mul(f, a, b)
+				_ = MulVec(f, a, x)
+				_ = Add(f, a, b)
+				_ = Sub(f, a, b)
+			}
+		}
+	}
+
+	allowed := map[string]map[string]bool{
+		"op":   {"mul": true, "mulvec": true, "add": true, "sub": true},
+		"impl": {"specialized": true, "generic": true},
+		"mode": {"serial": true, "parallel": true},
+	}
+	snap := obs.Default().Snapshot()
+	foundDispatch, foundPool := false, false
+	for _, fam := range snap.Metrics {
+		switch fam.Name {
+		case obs.MetricKernelDispatchTotal:
+			foundDispatch = true
+			if len(fam.Series) > 16 {
+				t.Fatalf("%s has %d series, want <= 16", fam.Name, len(fam.Series))
+			}
+			var total float64
+			for _, s := range fam.Series {
+				if len(s.Labels) != 3 {
+					t.Fatalf("dispatch series has labels %v, want op/impl/mode", s.Labels)
+				}
+				for key, vals := range allowed {
+					if !vals[s.Labels[key]] {
+						t.Fatalf("dispatch label %s=%q outside the bounded set", key, s.Labels[key])
+					}
+				}
+				total += s.Value
+			}
+			if total < 4*4*3 { // 4 configs × 4 ops × 3 reps, plus whatever other tests recorded
+				t.Fatalf("dispatch counters sum to %g, want >= 48", total)
+			}
+		case obs.MetricKernelPoolSize:
+			foundPool = true
+			if len(fam.Series) != 1 {
+				t.Fatalf("%s has %d series, want 1 (no labels)", fam.Name, len(fam.Series))
+			}
+			if v := fam.Series[0].Value; v < 0 {
+				t.Fatalf("pool size gauge = %g, want >= 0", v)
+			}
+		}
+	}
+	if !foundDispatch || !foundPool {
+		t.Fatalf("kernel metrics missing from registry: dispatch=%v pool=%v", foundDispatch, foundPool)
+	}
+}
+
+// TestKernelPoolGaugeReflectsStartedPool checks the gauge reports the
+// worker count once a parallel dispatch has started the pool.
+func TestKernelPoolGaugeReflectsStartedPool(t *testing.T) {
+	restoreKernelConfig(t)
+	f := field.Prime{}
+	rng := rand.New(rand.NewPCG(71, 73))
+	a := Random(f, rng, 16, 16)
+	SetParallelKernels(true)
+	SetParallelThreshold(1)
+	_ = Add(f, a, a) // forces a parallelFor with work >= threshold
+	if poolSize.Load() == 0 {
+		// A 1-core machine never shards (shards < 2), so the pool may
+		// legitimately never start; nothing more to assert.
+		t.Skip("pool did not start (single-core shard cutoff)")
+	}
+	snap := obs.Default().Snapshot()
+	for _, fam := range snap.Metrics {
+		if fam.Name == obs.MetricKernelPoolSize {
+			if got, want := fam.Series[0].Value, float64(poolSize.Load()); got != want {
+				t.Fatalf("pool gauge = %g, want %g", got, want)
+			}
+			return
+		}
+	}
+	t.Fatal("pool size gauge not registered")
+}

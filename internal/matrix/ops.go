@@ -7,23 +7,39 @@ import (
 	"github.com/scec/scec/internal/field"
 )
 
-// Add returns a + b. It panics on shape mismatch.
+// Add returns a + b. It panics on shape mismatch. Large matrices over the
+// concrete fields run the specialized vector kernels, sharded across the
+// worker pool.
 func Add[E comparable](f field.Field[E], a, b *Dense[E]) *Dense[E] {
 	shapeMatch("Add", a, b)
 	out := New[E](a.rows, a.cols)
-	for i := range a.data {
-		out.data[i] = f.Add(a.data[i], b.data[i])
-	}
+	spec := specializedField(f)
+	par := parallelFor(len(a.data), len(a.data), func(lo, hi int) {
+		if spec && vecAddSpecialized(f, out.data[lo:hi], a.data[lo:hi], b.data[lo:hi]) {
+			return
+		}
+		for i := lo; i < hi; i++ {
+			out.data[i] = f.Add(a.data[i], b.data[i])
+		}
+	})
+	recordDispatch(opAdd, spec, par)
 	return out
 }
 
-// Sub returns a - b. It panics on shape mismatch.
+// Sub returns a - b. It panics on shape mismatch. Dispatch mirrors Add.
 func Sub[E comparable](f field.Field[E], a, b *Dense[E]) *Dense[E] {
 	shapeMatch("Sub", a, b)
 	out := New[E](a.rows, a.cols)
-	for i := range a.data {
-		out.data[i] = f.Sub(a.data[i], b.data[i])
-	}
+	spec := specializedField(f)
+	par := parallelFor(len(a.data), len(a.data), func(lo, hi int) {
+		if spec && vecSubSpecialized(f, out.data[lo:hi], a.data[lo:hi], b.data[lo:hi]) {
+			return
+		}
+		for i := lo; i < hi; i++ {
+			out.data[i] = f.Sub(a.data[i], b.data[i])
+		}
+	})
+	recordDispatch(opSub, spec, par)
 	return out
 }
 
@@ -37,27 +53,37 @@ func Scale[E comparable](f field.Field[E], s E, a *Dense[E]) *Dense[E] {
 }
 
 // Mul returns the matrix product a·b. It panics when a.Cols() != b.Rows().
-// The kernel is the standard i-k-j loop ordering, which walks both operands
-// row-major and is the cache-friendly choice for a dense product.
+// The loop ordering is the standard i-k-j, which walks both operands
+// row-major and is the cache-friendly choice for a dense product; over the
+// concrete fields the inner loop runs a monomorphized AXPY (Mersenne-61
+// lazy reduction, GF(256) table lookups, raw float64), and large products
+// are row-sharded across the worker pool.
 func Mul[E comparable](f field.Field[E], a, b *Dense[E]) *Dense[E] {
 	if a.cols != b.rows {
 		panic(fmt.Sprintf("matrix: Mul shape mismatch %dx%d · %dx%d", a.rows, a.cols, b.rows, b.cols))
 	}
 	out := New[E](a.rows, b.cols)
-	for i := 0; i < a.rows; i++ {
-		arow := a.rowView(i)
-		orow := out.rowView(i)
-		for k := 0; k < a.cols; k++ {
-			aik := arow[k]
-			if f.IsZero(aik) {
-				continue
-			}
-			brow := b.rowView(k)
-			for j := 0; j < b.cols; j++ {
-				orow[j] = f.Add(orow[j], f.Mul(aik, brow[j]))
+	spec := specializedField(f)
+	par := parallelFor(a.rows, a.rows*a.cols*b.cols, func(lo, hi int) {
+		if spec && mulRows(f, a, b, out, lo, hi) {
+			return
+		}
+		for i := lo; i < hi; i++ {
+			arow := a.rowView(i)
+			orow := out.rowView(i)
+			for k := 0; k < a.cols; k++ {
+				aik := arow[k]
+				if f.IsZero(aik) {
+					continue
+				}
+				brow := b.rowView(k)
+				for j := 0; j < b.cols; j++ {
+					orow[j] = f.Add(orow[j], f.Mul(aik, brow[j]))
+				}
 			}
 		}
-	}
+	})
+	recordDispatch(opMul, spec, par)
 	return out
 }
 
@@ -65,19 +91,38 @@ func Mul[E comparable](f field.Field[E], a, b *Dense[E]) *Dense[E] {
 // when len(x) != a.Cols(). This is the hot operation each edge device runs on
 // its coded rows.
 func MulVec[E comparable](f field.Field[E], a *Dense[E], x []E) []E {
+	out := make([]E, a.rows)
+	MulVecInto(f, a, x, out)
+	return out
+}
+
+// MulVecInto computes a·x into dst, which must have length a.Rows(). It is
+// the allocation-free variant of MulVec that coding.ComputeAll uses to run
+// every device's product directly into its slot of the gathered result.
+// Rows are dispatched to the field-specialized dot-product kernels and
+// sharded across the worker pool above the parallel threshold.
+func MulVecInto[E comparable](f field.Field[E], a *Dense[E], x []E, dst []E) {
 	if len(x) != a.cols {
 		panic(fmt.Sprintf("matrix: MulVec shape mismatch %dx%d · %d", a.rows, a.cols, len(x)))
 	}
-	out := make([]E, a.rows)
-	for i := 0; i < a.rows; i++ {
-		arow := a.rowView(i)
-		acc := f.Zero()
-		for j, xv := range x {
-			acc = f.Add(acc, f.Mul(arow[j], xv))
-		}
-		out[i] = acc
+	if len(dst) != a.rows {
+		panic(fmt.Sprintf("matrix: MulVecInto dst length %d != rows %d", len(dst), a.rows))
 	}
-	return out
+	spec := specializedField(f)
+	par := parallelFor(a.rows, a.rows*a.cols, func(lo, hi int) {
+		if spec && mulVecRows(f, a, x, dst, lo, hi) {
+			return
+		}
+		for i := lo; i < hi; i++ {
+			arow := a.rowView(i)
+			acc := f.Zero()
+			for j, xv := range x {
+				acc = f.Add(acc, f.Mul(arow[j], xv))
+			}
+			dst[i] = acc
+		}
+	})
+	recordDispatch(opMulVec, spec, par)
 }
 
 // Transpose returns aᵀ.

@@ -1,0 +1,157 @@
+package matrix
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Row-blocked parallelism for the dense kernels.
+//
+// A single package-level bounded worker pool shards large operations across
+// cores; small operations never touch it and stay on the fast serial path.
+// The pool is sized to runtime.GOMAXPROCS(0) at first use and spawns no
+// goroutines per call. Submission is non-blocking: a shard that cannot be
+// queued runs inline on the submitting goroutine, which makes nested
+// parallel operations (a parallel ComputeAll whose per-device MulVec is
+// itself above the threshold) deadlock-free by construction.
+
+// DefaultParallelThreshold is the element-operation count below which an
+// operation stays serial. At roughly a nanosecond per element operation the
+// threshold corresponds to tens of microseconds of serial work, the scale at
+// which sharding overhead starts to pay for itself.
+const DefaultParallelThreshold = 32 * 1024
+
+var (
+	parallelEnabled    atomic.Bool
+	specializedEnabled atomic.Bool
+	parallelThreshold  atomic.Int64
+
+	poolOnce  sync.Once
+	poolSize  atomic.Int64 // set once by startPool
+	poolTasks chan func()
+)
+
+func init() {
+	parallelEnabled.Store(true)
+	specializedEnabled.Store(true)
+	parallelThreshold.Store(DefaultParallelThreshold)
+}
+
+// SetParallelKernels enables or disables the parallel execution paths and
+// returns the previous setting. Benchmarks and differential tests use it to
+// pin a configuration; production code leaves it on.
+func SetParallelKernels(on bool) (prev bool) { return parallelEnabled.Swap(on) }
+
+// SetSpecializedKernels enables or disables the field-specialized kernels
+// and returns the previous setting. With specialization off every operation
+// runs the generic per-element loops, which is the reference behaviour the
+// differential tests compare against.
+func SetSpecializedKernels(on bool) (prev bool) { return specializedEnabled.Swap(on) }
+
+// SetParallelThreshold sets the element-operation count at or above which
+// Mul, MulVec, Add, Sub, and ParallelFor shard work across the pool, and
+// returns the previous threshold. Values below 1 are clamped to 1 (always
+// shard when the parallel paths are enabled and there are at least two
+// items).
+func SetParallelThreshold(ops int) (prev int) {
+	if ops < 1 {
+		ops = 1
+	}
+	return int(parallelThreshold.Swap(int64(ops)))
+}
+
+// PoolSize returns the number of workers the shared kernel pool runs (the
+// GOMAXPROCS value observed when the pool started, or the current value if
+// it has not started yet).
+func PoolSize() int {
+	if n := poolSize.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// startPool spins up the workers on first parallel use.
+func startPool() {
+	poolOnce.Do(func() {
+		n := runtime.GOMAXPROCS(0)
+		poolTasks = make(chan func(), 4*n)
+		for i := 0; i < n; i++ {
+			go func() {
+				for fn := range poolTasks {
+					fn()
+				}
+			}()
+		}
+		poolSize.Store(int64(n))
+		setPoolGauge(n)
+	})
+}
+
+// trySubmit queues fn on the pool without blocking; the caller runs fn
+// inline when the queue is full. Workers therefore never wait on other
+// shards, so saturated or nested use degrades to serial execution instead
+// of deadlocking.
+func trySubmit(fn func()) bool {
+	select {
+	case poolTasks <- fn:
+		return true
+	default:
+		return false
+	}
+}
+
+// parallelFor runs fn over the half-open index ranges that partition
+// [0, n), sharding across the pool when the parallel paths are on, work
+// (an element-operation estimate for the whole call) meets the threshold,
+// and there is more than one item and one worker. It reports whether the
+// call actually sharded; either way every index has been processed when it
+// returns.
+func parallelFor(n int, work int, fn func(lo, hi int)) (sharded bool) {
+	if n <= 0 {
+		return false
+	}
+	if n == 1 || !parallelEnabled.Load() || int64(work) < parallelThreshold.Load() {
+		fn(0, n)
+		return false
+	}
+	startPool()
+	shards := int(poolSize.Load())
+	if shards > n {
+		shards = n
+	}
+	if shards < 2 {
+		fn(0, n)
+		return false
+	}
+	chunk := (n + shards - 1) / shards
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		lo, hi := lo, hi
+		wg.Add(1)
+		task := func() {
+			defer wg.Done()
+			fn(lo, hi)
+		}
+		if !trySubmit(task) {
+			task()
+		}
+	}
+	wg.Wait()
+	return true
+}
+
+// ParallelFor shards fn across the package's bounded worker pool: fn is
+// called with disjoint half-open ranges covering [0, n), concurrently when
+// n and the work estimate (total element operations for the call) clear the
+// parallel threshold, serially otherwise. fn must be safe to run
+// concurrently on disjoint ranges. Sibling packages (coding) use it to
+// parallelize across devices with the same pool, threshold, and tuning
+// knobs as the in-package kernels.
+func ParallelFor(n int, work int, fn func(lo, hi int)) {
+	parallelFor(n, work, fn)
+}

@@ -34,6 +34,18 @@ const (
 	MetricRPCServerRead     = "scec_rpc_server_read_bytes_total"
 	MetricRPCServerWritten  = "scec_rpc_server_written_bytes_total"
 
+	// MetricKernelDispatchTotal counts dense-kernel executions in
+	// internal/matrix, labelled op=mul|mulvec|add|sub,
+	// impl=specialized|generic, and mode=serial|parallel — at most 16
+	// series, so the dispatch decisions the kernel layer makes (fast
+	// monomorphized code vs. the generic Field fallback, sharded vs.
+	// single-core) are directly observable on /metrics.
+	MetricKernelDispatchTotal = "scec_kernel_dispatch_total"
+	// MetricKernelPoolSize is a gauge holding the worker count of the
+	// shared dense-kernel pool (GOMAXPROCS at pool start; 0 until the
+	// first parallel dispatch spins it up).
+	MetricKernelPoolSize = "scec_kernel_pool_size"
+
 	// MetricSimDeviceResultSeconds is a per-device gauge (label device="j",
 	// scheme order) of the virtual time at which device j's intermediate
 	// results reached the user in the most recent simulated run.
