@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench bench-json bench-check fuzz reproduce examples clean
+.PHONY: all build vet test test-short test-fault bench bench-json bench-check fuzz reproduce examples clean
 
 all: build vet test
 
@@ -19,6 +19,12 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+# Fault-injection suite: drives the fleet runtime through dropped, delayed,
+# black-holed, and truncated replicas (plus the concurrent kill-and-repair
+# stream) under the race detector.
+test-fault:
+	$(GO) test -race -run Fault ./internal/fleet/ ./cmd/scecnet/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -1,0 +1,175 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"time"
+
+	"github.com/scec/scec"
+	"github.com/scec/scec/internal/fleet"
+	"github.com/scec/scec/internal/obs"
+	"github.com/scec/scec/internal/transport"
+	"github.com/scec/scec/internal/workload"
+)
+
+// runFleet launches a replicated loopback fleet, serves a stream of queries
+// through the fault-tolerant session, and — with -inject-faults — kills the
+// first replica of every coded block mid-stream to demonstrate that hedging,
+// failover, breakers, and standby self-repair keep every answer exact.
+func runFleet(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("scecnet fleet", flag.ContinueOnError)
+	var (
+		m            = fs.Int("m", 100, "rows of the confidential matrix A")
+		l            = fs.Int("l", 32, "columns of A")
+		k            = fs.Int("k", 8, "candidate devices offered to the allocator")
+		replicas     = fs.Int("replicas", 2, "replicas per coded block")
+		standbys     = fs.Int("standbys", 1, "warm standby devices for self-repair")
+		queries      = fs.Int("queries", 8, "MulVec queries to stream through the session")
+		hedgeAfter   = fs.Duration("hedge-after", 0, "hedge delay before a speculative replica request (0 adaptive, negative off)")
+		maxRetries   = fs.Int("max-retries", fleet.DefaultMaxRetries, "extra replica-selection rounds per block fetch (negative for none)")
+		injectFaults = fs.Bool("inject-faults", false, "kill the first replica of every block mid-stream")
+		seed         = fs.Uint64("seed", 1, "random seed")
+		metricsAddr  = fs.String("metrics-addr", "", "serve /metrics, /healthz, and /debug endpoints on this address")
+		timeout      = fs.Duration("timeout", transport.DefaultTimeout, "per-round-trip bound for store and compute requests")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *replicas < 1 || *standbys < 0 {
+		return fmt.Errorf("need -replicas >= 1 and -standbys >= 0")
+	}
+	ms, err := startMetrics(out, *metricsAddr)
+	if err != nil {
+		return err
+	}
+	if ms != nil {
+		defer ms.Close()
+	}
+
+	f := scec.PrimeField()
+	rng := rand.New(rand.NewPCG(*seed, 0xf1ee7))
+	in := workload.Instance(rng, *m, *k, workload.Uniform{Max: 5})
+	a := scec.RandomMatrix(f, rng, *m, *l)
+	dep, err := scec.Deploy(f, a, in.Costs, rng)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "plan: r=%d, %d coded blocks, cost %.2f\n", dep.Plan.R, dep.Devices(), dep.Cost())
+
+	// Physical fleet: replicas per block plus the standby pool, every device
+	// behind a fault proxy so -inject-faults can kill replicas on command.
+	newProxied := func() (*fleet.FaultProxy, error) {
+		srv, err := transport.NewDeviceServerOptions[uint64](f, "127.0.0.1:0", transport.Options{Timeout: *timeout})
+		if err != nil {
+			return nil, err
+		}
+		p, err := fleet.NewFaultProxy(srv.Addr())
+		if err != nil {
+			_ = srv.Close()
+			return nil, err
+		}
+		return p, nil
+	}
+	proxies := make([][]*fleet.FaultProxy, dep.Devices())
+	cfg := scec.FleetConfig{
+		Replicas:   make([][]string, dep.Devices()),
+		RPCTimeout: *timeout,
+		HedgeAfter: *hedgeAfter,
+		MaxRetries: *maxRetries,
+		// Demo-paced health policy: notice a dead replica within a few
+		// hundred milliseconds and keep it quarantined for the whole run.
+		ProbeInterval:    150 * time.Millisecond,
+		BreakerThreshold: 2,
+		BreakerCooldown:  time.Minute,
+	}
+	for j := range proxies {
+		for range *replicas {
+			p, err := newProxied()
+			if err != nil {
+				return err
+			}
+			defer p.Close()
+			proxies[j] = append(proxies[j], p)
+			cfg.Replicas[j] = append(cfg.Replicas[j], p.Addr())
+		}
+	}
+	for range *standbys {
+		p, err := newProxied()
+		if err != nil {
+			return err
+		}
+		defer p.Close()
+		cfg.Standbys = append(cfg.Standbys, p.Addr())
+	}
+	fmt.Fprintf(out, "launched %d loopback devices (%d replicas per block + %d standbys)\n",
+		dep.Devices()**replicas+*standbys, *replicas, *standbys)
+
+	s, err := scec.Serve(dep, cfg)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+
+	faultAt := *queries / 2
+	for q := 0; q < *queries; q++ {
+		if *injectFaults && q == faultAt {
+			for j := range proxies {
+				proxies[j][0].SetMode(fleet.FaultDrop)
+			}
+			fmt.Fprintf(out, "injected faults: killed the first replica of all %d blocks\n", dep.Devices())
+		}
+		x := scec.RandomVector(f, rng, *l)
+		got, err := s.MulVec(x)
+		if err != nil {
+			if errors.Is(err, scec.ErrBlockUnavailable) {
+				return fmt.Errorf("query %d: %w (raise -replicas or -standbys)", q, err)
+			}
+			return fmt.Errorf("query %d: %w", q, err)
+		}
+		want := scec.MulVec(f, a, x)
+		for i := range got {
+			if got[i] != want[i] {
+				return fmt.Errorf("query %d: verification failed at entry %d", q, i)
+			}
+		}
+	}
+	fmt.Fprintf(out, "served %d queries; every decoded A·x verified exactly\n", *queries)
+
+	if *injectFaults && *replicas > 1 && *standbys > 0 {
+		// Give the prober a moment to open the dead replicas' breakers and
+		// promote standbys, then show the repaired replica sets.
+		deadline := time.Now().Add(5 * time.Second)
+		for s.Standbys() > 0 && time.Now().Before(deadline) {
+			time.Sleep(50 * time.Millisecond)
+		}
+		for j := 0; j < dep.Devices(); j++ {
+			fmt.Fprintf(out, "block %d: %d replicas after self-repair\n", j, s.ReplicaCount(j))
+		}
+	}
+	if err := writeFleetSummary(out); err != nil {
+		return err
+	}
+	return writeStageTable(out)
+}
+
+// writeFleetSummary prints the session's fault-tolerance counters from the
+// default registry.
+func writeFleetSummary(out io.Writer) error {
+	totals := map[string]float64{}
+	for _, fam := range obs.Default().Snapshot().Metrics {
+		switch fam.Name {
+		case obs.MetricFleetQueriesTotal, obs.MetricFleetHedgesTotal,
+			obs.MetricFleetRetriesTotal, obs.MetricFleetRepairsTotal:
+			for _, sr := range fam.Series {
+				totals[fam.Name] += sr.Value
+			}
+		}
+	}
+	_, err := fmt.Fprintf(out, "fleet summary: queries=%.0f hedges=%.0f retries=%.0f repairs=%.0f\n",
+		totals[obs.MetricFleetQueriesTotal], totals[obs.MetricFleetHedgesTotal],
+		totals[obs.MetricFleetRetriesTotal], totals[obs.MetricFleetRepairsTotal])
+	return err
+}

@@ -12,6 +12,11 @@
 //	scecnet demo -m 100 -l 32 -k 8
 //	    start an ephemeral loopback fleet in-process and drive it end to end
 //
+//	scecnet fleet -m 100 -l 32 -replicas 2 -standbys 1 -inject-faults
+//	    start a replicated loopback fleet, stream queries through the
+//	    fault-tolerant session, and (optionally) kill one replica of every
+//	    coded block mid-stream to watch failover and self-repair
+//
 // Every role accepts -metrics-addr to serve the telemetry bundle
 // (/metrics, /metrics.json, /healthz, /debug/pprof/*, /debug/vars) while it
 // runs; drive and demo print a per-stage timing table on completion, and
@@ -19,6 +24,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -44,7 +50,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: scecnet <device|drive|demo> [flags]")
+		return fmt.Errorf("usage: scecnet <device|drive|demo|fleet> [flags]")
 	}
 	switch args[0] {
 	case "device":
@@ -53,8 +59,10 @@ func run(args []string, out io.Writer) error {
 		return runDrive(args[1:], out)
 	case "demo":
 		return runDemo(args[1:], out)
+	case "fleet":
+		return runFleet(args[1:], out)
 	default:
-		return fmt.Errorf("unknown role %q (want device, drive, or demo)", args[0])
+		return fmt.Errorf("unknown role %q (want device, drive, demo, or fleet)", args[0])
 	}
 }
 
@@ -191,14 +199,14 @@ func drive(out io.Writer, addrs []string, m, l, batch int, seed uint64, timeout 
 	fmt.Fprintf(out, "plan: r=%d, %d of %d devices selected, cost %.2f\n",
 		dep.Plan.R, dep.Devices(), len(addrs), dep.Cost())
 
-	if err := (transport.Cloud[uint64]{Timeout: timeout}).Distribute(selected, dep.Encoding); err != nil {
+	if err := (transport.Cloud[uint64]{Timeout: timeout}).Distribute(context.Background(), selected, dep.Encoding); err != nil {
 		return fmt.Errorf("distribute: %w", err)
 	}
 	fmt.Fprintf(out, "cloud distributed %d coded rows across the fleet\n", m+dep.Plan.R)
 
 	client := transport.Client[uint64]{F: f, Scheme: dep.Scheme, Timeout: timeout}
 	x := scec.RandomVector(f, rng, l)
-	got, err := client.MulVec(selected, x)
+	got, err := client.MulVec(context.Background(), selected, x)
 	if err != nil {
 		return fmt.Errorf("gather: %w", err)
 	}
@@ -212,7 +220,7 @@ func drive(out io.Writer, addrs []string, m, l, batch int, seed uint64, timeout 
 
 	if batch > 0 {
 		xm := scec.RandomMatrix(f, rng, l, batch)
-		gotM, err := client.MulMat(selected, xm)
+		gotM, err := client.MulMat(context.Background(), selected, xm)
 		if err != nil {
 			return fmt.Errorf("batch gather: %w", err)
 		}

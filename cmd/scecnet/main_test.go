@@ -42,6 +42,33 @@ func TestDriveAgainstManagedFleet(t *testing.T) {
 	}
 }
 
+func TestFleetEndToEndWithFaults(t *testing.T) {
+	var out strings.Builder
+	args := []string{"fleet", "-m", "30", "-l", "6", "-k", "4", "-replicas", "2",
+		"-standbys", "1", "-queries", "4", "-inject-faults", "-seed", "3"}
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"replicas per block",
+		"injected faults: killed the first replica",
+		"served 4 queries; every decoded A·x verified exactly",
+		"fleet summary:",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestFleetFlagValidation(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"fleet", "-replicas", "0"}, &out); err == nil {
+		t.Error("zero replicas should error")
+	}
+}
+
 func TestRunUsageErrors(t *testing.T) {
 	var out strings.Builder
 	if err := run(nil, &out); err == nil {

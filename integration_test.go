@@ -65,12 +65,12 @@ func TestIntegrationDeployOverTCP(t *testing.T) {
 		t.Cleanup(func() { _ = srv.Close() })
 		addrs[j] = srv.Addr()
 	}
-	if err := (transport.Cloud[uint64]{}).Distribute(addrs, dep.Encoding); err != nil {
+	if err := (transport.Cloud[uint64]{}).Distribute(t.Context(), addrs, dep.Encoding); err != nil {
 		t.Fatal(err)
 	}
 	client := transport.Client[uint64]{F: f, Scheme: dep.Scheme}
 	x := scec.RandomVector(f, rng, 10)
-	got, err := client.MulVec(addrs, x)
+	got, err := client.MulVec(t.Context(), addrs, x)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,6 +80,64 @@ func TestIntegrationDeployOverTCP(t *testing.T) {
 			t.Fatal("TCP pipeline decoded the wrong result")
 		}
 	}
+}
+
+// TestIntegrationServeSurvivesReplicaLoss runs the public fault-tolerant
+// façade end to end: two replicas per coded block, one replica of every
+// block shut down mid-session, and the decoded A·x must stay exact.
+func TestIntegrationServeSurvivesReplicaLoss(t *testing.T) {
+	f := scec.PrimeField()
+	rng := rand.New(rand.NewPCG(19, 23))
+	a := scec.RandomMatrix(f, rng, 40, 10)
+	costs := []float64{1.1, 2.5, 0.9, 1.8}
+	dep, err := scec.Deploy(f, a, costs, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := scec.FleetConfig{
+		Replicas:      make([][]string, dep.Devices()),
+		ProbeInterval: -1, // deterministic: no background probing
+	}
+	victims := make([]*transport.DeviceServer[uint64], dep.Devices())
+	for j := range cfg.Replicas {
+		for k := 0; k < 2; k++ {
+			srv, err := transport.NewDeviceServer[uint64](f, "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { _ = srv.Close() })
+			if k == 0 {
+				victims[j] = srv
+			}
+			cfg.Replicas[j] = append(cfg.Replicas[j], srv.Addr())
+		}
+	}
+	s, err := scec.Serve(dep, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+
+	x := scec.RandomVector(f, rng, 10)
+	want := scec.MulVec(f, a, x)
+	check := func() {
+		t.Helper()
+		got, err := s.MulVec(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatal("fleet session decoded the wrong result")
+			}
+		}
+	}
+	check()
+	for _, srv := range victims {
+		_ = srv.Close()
+	}
+	check() // failover must keep the answer exact
 }
 
 // TestQuickDeployAlwaysCorrectAndBlind is a testing/quick property over the

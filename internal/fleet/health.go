@@ -1,0 +1,169 @@
+package fleet
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"github.com/scec/scec/internal/obs"
+)
+
+// BreakerState is a device circuit breaker's position. The gauge
+// MetricFleetBreakerState exports the numeric value per device.
+type BreakerState int
+
+const (
+	// BreakerClosed admits requests normally.
+	BreakerClosed BreakerState = iota
+	// BreakerHalfOpen admits trial requests after a cooldown; one success
+	// closes the breaker, one failure re-opens it.
+	BreakerHalfOpen
+	// BreakerOpen rejects requests until the cooldown elapses.
+	BreakerOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerHalfOpen:
+		return "half-open"
+	case BreakerOpen:
+		return "open"
+	}
+	return "invalid"
+}
+
+const breakerHelp = "Per-device circuit breaker state: 0 closed, 1 half-open, 2 open."
+
+// device is one physical edge device: an address plus its breaker.
+type device struct {
+	addr  string
+	gauge *obs.Gauge
+
+	mu       sync.Mutex
+	state    BreakerState
+	fails    int       // consecutive failures
+	openedAt time.Time // when the breaker last opened
+}
+
+// recordSuccess closes the breaker.
+func (d *device) recordSuccess() {
+	d.mu.Lock()
+	d.state = BreakerClosed
+	d.fails = 0
+	d.gauge.Set(float64(BreakerClosed))
+	d.mu.Unlock()
+}
+
+// recordFailure counts a consecutive failure and opens the breaker at the
+// threshold (immediately, for a failed half-open trial).
+func (d *device) recordFailure(threshold int) {
+	d.mu.Lock()
+	d.fails++
+	if d.state == BreakerHalfOpen || (d.state == BreakerClosed && d.fails >= threshold) {
+		d.state = BreakerOpen
+		d.openedAt = time.Now()
+		d.gauge.Set(float64(BreakerOpen))
+	}
+	d.mu.Unlock()
+}
+
+// admissible reports whether a request may route to the device now. An open
+// breaker past its cooldown transitions to half-open and admits a trial.
+func (d *device) admissible(now time.Time, cooldown time.Duration) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	switch d.state {
+	case BreakerClosed, BreakerHalfOpen:
+		return true
+	default: // BreakerOpen
+		if now.Sub(d.openedAt) < cooldown {
+			return false
+		}
+		d.state = BreakerHalfOpen
+		d.gauge.Set(float64(BreakerHalfOpen))
+		return true
+	}
+}
+
+// healthy reports whether the breaker is fully closed. Half-open devices are
+// suspects: they may serve trials, but they do not count toward a block's
+// healthy replica target.
+func (d *device) healthy() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.state == BreakerClosed
+}
+
+// State returns the breaker's current position (exported for tests and the
+// CLI's fleet summary).
+func (d *device) State() BreakerState {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.state
+}
+
+// candidates snapshots the block's replica set in routing order: closed
+// breakers first (provisioning order preserved — replica 0 is the default
+// leader), then half-open and cooled-down-open devices as trial fallbacks.
+// Devices inside an open breaker's cooldown are excluded entirely.
+func (b *blockState[E]) candidates(now time.Time, cooldown time.Duration) []*device {
+	b.mu.Lock()
+	replicas := make([]*device, len(b.replicas))
+	copy(replicas, b.replicas)
+	b.mu.Unlock()
+	var closed, trial []*device
+	for _, d := range replicas {
+		if d.healthy() {
+			closed = append(closed, d)
+		} else if d.admissible(now, cooldown) {
+			trial = append(trial, d)
+		}
+	}
+	return append(closed, trial...)
+}
+
+// probeLoop pings the whole physical fleet (replicas and standbys) every
+// ProbeInterval, feeding the breakers — so dead devices stop receiving
+// queries even between queries, and recovered devices are noticed — and
+// triggering self-repair of degraded blocks.
+func (s *Session[E]) probeLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case <-t.C:
+			s.probeOnce()
+		}
+	}
+}
+
+// probeOnce pings every device concurrently and then runs the repair check.
+func (s *Session[E]) probeOnce() {
+	var wg sync.WaitGroup
+	for _, d := range s.devices {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(s.ctx, s.cfg.ProbeTimeout)
+			defer cancel()
+			err := s.probe.Ping(ctx, d.addr)
+			switch {
+			case err == nil:
+				d.recordSuccess()
+			case s.ctx.Err() != nil:
+				// Session shutdown, not a device verdict.
+			default:
+				d.recordFailure(s.cfg.BreakerThreshold)
+			}
+		}()
+	}
+	wg.Wait()
+	if !s.cfg.DisableRepair {
+		s.checkRepairs()
+	}
+}

@@ -1,0 +1,263 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"time"
+
+	"github.com/scec/scec/internal/coding"
+	"github.com/scec/scec/internal/matrix"
+	"github.com/scec/scec/internal/obs"
+)
+
+// MulVec computes A·x through the replicated fleet: every logical block is
+// fetched from its replica set concurrently (racing, hedging, and retrying
+// as needed), the intermediate results are concatenated in scheme device
+// order, and the result decodes with m subtractions — bit-identical to the
+// unreplicated pipeline, since every replica of block j returns the same
+// B_j·T·x.
+func (s *Session[E]) MulVec(x []E) ([]E, error) {
+	if len(x) != s.cols {
+		return nil, fmt.Errorf("fleet: input vector has %d entries, want %d", len(x), s.cols)
+	}
+	s.met.queries(kindVec).Inc()
+	ctx, cancel := context.WithTimeout(s.ctx, s.cfg.QueryTimeout)
+	defer cancel()
+
+	gather := obs.StartStage(s.reg, obs.StageGather)
+	parts := make([][]E, len(s.blocks))
+	errs := make([]error, len(s.blocks))
+	var wg sync.WaitGroup
+	for j, b := range s.blocks {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			parts[j], errs[j] = fetchBlock(s, ctx, b, func(ctx context.Context, addr string) ([]E, error) {
+				y, err := s.client.Compute(ctx, addr, x)
+				if err == nil && len(y) != b.want {
+					err = fmt.Errorf("fleet: replica %s returned %d values for block %d, want %d", addr, len(y), b.index, b.want)
+				}
+				return y, err
+			})
+		}()
+	}
+	wg.Wait()
+	gather.End()
+	for _, err := range errs {
+		if err != nil {
+			s.met.queryErrors(kindVec).Inc()
+			return nil, err
+		}
+	}
+	y := make([]E, 0, s.scheme.M()+s.scheme.R())
+	for _, p := range parts {
+		y = append(y, p...)
+	}
+	defer obs.StartStage(s.reg, obs.StageDecode).End()
+	return coding.Decode(s.f, s.scheme, y)
+}
+
+// MulMat computes A·X for an l×n input matrix through the fleet — the batch
+// generalization, with the same per-block fault tolerance as MulVec.
+func (s *Session[E]) MulMat(x *matrix.Dense[E]) (*matrix.Dense[E], error) {
+	if x.Rows() != s.cols {
+		return nil, fmt.Errorf("fleet: input matrix has %d rows, want %d", x.Rows(), s.cols)
+	}
+	s.met.queries(kindMat).Inc()
+	ctx, cancel := context.WithTimeout(s.ctx, s.cfg.QueryTimeout)
+	defer cancel()
+
+	xRows := make([][]E, x.Rows())
+	for i := range xRows {
+		xRows[i] = x.Row(i)
+	}
+	gather := obs.StartStage(s.reg, obs.StageGather)
+	parts := make([]*matrix.Dense[E], len(s.blocks))
+	errs := make([]error, len(s.blocks))
+	var wg sync.WaitGroup
+	for j, b := range s.blocks {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rows, err := fetchBlock(s, ctx, b, func(ctx context.Context, addr string) ([][]E, error) {
+				rows, err := s.client.ComputeBatch(ctx, addr, xRows)
+				if err == nil && len(rows) != b.want {
+					err = fmt.Errorf("fleet: replica %s returned %d rows for block %d, want %d", addr, len(rows), b.index, b.want)
+				}
+				return rows, err
+			})
+			if err != nil {
+				errs[j] = err
+				return
+			}
+			parts[j] = matrix.FromRows(rows)
+		}()
+	}
+	wg.Wait()
+	gather.End()
+	for _, err := range errs {
+		if err != nil {
+			s.met.queryErrors(kindMat).Inc()
+			return nil, err
+		}
+	}
+	y := matrix.VStack(parts...)
+	defer obs.StartStage(s.reg, obs.StageDecode).End()
+	return coding.DecodeBatch(s.f, s.scheme, y)
+}
+
+// fetchBlock obtains one logical block's intermediate result from its
+// replica set: it races the admissible replicas (with hedging and in-race
+// failover), and re-runs the race up to MaxRetries extra rounds with
+// exponential backoff plus full jitter. Every failure path returns a
+// *BlockUnavailableError.
+func fetchBlock[E comparable, T any](s *Session[E], ctx context.Context, b *blockState[E], call func(context.Context, string) (T, error)) (T, error) {
+	var zero T
+	backoff := s.cfg.RetryBackoff
+	var lastErr error
+	for round := 0; ; round++ {
+		cands := b.candidates(time.Now(), s.cfg.BreakerCooldown)
+		if len(cands) > 0 {
+			v, err := raceReplicas(s, ctx, b, cands, call)
+			if err == nil {
+				return v, nil
+			}
+			lastErr = err
+		} else if lastErr == nil {
+			lastErr = errors.New("no admissible replicas (every breaker open)")
+		}
+		if ctx.Err() != nil || round >= s.cfg.MaxRetries {
+			return zero, &BlockUnavailableError{Block: b.index, Attempts: round + 1, Err: lastErr}
+		}
+		s.met.retries.Inc()
+		if !sleepCtx(ctx, jitter(backoff)) {
+			return zero, &BlockUnavailableError{Block: b.index, Attempts: round + 1, Err: ctx.Err()}
+		}
+		if backoff *= 2; backoff > time.Second {
+			backoff = time.Second
+		}
+	}
+}
+
+// attempt is one replica request's outcome inside a race.
+type attempt[T any] struct {
+	v   T
+	err error
+}
+
+// raceReplicas runs one first-winner round over the candidate replicas:
+// the leader launches immediately, a hedged attempt launches whenever the
+// hedge delay elapses with no verdict, and a failed attempt immediately
+// fails over to the next candidate. The first success wins and cancels the
+// losers (the transport aborts their in-flight I/O); per-candidate at most
+// one attempt launches per round.
+func raceReplicas[E comparable, T any](s *Session[E], ctx context.Context, b *blockState[E], cands []*device, call func(context.Context, string) (T, error)) (T, error) {
+	var zero T
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make(chan attempt[T], len(cands))
+	start := time.Now()
+	launch := func(d *device) {
+		go func() {
+			v, err := call(rctx, d.addr)
+			switch {
+			case err == nil:
+				d.recordSuccess()
+			case errors.Is(err, context.Canceled) && rctx.Err() != nil:
+				// Cancelled loser, not a device verdict.
+			default:
+				d.recordFailure(s.cfg.BreakerThreshold)
+			}
+			results <- attempt[T]{v, err}
+		}()
+	}
+	next := 0
+	launch(cands[next])
+	next++
+	pending := 1
+	hedge := time.NewTimer(s.hedgeDelay())
+	defer hedge.Stop()
+	var lastErr error
+	for {
+		select {
+		case r := <-results:
+			pending--
+			if r.err == nil {
+				d := time.Since(start)
+				s.lat.observe(d)
+				s.met.winner(b.index).ObserveDuration(d)
+				return r.v, nil
+			}
+			lastErr = r.err
+			if next < len(cands) {
+				s.met.retries.Inc()
+				launch(cands[next])
+				next++
+				pending++
+			} else if pending == 0 {
+				return zero, lastErr
+			}
+		case <-hedge.C:
+			if next < len(cands) {
+				s.met.hedges.Inc()
+				launch(cands[next])
+				next++
+				pending++
+				hedge.Reset(s.hedgeDelay())
+			}
+		case <-rctx.Done():
+			if lastErr == nil {
+				lastErr = rctx.Err()
+			}
+			return zero, lastErr
+		}
+	}
+}
+
+// hedgeDelay resolves the speculative-request delay: the configured fixed
+// value, or — when adaptive — the p95 of recent winner latencies, clamped
+// to [1ms, RPCTimeout]. A negative HedgeAfter disables hedging by pushing
+// the delay past the per-attempt timeout.
+func (s *Session[E]) hedgeDelay() time.Duration {
+	if s.cfg.HedgeAfter > 0 {
+		return s.cfg.HedgeAfter
+	}
+	if s.cfg.HedgeAfter < 0 {
+		return s.cfg.RPCTimeout + s.cfg.QueryTimeout
+	}
+	d, ok := s.lat.percentile(0.95)
+	if !ok {
+		return DefaultHedgeAfter
+	}
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	if d > s.cfg.RPCTimeout {
+		d = s.cfg.RPCTimeout
+	}
+	return d
+}
+
+// jitter draws a full-jitter delay: uniform in [d/2, d].
+func jitter(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	return d/2 + rand.N(d/2)
+}
+
+// sleepCtx sleeps for d unless ctx ends first; it reports whether the full
+// sleep completed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

@@ -1,0 +1,106 @@
+package fleet
+
+import (
+	"context"
+
+	"github.com/scec/scec/internal/obs"
+)
+
+// checkRepairs scans every block after a probe round and starts a background
+// repair for each one whose healthy replica count fell below its provisioned
+// target, while a healthy standby is available. At most one repair per block
+// runs at a time.
+func (s *Session[E]) checkRepairs() {
+	for _, b := range s.blocks {
+		b.mu.Lock()
+		healthy := 0
+		for _, d := range b.replicas {
+			if d.healthy() {
+				healthy++
+			}
+		}
+		start := healthy < b.target && !b.repairing
+		if start {
+			b.repairing = true
+		}
+		b.mu.Unlock()
+		if !start {
+			continue
+		}
+		sb := s.takeStandby()
+		if sb == nil {
+			b.mu.Lock()
+			b.repairing = false
+			b.mu.Unlock()
+			continue
+		}
+		s.wg.Add(1)
+		go s.repair(b, sb)
+	}
+}
+
+// repair pushes the block's retained coded rows to the standby and promotes
+// it into the replica set. Replicas of the same block are security-
+// equivalent (the standby's view is exactly L(B_j), Def. 2), so no
+// re-encode of the deployment is needed. A failed push counts against the
+// standby's breaker and returns it to the pool for a later attempt.
+func (s *Session[E]) repair(b *blockState[E], sb *device) {
+	defer s.wg.Done()
+	ctx, cancel := context.WithTimeout(s.ctx, s.cfg.RPCTimeout)
+	defer cancel()
+	sp := obs.StartStage(s.reg, obs.StageStore) // a repair re-runs the pipeline's store stage
+	err := s.cloud.Store(ctx, sb.addr, b.rows)
+	sp.End()
+	b.mu.Lock()
+	b.repairing = false
+	if err == nil {
+		b.replicas = append(b.replicas, sb)
+	}
+	b.mu.Unlock()
+	if err != nil {
+		s.met.repairs(outcomeFailed).Inc()
+		if s.ctx.Err() == nil {
+			sb.recordFailure(s.cfg.BreakerThreshold)
+		}
+		s.returnStandby(sb)
+		return
+	}
+	sb.recordSuccess()
+	s.met.repairs(outcomeOK).Inc()
+}
+
+// takeStandby pops the first healthy standby, or nil.
+func (s *Session[E]) takeStandby() *device {
+	s.standbyMu.Lock()
+	defer s.standbyMu.Unlock()
+	for i, d := range s.standbys {
+		if d.healthy() {
+			s.standbys = append(s.standbys[:i], s.standbys[i+1:]...)
+			return d
+		}
+	}
+	return nil
+}
+
+// returnStandby puts a standby back into the pool after a failed repair.
+func (s *Session[E]) returnStandby(d *device) {
+	s.standbyMu.Lock()
+	s.standbys = append(s.standbys, d)
+	s.standbyMu.Unlock()
+}
+
+// Standbys reports how many unpromoted standbys remain.
+func (s *Session[E]) Standbys() int {
+	s.standbyMu.Lock()
+	defer s.standbyMu.Unlock()
+	return len(s.standbys)
+}
+
+// ReplicaCount reports block j's current replica-set size (provisioned
+// replicas plus promoted standbys), for operators and tests.
+func (s *Session[E]) ReplicaCount(j int) int {
+	b := s.blocks[j]
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.replicas)
+}

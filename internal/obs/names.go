@@ -46,6 +46,36 @@ const (
 	// first parallel dispatch spins it up).
 	MetricKernelPoolSize = "scec_kernel_pool_size"
 
+	// Fleet-runtime (internal/fleet) metrics. Label sets are bounded by
+	// construction, following the scec_kernel_dispatch_total convention:
+	// device labels range over the fixed provisioned fleet, block labels
+	// over the scheme's device count, kind over {vec, mat}, and outcome
+	// over {ok, failed}.
+
+	// MetricFleetQueriesTotal counts queries served by a fleet session,
+	// labelled kind=vec|mat.
+	MetricFleetQueriesTotal = "scec_fleet_queries_total"
+	// MetricFleetQueryErrorsTotal counts queries that failed after
+	// exhausting every replica, retry, and hedge, labelled kind=vec|mat.
+	MetricFleetQueryErrorsTotal = "scec_fleet_query_errors_total"
+	// MetricFleetHedgesTotal counts speculative (hedged) replica requests
+	// launched because the leading attempt outlived the hedge delay.
+	MetricFleetHedgesTotal = "scec_fleet_hedges_total"
+	// MetricFleetRetriesTotal counts replica attempts launched because a
+	// prior attempt failed — both in-race failovers and fresh backoff
+	// rounds.
+	MetricFleetRetriesTotal = "scec_fleet_retries_total"
+	// MetricFleetRepairsTotal counts self-repair pushes of a coded block to
+	// a warm standby, labelled outcome=ok|failed.
+	MetricFleetRepairsTotal = "scec_fleet_repairs_total"
+	// MetricFleetBreakerState is a per-device gauge (label device=<addr>) of
+	// the circuit-breaker state: 0 closed, 1 half-open, 2 open.
+	MetricFleetBreakerState = "scec_fleet_breaker_state"
+	// MetricFleetBlockWinnerSeconds is a per-block histogram (label
+	// block="j", scheme order) of the latency of the winning replica
+	// attempt for each served block fetch.
+	MetricFleetBlockWinnerSeconds = "scec_fleet_block_winner_seconds"
+
 	// MetricSimDeviceResultSeconds is a per-device gauge (label device="j",
 	// scheme order) of the virtual time at which device j's intermediate
 	// results reached the user in the most recent simulated run.

@@ -20,6 +20,10 @@ import (
 // view is the same as in the base scheme (replicas of the *same* block
 // learn nothing more together; replicas of *different* blocks colluding is
 // the §VI threat model handled by coding.CollusionScheme).
+//
+// This file studies the mechanism under the virtual clock; internal/fleet is
+// its production counterpart over the real TCP transport, adding hedging,
+// retries, circuit breakers, and background standby self-repair.
 
 // ErrAllReplicasFailed is returned when every replica of some logical block
 // failed, making decoding impossible.

@@ -25,13 +25,13 @@ func TestMulMatEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	addrs, _ := startFleet[uint64](t, f, s.Devices())
-	if err := (Cloud[uint64]{}).Distribute(addrs, enc); err != nil {
+	if err := (Cloud[uint64]{}).Distribute(t.Context(), addrs, enc); err != nil {
 		t.Fatal(err)
 	}
 
 	client := Client[uint64]{F: f, Scheme: s}
 	x := matrix.Random[uint64](f, rng, l, n)
-	got, err := client.MulMat(addrs, x)
+	got, err := client.MulMat(t.Context(), addrs, x)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,16 +54,16 @@ func TestMulMatRemoteValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	addrs, _ := startFleet[uint64](t, f, s.Devices())
-	if err := (Cloud[uint64]{}).Distribute(addrs, enc); err != nil {
+	if err := (Cloud[uint64]{}).Distribute(t.Context(), addrs, enc); err != nil {
 		t.Fatal(err)
 	}
 	client := Client[uint64]{F: f, Scheme: s}
 	// Wrong X row count (needs l = 5 rows).
-	if _, err := client.MulMat(addrs, matrix.New[uint64](3, 2)); !errors.Is(err, ErrRemote) {
+	if _, err := client.MulMat(t.Context(), addrs, matrix.New[uint64](3, 2)); !errors.Is(err, ErrRemote) {
 		t.Fatalf("err = %v, want ErrRemote", err)
 	}
 	// Zero-column X.
-	if _, err := client.MulMat(addrs, matrix.New[uint64](5, 0)); !errors.Is(err, ErrRemote) {
+	if _, err := client.MulMat(t.Context(), addrs, matrix.New[uint64](5, 0)); !errors.Is(err, ErrRemote) {
 		t.Fatalf("zero-column err = %v, want ErrRemote", err)
 	}
 }
@@ -76,7 +76,7 @@ func TestMulMatBeforeStore(t *testing.T) {
 	}
 	addrs, _ := startFleet[uint64](t, f, s.Devices())
 	client := Client[uint64]{F: f, Scheme: s}
-	if _, err := client.MulMat(addrs, matrix.New[uint64](5, 2)); !errors.Is(err, ErrRemote) {
+	if _, err := client.MulMat(t.Context(), addrs, matrix.New[uint64](5, 2)); !errors.Is(err, ErrRemote) {
 		t.Fatalf("err = %v, want ErrRemote", err)
 	}
 }
@@ -104,13 +104,13 @@ func TestGatherRawForCollusionScheme(t *testing.T) {
 	}
 
 	addrs, _ := startFleet[uint64](t, f, cs.Devices())
-	if err := (Cloud[uint64]{}).Distribute(addrs, enc); err != nil {
+	if err := (Cloud[uint64]{}).Distribute(t.Context(), addrs, enc); err != nil {
 		t.Fatal(err)
 	}
 
 	client := Client[uint64]{F: f, Timeout: 2 * time.Second}
 	x := matrix.RandomVec[uint64](f, rng, l)
-	y, err := client.Gather(addrs, rows, x)
+	y, err := client.Gather(t.Context(), addrs, rows, x)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,15 +137,15 @@ func TestDeviceStats(t *testing.T) {
 		t.Fatal(err)
 	}
 	addrs, servers := startFleet[uint64](t, f, s.Devices())
-	if err := (Cloud[uint64]{}).Distribute(addrs, enc); err != nil {
+	if err := (Cloud[uint64]{}).Distribute(t.Context(), addrs, enc); err != nil {
 		t.Fatal(err)
 	}
 	client := Client[uint64]{F: f, Scheme: s}
 	x := matrix.RandomVec[uint64](f, rng, 3)
-	if _, err := client.MulVec(addrs, x); err != nil {
+	if _, err := client.MulVec(t.Context(), addrs, x); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := client.MulMat(addrs, matrix.Random[uint64](f, rng, 3, 2)); err != nil {
+	if _, err := client.MulMat(t.Context(), addrs, matrix.Random[uint64](f, rng, 3, 2)); err != nil {
 		t.Fatal(err)
 	}
 	for j, srv := range servers {
@@ -173,12 +173,12 @@ func TestDeviceElementCap(t *testing.T) {
 	for i := range big {
 		big[i] = make([]uint64, 3)
 	}
-	if _, err := roundTrip[uint64](srv.Addr(), time.Second, nil, request[uint64]{Kind: kindStore, Block: big}); !errors.Is(err, ErrRemote) {
+	if _, err := roundTrip[uint64](t.Context(), srv.Addr(), time.Second, nil, request[uint64]{Kind: kindStore, Block: big}); !errors.Is(err, ErrRemote) {
 		t.Fatalf("oversized store err = %v, want ErrRemote", err)
 	}
 	// A 2×3 block (6 elements) fits.
 	small := big[:2]
-	if _, err := roundTrip[uint64](srv.Addr(), time.Second, nil, request[uint64]{Kind: kindStore, Block: small}); err != nil {
+	if _, err := roundTrip[uint64](t.Context(), srv.Addr(), time.Second, nil, request[uint64]{Kind: kindStore, Block: small}); err != nil {
 		t.Fatalf("in-cap store rejected: %v", err)
 	}
 	// An oversized batch request is rejected too.
@@ -186,7 +186,7 @@ func TestDeviceElementCap(t *testing.T) {
 	for i := range xm {
 		xm[i] = make([]uint64, 4)
 	}
-	if _, err := roundTrip[uint64](srv.Addr(), time.Second, nil, request[uint64]{Kind: kindComputeBatch, XMat: xm}); !errors.Is(err, ErrRemote) {
+	if _, err := roundTrip[uint64](t.Context(), srv.Addr(), time.Second, nil, request[uint64]{Kind: kindComputeBatch, XMat: xm}); !errors.Is(err, ErrRemote) {
 		t.Fatalf("oversized batch err = %v, want ErrRemote", err)
 	}
 
@@ -197,7 +197,7 @@ func TestDeviceElementCap(t *testing.T) {
 
 func TestGatherValidation(t *testing.T) {
 	c := Client[uint64]{F: field.Prime{}}
-	if _, err := c.Gather([]string{"127.0.0.1:1"}, []int{1, 2}, nil); err == nil {
+	if _, err := c.Gather(t.Context(), []string{"127.0.0.1:1"}, []int{1, 2}, nil); err == nil {
 		t.Fatal("addrs/rows length mismatch should error")
 	}
 }

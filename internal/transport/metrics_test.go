@@ -59,12 +59,12 @@ func TestMetricsWired(t *testing.T) {
 		t.Cleanup(func() { _ = srv.Close() })
 		addrs[j] = srv.Addr()
 	}
-	if err := (Cloud[uint64]{Metrics: reg}).Distribute(addrs, enc); err != nil {
+	if err := (Cloud[uint64]{Metrics: reg}).Distribute(t.Context(), addrs, enc); err != nil {
 		t.Fatal(err)
 	}
 	client := Client[uint64]{F: f, Scheme: s, Metrics: reg}
 	x := matrix.RandomVec[uint64](f, rng, l)
-	if _, err := client.MulVec(addrs, x); err != nil {
+	if _, err := client.MulVec(t.Context(), addrs, x); err != nil {
 		t.Fatal(err)
 	}
 
@@ -122,7 +122,7 @@ func TestRemoteErrorPropagation(t *testing.T) {
 		t.Fatal(err)
 	}
 	client := Client[uint64]{F: f, Scheme: s, Metrics: reg}
-	_, err = client.MulVec([]string{srv.Addr(), srv.Addr()}, []uint64{1, 2, 3})
+	_, err = client.MulVec(t.Context(), []string{srv.Addr(), srv.Addr()}, []uint64{1, 2, 3})
 	if !errors.Is(err, ErrRemote) {
 		t.Fatalf("MulVec against an unprovisioned device: err = %v, want ErrRemote", err)
 	}
@@ -159,7 +159,7 @@ func TestClientTimeoutOnHangingDevice(t *testing.T) {
 	reg := obs.New()
 	const timeout = 150 * time.Millisecond
 	start := time.Now()
-	_, err = roundTrip(ln.Addr().String(), timeout, reg, request[uint64]{Kind: kindPing})
+	_, err = roundTrip(t.Context(), ln.Addr().String(), timeout, reg, request[uint64]{Kind: kindPing})
 	elapsed := time.Since(start)
 	if err == nil {
 		t.Fatal("round trip against a hanging device succeeded, want timeout error")

@@ -17,6 +17,7 @@
 package transport
 
 import (
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -317,8 +318,15 @@ func (s *DeviceServer[E]) dispatch(req request[E]) response[E] {
 }
 
 // roundTrip dials addr, sends req, and decodes the response, recording the
-// round trip (count, latency, bytes, outcome) into reg.
-func roundTrip[E comparable](addr string, timeout time.Duration, reg *obs.Registry, req request[E]) (resp response[E], err error) {
+// round trip (count, latency, bytes, outcome) into reg. The exchange is
+// bounded by both timeout and ctx: cancelling ctx aborts an in-flight dial,
+// send, or receive promptly (the fleet runtime relies on this to cancel the
+// losers of a hedged race instead of leaking them until the deadline), and
+// the returned error then wraps ctx.Err().
+func roundTrip[E comparable](ctx context.Context, addr string, timeout time.Duration, reg *obs.Registry, req request[E]) (resp response[E], err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start := time.Now()
 	var cc *countingConn
 	defer func() {
@@ -328,25 +336,52 @@ func roundTrip[E comparable](addr string, timeout time.Duration, reg *obs.Regist
 		}
 		recordClient(reg, req.Kind, time.Since(start), sent, received, err)
 	}()
-	conn, err := net.DialTimeout("tcp", addr, timeout)
+	dialer := net.Dialer{Timeout: timeout}
+	conn, err := dialer.DialContext(ctx, "tcp", addr)
 	if err != nil {
-		return response[E]{}, fmt.Errorf("transport: dial %s: %w", addr, err)
+		return response[E]{}, ctxErr(ctx, fmt.Errorf("transport: dial %s: %w", addr, err))
 	}
 	defer conn.Close()
 	cc = &countingConn{Conn: conn}
-	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+	deadline := time.Now().Add(timeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	if err := conn.SetDeadline(deadline); err != nil {
 		return response[E]{}, fmt.Errorf("transport: deadline %s: %w", addr, err)
 	}
+	// Unblock in-flight reads/writes the moment ctx is cancelled; expiring
+	// the deadline (rather than closing) keeps the teardown race-free with
+	// the deferred Close.
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			_ = conn.SetDeadline(time.Now())
+		case <-watchDone:
+		}
+	}()
 	if err := gob.NewEncoder(cc).Encode(req); err != nil {
-		return response[E]{}, fmt.Errorf("transport: send to %s: %w", addr, err)
+		return response[E]{}, ctxErr(ctx, fmt.Errorf("transport: send to %s: %w", addr, err))
 	}
 	if err := gob.NewDecoder(cc).Decode(&resp); err != nil {
-		return response[E]{}, fmt.Errorf("transport: receive from %s: %w", addr, err)
+		return response[E]{}, ctxErr(ctx, fmt.Errorf("transport: receive from %s: %w", addr, err))
 	}
 	if resp.Err != "" {
 		return response[E]{}, fmt.Errorf("%w: %s: %s", ErrRemote, addr, resp.Err)
 	}
 	return resp, nil
+}
+
+// ctxErr attributes an I/O error provoked by context cancellation back to
+// the context, so callers can distinguish a cancelled attempt (errors.Is
+// context.Canceled/DeadlineExceeded) from a genuine device failure.
+func ctxErr(ctx context.Context, err error) error {
+	if ce := ctx.Err(); ce != nil {
+		return fmt.Errorf("%w (%v)", ce, err)
+	}
+	return err
 }
 
 // Cloud is the pre-processing role: it distributes an encoding to a fleet.
@@ -358,10 +393,11 @@ type Cloud[E comparable] struct {
 	Metrics *obs.Registry
 }
 
-// Distribute pushes coded block j of enc to addrs[j] for every device. It
-// requires exactly one address per block and records the push as the
-// pipeline's store stage.
-func (c Cloud[E]) Distribute(addrs []string, enc *coding.Encoding[E]) error {
+// Distribute pushes coded block j of enc to addrs[j] for every device,
+// concurrently. It requires exactly one address per block and records the
+// push as the pipeline's store stage. Failed pushes are collected and
+// reported together, each tagged with its device index.
+func (c Cloud[E]) Distribute(ctx context.Context, addrs []string, enc *coding.Encoding[E]) error {
 	if len(addrs) != len(enc.Blocks) {
 		return fmt.Errorf("transport: %d addresses for %d coded blocks", len(addrs), len(enc.Blocks))
 	}
@@ -371,17 +407,39 @@ func (c Cloud[E]) Distribute(addrs []string, enc *coding.Encoding[E]) error {
 	}
 	reg := metricsOrDefault(c.Metrics)
 	defer obs.StartStage(reg, obs.StageStore).End()
+	errs := make([]error, len(addrs))
+	var wg sync.WaitGroup
 	for j, addr := range addrs {
-		block := enc.Blocks[j]
-		rows := make([][]E, block.Rows())
-		for i := range rows {
-			rows[i] = block.Row(i)
-		}
-		if _, err := roundTrip(addr, timeout, reg, request[E]{Kind: kindStore, Block: rows}); err != nil {
-			return fmt.Errorf("transport: distribute to device %d: %w", j, err)
-		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := c.store(ctx, addr, enc.Blocks[j], timeout, reg); err != nil {
+				errs[j] = fmt.Errorf("transport: distribute to device %d: %w", j, err)
+			}
+		}()
 	}
-	return nil
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Store pushes one coded block to a single device. The fleet runtime uses it
+// for replicated provisioning and for re-pushing a block to a warm standby;
+// unlike Distribute it records no pipeline stage, leaving that to the caller.
+func (c Cloud[E]) Store(ctx context.Context, addr string, block *matrix.Dense[E]) error {
+	timeout := c.Timeout
+	if timeout == 0 {
+		timeout = DefaultTimeout
+	}
+	return c.store(ctx, addr, block, timeout, metricsOrDefault(c.Metrics))
+}
+
+func (c Cloud[E]) store(ctx context.Context, addr string, block *matrix.Dense[E], timeout time.Duration, reg *obs.Registry) error {
+	rows := make([][]E, block.Rows())
+	for i := range rows {
+		rows[i] = block.Row(i)
+	}
+	_, err := roundTrip(ctx, addr, timeout, reg, request[E]{Kind: kindStore, Block: rows})
+	return err
 }
 
 // Client is the user role: it queries the fleet and decodes the result.
@@ -402,7 +460,7 @@ type Client[E comparable] struct {
 // without decoding. rowsOn[j] gives the expected result length of device j.
 // Callers with a structured scheme use MulVec instead; Gather exists for
 // custom decoders (e.g. the collusion scheme's Gaussian decoding).
-func (c Client[E]) Gather(addrs []string, rowsOn []int, x []E) ([]E, error) {
+func (c Client[E]) Gather(ctx context.Context, addrs []string, rowsOn []int, x []E) ([]E, error) {
 	if len(addrs) != len(rowsOn) {
 		return nil, fmt.Errorf("transport: %d addresses for %d row counts", len(addrs), len(rowsOn))
 	}
@@ -419,7 +477,7 @@ func (c Client[E]) Gather(addrs []string, rowsOn []int, x []E) ([]E, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			resp, err := roundTrip(addr, timeout, reg, request[E]{Kind: kindCompute, X: x})
+			resp, err := roundTrip(ctx, addr, timeout, reg, request[E]{Kind: kindCompute, X: x})
 			if err != nil {
 				errs[j] = err
 				return
@@ -450,12 +508,12 @@ func (c Client[E]) Gather(addrs []string, rowsOn []int, x []E) ([]E, error) {
 // concurrently, concatenates the intermediate results in device order, and
 // decodes with m subtractions. addrs must list the fleet in scheme device
 // order.
-func (c Client[E]) MulVec(addrs []string, x []E) ([]E, error) {
+func (c Client[E]) MulVec(ctx context.Context, addrs []string, x []E) ([]E, error) {
 	rowsOn, err := c.schemeRows(addrs)
 	if err != nil {
 		return nil, err
 	}
-	y, err := c.Gather(addrs, rowsOn, x)
+	y, err := c.Gather(ctx, addrs, rowsOn, x)
 	if err != nil {
 		return nil, err
 	}
@@ -463,10 +521,51 @@ func (c Client[E]) MulVec(addrs []string, x []E) ([]E, error) {
 	return coding.Decode(c.F, c.Scheme, y)
 }
 
+// Compute sends x to one device and returns its intermediate result B_j·T·x
+// without validation against a scheme. It is the single-replica primitive
+// the fleet runtime races across a replica set; scheme-order callers use
+// Gather or MulVec instead.
+func (c Client[E]) Compute(ctx context.Context, addr string, x []E) ([]E, error) {
+	timeout := c.Timeout
+	if timeout == 0 {
+		timeout = DefaultTimeout
+	}
+	resp, err := roundTrip(ctx, addr, timeout, metricsOrDefault(c.Metrics), request[E]{Kind: kindCompute, X: x})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Y, nil
+}
+
+// ComputeBatch sends the input rows X to one device and returns its
+// intermediate result rows B_j·T·X — the batch counterpart of Compute.
+func (c Client[E]) ComputeBatch(ctx context.Context, addr string, xRows [][]E) ([][]E, error) {
+	timeout := c.Timeout
+	if timeout == 0 {
+		timeout = DefaultTimeout
+	}
+	resp, err := roundTrip(ctx, addr, timeout, metricsOrDefault(c.Metrics), request[E]{Kind: kindComputeBatch, XMat: xRows})
+	if err != nil {
+		return nil, err
+	}
+	return resp.YMat, nil
+}
+
+// Ping checks a device is reachable using the client's timeout and metrics
+// registry (the package-level Ping uses the default registry).
+func (c Client[E]) Ping(ctx context.Context, addr string) error {
+	timeout := c.Timeout
+	if timeout == 0 {
+		timeout = DefaultTimeout
+	}
+	_, err := roundTrip(ctx, addr, timeout, metricsOrDefault(c.Metrics), request[E]{Kind: kindPing})
+	return err
+}
+
 // MulMat computes A·X through the fleet for an l×n input matrix — the batch
 // generalization (§II-A): each device returns its V(B_j)×n block and the
 // user decodes with m·n subtractions.
-func (c Client[E]) MulMat(addrs []string, x *matrix.Dense[E]) (*matrix.Dense[E], error) {
+func (c Client[E]) MulMat(ctx context.Context, addrs []string, x *matrix.Dense[E]) (*matrix.Dense[E], error) {
 	rowsOn, err := c.schemeRows(addrs)
 	if err != nil {
 		return nil, err
@@ -488,7 +587,7 @@ func (c Client[E]) MulMat(addrs []string, x *matrix.Dense[E]) (*matrix.Dense[E],
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			resp, err := roundTrip(addr, timeout, reg, request[E]{Kind: kindComputeBatch, XMat: xRows})
+			resp, err := roundTrip(ctx, addr, timeout, reg, request[E]{Kind: kindComputeBatch, XMat: xRows})
 			if err != nil {
 				errs[j] = err
 				return
@@ -529,10 +628,10 @@ func (c Client[E]) schemeRows(addrs []string) ([]int, error) {
 }
 
 // Ping checks a device is reachable.
-func Ping[E comparable](addr string, timeout time.Duration) error {
+func Ping[E comparable](ctx context.Context, addr string, timeout time.Duration) error {
 	if timeout == 0 {
 		timeout = DefaultTimeout
 	}
-	_, err := roundTrip(addr, timeout, nil, request[E]{Kind: kindPing})
+	_, err := roundTrip(ctx, addr, timeout, nil, request[E]{Kind: kindPing})
 	return err
 }

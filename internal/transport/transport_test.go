@@ -1,14 +1,18 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"math/rand/v2"
+	"net"
+	"strings"
 	"testing"
 	"time"
 
 	"github.com/scec/scec/internal/coding"
 	"github.com/scec/scec/internal/field"
 	"github.com/scec/scec/internal/matrix"
+	"github.com/scec/scec/internal/obs"
 )
 
 func testRNG() *rand.Rand { return rand.New(rand.NewPCG(41, 43)) }
@@ -47,7 +51,7 @@ func TestEndToEndPrime(t *testing.T) {
 	}
 
 	addrs, servers := startFleet[uint64](t, f, s.Devices())
-	if err := (Cloud[uint64]{}).Distribute(addrs, enc); err != nil {
+	if err := (Cloud[uint64]{}).Distribute(t.Context(), addrs, enc); err != nil {
 		t.Fatal(err)
 	}
 	for j, srv := range servers {
@@ -58,7 +62,7 @@ func TestEndToEndPrime(t *testing.T) {
 
 	client := Client[uint64]{F: f, Scheme: s}
 	x := matrix.RandomVec[uint64](f, rng, l)
-	got, err := client.MulVec(addrs, x)
+	got, err := client.MulVec(t.Context(), addrs, x)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,12 +86,12 @@ func TestEndToEndReal(t *testing.T) {
 		t.Fatal(err)
 	}
 	addrs, _ := startFleet[float64](t, f, s.Devices())
-	if err := (Cloud[float64]{}).Distribute(addrs, enc); err != nil {
+	if err := (Cloud[float64]{}).Distribute(t.Context(), addrs, enc); err != nil {
 		t.Fatal(err)
 	}
 	client := Client[float64]{F: f, Scheme: s}
 	x := matrix.RandomVec[float64](f, rng, l)
-	got, err := client.MulVec(addrs, x)
+	got, err := client.MulVec(t.Context(), addrs, x)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +108,7 @@ func TestComputeBeforeStoreFails(t *testing.T) {
 	}
 	addrs, _ := startFleet[uint64](t, f, s.Devices())
 	client := Client[uint64]{F: f, Scheme: s}
-	if _, err := client.MulVec(addrs, make([]uint64, 3)); !errors.Is(err, ErrRemote) {
+	if _, err := client.MulVec(t.Context(), addrs, make([]uint64, 3)); !errors.Is(err, ErrRemote) {
 		t.Fatalf("err = %v, want ErrRemote (no block stored)", err)
 	}
 }
@@ -122,11 +126,11 @@ func TestWrongInputLengthRejectedRemotely(t *testing.T) {
 		t.Fatal(err)
 	}
 	addrs, _ := startFleet[uint64](t, f, s.Devices())
-	if err := (Cloud[uint64]{}).Distribute(addrs, enc); err != nil {
+	if err := (Cloud[uint64]{}).Distribute(t.Context(), addrs, enc); err != nil {
 		t.Fatal(err)
 	}
 	client := Client[uint64]{F: f, Scheme: s}
-	if _, err := client.MulVec(addrs, make([]uint64, 2)); !errors.Is(err, ErrRemote) {
+	if _, err := client.MulVec(t.Context(), addrs, make([]uint64, 2)); !errors.Is(err, ErrRemote) {
 		t.Fatalf("err = %v, want ErrRemote (bad x length)", err)
 	}
 }
@@ -143,7 +147,7 @@ func TestUnreachableDevice(t *testing.T) {
 	for _, srv := range servers {
 		_ = srv.Close()
 	}
-	if _, err := client.MulVec(addrs, make([]uint64, 3)); err == nil {
+	if _, err := client.MulVec(t.Context(), addrs, make([]uint64, 3)); err == nil {
 		t.Fatal("expected a dial error against a closed fleet")
 	}
 }
@@ -160,7 +164,7 @@ func TestDistributeValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := (Cloud[uint64]{}).Distribute([]string{"127.0.0.1:1"}, enc); err == nil {
+	if err := (Cloud[uint64]{}).Distribute(t.Context(), []string{"127.0.0.1:1"}, enc); err == nil {
 		t.Fatal("address/block count mismatch should error")
 	}
 }
@@ -172,11 +176,11 @@ func TestClientValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := Client[uint64]{F: f, Scheme: s}
-	if _, err := c.MulVec([]string{"127.0.0.1:1"}, make([]uint64, 3)); err == nil {
+	if _, err := c.MulVec(t.Context(), []string{"127.0.0.1:1"}, make([]uint64, 3)); err == nil {
 		t.Fatal("address count mismatch should error")
 	}
 	c.Scheme = nil
-	if _, err := c.MulVec(nil, nil); err == nil {
+	if _, err := c.MulVec(t.Context(), nil, nil); err == nil {
 		t.Fatal("missing scheme should error")
 	}
 }
@@ -188,13 +192,13 @@ func TestPingAndUnknownKind(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	if err := Ping[uint64](srv.Addr(), time.Second); err != nil {
+	if err := Ping[uint64](t.Context(), srv.Addr(), time.Second); err != nil {
 		t.Fatalf("ping: %v", err)
 	}
-	if _, err := roundTrip[uint64](srv.Addr(), time.Second, nil, request[uint64]{Kind: "bogus"}); !errors.Is(err, ErrRemote) {
+	if _, err := roundTrip[uint64](t.Context(), srv.Addr(), time.Second, nil, request[uint64]{Kind: "bogus"}); !errors.Is(err, ErrRemote) {
 		t.Fatalf("unknown kind err = %v, want ErrRemote", err)
 	}
-	if _, err := roundTrip[uint64](srv.Addr(), time.Second, nil, request[uint64]{Kind: kindStore}); !errors.Is(err, ErrRemote) {
+	if _, err := roundTrip[uint64](t.Context(), srv.Addr(), time.Second, nil, request[uint64]{Kind: kindStore}); !errors.Is(err, ErrRemote) {
 		t.Fatalf("empty store err = %v, want ErrRemote", err)
 	}
 }
@@ -209,7 +213,7 @@ func TestServerCloseIsIdempotentForRequests(t *testing.T) {
 	if err := srv.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := Ping[uint64](addr, 300*time.Millisecond); err == nil {
+	if err := Ping[uint64](t.Context(), addr, 300*time.Millisecond); err == nil {
 		t.Fatal("closed server should not answer")
 	}
 }
@@ -228,7 +232,7 @@ func TestConcurrentClients(t *testing.T) {
 		t.Fatal(err)
 	}
 	addrs, _ := startFleet[uint64](t, f, s.Devices())
-	if err := (Cloud[uint64]{}).Distribute(addrs, enc); err != nil {
+	if err := (Cloud[uint64]{}).Distribute(t.Context(), addrs, enc); err != nil {
 		t.Fatal(err)
 	}
 	client := Client[uint64]{F: f, Scheme: s}
@@ -243,7 +247,7 @@ func TestConcurrentClients(t *testing.T) {
 	done := make(chan int, parallel)
 	for i := 0; i < parallel; i++ {
 		go func() {
-			results[i], errs[i] = client.MulVec(addrs, xs[i])
+			results[i], errs[i] = client.MulVec(t.Context(), addrs, xs[i])
 			done <- i
 		}()
 	}
@@ -257,6 +261,87 @@ func TestConcurrentClients(t *testing.T) {
 		want := matrix.MulVec[uint64](f, a, xs[i])
 		if !matrix.VecEqual[uint64](f, results[i], want) {
 			t.Fatalf("client %d decoded the wrong result", i)
+		}
+	}
+}
+
+// TestContextCancelAbortsRoundTrip points a round trip at a listener that
+// accepts and never answers, then cancels the context mid-flight: the call
+// must return promptly (well before the 10s timeout) with an error that
+// wraps context.Canceled.
+func TestContextCancelAbortsRoundTrip(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close() // hold open, never answer
+		}
+	}()
+
+	ctx, cancel := context.WithCancel(t.Context())
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		_, err := roundTrip[uint64](ctx, ln.Addr().String(), 10*time.Second, obs.New(), request[uint64]{Kind: kindPing})
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+		if elapsed := time.Since(start); elapsed > 5*time.Second {
+			t.Fatalf("cancellation took %v, want prompt abort", elapsed)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("round trip ignored context cancellation")
+	}
+}
+
+// TestDistributeParallelCollectsIndexedErrors kills two of the fleet's
+// devices and checks the concurrent Distribute reports every failed push,
+// tagged with its device index, while still attempting the healthy ones.
+func TestDistributeParallelCollectsIndexedErrors(t *testing.T) {
+	f := field.Prime{}
+	rng := testRNG()
+	s, err := coding.New(6, 2) // 4 devices
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := matrix.Random[uint64](f, rng, 6, 3)
+	enc, err := coding.Encode[uint64](f, s, a, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs, servers := startFleet[uint64](t, f, s.Devices())
+	_ = servers[1].Close()
+	_ = servers[3].Close()
+
+	err = (Cloud[uint64]{Timeout: time.Second}).Distribute(t.Context(), addrs, enc)
+	if err == nil {
+		t.Fatal("distribute to a half-dead fleet succeeded")
+	}
+	for _, want := range []string{"distribute to device 1", "distribute to device 3"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+	if strings.Contains(err.Error(), "device 0") || strings.Contains(err.Error(), "device 2") {
+		t.Errorf("error %q blames a healthy device", err)
+	}
+	// The healthy devices must still have been provisioned.
+	for _, j := range []int{0, 2} {
+		if got, want := servers[j].StoredRows(), s.RowsOn(j); got != want {
+			t.Errorf("device %d stored %d rows, want %d", j, got, want)
 		}
 	}
 }

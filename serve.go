@@ -1,0 +1,38 @@
+package scec
+
+import (
+	"github.com/scec/scec/internal/fleet"
+)
+
+// FleetConfig tunes a fault-tolerant serving session: the replica topology
+// (which device addresses host copies of each coded block, plus warm
+// standbys), the hedging/retry/deadline policy, and the health-probe and
+// circuit-breaker parameters. See internal/fleet.Config for field docs.
+type FleetConfig = fleet.Config
+
+// Session is a live fault-tolerant serving runtime for one deployment: it
+// races each block's replicas per query, hedges stragglers, retries with
+// backoff, quarantines dead devices behind circuit breakers, and re-pushes
+// blocks to standbys in the background when a replica set degrades.
+type Session[E comparable] = fleet.Session[E]
+
+// ErrBlockUnavailable reports that a query exhausted every replica, hedge,
+// and retry for some coded block; test with errors.Is. The concrete error is
+// a *BlockUnavailableError carrying the block index.
+var ErrBlockUnavailable = fleet.ErrBlockUnavailable
+
+// BlockUnavailableError is the typed per-block failure a Session query
+// returns when no replica of one coded block could serve it in time.
+type BlockUnavailableError = fleet.BlockUnavailableError
+
+// Serve provisions dep's coded blocks onto the replicated device fleet
+// described by cfg and returns a Session serving MulVec/MulMat queries with
+// per-query fault tolerance.
+//
+// Replicating a block does not weaken the paper's Definition 2 security:
+// every replica of block j stores exactly B_j·T, the per-device view already
+// proven to leak no linear combination of A's rows (Theorem 3). Close the
+// Session when done; the device servers themselves belong to the caller.
+func Serve[E comparable](dep *Deployment[E], cfg FleetConfig) (*Session[E], error) {
+	return fleet.Serve(dep.F, dep.Scheme, dep.Encoding, cfg)
+}
