@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-fault bench bench-json bench-check fuzz reproduce examples clean
+.PHONY: all build vet lint test test-short test-fault bench bench-json bench-check fuzz reproduce examples clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
@@ -13,6 +13,15 @@ build:
 vet:
 	$(GO) vet ./...
 	@test -z "$$(gofmt -l .)" || (gofmt -l . && echo "gofmt: files need formatting" && exit 1)
+
+# Static analysis beyond vet. staticcheck is optional locally (CI installs
+# it); the target degrades to a notice when the binary is absent.
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed; skipped (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 test:
 	$(GO) test ./...

@@ -1,8 +1,10 @@
 package scec
 
 import (
+	"errors"
 	"fmt"
 	"math/rand/v2"
+	"sync"
 
 	"github.com/scec/scec/internal/matrix"
 )
@@ -28,8 +30,14 @@ type ChunkedDeployment[E comparable] struct {
 }
 
 // DeployChunked deploys a column-wise split of a with chunk width at most
-// chunkCols. Every chunk runs the full MCSCEC pipeline on the same fleet.
-func DeployChunked[E comparable](f Field[E], a *Matrix[E], chunkCols int, unitCosts []float64, rng *rand.Rand) (*ChunkedDeployment[E], error) {
+// chunkCols. Every chunk runs the full MCSCEC pipeline on the same fleet,
+// and the per-chunk deployments (allocation, coding design, encoding,
+// executor binding) run concurrently. Each chunk encodes from its own RNG
+// stream seeded deterministically from rng, so results are reproducible for
+// a given seed regardless of scheduling. Options apply to every chunk; a
+// FleetExecutor backend should provision through its Provision hook, which
+// is invoked once per chunk.
+func DeployChunked[E comparable](f Field[E], a *Matrix[E], chunkCols int, unitCosts []float64, rng *rand.Rand, opts ...DeployOption[E]) (*ChunkedDeployment[E], error) {
 	if chunkCols < 1 {
 		return nil, fmt.Errorf("scec: chunk width %d, need >= 1", chunkCols)
 	}
@@ -37,18 +45,45 @@ func DeployChunked[E comparable](f Field[E], a *Matrix[E], chunkCols int, unitCo
 		return nil, fmt.Errorf("scec: matrix has no columns")
 	}
 	cd := &ChunkedDeployment[E]{f: f, l: a.Cols()}
+	type span struct {
+		from, to     int
+		seed1, seed2 uint64
+	}
+	var spans []span
 	for from := 0; from < a.Cols(); from += chunkCols {
 		to := from + chunkCols
 		if to > a.Cols() {
 			to = a.Cols()
 		}
-		block := matrix.RowSliceCols(a, from, to)
-		dep, err := Deploy(f, block, unitCosts, rng)
-		if err != nil {
-			return nil, fmt.Errorf("scec: chunk [%d,%d): %w", from, to, err)
-		}
-		cd.chunks = append(cd.chunks, dep)
+		// Seeds are drawn sequentially here so the parallel deploys below
+		// each own an independent, deterministic stream.
+		spans = append(spans, span{from, to, rng.Uint64(), rng.Uint64()})
 		cd.widths = append(cd.widths, to-from)
+	}
+	cd.chunks = make([]*Deployment[E], len(spans))
+	errs := make([]error, len(spans))
+	var wg sync.WaitGroup
+	for i, sp := range spans {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			block := matrix.RowSliceCols(a, sp.from, sp.to)
+			chunkRng := rand.New(rand.NewPCG(sp.seed1, sp.seed2))
+			dep, err := Deploy(f, block, unitCosts, chunkRng, opts...)
+			if err != nil {
+				errs[i] = fmt.Errorf("scec: chunk [%d,%d): %w", sp.from, sp.to, err)
+				return
+			}
+			cd.chunks[i] = dep
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			// First error wins; release the chunks that did deploy.
+			_ = cd.Close()
+			return nil, err
+		}
 	}
 	return cd, nil
 }
@@ -65,6 +100,17 @@ func (d *ChunkedDeployment[E]) Cost() float64 {
 	return total
 }
 
+// Devices returns the total device count across every chunk deployment
+// (chunks allocate independently, so the same physical fleet may serve
+// several logical slots).
+func (d *ChunkedDeployment[E]) Devices() int {
+	total := 0
+	for _, c := range d.chunks {
+		total += c.Devices()
+	}
+	return total
+}
+
 // Audit aggregates the per-device leak dimensions across every chunk (all
 // zeros for the sound construction).
 func (d *ChunkedDeployment[E]) Audit() []int {
@@ -75,27 +121,88 @@ func (d *ChunkedDeployment[E]) Audit() []int {
 	return leaks
 }
 
-// MulVec computes A·x by summing the decoded partial products of every
-// chunk.
+// Close releases every chunk's execution engine.
+func (d *ChunkedDeployment[E]) Close() error {
+	var errs []error
+	for i, c := range d.chunks {
+		if c == nil {
+			continue
+		}
+		if err := c.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("scec: chunk %d: %w", i, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// MulVec computes A·x by querying every chunk concurrently with its slice
+// of x and summing the decoded partial products.
 func (d *ChunkedDeployment[E]) MulVec(x []E) ([]E, error) {
 	if len(x) != d.l {
 		return nil, fmt.Errorf("scec: input vector has %d entries, want %d", len(x), d.l)
 	}
-	var acc []E
-	at := 0
-	for i, c := range d.chunks {
-		part, err := c.MulVec(x[at : at+d.widths[i]])
-		if err != nil {
-			return nil, fmt.Errorf("scec: chunk %d: %w", i, err)
-		}
-		at += d.widths[i]
-		if acc == nil {
-			acc = part
-			continue
-		}
+	parts := make([][]E, len(d.chunks))
+	err := d.fanOut(func(i, from, to int) error {
+		part, err := d.chunks[i].MulVec(x[from:to])
+		parts[i] = part
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	acc := parts[0]
+	for _, part := range parts[1:] {
 		for p := range acc {
 			acc[p] = d.f.Add(acc[p], part[p])
 		}
 	}
 	return acc, nil
+}
+
+// MulMat computes A·X for an l×n input matrix by querying every chunk
+// concurrently with its row slice of X and summing the partial products.
+func (d *ChunkedDeployment[E]) MulMat(x *Matrix[E]) (*Matrix[E], error) {
+	if x.Rows() != d.l {
+		return nil, fmt.Errorf("scec: input matrix has %d rows, want %d", x.Rows(), d.l)
+	}
+	parts := make([]*Matrix[E], len(d.chunks))
+	err := d.fanOut(func(i, from, to int) error {
+		part, err := d.chunks[i].MulMat(matrix.RowSlice(x, from, to))
+		parts[i] = part
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	acc := parts[0]
+	for _, part := range parts[1:] {
+		acc = matrix.Add(d.f, acc, part)
+	}
+	return acc, nil
+}
+
+// fanOut runs fn concurrently for every chunk with its column range in x;
+// the first error (in chunk order) wins.
+func (d *ChunkedDeployment[E]) fanOut(fn func(i, from, to int) error) error {
+	errs := make([]error, len(d.chunks))
+	var wg sync.WaitGroup
+	at := 0
+	for i := range d.chunks {
+		from, to := at, at+d.widths[i]
+		at = to
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := fn(i, from, to); err != nil {
+				errs[i] = fmt.Errorf("scec: chunk %d: %w", i, err)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -81,6 +81,47 @@ func TestDeployChunkedValidation(t *testing.T) {
 	}
 }
 
+func TestDeployChunkedMulMatMatchesMonolithic(t *testing.T) {
+	f := PrimeField()
+	rng := testRNG()
+	a := RandomMatrix(f, rng, 14, 11)
+	costs := []float64{1.2, 0.7, 2.1}
+	cd, err := DeployChunked(f, a, 4, costs, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cd.Close()
+	if cd.Devices() <= 0 {
+		t.Fatal("chunked deployment reports no devices")
+	}
+	const n = 3
+	x := NewMatrix[uint64](11, n)
+	for i := 0; i < 11; i++ {
+		for j := 0; j < n; j++ {
+			x.Set(i, j, f.Rand(rng))
+		}
+	}
+	got, err := cd.MulMat(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < n; j++ {
+		col := make([]uint64, 11)
+		for i := range col {
+			col[i] = x.At(i, j)
+		}
+		want := MulVec(f, a, col)
+		for i := range want {
+			if got.At(i, j) != want[i] {
+				t.Fatalf("entry (%d,%d): %d != %d", i, j, got.At(i, j), want[i])
+			}
+		}
+	}
+	if _, err := cd.MulMat(NewMatrix[uint64](12, 2)); err == nil {
+		t.Error("wrong input height should be rejected")
+	}
+}
+
 func TestDeployChunkedRealField(t *testing.T) {
 	f := RealField(1e-6)
 	rng := testRNG()

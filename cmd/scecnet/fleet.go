@@ -6,6 +6,9 @@ import (
 	"fmt"
 	"io"
 	"math/rand/v2"
+	"sort"
+	"strings"
+	"sync"
 	"time"
 
 	"github.com/scec/scec"
@@ -34,12 +37,28 @@ func runFleet(args []string, out io.Writer) error {
 		seed         = fs.Uint64("seed", 1, "random seed")
 		metricsAddr  = fs.String("metrics-addr", "", "serve /metrics, /healthz, and /debug endpoints on this address")
 		timeout      = fs.Duration("timeout", transport.DefaultTimeout, "per-round-trip bound for store and compute requests")
+		backend      = fs.String("backend", "fleet", "execution backend: fleet (replicated TCP devices) or local (in-process engine baseline)")
+		coalesceWin  = fs.Duration("coalesce-window", 0, "merge concurrent MulVec queries within this window into one batch round (0 off; queries run concurrently when on)")
+		coalesceMax  = fs.Int("coalesce-max", 0, "max queries per coalesced round (0 for the engine default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *replicas < 1 || *standbys < 0 {
 		return fmt.Errorf("need -replicas >= 1 and -standbys >= 0")
+	}
+	switch *backend {
+	case "fleet":
+	case "local":
+		if *injectFaults {
+			return fmt.Errorf("-inject-faults needs -backend fleet (the local engine has no replicas to kill)")
+		}
+	default:
+		return fmt.Errorf("unknown -backend %q (want fleet or local)", *backend)
+	}
+	var engineOpts []scec.DeployOption[uint64]
+	if *coalesceWin > 0 {
+		engineOpts = append(engineOpts, scec.WithCoalescing[uint64](*coalesceWin, *coalesceMax))
 	}
 	ms, err := startMetrics(out, *metricsAddr)
 	if err != nil {
@@ -53,106 +72,211 @@ func runFleet(args []string, out io.Writer) error {
 	rng := rand.New(rand.NewPCG(*seed, 0xf1ee7))
 	in := workload.Instance(rng, *m, *k, workload.Uniform{Max: 5})
 	a := scec.RandomMatrix(f, rng, *m, *l)
-	dep, err := scec.Deploy(f, a, in.Costs, rng)
+	var deployOpts []scec.DeployOption[uint64]
+	if *backend == "local" {
+		// The local baseline binds the engine options at deploy time; the
+		// fleet path binds them to the serving session below instead.
+		deployOpts = engineOpts
+	}
+	dep, err := scec.Deploy(f, a, in.Costs, rng, deployOpts...)
 	if err != nil {
 		return err
 	}
+	defer dep.Close()
 	fmt.Fprintf(out, "plan: r=%d, %d coded blocks, cost %.2f\n", dep.Plan.R, dep.Devices(), dep.Cost())
 
-	// Physical fleet: replicas per block plus the standby pool, every device
-	// behind a fault proxy so -inject-faults can kill replicas on command.
-	newProxied := func() (*fleet.FaultProxy, error) {
-		srv, err := transport.NewDeviceServerOptions[uint64](f, "127.0.0.1:0", transport.Options{Timeout: *timeout})
-		if err != nil {
-			return nil, err
+	query := dep.MulVec
+	injectNow := func() {}
+	var served *scec.Served[uint64]
+	if *backend == "fleet" {
+		// Physical fleet: replicas per block plus the standby pool, every
+		// device behind a fault proxy so -inject-faults can kill replicas on
+		// command.
+		newProxied := func() (*fleet.FaultProxy, error) {
+			srv, err := transport.NewDeviceServerOptions[uint64](f, "127.0.0.1:0", transport.Options{Timeout: *timeout})
+			if err != nil {
+				return nil, err
+			}
+			p, err := fleet.NewFaultProxy(srv.Addr())
+			if err != nil {
+				_ = srv.Close()
+				return nil, err
+			}
+			return p, nil
 		}
-		p, err := fleet.NewFaultProxy(srv.Addr())
-		if err != nil {
-			_ = srv.Close()
-			return nil, err
+		proxies := make([][]*fleet.FaultProxy, dep.Devices())
+		cfg := scec.FleetConfig{
+			Replicas:   make([][]string, dep.Devices()),
+			RPCTimeout: *timeout,
+			HedgeAfter: *hedgeAfter,
+			MaxRetries: *maxRetries,
+			// Demo-paced health policy: notice a dead replica within a few
+			// hundred milliseconds and keep it quarantined for the whole run.
+			ProbeInterval:    150 * time.Millisecond,
+			BreakerThreshold: 2,
+			BreakerCooldown:  time.Minute,
 		}
-		return p, nil
-	}
-	proxies := make([][]*fleet.FaultProxy, dep.Devices())
-	cfg := scec.FleetConfig{
-		Replicas:   make([][]string, dep.Devices()),
-		RPCTimeout: *timeout,
-		HedgeAfter: *hedgeAfter,
-		MaxRetries: *maxRetries,
-		// Demo-paced health policy: notice a dead replica within a few
-		// hundred milliseconds and keep it quarantined for the whole run.
-		ProbeInterval:    150 * time.Millisecond,
-		BreakerThreshold: 2,
-		BreakerCooldown:  time.Minute,
-	}
-	for j := range proxies {
-		for range *replicas {
+		for j := range proxies {
+			for range *replicas {
+				p, err := newProxied()
+				if err != nil {
+					return err
+				}
+				defer p.Close()
+				proxies[j] = append(proxies[j], p)
+				cfg.Replicas[j] = append(cfg.Replicas[j], p.Addr())
+			}
+		}
+		for range *standbys {
 			p, err := newProxied()
 			if err != nil {
 				return err
 			}
 			defer p.Close()
-			proxies[j] = append(proxies[j], p)
-			cfg.Replicas[j] = append(cfg.Replicas[j], p.Addr())
+			cfg.Standbys = append(cfg.Standbys, p.Addr())
 		}
-	}
-	for range *standbys {
-		p, err := newProxied()
+		fmt.Fprintf(out, "launched %d loopback devices (%d replicas per block + %d standbys)\n",
+			dep.Devices()**replicas+*standbys, *replicas, *standbys)
+
+		s, err := scec.Serve(dep, cfg, engineOpts...)
 		if err != nil {
 			return err
 		}
-		defer p.Close()
-		cfg.Standbys = append(cfg.Standbys, p.Addr())
-	}
-	fmt.Fprintf(out, "launched %d loopback devices (%d replicas per block + %d standbys)\n",
-		dep.Devices()**replicas+*standbys, *replicas, *standbys)
-
-	s, err := scec.Serve(dep, cfg)
-	if err != nil {
-		return err
-	}
-	defer s.Close()
-
-	faultAt := *queries / 2
-	for q := 0; q < *queries; q++ {
-		if *injectFaults && q == faultAt {
+		defer s.Close()
+		served = s
+		query = s.MulVec
+		injectNow = func() {
 			for j := range proxies {
 				proxies[j][0].SetMode(fleet.FaultDrop)
 			}
 			fmt.Fprintf(out, "injected faults: killed the first replica of all %d blocks\n", dep.Devices())
 		}
-		x := scec.RandomVector(f, rng, *l)
-		got, err := s.MulVec(x)
+	} else {
+		fmt.Fprintf(out, "backend local: queries run on the in-process engine (no devices launched)\n")
+	}
+
+	// The query RNG is not goroutine-safe, so inputs are drawn up front
+	// whether the stream runs sequentially or concurrently.
+	xs := make([][]uint64, *queries)
+	wants := make([][]uint64, *queries)
+	for q := range xs {
+		xs[q] = scec.RandomVector(f, rng, *l)
+		wants[q] = scec.MulVec(f, a, xs[q])
+	}
+	checkOne := func(q int, got []uint64, err error) error {
 		if err != nil {
 			if errors.Is(err, scec.ErrBlockUnavailable) {
 				return fmt.Errorf("query %d: %w (raise -replicas or -standbys)", q, err)
 			}
 			return fmt.Errorf("query %d: %w", q, err)
 		}
-		want := scec.MulVec(f, a, x)
 		for i := range got {
-			if got[i] != want[i] {
+			if got[i] != wants[q][i] {
 				return fmt.Errorf("query %d: verification failed at entry %d", q, i)
+			}
+		}
+		return nil
+	}
+	if *coalesceWin > 0 {
+		// Coalescing only merges queries that are in flight together, so the
+		// stream launches concurrently; faults are injected up front.
+		if *injectFaults {
+			injectNow()
+		}
+		results := make([][]uint64, *queries)
+		errs := make([]error, *queries)
+		var wg sync.WaitGroup
+		for q := range xs {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				results[q], errs[q] = query(xs[q])
+			}()
+		}
+		wg.Wait()
+		for q := range results {
+			if err := checkOne(q, results[q], errs[q]); err != nil {
+				return err
+			}
+		}
+	} else {
+		faultAt := *queries / 2
+		for q := 0; q < *queries; q++ {
+			if *injectFaults && q == faultAt {
+				injectNow()
+			}
+			got, err := query(xs[q])
+			if err := checkOne(q, got, err); err != nil {
+				return err
 			}
 		}
 	}
 	fmt.Fprintf(out, "served %d queries; every decoded A·x verified exactly\n", *queries)
 
-	if *injectFaults && *replicas > 1 && *standbys > 0 {
+	if served != nil && *injectFaults && *replicas > 1 && *standbys > 0 {
 		// Give the prober a moment to open the dead replicas' breakers and
 		// promote standbys, then show the repaired replica sets.
 		deadline := time.Now().Add(5 * time.Second)
-		for s.Standbys() > 0 && time.Now().Before(deadline) {
+		for served.Standbys() > 0 && time.Now().Before(deadline) {
 			time.Sleep(50 * time.Millisecond)
 		}
 		for j := 0; j < dep.Devices(); j++ {
-			fmt.Fprintf(out, "block %d: %d replicas after self-repair\n", j, s.ReplicaCount(j))
+			fmt.Fprintf(out, "block %d: %d replicas after self-repair\n", j, served.ReplicaCount(j))
 		}
 	}
-	if err := writeFleetSummary(out); err != nil {
+	if *backend == "fleet" {
+		if err := writeFleetSummary(out); err != nil {
+			return err
+		}
+	}
+	if err := writeEngineSummary(out); err != nil {
 		return err
 	}
 	return writeStageTable(out)
+}
+
+// writeEngineSummary prints the execution engine's dispatch counters and —
+// when coalescing ran — the merged-round accounting from the default
+// registry.
+func writeEngineSummary(out io.Writer) error {
+	vec, mat := 0.0, 0.0
+	rounds, callers := int64(0), 0.0
+	backends := map[string]bool{}
+	for _, fam := range obs.Default().Snapshot().Metrics {
+		switch fam.Name {
+		case obs.MetricEngineDispatchTotal:
+			for _, sr := range fam.Series {
+				if sr.Labels["kind"] == "vec" {
+					vec += sr.Value
+				} else {
+					mat += sr.Value
+				}
+				if b := sr.Labels["backend"]; b != "" {
+					backends[b] = true
+				}
+			}
+		case obs.MetricEngineCoalescedBatchSize:
+			for _, sr := range fam.Series {
+				rounds += sr.Count
+				callers += sr.Sum
+			}
+		}
+	}
+	names := make([]string, 0, len(backends))
+	for b := range backends {
+		names = append(names, b)
+	}
+	sort.Strings(names)
+	if _, err := fmt.Fprintf(out, "engine summary: backends=%s dispatches vec=%.0f mat=%.0f\n",
+		strings.Join(names, ","), vec, mat); err != nil {
+		return err
+	}
+	if rounds > 0 {
+		_, err := fmt.Fprintf(out, "coalescing: %d rounds served %.0f callers (mean batch %.2f)\n",
+			rounds, callers, callers/float64(rounds))
+		return err
+	}
+	return nil
 }
 
 // writeFleetSummary prints the session's fault-tolerance counters from the

@@ -88,3 +88,33 @@ func TestSplitAddrs(t *testing.T) {
 		t.Fatalf("splitAddrs = %v", got)
 	}
 }
+
+func TestFleetLocalBackendWithCoalescing(t *testing.T) {
+	var out strings.Builder
+	args := []string{"fleet", "-backend", "local", "-m", "24", "-l", "6", "-k", "4",
+		"-queries", "6", "-coalesce-window", "50ms", "-seed", "7"}
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"backend local: queries run on the in-process engine",
+		"served 6 queries; every decoded A·x verified exactly",
+		"engine summary:",
+		"coalescing:",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestFleetBackendValidation(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"fleet", "-backend", "bogus"}, &out); err == nil {
+		t.Error("unknown backend should error")
+	}
+	if err := run([]string{"fleet", "-backend", "local", "-inject-faults"}, &out); err == nil {
+		t.Error("local backend with fault injection should error")
+	}
+}

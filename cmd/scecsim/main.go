@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"github.com/scec/scec"
+	"github.com/scec/scec/internal/engine"
 	"github.com/scec/scec/internal/obs"
 	"github.com/scec/scec/internal/sim"
 	"github.com/scec/scec/internal/workload"
@@ -42,10 +43,41 @@ func run(args []string, out io.Writer) error {
 		straggler = fs.String("straggler", "", "per-device slowdowns, e.g. 0=10,2=3")
 		failDev   = fs.Int("fail", -1, "force this device (scheme order) to fail")
 		replicas  = fs.Int("replicas", 1, "copies of each coded block (replication masks stragglers/failures)")
+		backend   = fs.String("backend", "sim", "execution backend: sim (virtual clock) or local (in-process kernels)")
 		metrics   = fs.String("metrics-json", "", "write the run's telemetry snapshot as JSON to this path (- for stdout)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	strag, err := parseStragglers(*straggler)
+	if err != nil {
+		return err
+	}
+	profile := func(j int) sim.DeviceProfile {
+		p := sim.DefaultProfile()
+		if fac, ok := strag[j]; ok {
+			p.StragglerFactor = fac
+		}
+		if j == *failDev {
+			p.FailProb = 1
+		}
+		return p
+	}
+	var opts []scec.DeployOption[uint64]
+	switch *backend {
+	case "sim":
+		opts = append(opts, scec.WithExecutor(scec.SimExecutor[uint64](scec.SimExecutorConfig{
+			Profile:         profile,
+			UserComputeRate: 1e9,
+			Seed:            *seed,
+		})))
+	case "local":
+		if *straggler != "" || *failDev >= 0 || *replicas > 1 {
+			return fmt.Errorf("-backend local models no devices; -straggler, -fail, and -replicas need -backend sim")
+		}
+	default:
+		return fmt.Errorf("unknown -backend %q (want sim or local)", *backend)
 	}
 
 	f := scec.PrimeField()
@@ -53,25 +85,19 @@ func run(args []string, out io.Writer) error {
 	in := workload.Instance(rng, *m, *k, workload.Uniform{Max: *cmax})
 
 	a := scec.RandomMatrix(f, rng, *m, *l)
-	dep, err := scec.Deploy(f, a, in.Costs, rng)
+	dep, err := scec.Deploy(f, a, in.Costs, rng, opts...)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "plan: r=%d devices=%d cost=%.2f\n", dep.Plan.R, dep.Plan.I, dep.Cost())
-
-	cfg := sim.Config{UserComputeRate: 1e9, Seed: *seed}
-	cfg.Profiles = make([]sim.DeviceProfile, dep.Devices())
-	for j := range cfg.Profiles {
-		cfg.Profiles[j] = sim.DefaultProfile()
+	defer func() { _ = dep.Close() }()
+	fmt.Fprintf(out, "plan: r=%d devices=%d cost=%.2f backend=%s\n", dep.Plan.R, dep.Plan.I, dep.Cost(), dep.Backend())
+	if *failDev >= dep.Devices() {
+		return fmt.Errorf("-fail %d out of range (deployment has %d devices)", *failDev, dep.Devices())
 	}
-	if err := applyStragglers(cfg.Profiles, *straggler); err != nil {
-		return err
-	}
-	if *failDev >= 0 {
-		if *failDev >= len(cfg.Profiles) {
-			return fmt.Errorf("-fail %d out of range (deployment has %d devices)", *failDev, len(cfg.Profiles))
+	for dev := range strag {
+		if dev >= dep.Devices() {
+			return fmt.Errorf("straggler device %d out of range (deployment has %d devices)", dev, dep.Devices())
 		}
-		cfg.Profiles[*failDev].FailProb = 1
 	}
 
 	x := scec.RandomVector(f, rng, *l)
@@ -80,13 +106,13 @@ func run(args []string, out io.Writer) error {
 	if *replicas > 1 {
 		rcfg := sim.ReplicatedConfig{
 			Replicas:        make([][]sim.DeviceProfile, dep.Devices()),
-			UserComputeRate: cfg.UserComputeRate,
+			UserComputeRate: 1e9,
 			Seed:            *seed,
 		}
 		for j := range rcfg.Replicas {
 			group := make([]sim.DeviceProfile, *replicas)
 			for rIdx := range group {
-				group[rIdx] = cfg.Profiles[j]
+				group[rIdx] = profile(j)
 			}
 			rcfg.Replicas[j] = group
 		}
@@ -105,26 +131,29 @@ func run(args []string, out io.Writer) error {
 		return finish(out, *metrics)
 	}
 
-	got, rep, err := sim.Run(f, dep.Encoding, x, cfg)
-	if err != nil {
-		printReport(out, rep)
-		return err
+	got, qerr := dep.MulVec(x)
+	if simExec, ok := dep.Executor().(*engine.SimExecutor[uint64]); ok {
+		if rep, reported := simExec.LastReport(); reported {
+			printReport(out, rep)
+		}
+	}
+	if qerr != nil {
+		return qerr
 	}
 	for i := range got {
 		if got[i] != want[i] {
 			return fmt.Errorf("verification failed at entry %d", i)
 		}
 	}
-	printReport(out, rep)
 	fmt.Fprintf(out, "decoded result verified against plaintext A·x (%d entries)\n", len(got))
 	return finish(out, *metrics)
 }
 
 // finish prints the registry-backed stage timing table (virtual durations
-// for the simulated stages, wall clock for allocate/encode) and optionally
-// dumps the full telemetry snapshot as JSON.
+// for the simulated stages, wall clock for allocate/encode/decode) and
+// optionally dumps the full telemetry snapshot as JSON.
 func finish(out io.Writer, metricsPath string) error {
-	fmt.Fprintln(out, "stage timings (virtual clock for store/compute/gather/decode):")
+	fmt.Fprintln(out, "stage timings (virtual clock for store/compute/gather; wall clock otherwise):")
 	if err := obs.WriteStageTable(out, nil); err != nil {
 		return err
 	}
@@ -164,25 +193,44 @@ func printReport(out io.Writer, rep sim.Report) {
 	}
 }
 
-// applyStragglers parses "dev=factor" pairs and applies them.
-func applyStragglers(profiles []sim.DeviceProfile, spec string) error {
+// parseStragglers parses "dev=factor" pairs into a map, validating syntax
+// only; index-range checks happen once the deployment's device count is
+// known.
+func parseStragglers(spec string) (map[int]float64, error) {
 	if spec == "" {
-		return nil
+		return nil, nil
 	}
+	factors := make(map[int]float64)
 	for _, pair := range strings.Split(spec, ",") {
 		devStr, facStr, found := strings.Cut(pair, "=")
 		if !found {
-			return fmt.Errorf("bad straggler spec %q (want dev=factor)", pair)
+			return nil, fmt.Errorf("bad straggler spec %q (want dev=factor)", pair)
 		}
 		dev, err := strconv.Atoi(devStr)
 		if err != nil {
-			return fmt.Errorf("bad straggler device %q: %w", devStr, err)
+			return nil, fmt.Errorf("bad straggler device %q: %w", devStr, err)
 		}
 		fac, err := strconv.ParseFloat(facStr, 64)
 		if err != nil {
-			return fmt.Errorf("bad straggler factor %q: %w", facStr, err)
+			return nil, fmt.Errorf("bad straggler factor %q: %w", facStr, err)
 		}
-		if dev < 0 || dev >= len(profiles) {
+		if dev < 0 {
+			return nil, fmt.Errorf("straggler device %d out of range", dev)
+		}
+		factors[dev] = fac
+	}
+	return factors, nil
+}
+
+// applyStragglers parses "dev=factor" pairs and applies them to a profile
+// slice.
+func applyStragglers(profiles []sim.DeviceProfile, spec string) error {
+	factors, err := parseStragglers(spec)
+	if err != nil {
+		return err
+	}
+	for dev, fac := range factors {
+		if dev >= len(profiles) {
 			return fmt.Errorf("straggler device %d out of range (deployment has %d devices)", dev, len(profiles))
 		}
 		profiles[dev].StragglerFactor = fac

@@ -7,6 +7,7 @@ import (
 	"github.com/scec/scec/internal/alloc"
 	"github.com/scec/scec/internal/coding"
 	"github.com/scec/scec/internal/cost"
+	"github.com/scec/scec/internal/engine"
 	"github.com/scec/scec/internal/obs"
 )
 
@@ -45,6 +46,8 @@ type Deployment[E comparable] struct {
 	// belongs to the device with index Plan.Assignments[j].Device in the
 	// caller's cost slice.
 	Encoding *Encoding[E]
+
+	q *engine.Query[E]
 }
 
 // Deploy provisions secure coded multiplication for the confidential matrix
@@ -52,7 +55,11 @@ type Deployment[E comparable] struct {
 // allocation, builds the coding scheme, and encodes a with fresh random
 // rows from rng. Costs are per device in the caller's order; the plan's
 // assignments refer back to those indexes.
-func Deploy[E comparable](f Field[E], a *Matrix[E], unitCosts []float64, rng *rand.Rand) (*Deployment[E], error) {
+//
+// Queries execute over the in-process kernels by default; pass WithExecutor
+// to run them over the simulator or a real fleet instead, and
+// WithCoalescing to merge concurrent MulVec callers into batch rounds.
+func Deploy[E comparable](f Field[E], a *Matrix[E], unitCosts []float64, rng *rand.Rand, opts ...DeployOption[E]) (*Deployment[E], error) {
 	allocate := obs.StartStage(nil, obs.StageAllocate)
 	plan, err := alloc.TA1(Instance{M: a.Rows(), Costs: unitCosts})
 	allocate.End()
@@ -73,36 +80,60 @@ func Deploy[E comparable](f Field[E], a *Matrix[E], unitCosts []float64, rng *ra
 	if err != nil {
 		return nil, fmt.Errorf("scec: encode: %w", err)
 	}
-	return &Deployment[E]{F: f, Plan: plan, Scheme: scheme, Encoding: enc}, nil
+	cfg := newDeployConfig(opts)
+	exec, err := cfg.backend(f, enc)
+	if err != nil {
+		return nil, fmt.Errorf("scec: bind executor: %w", err)
+	}
+	q, err := engine.New(f, enc, exec, cfg.opts)
+	if err != nil {
+		_ = exec.Close()
+		return nil, fmt.Errorf("scec: bind executor: %w", err)
+	}
+	return &Deployment[E]{F: f, Plan: plan, Scheme: scheme, Encoding: enc, q: q}, nil
 }
 
-// MulVec computes A·x through the deployment by running every device's
-// share in-process and decoding. Production systems instead ship
-// Encoding.Blocks to real devices (see internal/transport) and call Decode
-// on the gathered results; this method is the reference pipeline.
+// MulVec computes A·x through the deployment's execution engine — the
+// in-process kernels by default, or whatever backend WithExecutor selected
+// — and decodes. The engine validates the input, counts the dispatch, and
+// (when coalescing is on) may serve this call as one column of a merged
+// batch round.
 func (d *Deployment[E]) MulVec(x []E) ([]E, error) {
-	if got, want := len(x), d.Encoding.Blocks[0].Cols(); got != want {
-		return nil, fmt.Errorf("scec: input vector has %d entries, want %d", got, want)
+	y, err := d.q.MulVec(x)
+	if err != nil {
+		return nil, wrapEngineErr(err)
 	}
-	compute := obs.StartStage(nil, obs.StageCompute)
-	y := d.Encoding.ComputeAll(d.F, x)
-	compute.End()
-	defer obs.StartStage(nil, obs.StageDecode).End()
-	return coding.Decode(d.F, d.Scheme, y)
+	return y, nil
 }
 
 // MulMat computes A·X for an l×n input matrix X (the paper's batch
 // generalization: n input vectors served by one round). Decoding costs m·n
 // subtractions.
 func (d *Deployment[E]) MulMat(x *Matrix[E]) (*Matrix[E], error) {
-	if got, want := x.Rows(), d.Encoding.Blocks[0].Cols(); got != want {
-		return nil, fmt.Errorf("scec: input matrix has %d rows, want %d", got, want)
+	y, err := d.q.MulMat(x)
+	if err != nil {
+		return nil, wrapEngineErr(err)
 	}
-	compute := obs.StartStage(nil, obs.StageCompute)
-	y := d.Encoding.ComputeAllBatch(d.F, x)
-	compute.End()
-	defer obs.StartStage(nil, obs.StageDecode).End()
-	return coding.DecodeBatch(d.F, d.Scheme, y)
+	return y, nil
+}
+
+// Backend names the execution backend serving this deployment's queries
+// ("local", "sim", or "fleet").
+func (d *Deployment[E]) Backend() string { return d.q.Backend() }
+
+// Executor exposes the underlying executor for backend-specific
+// introspection (e.g. *engine.SimExecutor's LastReport).
+func (d *Deployment[E]) Executor() Executor[E] { return d.q.Executor() }
+
+// Close flushes the query engine and releases the backend (a fleet backend
+// closes its session). Safe to call more than once.
+func (d *Deployment[E]) Close() error { return d.q.Close() }
+
+// wrapEngineErr rebrands engine-layer validation messages under the public
+// package's prefix while leaving backend errors (which already carry their
+// own context) untouched for errors.Is/As chains.
+func wrapEngineErr(err error) error {
+	return fmt.Errorf("scec: %w", err)
 }
 
 // Cost returns the plan's variable cost Σ_j V(B_j)·c_j.

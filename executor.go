@@ -1,0 +1,126 @@
+package scec
+
+import (
+	"time"
+
+	"github.com/scec/scec/internal/engine"
+	"github.com/scec/scec/internal/obs"
+	"github.com/scec/scec/internal/sim"
+)
+
+// Executor is the pluggable execution substrate behind every deployment
+// facade: it evaluates the coded compute round (B·T·x, and B·T·X for
+// batches) over some backend — in-process kernels, the virtual-clock
+// simulator, or the fault-tolerant TCP fleet. See internal/engine.
+type Executor[E comparable] = engine.Executor[E]
+
+// ExecutorBackend constructs an Executor for a freshly encoded deployment.
+// Pass one to a facade with WithExecutor to choose the execution substrate.
+type ExecutorBackend[E comparable] = engine.Backend[E]
+
+// SimProfile models one simulated edge device's performance (compute rate,
+// link rates, latency, straggling, failure probability).
+type SimProfile = sim.DeviceProfile
+
+// DefaultSimProfile is a nominal simulated edge device.
+func DefaultSimProfile() SimProfile { return sim.DefaultProfile() }
+
+// SimExecutorConfig configures a simulator-backed executor: per-device
+// profiles, the user's decode rate, the failure-sampling seed, and the
+// registry receiving virtual-clock telemetry.
+type SimExecutorConfig = engine.SimConfig
+
+// FleetExecutorConfig configures a fleet-backed executor: the fleet session
+// policy plus an optional Provision hook that supplies replica addresses
+// once the deployment's block count is known (chunked deployments provision
+// one fleet per chunk through it).
+type FleetExecutorConfig = engine.FleetConfig
+
+// LocalExecutor returns the default backend: the in-process
+// field-specialized kernels. Facades use it when no WithExecutor option is
+// given.
+func LocalExecutor[E comparable]() ExecutorBackend[E] {
+	return engine.LocalBackend[E](nil)
+}
+
+// SimExecutor returns a backend that evaluates queries on internal/sim's
+// virtual clock: results are computed by the same coding code paths as the
+// local backend while device timelines follow cfg's profiles. Retrieve the
+// per-round report via the deployment's Executor() — it is a
+// *engine.SimExecutor.
+func SimExecutor[E comparable](cfg SimExecutorConfig) ExecutorBackend[E] {
+	return engine.SimBackend[E](cfg)
+}
+
+// FleetExecutor returns a backend that serves queries from the replicated,
+// hedged, self-repairing device fleet described by cfg.
+func FleetExecutor[E comparable](cfg FleetExecutorConfig) ExecutorBackend[E] {
+	return engine.FleetBackend[E](cfg)
+}
+
+// deployConfig collects the facade options shared by Deploy, DeployChunked,
+// and DeployQuantized.
+type deployConfig[E comparable] struct {
+	backend engine.Backend[E]
+	opts    engine.Options
+}
+
+// DeployOption customizes how a deployment executes queries.
+type DeployOption[E comparable] func(*deployConfig[E])
+
+// WithExecutor selects the execution backend for a deployment's queries.
+// The default is LocalExecutor.
+func WithExecutor[E comparable](b ExecutorBackend[E]) DeployOption[E] {
+	return func(c *deployConfig[E]) { c.backend = b }
+}
+
+// WithCoalescing enables adaptive request coalescing on the deployment's
+// query engine: concurrent MulVec callers arriving within the window (up to
+// maxBatch of them; 0 means the engine default) merge into one batch round
+// and each receives its own decoded column. The type parameter matches the
+// deployment's element type, e.g. scec.WithCoalescing[uint64](2*time.Millisecond, 8).
+func WithCoalescing[E comparable](window time.Duration, maxBatch int) DeployOption[E] {
+	return func(c *deployConfig[E]) {
+		c.opts.CoalesceWindow = window
+		c.opts.CoalesceMaxBatch = maxBatch
+	}
+}
+
+// WithEngineMetrics routes the deployment engine's dispatch counters and
+// coalescing histogram (and the local backend's stage spans) to reg instead
+// of the process-default registry.
+func WithEngineMetrics[E comparable](reg *obs.Registry) DeployOption[E] {
+	return func(c *deployConfig[E]) { c.opts.Metrics = reg }
+}
+
+// newDeployConfig applies opts over the local-backend default.
+func newDeployConfig[E comparable](opts []DeployOption[E]) deployConfig[E] {
+	cfg := deployConfig[E]{}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.backend == nil {
+		cfg.backend = engine.LocalBackend[E](cfg.opts.Metrics)
+	}
+	return cfg
+}
+
+// Provisioned is the interface every deployment facade satisfies:
+// Deployment, ChunkedDeployment, and QuantizedDeployment all expose the
+// plan cost, fleet size, security audit, and engine lifecycle the same way.
+type Provisioned interface {
+	// Cost is the plan's variable provisioning cost.
+	Cost() float64
+	// Devices is the number of participating edge devices.
+	Devices() int
+	// Audit returns per-device leak dimensions (all zero when sound).
+	Audit() []int
+	// Close releases the execution engine (and any fleet it owns).
+	Close() error
+}
+
+var (
+	_ Provisioned = (*Deployment[uint64])(nil)
+	_ Provisioned = (*ChunkedDeployment[uint64])(nil)
+	_ Provisioned = (*QuantizedDeployment)(nil)
+)

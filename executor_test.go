@@ -1,0 +1,474 @@
+package scec_test
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/scec/scec"
+	"github.com/scec/scec/internal/fleet"
+	"github.com/scec/scec/internal/obs"
+	"github.com/scec/scec/internal/transport"
+)
+
+// fleetHarness provisions FaultProxy-fronted loopback device fleets for the
+// fleet executor's Provision hook. It is safe for the concurrent Provision
+// calls a parallel chunked deploy makes; each call's proxies are recorded
+// as one group so tests can fail specific chunks.
+type fleetHarness struct {
+	t        *testing.T
+	f        scec.Field[uint64]
+	replicas int
+
+	mu     sync.Mutex
+	groups [][][]*fleet.FaultProxy // groups[call][block][replica]
+}
+
+func newFleetHarness(t *testing.T, replicas int) *fleetHarness {
+	return &fleetHarness{t: t, f: scec.PrimeField(), replicas: replicas}
+}
+
+// config returns a deterministic engine fleet configuration provisioning
+// through the harness.
+func (h *fleetHarness) config() scec.FleetExecutorConfig {
+	return scec.FleetExecutorConfig{
+		Session: scec.FleetConfig{
+			QueryTimeout:  10 * time.Second,
+			RPCTimeout:    2 * time.Second,
+			HedgeAfter:    -1, // deterministic failover, no speculation
+			ProbeInterval: -1, // no background probing
+			Metrics:       obs.New(),
+		},
+		Provision: h.provision,
+	}
+}
+
+func (h *fleetHarness) provision(blocks int) ([][]string, []string, error) {
+	group := make([][]*fleet.FaultProxy, blocks)
+	addrs := make([][]string, blocks)
+	for j := 0; j < blocks; j++ {
+		for k := 0; k < h.replicas; k++ {
+			srv, err := transport.NewDeviceServer(h.f, "127.0.0.1:0")
+			if err != nil {
+				return nil, nil, err
+			}
+			h.t.Cleanup(func() { _ = srv.Close() })
+			p, err := fleet.NewFaultProxy(srv.Addr())
+			if err != nil {
+				return nil, nil, err
+			}
+			h.t.Cleanup(func() { _ = p.Close() })
+			group[j] = append(group[j], p)
+			addrs[j] = append(addrs[j], p.Addr())
+		}
+	}
+	h.mu.Lock()
+	h.groups = append(h.groups, group)
+	h.mu.Unlock()
+	return addrs, nil, nil
+}
+
+// failFirstReplicas drops the first replica of every block in provisioning
+// group g.
+func (h *fleetHarness) failFirstReplicas(g int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, replicas := range h.groups[g] {
+		replicas[0].SetMode(fleet.FaultDrop)
+	}
+}
+
+func (h *fleetHarness) groupCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.groups)
+}
+
+// TestDeployBackendsAgree: the same deployment inputs answer identically
+// over the local, sim, and fleet facade backends.
+func TestDeployBackendsAgree(t *testing.T) {
+	f := scec.PrimeField()
+	const m, l = 30, 8
+	costs := []float64{1.5, 0.7, 2.2, 1.1}
+	newRng := func() *rand.Rand { return rand.New(rand.NewPCG(5, 21)) }
+	a := scec.RandomMatrix(f, newRng(), m, l)
+	x := scec.RandomVector(f, rand.New(rand.NewPCG(8, 2)), l)
+	want := scec.MulVec(f, a, x)
+
+	backends := map[string]scec.ExecutorBackend[uint64]{
+		"local": scec.LocalExecutor[uint64](),
+		"sim":   scec.SimExecutor[uint64](scec.SimExecutorConfig{Metrics: obs.New()}),
+		"fleet": scec.FleetExecutor[uint64](newFleetHarness(t, 1).config()),
+	}
+	for name, backend := range backends {
+		t.Run(name, func(t *testing.T) {
+			// Same seed stream per backend: identical plan, coding, and
+			// random rows, so answers must be bit-identical.
+			dep, err := scec.Deploy(f, a, costs, newRng(), scec.WithExecutor(backend))
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { _ = dep.Close() })
+			if got := dep.Backend(); got != name {
+				t.Fatalf("Backend() = %q, want %q", got, name)
+			}
+			got, err := dep.MulVec(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("backend %s: entry %d = %d, want %d", name, i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestChunkedOverFleetSurvivesChunkFaults is the acceptance path: a chunked
+// deployment runs every chunk over its own replicated fleet, one chunk's
+// primary replicas are all killed mid-session, and MulVec/MulMat stay
+// exact.
+func TestChunkedOverFleetSurvivesChunkFaults(t *testing.T) {
+	f := scec.PrimeField()
+	const m, l, chunkCols = 24, 10, 4
+	costs := []float64{1.5, 0.7, 2.2}
+	rng := rand.New(rand.NewPCG(31, 7))
+	a := scec.RandomMatrix(f, rng, m, l)
+	h := newFleetHarness(t, 2)
+	cd, err := scec.DeployChunked(f, a, chunkCols, costs, rng,
+		scec.WithExecutor(scec.FleetExecutor[uint64](h.config())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = cd.Close() })
+	if got, want := h.groupCount(), cd.Chunks(); got != want {
+		t.Fatalf("provisioned %d fleets for %d chunks", got, want)
+	}
+	if cd.Devices() <= 0 {
+		t.Fatal("chunked deployment reports no devices")
+	}
+	for _, leak := range cd.Audit() {
+		if leak != 0 {
+			t.Fatal("chunked deployment leaks")
+		}
+	}
+
+	x := scec.RandomVector(f, rng, l)
+	want := scec.MulVec(f, a, x)
+	check := func() {
+		t.Helper()
+		got, err := cd.MulVec(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatal("chunked fleet query decoded the wrong result")
+			}
+		}
+	}
+	check()
+	// Kill the first replica of every block of chunk 0; its fleet must fail
+	// over to the surviving replicas.
+	h.failFirstReplicas(0)
+	check()
+
+	// The batch path takes the same faulted route.
+	xm := scec.NewMatrix[uint64](l, 3)
+	for i := 0; i < l; i++ {
+		for j := 0; j < 3; j++ {
+			xm.Set(i, j, f.Rand(rng))
+		}
+	}
+	gotM, err := cd.MulMat(xm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 3; j++ {
+		col := make([]uint64, l)
+		for i := 0; i < l; i++ {
+			col[i] = xm.At(i, j)
+		}
+		wantCol := scec.MulVec(f, a, col)
+		for i := range wantCol {
+			if gotM.At(i, j) != wantCol[i] {
+				t.Fatal("chunked fleet MulMat decoded the wrong result")
+			}
+		}
+	}
+}
+
+// TestQuantizedOverFleetSurvivesFaults: the quantized facade serves float
+// queries over a replicated fleet with a dead replica per block.
+func TestQuantizedOverFleetSurvivesFaults(t *testing.T) {
+	const m, l = 12, 6
+	rng := rand.New(rand.NewPCG(3, 77))
+	a := scec.NewMatrix[float64](m, l)
+	for i := 0; i < m; i++ {
+		for j := 0; j < l; j++ {
+			a.Set(i, j, float64(rng.IntN(256)-128)/8)
+		}
+	}
+	costs := []float64{1.2, 0.9, 1.7}
+	h := newFleetHarness(t, 2)
+	qd, err := scec.DeployQuantized(a, 12, 16, costs, rng,
+		scec.WithExecutor(scec.FleetExecutor[uint64](h.config())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = qd.Close() })
+	if qd.Devices() <= 0 {
+		t.Fatal("quantized deployment reports no devices")
+	}
+	for _, leak := range qd.Audit() {
+		if leak != 0 {
+			t.Fatal("quantized deployment leaks")
+		}
+	}
+
+	x := make([]float64, l)
+	for j := range x {
+		x[j] = float64(rng.IntN(256)-128) / 16
+	}
+	want := scec.MulVec(scec.RealField(0), a, x)
+	check := func() {
+		t.Helper()
+		got, err := qd.MulVec(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if d := got[i] - want[i]; d > 1e-3 || d < -1e-3 {
+				t.Fatalf("entry %d: %g, want %g", i, got[i], want[i])
+			}
+		}
+	}
+	check()
+	h.failFirstReplicas(0)
+	check()
+
+	// Batch path over the faulted fleet.
+	xm := scec.NewMatrix[float64](l, 2)
+	for i := 0; i < l; i++ {
+		for j := 0; j < 2; j++ {
+			xm.Set(i, j, float64(rng.IntN(128)-64)/16)
+		}
+	}
+	gotM, err := qd.MulMat(xm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 2; j++ {
+		col := make([]float64, l)
+		for i := 0; i < l; i++ {
+			col[i] = xm.At(i, j)
+		}
+		wantCol := scec.MulVec(scec.RealField(0), a, col)
+		for i := range wantCol {
+			if d := gotM.At(i, j) - wantCol[i]; d > 1e-3 || d < -1e-3 {
+				t.Fatalf("batch entry (%d,%d): %g, want %g", i, j, gotM.At(i, j), wantCol[i])
+			}
+		}
+	}
+}
+
+// TestChunkedDeployDeterministic: the parallel per-chunk deploys draw from
+// deterministic RNG streams, so the same seed reproduces identical
+// deployments (same coded blocks, same query answers) run after run.
+func TestChunkedDeployDeterministic(t *testing.T) {
+	f := scec.PrimeField()
+	const m, l, chunkCols = 18, 9, 2
+	costs := []float64{1.4, 0.8, 2.1, 1.3}
+	build := func() *scec.ChunkedDeployment[uint64] {
+		rng := rand.New(rand.NewPCG(101, 202))
+		a := scec.RandomMatrix(f, rng, m, l)
+		cd, err := scec.DeployChunked(f, a, chunkCols, costs, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = cd.Close() })
+		return cd
+	}
+	cd1, cd2 := build(), build()
+	x := scec.RandomVector(f, rand.New(rand.NewPCG(9, 9)), l)
+	y1, err := cd1.MulVec(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y2, err := cd2.MulVec(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range y1 {
+		if y1[i] != y2[i] {
+			t.Fatal("same seed produced diverging chunked deployments")
+		}
+	}
+}
+
+// TestDeployCoalescing: concurrent MulVec callers through a coalescing
+// deployment all get exact answers and at least one merged round happens.
+func TestDeployCoalescing(t *testing.T) {
+	f := scec.PrimeField()
+	const m, l, callers = 20, 6, 12
+	costs := []float64{1.5, 0.7, 2.2}
+	rng := rand.New(rand.NewPCG(44, 11))
+	a := scec.RandomMatrix(f, rng, m, l)
+	reg := obs.New()
+	dep, err := scec.Deploy(f, a, costs, rng,
+		scec.WithCoalescing[uint64](100*time.Millisecond, 6),
+		scec.WithEngineMetrics[uint64](reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = dep.Close() })
+
+	inputs := make([][]uint64, callers)
+	want := make([][]uint64, callers)
+	for i := range inputs {
+		inputs[i] = scec.RandomVector(f, rng, l)
+		want[i] = scec.MulVec(f, a, inputs[i])
+	}
+	got := make([][]uint64, callers)
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got[i], errs[i] = dep.MulVec(inputs[i])
+		}()
+	}
+	wg.Wait()
+	for i := range got {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		for p := range got[i] {
+			if got[i][p] != want[i][p] {
+				t.Fatalf("caller %d diverges at %d", i, p)
+			}
+		}
+	}
+	h := reg.Histogram(obs.MetricEngineCoalescedBatchSize, "x",
+		[]float64{1, 2, 4, 8, 16, 32, 64, 128}, obs.L("backend", "local"))
+	if h.Sum() != callers {
+		t.Fatalf("histogram served %g callers, want %d", h.Sum(), callers)
+	}
+	if h.Count() >= callers {
+		t.Fatalf("%d rounds for %d callers: nothing coalesced", h.Count(), callers)
+	}
+}
+
+// TestServeCoalescing: the fleet serving facade accepts engine options and
+// rejects WithExecutor.
+func TestServeCoalescing(t *testing.T) {
+	f := scec.PrimeField()
+	rng := rand.New(rand.NewPCG(23, 29))
+	a := scec.RandomMatrix(f, rng, 16, 5)
+	costs := []float64{1.1, 2.5, 0.9}
+	dep, err := scec.Deploy(f, a, costs, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = dep.Close() })
+	cfg := scec.FleetConfig{
+		Replicas:      make([][]string, dep.Devices()),
+		ProbeInterval: -1,
+		Metrics:       obs.New(),
+	}
+	for j := range cfg.Replicas {
+		srv, err := transport.NewDeviceServer(f, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = srv.Close() })
+		cfg.Replicas[j] = []string{srv.Addr()}
+	}
+	if _, err := scec.Serve(dep, cfg, scec.WithExecutor(scec.LocalExecutor[uint64]())); err == nil {
+		t.Fatal("Serve accepted WithExecutor")
+	}
+	reg := obs.New()
+	s, err := scec.Serve(dep, cfg,
+		scec.WithCoalescing[uint64](50*time.Millisecond, 4),
+		scec.WithEngineMetrics[uint64](reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+
+	const callers = 8
+	x := scec.RandomVector(f, rng, 5)
+	want := scec.MulVec(f, a, x)
+	errs := make([]error, callers)
+	got := make([][]uint64, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got[i], errs[i] = s.MulVec(x)
+		}()
+	}
+	wg.Wait()
+	for i := range got {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		for p := range got[i] {
+			if got[i][p] != want[p] {
+				t.Fatal("coalesced fleet query decoded the wrong result")
+			}
+		}
+	}
+	h := reg.Histogram(obs.MetricEngineCoalescedBatchSize, "x",
+		[]float64{1, 2, 4, 8, 16, 32, 64, 128}, obs.L("backend", "fleet"))
+	if h.Sum() != callers {
+		t.Fatalf("histogram served %g callers, want %d", h.Sum(), callers)
+	}
+}
+
+// TestProvisionedParity: every deployment facade satisfies the shared
+// Provisioned interface with sound audits.
+func TestProvisionedParity(t *testing.T) {
+	f := scec.PrimeField()
+	rng := rand.New(rand.NewPCG(71, 3))
+	costs := []float64{1.5, 0.7, 2.2}
+	a := scec.RandomMatrix(f, rng, 12, 6)
+	dep, err := scec.Deploy(f, a, costs, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd, err := scec.DeployChunked(f, a, 3, costs, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	af := scec.NewMatrix[float64](8, 4)
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 4; j++ {
+			af.Set(i, j, float64(i+j))
+		}
+	}
+	qd, err := scec.DeployQuantized(af, 10, 8, costs, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, p := range map[string]scec.Provisioned{"deploy": dep, "chunked": cd, "quantized": qd} {
+		if p.Devices() <= 0 {
+			t.Fatalf("%s: no devices", name)
+		}
+		if p.Cost() <= 0 {
+			t.Fatalf("%s: non-positive cost", name)
+		}
+		for _, leak := range p.Audit() {
+			if leak != 0 {
+				t.Fatalf("%s: leaks", name)
+			}
+		}
+		if err := p.Close(); err != nil {
+			t.Fatalf("%s: close: %v", name, err)
+		}
+	}
+}

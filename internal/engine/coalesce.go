@@ -1,0 +1,134 @@
+package engine
+
+import (
+	"sync"
+	"time"
+
+	"github.com/scec/scec/internal/matrix"
+	"github.com/scec/scec/internal/obs"
+)
+
+// outcome is what a coalesced waiter receives: its decoded column of A·X,
+// or the round's error.
+type outcome[E comparable] struct {
+	ax  []E
+	err error
+}
+
+// waiter is one MulVec caller parked in a coalescing batch.
+type waiter[E comparable] struct {
+	x   []E
+	out chan outcome[E]
+}
+
+// cbatch is one open coalescing batch: the waiters collected so far and the
+// window timer that will flush it.
+type cbatch[E comparable] struct {
+	waiters []*waiter[E]
+	timer   *time.Timer
+}
+
+// coalescer merges concurrent MulVec calls into MulMat rounds. The first
+// caller to arrive while no batch is open becomes the leader: it opens a
+// batch and arms the window timer. Followers append themselves. The batch
+// executes when the window elapses or the batch fills, whichever comes
+// first; the executing goroutine stacks the inputs column-wise, runs one
+// batch round, and fans each decoded column back to its caller.
+type coalescer[E comparable] struct {
+	q      *Query[E]
+	window time.Duration
+	max    int
+	hist   *obs.Histogram
+
+	mu  sync.Mutex
+	cur *cbatch[E]
+}
+
+func newCoalescer[E comparable](q *Query[E], window time.Duration, max int, hist *obs.Histogram) *coalescer[E] {
+	return &coalescer[E]{q: q, window: window, max: max, hist: hist}
+}
+
+// submit parks the caller in the current batch (opening one if needed) and
+// blocks until the batch executes.
+func (c *coalescer[E]) submit(x []E) ([]E, error) {
+	w := &waiter[E]{x: x, out: make(chan outcome[E], 1)}
+	c.mu.Lock()
+	if c.cur == nil {
+		b := &cbatch[E]{}
+		b.timer = time.AfterFunc(c.window, func() { c.flush(b) })
+		c.cur = b
+	}
+	b := c.cur
+	b.waiters = append(b.waiters, w)
+	full := len(b.waiters) >= c.max
+	if full {
+		c.cur = nil
+	}
+	c.mu.Unlock()
+	if full {
+		b.timer.Stop()
+		c.execute(b.waiters)
+	}
+	o := <-w.out
+	return o.ax, o.err
+}
+
+// flush executes a batch whose window elapsed, unless a full-batch flush
+// (or drain) already claimed it.
+func (c *coalescer[E]) flush(b *cbatch[E]) {
+	c.mu.Lock()
+	if c.cur != b {
+		c.mu.Unlock()
+		return
+	}
+	c.cur = nil
+	c.mu.Unlock()
+	c.execute(b.waiters)
+}
+
+// drain flushes any open batch immediately; the Query calls it on Close so
+// no caller is left waiting out a window against a closed executor.
+func (c *coalescer[E]) drain() {
+	c.mu.Lock()
+	b := c.cur
+	c.cur = nil
+	c.mu.Unlock()
+	if b == nil {
+		return
+	}
+	b.timer.Stop()
+	c.execute(b.waiters)
+}
+
+// execute runs one coalesced round and fans results back. A singleton batch
+// takes the plain vector path; a merged batch stacks inputs as columns of
+// one l×n matrix, runs a single batch dispatch, and hands column i of the
+// decoded A·X to caller i.
+func (c *coalescer[E]) execute(ws []*waiter[E]) {
+	c.hist.Observe(float64(len(ws)))
+	if len(ws) == 1 {
+		ax, err := c.q.mulVecDirect(ws[0].x)
+		ws[0].out <- outcome[E]{ax, err}
+		return
+	}
+	x := matrix.New[E](c.q.cols, len(ws))
+	for i, w := range ws {
+		for p, v := range w.x {
+			x.Set(p, i, v)
+		}
+	}
+	ax, err := c.q.mulMatDirect(x)
+	if err != nil {
+		for _, w := range ws {
+			w.out <- outcome[E]{nil, err}
+		}
+		return
+	}
+	for i, w := range ws {
+		col := make([]E, ax.Rows())
+		for p := range col {
+			col[p] = ax.At(p, i)
+		}
+		w.out <- outcome[E]{col, nil}
+	}
+}

@@ -1,0 +1,189 @@
+// Package engine unifies the repository's execution paths behind one
+// pluggable Executor interface. An Executor knows how to evaluate the coded
+// compute round — B·T·x for a vector query, B·T·X for the paper's batch
+// generalization — over some substrate: the in-process kernels (Local), the
+// virtual-clock simulator (Sim), or the fault-tolerant TCP fleet (Fleet).
+// The Query layer on top owns everything the substrates share: input
+// validation, dispatch accounting, the decode stage, and adaptive request
+// coalescing that merges concurrent MulVec callers into one MulMat round.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/scec/scec/internal/coding"
+	"github.com/scec/scec/internal/field"
+	"github.com/scec/scec/internal/matrix"
+	"github.com/scec/scec/internal/obs"
+)
+
+// Executor evaluates the coded compute round over one execution substrate.
+// Implementations return the raw (undecoded) intermediate results in scheme
+// device order; the Query layer decodes. Executors must be safe for
+// concurrent use.
+type Executor[E comparable] interface {
+	// Name identifies the backend ("local", "sim", "fleet") and becomes the
+	// backend label on the engine's metrics.
+	Name() string
+	// Compute evaluates B·T·x: m+r intermediate values in scheme order.
+	Compute(x []E) ([]E, error)
+	// ComputeBatch evaluates B·T·X for an l×n input: an (m+r)×n matrix.
+	ComputeBatch(x *matrix.Dense[E]) (*matrix.Dense[E], error)
+	// Close releases the substrate (no-op for in-process backends).
+	Close() error
+}
+
+// Backend constructs an Executor for an encoding at deployment-bind time.
+// It is the factory shape the facade options (scec.WithExecutor) traffic
+// in: a Deployment binds its encoding to a backend once, after encode.
+type Backend[E comparable] func(f field.Field[E], enc *coding.Encoding[E]) (Executor[E], error)
+
+// DefaultCoalesceMaxBatch caps a coalesced round's width when Options
+// enables coalescing without a bound of its own.
+const DefaultCoalesceMaxBatch = 16
+
+// Options configures the Query layer.
+type Options struct {
+	// CoalesceWindow, when positive, enables request coalescing: the first
+	// MulVec caller to arrive opens a batch and waits up to this window for
+	// concurrent callers before the merged round executes. Zero disables
+	// coalescing (every MulVec dispatches immediately).
+	CoalesceWindow time.Duration
+	// CoalesceMaxBatch caps how many callers one round merges; a full batch
+	// flushes immediately without waiting out the window. Zero means
+	// DefaultCoalesceMaxBatch.
+	CoalesceMaxBatch int
+	// Metrics receives dispatch counters and the coalesced-batch-size
+	// histogram. Nil means obs.Default().
+	Metrics *obs.Registry
+}
+
+// Query is the shared serving layer over an Executor: it validates inputs,
+// counts dispatches per backend, coalesces concurrent vector queries, and
+// decodes results. It is safe for concurrent use.
+type Query[E comparable] struct {
+	f      field.Field[E]
+	scheme *coding.Scheme
+	exec   Executor[E]
+	cols   int
+	reg    *obs.Registry
+
+	vec *obs.Counter
+	mat *obs.Counter
+	co  *coalescer[E]
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// New builds a Query over an executor bound to enc's scheme shape.
+func New[E comparable](f field.Field[E], enc *coding.Encoding[E], exec Executor[E], opts Options) (*Query[E], error) {
+	if enc == nil || enc.Scheme == nil {
+		return nil, errors.New("engine: encoding has no structured scheme attached")
+	}
+	if len(enc.Blocks) == 0 {
+		return nil, errors.New("engine: encoding has no coded blocks")
+	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.Default()
+	}
+	backend := obs.L("backend", exec.Name())
+	q := &Query[E]{
+		f:      f,
+		scheme: enc.Scheme,
+		exec:   exec,
+		cols:   enc.Blocks[0].Cols(),
+		reg:    reg,
+		vec:    reg.Counter(obs.MetricEngineDispatchTotal, dispatchHelp, backend, obs.L("kind", "vec")),
+		mat:    reg.Counter(obs.MetricEngineDispatchTotal, dispatchHelp, backend, obs.L("kind", "mat")),
+	}
+	if opts.CoalesceWindow > 0 {
+		max := opts.CoalesceMaxBatch
+		if max <= 0 {
+			max = DefaultCoalesceMaxBatch
+		}
+		hist := reg.Histogram(obs.MetricEngineCoalescedBatchSize,
+			"Number of concurrent MulVec callers merged into each coalesced execution round.",
+			batchSizeBuckets, backend)
+		q.co = newCoalescer(q, opts.CoalesceWindow, max, hist)
+	}
+	return q, nil
+}
+
+const dispatchHelp = "Executor invocations made by the engine query layer, by backend and query kind."
+
+// batchSizeBuckets are powers of two up to well past any realistic
+// coalescing bound.
+var batchSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128}
+
+// Backend returns the executor's name.
+func (q *Query[E]) Backend() string { return q.exec.Name() }
+
+// Executor returns the underlying executor (for backend-specific
+// introspection such as the simulator's last report).
+func (q *Query[E]) Executor() Executor[E] { return q.exec }
+
+// Cols returns the input-vector length the engine accepts.
+func (q *Query[E]) Cols() int { return q.cols }
+
+// MulVec computes A·x through the executor and decodes. When coalescing is
+// enabled, concurrent callers within the window share one batch round.
+func (q *Query[E]) MulVec(x []E) ([]E, error) {
+	if len(x) != q.cols {
+		return nil, fmt.Errorf("engine: input vector has %d entries, want %d", len(x), q.cols)
+	}
+	if q.co != nil {
+		return q.co.submit(x)
+	}
+	return q.mulVecDirect(x)
+}
+
+// MulMat computes A·X through the executor and decodes. Batch queries are
+// never coalesced — they already amortize a round.
+func (q *Query[E]) MulMat(x *matrix.Dense[E]) (*matrix.Dense[E], error) {
+	if x.Rows() != q.cols {
+		return nil, fmt.Errorf("engine: input matrix has %d rows, want %d", x.Rows(), q.cols)
+	}
+	return q.mulMatDirect(x)
+}
+
+// mulVecDirect runs one uncoalesced vector round: dispatch, then decode
+// under a stage span.
+func (q *Query[E]) mulVecDirect(x []E) ([]E, error) {
+	q.vec.Inc()
+	y, err := q.exec.Compute(x)
+	if err != nil {
+		return nil, err
+	}
+	defer obs.StartStage(q.reg, obs.StageDecode).End()
+	return coding.Decode(q.f, q.scheme, y)
+}
+
+// mulMatDirect runs one batch round: dispatch, then decode under a stage
+// span.
+func (q *Query[E]) mulMatDirect(x *matrix.Dense[E]) (*matrix.Dense[E], error) {
+	q.mat.Inc()
+	y, err := q.exec.ComputeBatch(x)
+	if err != nil {
+		return nil, err
+	}
+	defer obs.StartStage(q.reg, obs.StageDecode).End()
+	return coding.DecodeBatch(q.f, q.scheme, y)
+}
+
+// Close flushes any pending coalesced batch and closes the executor. It is
+// idempotent; callers that keep issuing queries after Close get whatever
+// the closed executor returns.
+func (q *Query[E]) Close() error {
+	q.closeOnce.Do(func() {
+		if q.co != nil {
+			q.co.drain()
+		}
+		q.closeErr = q.exec.Close()
+	})
+	return q.closeErr
+}

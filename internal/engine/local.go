@@ -1,0 +1,52 @@
+package engine
+
+import (
+	"github.com/scec/scec/internal/coding"
+	"github.com/scec/scec/internal/field"
+	"github.com/scec/scec/internal/matrix"
+	"github.com/scec/scec/internal/obs"
+)
+
+// LocalExecutor evaluates the compute round in-process with the
+// field-specialized parallel kernels (Encoding.ComputeAll and
+// ComputeAllBatch). It is the zero-infrastructure backend and the engine's
+// default.
+type LocalExecutor[E comparable] struct {
+	f   field.Field[E]
+	enc *coding.Encoding[E]
+	reg *obs.Registry
+}
+
+// NewLocal builds a local executor over an encoding. A nil registry records
+// stage timings into obs.Default().
+func NewLocal[E comparable](f field.Field[E], enc *coding.Encoding[E], reg *obs.Registry) *LocalExecutor[E] {
+	return &LocalExecutor[E]{f: f, enc: enc, reg: reg}
+}
+
+// LocalBackend returns the Backend factory for the local executor,
+// recording stage timings into reg (nil means obs.Default()).
+func LocalBackend[E comparable](reg *obs.Registry) Backend[E] {
+	return func(f field.Field[E], enc *coding.Encoding[E]) (Executor[E], error) {
+		return NewLocal(f, enc, reg), nil
+	}
+}
+
+// Name implements Executor.
+func (e *LocalExecutor[E]) Name() string { return "local" }
+
+// Compute runs every device's B_j·T·x in-process under a compute-stage
+// span.
+func (e *LocalExecutor[E]) Compute(x []E) ([]E, error) {
+	defer obs.StartStage(e.reg, obs.StageCompute).End()
+	return e.enc.ComputeAll(e.f, x), nil
+}
+
+// ComputeBatch runs every device's B_j·T·X in-process under a
+// compute-stage span.
+func (e *LocalExecutor[E]) ComputeBatch(x *matrix.Dense[E]) (*matrix.Dense[E], error) {
+	defer obs.StartStage(e.reg, obs.StageCompute).End()
+	return e.enc.ComputeAllBatch(e.f, x), nil
+}
+
+// Close implements Executor; the local backend holds no resources.
+func (e *LocalExecutor[E]) Close() error { return nil }

@@ -1,0 +1,124 @@
+package engine
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"github.com/scec/scec/internal/coding"
+	"github.com/scec/scec/internal/field"
+	"github.com/scec/scec/internal/matrix"
+	"github.com/scec/scec/internal/obs"
+	"github.com/scec/scec/internal/sim"
+)
+
+// SimConfig configures the simulator-backed executor.
+type SimConfig struct {
+	// Profile returns device j's performance profile. Nil applies
+	// sim.DefaultProfile() to every device.
+	Profile func(j int) sim.DeviceProfile
+	// UserComputeRate is the user's field-ops/second rate for virtual decode
+	// accounting in the retained report. Zero means 1e9.
+	UserComputeRate float64
+	// Seed drives the simulator's failure sampling.
+	Seed uint64
+	// Metrics receives the simulator's virtual-clock telemetry. Nil means
+	// obs.Default().
+	Metrics *obs.Registry
+}
+
+// SimExecutor evaluates the compute round on internal/sim's virtual clock:
+// numerically it produces exactly what the local kernels produce (the same
+// coding code paths run), while the retained report prices the round
+// against the configured device profiles. It retains the most recent run's
+// report — including failed runs — for introspection.
+type SimExecutor[E comparable] struct {
+	f   field.Field[E]
+	enc *coding.Encoding[E]
+	cfg sim.Config
+	ucr float64
+
+	mu   sync.Mutex
+	last sim.Report
+	ran  bool
+}
+
+// NewSim builds a simulator executor over an encoding.
+func NewSim[E comparable](f field.Field[E], enc *coding.Encoding[E], cfg SimConfig) (*SimExecutor[E], error) {
+	if enc == nil || enc.Scheme == nil {
+		return nil, errors.New("engine: encoding has no structured scheme attached")
+	}
+	profile := cfg.Profile
+	if profile == nil {
+		profile = func(int) sim.DeviceProfile { return sim.DefaultProfile() }
+	}
+	ucr := cfg.UserComputeRate
+	if ucr == 0 {
+		ucr = 1e9
+	}
+	profiles := make([]sim.DeviceProfile, len(enc.Blocks))
+	for j := range profiles {
+		profiles[j] = profile(j)
+	}
+	return &SimExecutor[E]{
+		f:   f,
+		enc: enc,
+		cfg: sim.Config{
+			Profiles:        profiles,
+			UserComputeRate: ucr,
+			Seed:            cfg.Seed,
+			Metrics:         cfg.Metrics,
+		},
+		ucr: ucr,
+	}, nil
+}
+
+// SimBackend returns the Backend factory for the simulator executor.
+func SimBackend[E comparable](cfg SimConfig) Backend[E] {
+	return func(f field.Field[E], enc *coding.Encoding[E]) (Executor[E], error) {
+		return NewSim(f, enc, cfg)
+	}
+}
+
+// Name implements Executor.
+func (e *SimExecutor[E]) Name() string { return "sim" }
+
+// Compute runs one simulated vector round and retains its report.
+func (e *SimExecutor[E]) Compute(x []E) ([]E, error) {
+	y, rep, err := sim.Gather(e.f, e.enc, x, e.cfg)
+	e.retain(rep, err, 1)
+	return y, err
+}
+
+// ComputeBatch runs one simulated width-n batch round and retains its
+// report.
+func (e *SimExecutor[E]) ComputeBatch(x *matrix.Dense[E]) (*matrix.Dense[E], error) {
+	y, rep, err := sim.GatherBatch(e.f, e.enc, x, e.cfg)
+	e.retain(rep, err, x.Cols())
+	return y, err
+}
+
+// retain stores the run's report. On success it folds the virtual decode
+// cost in (m subtractions per result column priced at the user's compute
+// rate), matching sim.Run's accounting; the wall-clock decode itself
+// happens in the Query layer.
+func (e *SimExecutor[E]) retain(rep sim.Report, err error, n int) {
+	if err == nil {
+		rep.DecodeOps = int64(e.enc.Scheme.M()) * int64(n)
+		rep.CompletionTime += time.Duration(float64(rep.DecodeOps) / e.ucr * float64(time.Second))
+	}
+	e.mu.Lock()
+	e.last, e.ran = rep, true
+	e.mu.Unlock()
+}
+
+// LastReport returns the most recent round's virtual-clock report (also
+// retained for failed rounds) and whether any round has run.
+func (e *SimExecutor[E]) LastReport() (sim.Report, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.last, e.ran
+}
+
+// Close implements Executor; the simulator holds no resources.
+func (e *SimExecutor[E]) Close() error { return nil }

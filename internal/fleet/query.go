@@ -20,6 +20,30 @@ import (
 // unreplicated pipeline, since every replica of block j returns the same
 // B_j·T·x.
 func (s *Session[E]) MulVec(x []E) ([]E, error) {
+	y, err := s.Gather(x)
+	if err != nil {
+		return nil, err
+	}
+	defer obs.StartStage(s.reg, obs.StageDecode).End()
+	return coding.Decode(s.f, s.scheme, y)
+}
+
+// MulMat computes A·X for an l×n input matrix through the fleet — the batch
+// generalization, with the same per-block fault tolerance as MulVec.
+func (s *Session[E]) MulMat(x *matrix.Dense[E]) (*matrix.Dense[E], error) {
+	y, err := s.GatherBatch(x)
+	if err != nil {
+		return nil, err
+	}
+	defer obs.StartStage(s.reg, obs.StageDecode).End()
+	return coding.DecodeBatch(s.f, s.scheme, y)
+}
+
+// Gather fetches the full intermediate result B·T·x from the fleet without
+// decoding it: every logical block races its replica set and the parts
+// concatenate in scheme device order, m+r values total. Decoding is owned by
+// the caller (MulVec, or the execution engine's query layer).
+func (s *Session[E]) Gather(x []E) ([]E, error) {
 	if len(x) != s.cols {
 		return nil, fmt.Errorf("fleet: input vector has %d entries, want %d", len(x), s.cols)
 	}
@@ -56,13 +80,13 @@ func (s *Session[E]) MulVec(x []E) ([]E, error) {
 	for _, p := range parts {
 		y = append(y, p...)
 	}
-	defer obs.StartStage(s.reg, obs.StageDecode).End()
-	return coding.Decode(s.f, s.scheme, y)
+	return y, nil
 }
 
-// MulMat computes A·X for an l×n input matrix through the fleet — the batch
-// generalization, with the same per-block fault tolerance as MulVec.
-func (s *Session[E]) MulMat(x *matrix.Dense[E]) (*matrix.Dense[E], error) {
+// GatherBatch is Gather for an l×n input matrix: it returns the stacked
+// (m+r)×n intermediate result B·T·X, undecoded, with the same per-block
+// fault tolerance.
+func (s *Session[E]) GatherBatch(x *matrix.Dense[E]) (*matrix.Dense[E], error) {
 	if x.Rows() != s.cols {
 		return nil, fmt.Errorf("fleet: input matrix has %d rows, want %d", x.Rows(), s.cols)
 	}
@@ -104,9 +128,7 @@ func (s *Session[E]) MulMat(x *matrix.Dense[E]) (*matrix.Dense[E], error) {
 			return nil, err
 		}
 	}
-	y := matrix.VStack(parts...)
-	defer obs.StartStage(s.reg, obs.StageDecode).End()
-	return coding.DecodeBatch(s.f, s.scheme, y)
+	return matrix.VStack(parts...), nil
 }
 
 // fetchBlock obtains one logical block's intermediate result from its

@@ -76,6 +76,22 @@ const (
 	// attempt for each served block fetch.
 	MetricFleetBlockWinnerSeconds = "scec_fleet_block_winner_seconds"
 
+	// Execution-engine (internal/engine) metrics. Label sets are bounded:
+	// backend ranges over the three executor implementations and kind over
+	// the two query shapes.
+
+	// MetricEngineDispatchTotal counts executor invocations made by the
+	// engine's query layer, labelled backend=local|sim|fleet and
+	// kind=vec|mat. A coalesced round that merged several MulVec callers
+	// counts as one kind="mat" dispatch.
+	MetricEngineDispatchTotal = "scec_engine_dispatch_total"
+	// MetricEngineCoalescedBatchSize is a histogram (label
+	// backend=local|sim|fleet) of how many concurrent MulVec callers each
+	// coalesced execution round merged; size-1 rounds are observed too, so
+	// the count is the number of rounds and the sum is the number of
+	// callers served through the coalescer.
+	MetricEngineCoalescedBatchSize = "scec_engine_coalesced_batch_size"
+
 	// MetricSimDeviceResultSeconds is a per-device gauge (label device="j",
 	// scheme order) of the virtual time at which device j's intermediate
 	// results reached the user in the most recent simulated run.

@@ -21,6 +21,7 @@ import (
 
 	"github.com/scec/scec/internal/coding"
 	"github.com/scec/scec/internal/field"
+	"github.com/scec/scec/internal/matrix"
 	"github.com/scec/scec/internal/obs"
 )
 
@@ -143,55 +144,128 @@ type Report struct {
 // report. A failed device yields ErrDeviceFailed (with the partial report's
 // Failed flags set).
 func Run[E comparable](f field.Field[E], enc *coding.Encoding[E], x []E, cfg Config) ([]E, Report, error) {
-	if enc.Scheme == nil {
-		return nil, Report{}, errors.New("sim: encoding has no structured scheme attached")
+	y, rep, err := Gather(f, enc, x, cfg)
+	if err != nil {
+		return nil, rep, err
 	}
 	s := enc.Scheme
+	reg := cfg.registry()
+	ax, err := coding.Decode(f, s, y)
+	if err != nil {
+		return nil, rep, fmt.Errorf("sim: decode: %w", err)
+	}
+	rep.DecodeOps = int64(s.M())
+	decode := seconds(float64(rep.DecodeOps) / cfg.UserComputeRate)
+	rep.CompletionTime += decode
+	obs.ObserveStage(reg, obs.StageDecode, decode)
+	return ax, rep, nil
+}
+
+// Gather simulates the protocol up to (and including) the user holding
+// every intermediate result: broadcast x, per-device compute on the virtual
+// clock, collect B_j·T·x in scheme device order. It performs no decoding —
+// the execution engine (or Run) owns that — so the returned report's
+// CompletionTime covers only the last result arrival and DecodeOps is zero.
+func Gather[E comparable](f field.Field[E], enc *coding.Encoding[E], x []E, cfg Config) ([]E, Report, error) {
+	l := len(x)
+	if err := checkRun(enc, l, cfg); err != nil {
+		return nil, Report{}, err
+	}
+	s := enc.Scheme
+	y := make([]E, 0, s.M()+s.R())
+	rep, err := gatherCore(enc, l, 1, cfg, func(j int) {
+		y = append(y, enc.ComputeDevice(f, j, x)...)
+	})
+	if err != nil {
+		return nil, rep, err
+	}
+	return y, rep, nil
+}
+
+// GatherBatch is Gather for the paper's batch generalization: the input is
+// an l×n matrix X and the result is the stacked B·T·X ((m+r)×n). Device
+// timelines scale with n: every device receives l·n input values, performs
+// n times the field operations, and returns V(B_j)·n intermediate values.
+func GatherBatch[E comparable](f field.Field[E], enc *coding.Encoding[E], x *matrix.Dense[E], cfg Config) (*matrix.Dense[E], Report, error) {
+	if err := checkRun(enc, x.Rows(), cfg); err != nil {
+		return nil, Report{}, err
+	}
+	blocks := make([]*matrix.Dense[E], len(enc.Blocks))
+	rep, err := gatherCore(enc, x.Rows(), x.Cols(), cfg, func(j int) {
+		blocks[j] = enc.ComputeDeviceBatch(f, j, x)
+	})
+	if err != nil {
+		return nil, rep, err
+	}
+	return matrix.VStack(blocks...), rep, nil
+}
+
+// checkRun validates the configuration against the encoding and the input
+// width (the vector length, or the batch matrix's row count).
+func checkRun[E comparable](enc *coding.Encoding[E], l int, cfg Config) error {
+	if enc.Scheme == nil {
+		return errors.New("sim: encoding has no structured scheme attached")
+	}
 	if len(cfg.Profiles) != len(enc.Blocks) {
-		return nil, Report{}, fmt.Errorf("sim: %d profiles for %d devices", len(cfg.Profiles), len(enc.Blocks))
+		return fmt.Errorf("sim: %d profiles for %d devices", len(cfg.Profiles), len(enc.Blocks))
 	}
 	if cfg.UserComputeRate <= 0 {
-		return nil, Report{}, fmt.Errorf("sim: user compute rate %g must be positive", cfg.UserComputeRate)
+		return fmt.Errorf("sim: user compute rate %g must be positive", cfg.UserComputeRate)
 	}
 	for j, p := range cfg.Profiles {
 		if err := p.Validate(); err != nil {
-			return nil, Report{}, fmt.Errorf("sim: device %d: %w", j, err)
+			return fmt.Errorf("sim: device %d: %w", j, err)
 		}
 	}
-	l := len(x)
 	if l != enc.Blocks[0].Cols() {
-		return nil, Report{}, fmt.Errorf("sim: input vector length %d, coded rows have %d columns", l, enc.Blocks[0].Cols())
+		return fmt.Errorf("sim: input has %d rows, coded rows have %d columns", l, enc.Blocks[0].Cols())
 	}
+	return nil
+}
 
-	reg := cfg.Metrics
-	if reg == nil {
-		reg = obs.Default()
+// registry resolves the run's metrics destination.
+func (cfg Config) registry() *obs.Registry {
+	if cfg.Metrics != nil {
+		return cfg.Metrics
 	}
-	rng := rand.New(rand.NewPCG(cfg.Seed, 0x5cec^uint64(s.M())))
+	return obs.Default()
+}
+
+// deviceTimeline prices one device's share of a width-n round on the
+// virtual clock: rows·l·n multiplications plus rows·(l−1)·n additions,
+// l·n values up, rows·n values down (n = 1 is the vector query).
+func deviceTimeline(j, rows, l, n int, p DeviceProfile) (DeviceReport, time.Duration) {
+	d := DeviceReport{Device: j, Rows: rows}
+	d.FieldOps = int64(rows) * int64(2*l-1) * int64(n)
+	d.ValuesSent = rows * n
+	d.StorageValues = rows*l + l*n + rows*n
+	d.XArrives = p.Latency + seconds(float64(l*n)/p.UplinkRate)
+	compute := seconds(float64(d.FieldOps) / p.ComputeRate * p.StragglerFactor)
+	d.ComputeDone = d.XArrives + compute
+	d.ResultArrives = d.ComputeDone + p.Latency + seconds(float64(rows*n)/p.DownlinkRate)
+	return d, compute
+}
+
+// gatherCore runs the shared virtual-clock loop: it fills the report, calls
+// emit(j) for every surviving device in scheme order, and records the
+// store/compute/gather stage metrics. A sampled failure yields
+// ErrDeviceFailed with the partial report's Failed flags set.
+func gatherCore[E comparable](enc *coding.Encoding[E], l, n int, cfg Config, emit func(j int)) (Report, error) {
+	reg := cfg.registry()
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0x5cec^uint64(enc.Scheme.M())))
 	rep := Report{Devices: make([]DeviceReport, len(enc.Blocks))}
-	y := make([]E, 0, s.M()+s.R())
 	failed := false
 
 	for j, block := range enc.Blocks {
 		p := cfg.Profiles[j]
 		rows := block.Rows()
-		d := DeviceReport{Device: j, Rows: rows}
-
-		// Device work: rows×l multiplications and rows×(l−1) additions.
-		d.FieldOps = int64(rows) * int64(2*l-1)
-		d.ValuesSent = rows
-		d.StorageValues = rows*l + l + rows
+		d, compute := deviceTimeline(j, rows, l, n, p)
 
 		// Provisioning: the coded block travels cloud→device over the same
 		// uplink direction x does; the slowest push bounds the store stage.
 		if push := p.Latency + seconds(float64(rows*l)/p.UplinkRate); push > rep.StoreTime {
 			rep.StoreTime = push
 		}
-
-		d.XArrives = p.Latency + seconds(float64(l)/p.UplinkRate)
-		compute := seconds(float64(d.FieldOps) / p.ComputeRate * p.StragglerFactor)
-		d.ComputeDone = d.XArrives + compute
-		d.ResultArrives = d.ComputeDone + p.Latency + seconds(float64(rows)/p.DownlinkRate)
 		d.Failed = rng.Float64() < p.FailProb
 
 		rep.Devices[j] = d
@@ -206,29 +280,20 @@ func Run[E comparable](f field.Field[E], enc *coding.Encoding[E], x []E, cfg Con
 		reg.Gauge(obs.MetricSimDeviceResultSeconds,
 			"Virtual time at which each simulated device's results reached the user, in seconds.",
 			obs.L("device", strconv.Itoa(j))).Set(d.ResultArrives.Seconds())
-		y = append(y, enc.ComputeDevice(f, j, x)...)
+		emit(j)
 		if d.ResultArrives > rep.CompletionTime {
 			rep.CompletionTime = d.ResultArrives
 		}
 	}
 	if failed {
-		return nil, rep, ErrDeviceFailed
+		return rep, ErrDeviceFailed
 	}
 	obs.ObserveStage(reg, obs.StageStore, rep.StoreTime)
 	// The gather stage mirrors the transport client's: broadcast of x up to
 	// the last intermediate result's arrival.
 	obs.ObserveStage(reg, obs.StageGather, rep.CompletionTime)
-
-	ax, err := coding.Decode(f, s, y)
-	if err != nil {
-		return nil, rep, fmt.Errorf("sim: decode: %w", err)
-	}
-	rep.DecodeOps = int64(s.M())
-	decode := seconds(float64(rep.DecodeOps) / cfg.UserComputeRate)
-	rep.CompletionTime += decode
-	obs.ObserveStage(reg, obs.StageDecode, decode)
 	reg.Counter(obs.MetricSimRuns, "Completed simulator runs.").Inc()
-	return ax, rep, nil
+	return rep, nil
 }
 
 // seconds converts a float64 second count to a Duration.

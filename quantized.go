@@ -32,8 +32,9 @@ type QuantizedDeployment struct {
 // DeployQuantized quantizes the float matrix a at fracBits fractional bits
 // and deploys it over the prime field. maxX must bound the absolute value
 // of every future input entry; it is checked now (against the static
-// overflow bound of the 61-bit modulus) and again on every query.
-func DeployQuantized(a *Matrix[float64], fracBits uint, maxX float64, unitCosts []float64, rng *rand.Rand) (*QuantizedDeployment, error) {
+// overflow bound of the 61-bit modulus) and again on every query. Options
+// select the execution backend for the underlying exact deployment.
+func DeployQuantized(a *Matrix[float64], fracBits uint, maxX float64, unitCosts []float64, rng *rand.Rand, opts ...DeployOption[uint64]) (*QuantizedDeployment, error) {
 	q, err := quant.NewQuantizer(fracBits)
 	if err != nil {
 		return nil, err
@@ -46,7 +47,7 @@ func DeployQuantized(a *Matrix[float64], fracBits uint, maxX float64, unitCosts 
 	if err != nil {
 		return nil, err
 	}
-	dep, err := Deploy(PrimeField(), aq, unitCosts, rng)
+	dep, err := Deploy(PrimeField(), aq, unitCosts, rng, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -73,4 +74,31 @@ func (d *QuantizedDeployment) MulVec(x []float64) ([]float64, error) {
 		return nil, err
 	}
 	return d.q.DequantizeDotVec(yq), nil
+}
+
+// MulMat computes A·X for an l×n float input matrix through the exact
+// pipeline: X is quantized entrywise, the coded batch round runs in F_p,
+// and every decoded dot product scales back to float64.
+func (d *QuantizedDeployment) MulMat(x *Matrix[float64]) (*Matrix[float64], error) {
+	if x.Rows() != d.l {
+		return nil, fmt.Errorf("scec: input matrix has %d rows, want %d", x.Rows(), d.l)
+	}
+	if err := d.q.CheckMatVec(d.l, d.maxA, quant.MaxAbs(x)); err != nil {
+		return nil, fmt.Errorf("scec: input would overflow the field: %w", err)
+	}
+	xq, err := d.q.QuantizeMatrix(x)
+	if err != nil {
+		return nil, err
+	}
+	yq, err := d.Deployment.MulMat(xq)
+	if err != nil {
+		return nil, err
+	}
+	y := NewMatrix[float64](yq.Rows(), yq.Cols())
+	for i := 0; i < yq.Rows(); i++ {
+		for j := 0; j < yq.Cols(); j++ {
+			y.Set(i, j, d.q.DequantizeDot(yq.At(i, j)))
+		}
+	}
+	return y, nil
 }

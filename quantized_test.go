@@ -36,6 +36,53 @@ func TestDeployQuantizedEndToEnd(t *testing.T) {
 	}
 }
 
+func TestDeployQuantizedMulMat(t *testing.T) {
+	rng := testRNG()
+	fR := RealField(0)
+	a := RandomMatrix(fR, rng, 15, 8)
+	costs := []float64{1.5, 0.8, 2.2}
+
+	dep, err := DeployQuantized(a, 16, 8, costs, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+	if dep.Devices() <= 0 {
+		t.Fatal("quantized deployment reports no devices")
+	}
+	const n = 3
+	x := NewMatrix[float64](8, n)
+	for i := 0; i < 8; i++ {
+		for j := 0; j < n; j++ {
+			x.Set(i, j, fR.Rand(rng))
+		}
+	}
+	got, err := dep.MulMat(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < n; j++ {
+		col := make([]float64, 8)
+		for i := range col {
+			col[i] = x.At(i, j)
+		}
+		want := MulVec(fR, a, col)
+		for i := range want {
+			if math.Abs(got.At(i, j)-want[i]) > 8*8.0/65536 {
+				t.Fatalf("entry (%d,%d): %g vs %g", i, j, got.At(i, j), want[i])
+			}
+		}
+	}
+	if _, err := dep.MulMat(NewMatrix[float64](9, 2)); err == nil {
+		t.Error("wrong input height should be rejected")
+	}
+	big := NewMatrix[float64](8, 1)
+	big.Set(0, 0, 1e12)
+	if _, err := dep.MulMat(big); err == nil {
+		t.Error("out-of-range batch input should be rejected at query time")
+	}
+}
+
 func TestDeployQuantizedValidation(t *testing.T) {
 	rng := testRNG()
 	fR := RealField(0)

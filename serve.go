@@ -1,6 +1,9 @@
 package scec
 
 import (
+	"errors"
+
+	"github.com/scec/scec/internal/engine"
 	"github.com/scec/scec/internal/fleet"
 )
 
@@ -10,10 +13,12 @@ import (
 // circuit-breaker parameters. See internal/fleet.Config for field docs.
 type FleetConfig = fleet.Config
 
-// Session is a live fault-tolerant serving runtime for one deployment: it
+// Session is the raw fault-tolerant fleet runtime for one deployment: it
 // races each block's replicas per query, hedges stragglers, retries with
 // backoff, quarantines dead devices behind circuit breakers, and re-pushes
-// blocks to standbys in the background when a replica set degrades.
+// blocks to standbys in the background when a replica set degrades. Serve
+// wraps one in the engine's query layer; use Served.Session for direct
+// access.
 type Session[E comparable] = fleet.Session[E]
 
 // ErrBlockUnavailable reports that a query exhausted every replica, hedge,
@@ -25,14 +30,76 @@ var ErrBlockUnavailable = fleet.ErrBlockUnavailable
 // returns when no replica of one coded block could serve it in time.
 type BlockUnavailableError = fleet.BlockUnavailableError
 
+// Served is a live serving handle: the engine's query layer (validation,
+// dispatch counters, optional request coalescing, decode) over a
+// fault-tolerant fleet session.
+type Served[E comparable] struct {
+	q *engine.Query[E]
+	s *fleet.Session[E]
+}
+
 // Serve provisions dep's coded blocks onto the replicated device fleet
-// described by cfg and returns a Session serving MulVec/MulMat queries with
-// per-query fault tolerance.
+// described by cfg and returns a Served handle answering MulVec/MulMat
+// queries with per-query fault tolerance. Options tune the engine layer
+// (e.g. WithCoalescing); WithExecutor is rejected, since Serve's backend is
+// by definition the given fleet.
 //
 // Replicating a block does not weaken the paper's Definition 2 security:
 // every replica of block j stores exactly B_j·T, the per-device view already
 // proven to leak no linear combination of A's rows (Theorem 3). Close the
-// Session when done; the device servers themselves belong to the caller.
-func Serve[E comparable](dep *Deployment[E], cfg FleetConfig) (*Session[E], error) {
-	return fleet.Serve(dep.F, dep.Scheme, dep.Encoding, cfg)
+// Served handle when done; the device servers themselves belong to the
+// caller.
+func Serve[E comparable](dep *Deployment[E], cfg FleetConfig, opts ...DeployOption[E]) (*Served[E], error) {
+	c := deployConfig[E]{}
+	for _, o := range opts {
+		o(&c)
+	}
+	if c.backend != nil {
+		return nil, errors.New("scec: Serve executes over the given fleet; WithExecutor is not applicable")
+	}
+	s, err := fleet.Serve(dep.F, dep.Scheme, dep.Encoding, cfg)
+	if err != nil {
+		return nil, err
+	}
+	q, err := engine.New(dep.F, dep.Encoding, engine.WrapSession(s, true), c.opts)
+	if err != nil {
+		_ = s.Close()
+		return nil, err
+	}
+	return &Served[E]{q: q, s: s}, nil
 }
+
+// MulVec computes A·x through the fleet (coalescing concurrent callers into
+// batch rounds when enabled).
+func (v *Served[E]) MulVec(x []E) ([]E, error) {
+	y, err := v.q.MulVec(x)
+	if err != nil {
+		return nil, wrapEngineErr(err)
+	}
+	return y, nil
+}
+
+// MulMat computes A·X for an l×n input matrix through the fleet.
+func (v *Served[E]) MulMat(x *Matrix[E]) (*Matrix[E], error) {
+	y, err := v.q.MulMat(x)
+	if err != nil {
+		return nil, wrapEngineErr(err)
+	}
+	return y, nil
+}
+
+// Devices returns the number of logical coded blocks served.
+func (v *Served[E]) Devices() int { return v.s.Devices() }
+
+// Standbys returns how many warm standby devices remain unused.
+func (v *Served[E]) Standbys() int { return v.s.Standbys() }
+
+// ReplicaCount returns how many replicas currently serve block j.
+func (v *Served[E]) ReplicaCount(j int) int { return v.s.ReplicaCount(j) }
+
+// Session exposes the underlying fleet runtime.
+func (v *Served[E]) Session() *Session[E] { return v.s }
+
+// Close flushes the query engine and shuts the fleet session down. Safe to
+// call more than once.
+func (v *Served[E]) Close() error { return v.q.Close() }
