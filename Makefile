@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short test-fault bench bench-json bench-check fuzz reproduce examples clean
+.PHONY: all build vet lint test test-short test-fault trace-demo bench bench-json bench-check fuzz reproduce examples clean
 
 all: build vet lint test
 
@@ -34,6 +34,16 @@ test-short:
 # stream) under the race detector.
 test-fault:
 	$(GO) test -race -run Fault ./internal/fleet/ ./cmd/scecnet/
+
+# Traced end-to-end demo: a replicated loopback fleet with injected faults
+# and request coalescing, exporting every trace (engine → coalescer →
+# replica races → transport → device compute) to results/trace.json. See
+# README §Observability for reading the waterfall and EXPERIMENTS.md for
+# the per-device tail-latency recipe built on it.
+trace-demo:
+	$(GO) run ./cmd/scecnet fleet -m 40 -l 16 -k 6 -replicas 2 -standbys 1 \
+		-inject-faults -queries 6 -coalesce-window 5ms \
+		-trace-export results/trace.json
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

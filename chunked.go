@@ -1,6 +1,7 @@
 package scec
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand/v2"
@@ -138,12 +139,19 @@ func (d *ChunkedDeployment[E]) Close() error {
 // MulVec computes A·x by querying every chunk concurrently with its slice
 // of x and summing the decoded partial products.
 func (d *ChunkedDeployment[E]) MulVec(x []E) ([]E, error) {
+	return d.MulVecContext(context.Background(), x)
+}
+
+// MulVecContext is MulVec bounded by ctx; each chunk's query runs under it
+// (and under its trace span, when one is carried), so one chunked query
+// yields one trace with a query span per chunk.
+func (d *ChunkedDeployment[E]) MulVecContext(ctx context.Context, x []E) ([]E, error) {
 	if len(x) != d.l {
 		return nil, fmt.Errorf("scec: input vector has %d entries, want %d", len(x), d.l)
 	}
 	parts := make([][]E, len(d.chunks))
 	err := d.fanOut(func(i, from, to int) error {
-		part, err := d.chunks[i].MulVec(x[from:to])
+		part, err := d.chunks[i].MulVecContext(ctx, x[from:to])
 		parts[i] = part
 		return err
 	})
@@ -162,12 +170,17 @@ func (d *ChunkedDeployment[E]) MulVec(x []E) ([]E, error) {
 // MulMat computes A·X for an l×n input matrix by querying every chunk
 // concurrently with its row slice of X and summing the partial products.
 func (d *ChunkedDeployment[E]) MulMat(x *Matrix[E]) (*Matrix[E], error) {
+	return d.MulMatContext(context.Background(), x)
+}
+
+// MulMatContext is MulMat bounded by ctx; see MulVecContext.
+func (d *ChunkedDeployment[E]) MulMatContext(ctx context.Context, x *Matrix[E]) (*Matrix[E], error) {
 	if x.Rows() != d.l {
 		return nil, fmt.Errorf("scec: input matrix has %d rows, want %d", x.Rows(), d.l)
 	}
 	parts := make([]*Matrix[E], len(d.chunks))
 	err := d.fanOut(func(i, from, to int) error {
-		part, err := d.chunks[i].MulMat(matrix.RowSlice(x, from, to))
+		part, err := d.chunks[i].MulMatContext(ctx, matrix.RowSlice(x, from, to))
 		parts[i] = part
 		return err
 	})

@@ -14,6 +14,7 @@ import (
 	"github.com/scec/scec"
 	"github.com/scec/scec/internal/fleet"
 	"github.com/scec/scec/internal/obs"
+	"github.com/scec/scec/internal/obs/trace"
 	"github.com/scec/scec/internal/transport"
 	"github.com/scec/scec/internal/workload"
 )
@@ -40,6 +41,7 @@ func runFleet(args []string, out io.Writer) error {
 		backend      = fs.String("backend", "fleet", "execution backend: fleet (replicated TCP devices) or local (in-process engine baseline)")
 		coalesceWin  = fs.Duration("coalesce-window", 0, "merge concurrent MulVec queries within this window into one batch round (0 off; queries run concurrently when on)")
 		coalesceMax  = fs.Int("coalesce-max", 0, "max queries per coalesced round (0 for the engine default)")
+		traceFile    = fs.String("trace-export", "", "record a distributed trace per query and write the JSON export here on completion")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -60,13 +62,16 @@ func runFleet(args []string, out io.Writer) error {
 	if *coalesceWin > 0 {
 		engineOpts = append(engineOpts, scec.WithCoalescing[uint64](*coalesceWin, *coalesceMax))
 	}
-	ms, err := startMetrics(out, *metricsAddr)
-	if err != nil {
-		return err
+	var tr, devTr *trace.Tracer
+	if *traceFile != "" {
+		tr = trace.New(trace.Options{Service: "scecnet-fleet"})
+		// Devices trace into their own buffer; the session adopts their
+		// compute spans from the response frames, as over a real network.
+		devTr = trace.New(trace.Options{Service: "scecnet-device"})
+		engineOpts = append(engineOpts, scec.WithTracing[uint64](tr))
 	}
-	if ms != nil {
-		defer ms.Close()
-	}
+	// The telemetry server starts after the session is up so /debug/fleet
+	// and /debug/engine can snapshot the live runtime.
 
 	f := scec.PrimeField()
 	rng := rand.New(rand.NewPCG(*seed, 0xf1ee7))
@@ -93,7 +98,7 @@ func runFleet(args []string, out io.Writer) error {
 		// device behind a fault proxy so -inject-faults can kill replicas on
 		// command.
 		newProxied := func() (*fleet.FaultProxy, error) {
-			srv, err := transport.NewDeviceServerOptions[uint64](f, "127.0.0.1:0", transport.Options{Timeout: *timeout})
+			srv, err := transport.NewDeviceServerOptions[uint64](f, "127.0.0.1:0", transport.Options{Timeout: *timeout, Tracer: devTr})
 			if err != nil {
 				return nil, err
 			}
@@ -110,6 +115,7 @@ func runFleet(args []string, out io.Writer) error {
 			RPCTimeout: *timeout,
 			HedgeAfter: *hedgeAfter,
 			MaxRetries: *maxRetries,
+			Tracer:     tr,
 			// Demo-paced health policy: notice a dead replica within a few
 			// hundred milliseconds and keep it quarantined for the whole run.
 			ProbeInterval:    150 * time.Millisecond,
@@ -153,6 +159,32 @@ func runFleet(args []string, out io.Writer) error {
 		}
 	} else {
 		fmt.Fprintf(out, "backend local: queries run on the in-process engine (no devices launched)\n")
+	}
+
+	// Telemetry + live introspection: /debug/engine and (fleet backend)
+	// /debug/fleet join /metrics and /debug/pprof on one mux; the tracer
+	// adds /debug/traces when -trace-export is on.
+	var routes []obs.Route
+	if tr != nil {
+		var an *trace.Stragglers
+		if served != nil {
+			an = served.Session().Stragglers()
+		}
+		routes = traceRoutes(tr, an)
+	}
+	if served != nil {
+		routes = append(routes,
+			obs.Route{Pattern: "/debug/fleet", Handler: served.FleetDebugHandler()},
+			obs.Route{Pattern: "/debug/engine", Handler: served.EngineDebugHandler()})
+	} else {
+		routes = append(routes, obs.Route{Pattern: "/debug/engine", Handler: dep.EngineDebugHandler()})
+	}
+	ms, err := startMetrics(out, *metricsAddr, routes...)
+	if err != nil {
+		return err
+	}
+	if ms != nil {
+		defer ms.Close()
 	}
 
 	// The query RNG is not goroutine-safe, so inputs are drawn up front
@@ -230,6 +262,9 @@ func runFleet(args []string, out io.Writer) error {
 		}
 	}
 	if err := writeEngineSummary(out); err != nil {
+		return err
+	}
+	if err := exportTraces(out, tr, *traceFile); err != nil {
 		return err
 	}
 	return writeStageTable(out)

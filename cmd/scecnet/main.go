@@ -21,6 +21,14 @@
 // (/metrics, /metrics.json, /healthz, /debug/pprof/*, /debug/vars) while it
 // runs; drive and demo print a per-stage timing table on completion, and
 // device/drive accept -timeout to override the 10s round-trip bound.
+//
+// Tracing: drive, demo, and fleet accept -trace-export FILE to record one
+// distributed trace per query (engine, coalescer, fleet racing/hedging,
+// transport round trips, and device-side compute spans stitched under one
+// trace ID) and write the JSON export on completion; with -metrics-addr the
+// live traces are also served at /debug/traces and /debug/traces/{id}, and
+// the fleet role adds /debug/fleet and /debug/engine. A device started with
+// -trace records server-side spans and returns them to traced clients.
 package main
 
 import (
@@ -37,6 +45,7 @@ import (
 
 	"github.com/scec/scec"
 	"github.com/scec/scec/internal/obs"
+	"github.com/scec/scec/internal/obs/trace"
 	"github.com/scec/scec/internal/transport"
 	"github.com/scec/scec/internal/workload"
 )
@@ -66,18 +75,41 @@ func run(args []string, out io.Writer) error {
 	}
 }
 
-// startMetrics serves the telemetry bundle on addr when non-empty; the
-// returned closer is nil when no server was requested.
-func startMetrics(out io.Writer, addr string) (io.Closer, error) {
+// startMetrics serves the telemetry bundle on addr when non-empty, with any
+// extra debug routes mounted on the same mux; the returned closer is nil
+// when no server was requested.
+func startMetrics(out io.Writer, addr string, extra ...obs.Route) (io.Closer, error) {
 	if addr == "" {
 		return nil, nil
 	}
-	srv, err := obs.StartServer(nil, addr)
+	srv, err := obs.StartServer(nil, addr, extra...)
 	if err != nil {
 		return nil, err
 	}
 	fmt.Fprintf(out, "serving telemetry on http://%s/metrics (also /healthz, /debug/pprof/, /debug/vars)\n", srv.Addr())
 	return srv, nil
+}
+
+// traceRoutes mounts the tracer's waterfall endpoints; an is optional.
+func traceRoutes(t *trace.Tracer, an *trace.Stragglers) []obs.Route {
+	h := trace.DebugHandler(t, an)
+	return []obs.Route{
+		{Pattern: "/debug/traces", Handler: h},
+		{Pattern: "/debug/traces/{id}", Handler: h},
+	}
+}
+
+// exportTraces writes the tracer's retained traces to path on completion.
+func exportTraces(out io.Writer, t *trace.Tracer, path string) error {
+	if t == nil || path == "" {
+		return nil
+	}
+	if err := t.WriteFile(path); err != nil {
+		return fmt.Errorf("trace export: %w", err)
+	}
+	_, _, _, retained := t.Stats()
+	fmt.Fprintf(out, "exported %d retained spans to %s\n", retained, path)
+	return nil
 }
 
 // writeStageTable prints the per-stage timing table when any stage ran.
@@ -92,25 +124,34 @@ func runDevice(args []string, out io.Writer) error {
 		addr        = fs.String("addr", "127.0.0.1:0", "listen address")
 		metricsAddr = fs.String("metrics-addr", "", "serve /metrics, /healthz, and /debug endpoints on this address")
 		timeout     = fs.Duration("timeout", transport.DefaultTimeout, "per-request exchange bound")
+		traced      = fs.Bool("trace", false, "record server-side spans, return them to traced clients, and serve /debug/traces")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	ms, err := startMetrics(out, *metricsAddr)
-	if err != nil {
-		return err
+	// The signal context drives both the telemetry server's graceful
+	// shutdown and the main wait.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	var tr *trace.Tracer
+	var routes []obs.Route
+	if *traced {
+		tr = trace.New(trace.Options{Service: "scecnet-device"})
+		routes = traceRoutes(tr, nil)
 	}
-	if ms != nil {
-		defer ms.Close()
+	if *metricsAddr != "" {
+		srv, err := obs.StartServerContext(ctx, nil, *metricsAddr, routes...)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "serving telemetry on http://%s/metrics (also /healthz, /debug/pprof/, /debug/vars)\n", srv.Addr())
 	}
-	srv, err := transport.NewDeviceServerOptions[uint64](scec.PrimeField(), *addr, transport.Options{Timeout: *timeout})
+	srv, err := transport.NewDeviceServerOptions[uint64](scec.PrimeField(), *addr, transport.Options{Timeout: *timeout, Tracer: tr})
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(out, "edge device listening on %s (ctrl-c to stop)\n", srv.Addr())
-	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
-	<-stop
+	<-ctx.Done()
 	return srv.Close()
 }
 
@@ -124,6 +165,7 @@ func runDrive(args []string, out io.Writer) error {
 		seed        = fs.Uint64("seed", 1, "random seed")
 		metricsAddr = fs.String("metrics-addr", "", "serve /metrics, /healthz, and /debug endpoints on this address")
 		timeout     = fs.Duration("timeout", transport.DefaultTimeout, "per-round-trip bound for store and compute requests")
+		traceFile   = fs.String("trace-export", "", "record a distributed trace per query and write the JSON export here on completion")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -132,14 +174,23 @@ func runDrive(args []string, out io.Writer) error {
 	if len(addrs) < 2 {
 		return fmt.Errorf("need at least two device addresses, got %d", len(addrs))
 	}
-	ms, err := startMetrics(out, *metricsAddr)
+	var tr *trace.Tracer
+	var routes []obs.Route
+	if *traceFile != "" {
+		tr = trace.New(trace.Options{Service: "scecnet-drive"})
+		routes = traceRoutes(tr, nil)
+	}
+	ms, err := startMetrics(out, *metricsAddr, routes...)
 	if err != nil {
 		return err
 	}
 	if ms != nil {
 		defer ms.Close()
 	}
-	return drive(out, addrs, *m, *l, *batch, *seed, *timeout)
+	if err := drive(out, addrs, *m, *l, *batch, *seed, *timeout, tr); err != nil {
+		return err
+	}
+	return exportTraces(out, tr, *traceFile)
 }
 
 func runDemo(args []string, out io.Writer) error {
@@ -152,11 +203,21 @@ func runDemo(args []string, out io.Writer) error {
 		seed        = fs.Uint64("seed", 1, "random seed")
 		metricsAddr = fs.String("metrics-addr", "", "serve /metrics, /healthz, and /debug endpoints on this address")
 		timeout     = fs.Duration("timeout", transport.DefaultTimeout, "per-round-trip bound for store and compute requests")
+		traceFile   = fs.String("trace-export", "", "record a distributed trace per query and write the JSON export here on completion")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	ms, err := startMetrics(out, *metricsAddr)
+	var tr, devTr *trace.Tracer
+	var routes []obs.Route
+	if *traceFile != "" {
+		tr = trace.New(trace.Options{Service: "scecnet-demo"})
+		// The loopback devices get their own tracer so the demo exercises
+		// the real cross-process span adoption path.
+		devTr = trace.New(trace.Options{Service: "scecnet-device"})
+		routes = traceRoutes(tr, nil)
+	}
+	ms, err := startMetrics(out, *metricsAddr, routes...)
 	if err != nil {
 		return err
 	}
@@ -166,7 +227,7 @@ func runDemo(args []string, out io.Writer) error {
 	f := scec.PrimeField()
 	addrs := make([]string, *k)
 	for j := 0; j < *k; j++ {
-		srv, err := transport.NewDeviceServerOptions[uint64](f, "127.0.0.1:0", transport.Options{Timeout: *timeout})
+		srv, err := transport.NewDeviceServerOptions[uint64](f, "127.0.0.1:0", transport.Options{Timeout: *timeout, Tracer: devTr})
 		if err != nil {
 			return err
 		}
@@ -174,14 +235,19 @@ func runDemo(args []string, out io.Writer) error {
 		addrs[j] = srv.Addr()
 	}
 	fmt.Fprintf(out, "launched %d loopback devices\n", *k)
-	return drive(out, addrs, *m, *l, *batch, *seed, *timeout)
+	if err := drive(out, addrs, *m, *l, *batch, *seed, *timeout, tr); err != nil {
+		return err
+	}
+	return exportTraces(out, tr, *traceFile)
 }
 
 // drive plays cloud + user against a running fleet: the fleet's unit costs
 // are sampled (a real deployment would read device price sheets), the
 // cheapest plan.I devices are provisioned, and one multiplication is
-// verified end to end. Completion prints the per-stage timing table.
-func drive(out io.Writer, addrs []string, m, l, batch int, seed uint64, timeout time.Duration) error {
+// verified end to end. Completion prints the per-stage timing table. A
+// non-nil tracer roots one trace per query; the transport layer carries it
+// to the devices and adopts their server-side spans back.
+func drive(out io.Writer, addrs []string, m, l, batch int, seed uint64, timeout time.Duration, tr *trace.Tracer) error {
 	f := scec.PrimeField()
 	rng := rand.New(rand.NewPCG(seed, 0xd21fe))
 	in := workload.Instance(rng, m, len(addrs), workload.Uniform{Max: 5})
@@ -206,7 +272,10 @@ func drive(out io.Writer, addrs []string, m, l, batch int, seed uint64, timeout 
 
 	client := transport.Client[uint64]{F: f, Scheme: dep.Scheme, Timeout: timeout}
 	x := scec.RandomVector(f, rng, l)
-	got, err := client.MulVec(context.Background(), selected, x)
+	vctx, vsp := tr.StartRoot(context.Background(), trace.SpanQueryVec, trace.A(trace.AttrKind, "vec"))
+	got, err := client.MulVec(vctx, selected, x)
+	vsp.SetError(err)
+	vsp.End()
 	if err != nil {
 		return fmt.Errorf("gather: %w", err)
 	}
@@ -220,7 +289,10 @@ func drive(out io.Writer, addrs []string, m, l, batch int, seed uint64, timeout 
 
 	if batch > 0 {
 		xm := scec.RandomMatrix(f, rng, l, batch)
-		gotM, err := client.MulMat(context.Background(), selected, xm)
+		mctx, msp := tr.StartRoot(context.Background(), trace.SpanQueryMat, trace.A(trace.AttrKind, "mat"))
+		gotM, err := client.MulMat(mctx, selected, xm)
+		msp.SetError(err)
+		msp.End()
 		if err != nil {
 			return fmt.Errorf("batch gather: %w", err)
 		}

@@ -21,6 +21,7 @@ import (
 	"github.com/scec/scec"
 	"github.com/scec/scec/internal/engine"
 	"github.com/scec/scec/internal/obs"
+	"github.com/scec/scec/internal/obs/trace"
 	"github.com/scec/scec/internal/sim"
 	"github.com/scec/scec/internal/workload"
 )
@@ -45,6 +46,7 @@ func run(args []string, out io.Writer) error {
 		replicas  = fs.Int("replicas", 1, "copies of each coded block (replication masks stragglers/failures)")
 		backend   = fs.String("backend", "sim", "execution backend: sim (virtual clock) or local (in-process kernels)")
 		metrics   = fs.String("metrics-json", "", "write the run's telemetry snapshot as JSON to this path (- for stdout)")
+		traceFile = fs.String("trace-export", "", "export the query's trace as JSON: the wall-clock engine spans plus the linked virtual-clock sim.run/sim.device timeline")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -64,7 +66,12 @@ func run(args []string, out io.Writer) error {
 		}
 		return p
 	}
+	var tr *trace.Tracer
 	var opts []scec.DeployOption[uint64]
+	if *traceFile != "" {
+		tr = trace.New(trace.Options{Service: "scecsim"})
+		opts = append(opts, scec.WithTracing[uint64](tr))
+	}
 	switch *backend {
 	case "sim":
 		opts = append(opts, scec.WithExecutor(scec.SimExecutor[uint64](scec.SimExecutorConfig{
@@ -128,6 +135,9 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "replication x%d: completion %.3fms, storage overhead %.1fx\n",
 			*replicas, float64(rrep.CompletionTime.Microseconds())/1000, rrep.StorageOverhead)
 		fmt.Fprintf(out, "decoded result verified against plaintext A·x (%d entries)\n", len(got))
+		if *traceFile != "" {
+			fmt.Fprintln(out, "note: -trace-export records nothing for -replicas > 1 (the replicated run bypasses the traced engine)")
+		}
 		return finish(out, *metrics)
 	}
 
@@ -146,6 +156,13 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	fmt.Fprintf(out, "decoded result verified against plaintext A·x (%d entries)\n", len(got))
+	if *traceFile != "" {
+		if err := tr.WriteFile(*traceFile); err != nil {
+			return fmt.Errorf("trace export: %w", err)
+		}
+		_, _, _, retained := tr.Stats()
+		fmt.Fprintf(out, "exported %d retained spans to %s\n", retained, *traceFile)
+	}
 	return finish(out, *metrics)
 }
 

@@ -1,8 +1,10 @@
 package scec
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
+	"net/http"
 
 	"github.com/scec/scec/internal/alloc"
 	"github.com/scec/scec/internal/coding"
@@ -99,7 +101,14 @@ func Deploy[E comparable](f Field[E], a *Matrix[E], unitCosts []float64, rng *ra
 // (when coalescing is on) may serve this call as one column of a merged
 // batch round.
 func (d *Deployment[E]) MulVec(x []E) ([]E, error) {
-	y, err := d.q.MulVec(x)
+	return d.MulVecContext(context.Background(), x)
+}
+
+// MulVecContext is MulVec bounded by ctx (the fleet backend cancels
+// in-flight replica races when it ends). With WithTracing, each call opens
+// — or, when ctx already carries a span, continues — one end-to-end trace.
+func (d *Deployment[E]) MulVecContext(ctx context.Context, x []E) ([]E, error) {
+	y, err := d.q.MulVecContext(ctx, x)
 	if err != nil {
 		return nil, wrapEngineErr(err)
 	}
@@ -110,7 +119,12 @@ func (d *Deployment[E]) MulVec(x []E) ([]E, error) {
 // generalization: n input vectors served by one round). Decoding costs m·n
 // subtractions.
 func (d *Deployment[E]) MulMat(x *Matrix[E]) (*Matrix[E], error) {
-	y, err := d.q.MulMat(x)
+	return d.MulMatContext(context.Background(), x)
+}
+
+// MulMatContext is MulMat bounded by ctx; see MulVecContext.
+func (d *Deployment[E]) MulMatContext(ctx context.Context, x *Matrix[E]) (*Matrix[E], error) {
+	y, err := d.q.MulMatContext(ctx, x)
 	if err != nil {
 		return nil, wrapEngineErr(err)
 	}
@@ -124,6 +138,10 @@ func (d *Deployment[E]) Backend() string { return d.q.Backend() }
 // Executor exposes the underlying executor for backend-specific
 // introspection (e.g. *engine.SimExecutor's LastReport).
 func (d *Deployment[E]) Executor() Executor[E] { return d.q.Executor() }
+
+// EngineDebugHandler serves the engine's live dispatch and coalescing
+// snapshot as JSON — mount it as /debug/engine on the obs telemetry server.
+func (d *Deployment[E]) EngineDebugHandler() http.Handler { return d.q.DebugHandler() }
 
 // Close flushes the query engine and releases the backend (a fleet backend
 // closes its session). Safe to call more than once.

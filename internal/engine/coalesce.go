@@ -1,11 +1,15 @@
 package engine
 
 import (
+	"context"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/scec/scec/internal/matrix"
 	"github.com/scec/scec/internal/obs"
+	"github.com/scec/scec/internal/obs/trace"
 )
 
 // outcome is what a coalesced waiter receives: its decoded column of A·X,
@@ -17,8 +21,13 @@ type outcome[E comparable] struct {
 
 // waiter is one MulVec caller parked in a coalescing batch.
 type waiter[E comparable] struct {
+	ctx context.Context
 	x   []E
 	out chan outcome[E]
+	// sp is the caller's engine.coalesce.wait span: opened at submit, closed
+	// when the outcome lands, so the waterfall shows exactly how long each
+	// caller spent parked against the window.
+	sp *trace.Span
 }
 
 // cbatch is one open coalescing batch: the waiters collected so far and the
@@ -40,6 +49,11 @@ type coalescer[E comparable] struct {
 	max    int
 	hist   *obs.Histogram
 
+	// rounds/merged are lifetime occupancy counters for /debug/engine:
+	// batches executed and callers they served.
+	rounds atomic.Int64
+	merged atomic.Int64
+
 	mu  sync.Mutex
 	cur *cbatch[E]
 }
@@ -48,10 +62,22 @@ func newCoalescer[E comparable](q *Query[E], window time.Duration, max int, hist
 	return &coalescer[E]{q: q, window: window, max: max, hist: hist}
 }
 
+// occupancy reports the currently parked caller count.
+func (c *coalescer[E]) occupancy() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cur == nil {
+		return 0
+	}
+	return len(c.cur.waiters)
+}
+
 // submit parks the caller in the current batch (opening one if needed) and
-// blocks until the batch executes.
-func (c *coalescer[E]) submit(x []E) ([]E, error) {
-	w := &waiter[E]{x: x, out: make(chan outcome[E], 1)}
+// blocks until the batch executes. ctx carries the caller's query span; the
+// round executes under the leader's context.
+func (c *coalescer[E]) submit(ctx context.Context, x []E) ([]E, error) {
+	_, wsp := c.q.startSpan(ctx, trace.SpanCoalesceWait)
+	w := &waiter[E]{ctx: ctx, x: x, out: make(chan outcome[E], 1), sp: wsp}
 	c.mu.Lock()
 	if c.cur == nil {
 		b := &cbatch[E]{}
@@ -70,6 +96,7 @@ func (c *coalescer[E]) submit(x []E) ([]E, error) {
 		c.execute(b.waiters)
 	}
 	o := <-w.out
+	wsp.End()
 	return o.ax, o.err
 }
 
@@ -103,21 +130,34 @@ func (c *coalescer[E]) drain() {
 // execute runs one coalesced round and fans results back. A singleton batch
 // takes the plain vector path; a merged batch stacks inputs as columns of
 // one l×n matrix, runs a single batch dispatch, and hands column i of the
-// decoded A·X to caller i.
+// decoded A·X to caller i. The round runs under the leader's (first
+// waiter's) context and span; followers from other traces see an
+// "coalesced" event on their wait spans instead, since one round cannot
+// belong to two traces.
 func (c *coalescer[E]) execute(ws []*waiter[E]) {
 	c.hist.Observe(float64(len(ws)))
+	c.rounds.Add(1)
+	c.merged.Add(int64(len(ws)))
+	batch := strconv.Itoa(len(ws))
+	for _, w := range ws {
+		w.sp.AddEvent(trace.EventCoalesced, trace.A(trace.AttrBatch, batch))
+	}
 	if len(ws) == 1 {
-		ax, err := c.q.mulVecDirect(ws[0].x)
+		ax, err := c.q.mulVecDirect(ws[0].ctx, ws[0].x)
 		ws[0].out <- outcome[E]{ax, err}
 		return
 	}
+	rctx, rsp := c.q.startSpan(ws[0].ctx, trace.SpanEngineRound)
+	rsp.SetAttr(trace.AttrBatch, batch)
 	x := matrix.New[E](c.q.cols, len(ws))
 	for i, w := range ws {
 		for p, v := range w.x {
 			x.Set(p, i, v)
 		}
 	}
-	ax, err := c.q.mulMatDirect(x)
+	ax, err := c.q.mulMatDirect(rctx, x)
+	rsp.SetError(err)
+	rsp.End()
 	if err != nil {
 		for _, w := range ws {
 			w.out <- outcome[E]{nil, err}

@@ -9,6 +9,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -18,20 +19,23 @@ import (
 	"github.com/scec/scec/internal/field"
 	"github.com/scec/scec/internal/matrix"
 	"github.com/scec/scec/internal/obs"
+	"github.com/scec/scec/internal/obs/trace"
 )
 
 // Executor evaluates the coded compute round over one execution substrate.
 // Implementations return the raw (undecoded) intermediate results in scheme
 // device order; the Query layer decodes. Executors must be safe for
-// concurrent use.
+// concurrent use. The context bounds one round — the fleet backend cancels
+// in-flight replica races when it ends — and carries the query's trace span,
+// which substrate-side spans parent under.
 type Executor[E comparable] interface {
 	// Name identifies the backend ("local", "sim", "fleet") and becomes the
 	// backend label on the engine's metrics.
 	Name() string
 	// Compute evaluates B·T·x: m+r intermediate values in scheme order.
-	Compute(x []E) ([]E, error)
+	Compute(ctx context.Context, x []E) ([]E, error)
 	// ComputeBatch evaluates B·T·X for an l×n input: an (m+r)×n matrix.
-	ComputeBatch(x *matrix.Dense[E]) (*matrix.Dense[E], error)
+	ComputeBatch(ctx context.Context, x *matrix.Dense[E]) (*matrix.Dense[E], error)
 	// Close releases the substrate (no-op for in-process backends).
 	Close() error
 }
@@ -59,6 +63,10 @@ type Options struct {
 	// Metrics receives dispatch counters and the coalesced-batch-size
 	// histogram. Nil means obs.Default().
 	Metrics *obs.Registry
+	// Tracer, when non-nil, opens one root span per user query (or continues
+	// a trace carried in the caller's context) and records the engine's
+	// coalesce/round/decode spans into it. Nil disables engine tracing.
+	Tracer *trace.Tracer
 }
 
 // Query is the shared serving layer over an Executor: it validates inputs,
@@ -70,6 +78,7 @@ type Query[E comparable] struct {
 	exec   Executor[E]
 	cols   int
 	reg    *obs.Registry
+	trc    *trace.Tracer
 
 	vec *obs.Counter
 	mat *obs.Counter
@@ -98,6 +107,7 @@ func New[E comparable](f field.Field[E], enc *coding.Encoding[E], exec Executor[
 		exec:   exec,
 		cols:   enc.Blocks[0].Cols(),
 		reg:    reg,
+		trc:    opts.Tracer,
 		vec:    reg.Counter(obs.MetricEngineDispatchTotal, dispatchHelp, backend, obs.L("kind", "vec")),
 		mat:    reg.Counter(obs.MetricEngineDispatchTotal, dispatchHelp, backend, obs.L("kind", "mat")),
 	}
@@ -133,44 +143,81 @@ func (q *Query[E]) Cols() int { return q.cols }
 // MulVec computes A·x through the executor and decodes. When coalescing is
 // enabled, concurrent callers within the window share one batch round.
 func (q *Query[E]) MulVec(x []E) ([]E, error) {
+	return q.MulVecContext(context.Background(), x)
+}
+
+// MulVecContext is MulVec bounded by ctx. When the engine has a tracer, the
+// query runs under an engine.query.vec span — the root of the end-to-end
+// trace unless ctx already carries a span to continue.
+func (q *Query[E]) MulVecContext(ctx context.Context, x []E) (y []E, err error) {
 	if len(x) != q.cols {
 		return nil, fmt.Errorf("engine: input vector has %d entries, want %d", len(x), q.cols)
 	}
+	ctx, qsp := q.startSpan(ctx, trace.SpanQueryVec)
+	defer func() {
+		qsp.SetError(err)
+		qsp.End()
+	}()
 	if q.co != nil {
-		return q.co.submit(x)
+		return q.co.submit(ctx, x)
 	}
-	return q.mulVecDirect(x)
+	return q.mulVecDirect(ctx, x)
 }
 
 // MulMat computes A·X through the executor and decodes. Batch queries are
 // never coalesced — they already amortize a round.
 func (q *Query[E]) MulMat(x *matrix.Dense[E]) (*matrix.Dense[E], error) {
+	return q.MulMatContext(context.Background(), x)
+}
+
+// MulMatContext is MulMat bounded by ctx; see MulVecContext for tracing.
+func (q *Query[E]) MulMatContext(ctx context.Context, x *matrix.Dense[E]) (y *matrix.Dense[E], err error) {
 	if x.Rows() != q.cols {
 		return nil, fmt.Errorf("engine: input matrix has %d rows, want %d", x.Rows(), q.cols)
 	}
-	return q.mulMatDirect(x)
+	ctx, qsp := q.startSpan(ctx, trace.SpanQueryMat)
+	defer func() {
+		qsp.SetError(err)
+		qsp.End()
+	}()
+	return q.mulMatDirect(ctx, x)
+}
+
+// startSpan opens a query-layer span: a child continuing the trace in ctx
+// when it carries one, else a fresh root on the engine's tracer (no-op when
+// the engine is untraced and ctx is bare).
+func (q *Query[E]) startSpan(ctx context.Context, name string) (context.Context, *trace.Span) {
+	backend := trace.A(trace.AttrBackend, q.exec.Name())
+	if parent := trace.SpanFromContext(ctx); parent != nil {
+		return parent.Tracer().StartSpan(ctx, name, backend)
+	}
+	return q.trc.StartRoot(ctx, name, backend)
 }
 
 // mulVecDirect runs one uncoalesced vector round: dispatch, then decode
 // under a stage span.
-func (q *Query[E]) mulVecDirect(x []E) ([]E, error) {
+func (q *Query[E]) mulVecDirect(ctx context.Context, x []E) ([]E, error) {
 	q.vec.Inc()
-	y, err := q.exec.Compute(x)
+	y, err := q.exec.Compute(ctx, x)
 	if err != nil {
 		return nil, err
 	}
+	_, dsp := q.startSpan(ctx, trace.SpanDecode)
+	defer dsp.End()
 	defer obs.StartStage(q.reg, obs.StageDecode).End()
 	return coding.Decode(q.f, q.scheme, y)
 }
 
 // mulMatDirect runs one batch round: dispatch, then decode under a stage
 // span.
-func (q *Query[E]) mulMatDirect(x *matrix.Dense[E]) (*matrix.Dense[E], error) {
+func (q *Query[E]) mulMatDirect(ctx context.Context, x *matrix.Dense[E]) (*matrix.Dense[E], error) {
 	q.mat.Inc()
-	y, err := q.exec.ComputeBatch(x)
+	y, err := q.exec.ComputeBatch(ctx, x)
 	if err != nil {
 		return nil, err
 	}
+	_, dsp := q.startSpan(ctx, trace.SpanDecode)
+	defer dsp.End()
 	defer obs.StartStage(q.reg, obs.StageDecode).End()
 	return coding.DecodeBatch(q.f, q.scheme, y)
 }

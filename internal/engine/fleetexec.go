@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 
 	"github.com/scec/scec/internal/coding"
@@ -66,14 +67,14 @@ func WrapSession[E comparable](s *fleet.Session[E], owned bool) Executor[E] {
 func (e *fleetExecutor[E]) Name() string { return "fleet" }
 
 // Compute gathers B·T·x from the replicated fleet (racing, hedging, and
-// retrying per block as configured).
-func (e *fleetExecutor[E]) Compute(x []E) ([]E, error) {
-	return e.s.Gather(x)
+// retrying per block as configured), under the caller's context and trace.
+func (e *fleetExecutor[E]) Compute(ctx context.Context, x []E) ([]E, error) {
+	return e.s.GatherContext(ctx, x)
 }
 
 // ComputeBatch gathers B·T·X from the replicated fleet.
-func (e *fleetExecutor[E]) ComputeBatch(x *matrix.Dense[E]) (*matrix.Dense[E], error) {
-	return e.s.GatherBatch(x)
+func (e *fleetExecutor[E]) ComputeBatch(ctx context.Context, x *matrix.Dense[E]) (*matrix.Dense[E], error) {
+	return e.s.GatherBatchContext(ctx, x)
 }
 
 // Close shuts the session down if this executor owns it.

@@ -1,10 +1,13 @@
 package engine
 
 import (
+	"context"
+
 	"github.com/scec/scec/internal/coding"
 	"github.com/scec/scec/internal/field"
 	"github.com/scec/scec/internal/matrix"
 	"github.com/scec/scec/internal/obs"
+	"github.com/scec/scec/internal/obs/trace"
 )
 
 // LocalExecutor evaluates the compute round in-process with the
@@ -35,17 +38,31 @@ func LocalBackend[E comparable](reg *obs.Registry) Backend[E] {
 func (e *LocalExecutor[E]) Name() string { return "local" }
 
 // Compute runs every device's B_j·T·x in-process under a compute-stage
-// span.
-func (e *LocalExecutor[E]) Compute(x []E) ([]E, error) {
+// span (and a device.compute trace span when ctx carries a trace).
+func (e *LocalExecutor[E]) Compute(ctx context.Context, x []E) ([]E, error) {
+	_, csp := traceSpan(ctx, trace.SpanDeviceCompute, trace.A(trace.AttrKind, "vec"))
+	defer csp.End()
 	defer obs.StartStage(e.reg, obs.StageCompute).End()
 	return e.enc.ComputeAll(e.f, x), nil
 }
 
 // ComputeBatch runs every device's B_j·T·X in-process under a
-// compute-stage span.
-func (e *LocalExecutor[E]) ComputeBatch(x *matrix.Dense[E]) (*matrix.Dense[E], error) {
+// compute-stage span (and a device.compute trace span when ctx carries a
+// trace).
+func (e *LocalExecutor[E]) ComputeBatch(ctx context.Context, x *matrix.Dense[E]) (*matrix.Dense[E], error) {
+	_, csp := traceSpan(ctx, trace.SpanDeviceCompute, trace.A(trace.AttrKind, "mat"))
+	defer csp.End()
 	defer obs.StartStage(e.reg, obs.StageCompute).End()
 	return e.enc.ComputeAllBatch(e.f, x), nil
+}
+
+// traceSpan opens a child span when ctx carries one; otherwise it no-ops.
+// In-process executors use it so they only trace inside an existing trace.
+func traceSpan(ctx context.Context, name string, attrs ...trace.Attr) (context.Context, *trace.Span) {
+	if parent := trace.SpanFromContext(ctx); parent != nil {
+		return parent.Tracer().StartSpan(ctx, name, attrs...)
+	}
+	return ctx, nil
 }
 
 // Close implements Executor; the local backend holds no resources.

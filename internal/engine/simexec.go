@@ -1,7 +1,9 @@
 package engine
 
 import (
+	"context"
 	"errors"
+	"strconv"
 	"sync"
 	"time"
 
@@ -9,6 +11,7 @@ import (
 	"github.com/scec/scec/internal/field"
 	"github.com/scec/scec/internal/matrix"
 	"github.com/scec/scec/internal/obs"
+	"github.com/scec/scec/internal/obs/trace"
 	"github.com/scec/scec/internal/sim"
 )
 
@@ -84,17 +87,19 @@ func SimBackend[E comparable](cfg SimConfig) Backend[E] {
 func (e *SimExecutor[E]) Name() string { return "sim" }
 
 // Compute runs one simulated vector round and retains its report.
-func (e *SimExecutor[E]) Compute(x []E) ([]E, error) {
+func (e *SimExecutor[E]) Compute(ctx context.Context, x []E) ([]E, error) {
 	y, rep, err := sim.Gather(e.f, e.enc, x, e.cfg)
 	e.retain(rep, err, 1)
+	e.emitTrace(ctx, rep, err)
 	return y, err
 }
 
 // ComputeBatch runs one simulated width-n batch round and retains its
 // report.
-func (e *SimExecutor[E]) ComputeBatch(x *matrix.Dense[E]) (*matrix.Dense[E], error) {
+func (e *SimExecutor[E]) ComputeBatch(ctx context.Context, x *matrix.Dense[E]) (*matrix.Dense[E], error) {
 	y, rep, err := sim.GatherBatch(e.f, e.enc, x, e.cfg)
 	e.retain(rep, err, x.Cols())
+	e.emitTrace(ctx, rep, err)
 	return y, err
 }
 
@@ -110,6 +115,54 @@ func (e *SimExecutor[E]) retain(rep sim.Report, err error, n int) {
 	e.mu.Lock()
 	e.last, e.ran = rep, true
 	e.mu.Unlock()
+}
+
+// emitTrace fabricates the round's virtual-clock trace when the caller is
+// tracing: a sim.run root with one sim.device span per device timeline,
+// stamped at offsets from the Unix epoch so the exported trace reads as the
+// simulator's t=0-based schedule. Virtual durations cannot nest inside the
+// wall-clock query span without lying about time, so the fabricated spans
+// form their own trace, linked from the caller's span by a "sim-trace"
+// event carrying the trace ID.
+func (e *SimExecutor[E]) emitTrace(ctx context.Context, rep sim.Report, err error) {
+	parent := trace.SpanFromContext(ctx)
+	if parent == nil {
+		return
+	}
+	t := parent.Tracer()
+	base := time.Unix(0, 0).UTC()
+	traceID := trace.NewTraceID()
+	runID := trace.NewSpanID()
+	parent.AddEvent("sim-trace", trace.A("traceId", traceID))
+	for _, d := range rep.Devices {
+		sd := trace.SpanData{
+			TraceID:  traceID,
+			SpanID:   trace.NewSpanID(),
+			ParentID: runID,
+			Name:     trace.SpanSimDevice,
+			Service:  t.Service(),
+			Start:    base.Add(d.XArrives),
+			End:      base.Add(d.ResultArrives),
+			Attrs:    []trace.Attr{trace.A(trace.AttrDevice, strconv.Itoa(d.Device))},
+			Events:   []trace.Event{{Name: "compute-done", Time: base.Add(d.ComputeDone)}},
+		}
+		if d.Failed {
+			sd.Error = "device failed"
+		}
+		t.Record(sd)
+	}
+	run := trace.SpanData{
+		TraceID: traceID,
+		SpanID:  runID,
+		Name:    trace.SpanSimRun,
+		Service: t.Service(),
+		Start:   base,
+		End:     base.Add(rep.CompletionTime),
+	}
+	if err != nil {
+		run.Error = err.Error()
+	}
+	t.Record(run)
 }
 
 // LastReport returns the most recent round's virtual-clock report (also

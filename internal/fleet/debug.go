@@ -1,0 +1,104 @@
+package fleet
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"github.com/scec/scec/internal/obs/trace"
+)
+
+// DebugInfo is the session's live runtime snapshot, served by DebugHandler
+// as /debug/fleet.
+type DebugInfo struct {
+	// Blocks holds one entry per logical coded block, in scheme order.
+	Blocks []BlockDebug `json:"blocks"`
+	// Standbys lists the warm standby pool (devices holding no block).
+	Standbys []DeviceDebug `json:"standbys"`
+	// HedgeDelay is the speculative-request delay a race started now would
+	// use (fixed, or the current adaptive p95).
+	HedgeDelay time.Duration `json:"hedgeDelayNs"`
+	// Hedges/Retries/Queries/QueryErrors are the session's lifetime counters.
+	Hedges      int64 `json:"hedges"`
+	Retries     int64 `json:"retries"`
+	Queries     int64 `json:"queries"`
+	QueryErrors int64 `json:"queryErrors"`
+	// Stragglers is the per-device latency/hedge-win digest; present only
+	// when the session has a tracer.
+	Stragglers []trace.DeviceStats `json:"stragglers,omitempty"`
+}
+
+// BlockDebug is one logical block's replica-set state.
+type BlockDebug struct {
+	Block int `json:"block"`
+	// Target is the provisioned replica count self-repair defends.
+	Target int `json:"target"`
+	// Healthy counts replicas with fully closed breakers.
+	Healthy int `json:"healthy"`
+	// Repairing reports an in-flight standby promotion.
+	Repairing bool          `json:"repairing"`
+	Replicas  []DeviceDebug `json:"replicas"`
+}
+
+// DeviceDebug is one physical device's breaker position.
+type DeviceDebug struct {
+	Addr    string `json:"addr"`
+	Breaker string `json:"breaker"`
+}
+
+// Debug snapshots the session's runtime state: per-block replica health,
+// breaker positions, the standby pool, the live hedge delay, and the
+// lifetime hedge/retry/query counters.
+func (s *Session[E]) Debug() DebugInfo {
+	info := DebugInfo{
+		HedgeDelay:  s.hedgeDelay(),
+		Hedges:      s.met.hedges.Value(),
+		Retries:     s.met.retries.Value(),
+		Queries:     s.met.queriesVec.Value() + s.met.queriesMat.Value(),
+		QueryErrors: s.met.qErrorsVec.Value() + s.met.qErrorsMat.Value(),
+		Stragglers:  s.strag.Snapshot(),
+	}
+	for _, b := range s.blocks {
+		b.mu.Lock()
+		bd := BlockDebug{
+			Block:     b.index,
+			Target:    b.target,
+			Repairing: b.repairing,
+			Replicas:  make([]DeviceDebug, 0, len(b.replicas)),
+		}
+		replicas := make([]*device, len(b.replicas))
+		copy(replicas, b.replicas)
+		b.mu.Unlock()
+		for _, d := range replicas {
+			st := d.State()
+			if st == BreakerClosed {
+				bd.Healthy++
+			}
+			bd.Replicas = append(bd.Replicas, DeviceDebug{Addr: d.addr, Breaker: st.String()})
+		}
+		info.Blocks = append(info.Blocks, bd)
+	}
+	s.standbyMu.Lock()
+	standbys := make([]*device, len(s.standbys))
+	copy(standbys, s.standbys)
+	s.standbyMu.Unlock()
+	for _, d := range standbys {
+		info.Standbys = append(info.Standbys, DeviceDebug{Addr: d.addr, Breaker: d.State().String()})
+	}
+	return info
+}
+
+// Stragglers returns the session's per-device latency/hedge-win analytics
+// (nil when the session is untraced).
+func (s *Session[E]) Stragglers() *trace.Stragglers { return s.strag }
+
+// DebugHandler serves the Debug snapshot as JSON — mount it as /debug/fleet
+// via the obs handler's extra-route hook.
+func (s *Session[E]) DebugHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(s.Debug())
+	})
+}

@@ -41,6 +41,7 @@ import (
 	"github.com/scec/scec/internal/field"
 	"github.com/scec/scec/internal/matrix"
 	"github.com/scec/scec/internal/obs"
+	"github.com/scec/scec/internal/obs/trace"
 	"github.com/scec/scec/internal/transport"
 )
 
@@ -125,6 +126,11 @@ type Config struct {
 	DisableRepair bool
 	// Metrics receives the session's telemetry; nil means obs.Default().
 	Metrics *obs.Registry
+	// Tracer, when non-nil, records a span tree per query (gather → block
+	// races → replica attempts, with hedges/failovers/retries as events),
+	// adopts device-side spans re-emitted over the transport, and feeds the
+	// per-device straggler analytics. Nil disables fleet tracing.
+	Tracer *trace.Tracer
 }
 
 // withDefaults resolves zero values.
@@ -178,6 +184,8 @@ type Session[E comparable] struct {
 	scheme *coding.Scheme
 	cfg    Config
 	reg    *obs.Registry
+	trc    *trace.Tracer
+	strag  *trace.Stragglers
 	cols   int
 
 	client transport.Client[E]
@@ -250,9 +258,17 @@ func Serve[E comparable](f field.Field[E], scheme *coding.Scheme, enc *coding.En
 		cloud:   transport.Cloud[E]{Timeout: cfg.RPCTimeout, Metrics: reg},
 		devices: make(map[string]*device),
 		lat:     newLatencyRing(),
+		trc:     cfg.Tracer,
 	}
 	s.ctx, s.cancel = context.WithCancel(context.Background())
 	s.met.init(reg)
+	if s.trc != nil {
+		// The straggler analytics consume every finished fleet.attempt span
+		// (including device spans adopted from response frames, which the
+		// filter ignores).
+		s.strag = trace.NewStragglers()
+		s.trc.Subscribe(s.strag.Observe)
+	}
 
 	s.blocks = make([]*blockState[E], len(enc.Blocks))
 	for j, group := range cfg.Replicas {

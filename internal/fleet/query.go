@@ -5,12 +5,14 @@ import (
 	"errors"
 	"fmt"
 	"math/rand/v2"
+	"strconv"
 	"sync"
 	"time"
 
 	"github.com/scec/scec/internal/coding"
 	"github.com/scec/scec/internal/matrix"
 	"github.com/scec/scec/internal/obs"
+	"github.com/scec/scec/internal/obs/trace"
 )
 
 // MulVec computes A·x through the replicated fleet: every logical block is
@@ -20,10 +22,18 @@ import (
 // unreplicated pipeline, since every replica of block j returns the same
 // B_j·T·x.
 func (s *Session[E]) MulVec(x []E) ([]E, error) {
-	y, err := s.Gather(x)
+	return s.MulVecContext(context.Background(), x)
+}
+
+// MulVecContext is MulVec bounded by the caller's context in addition to the
+// session's query timeout; a span carried in ctx parents the fleet's trace.
+func (s *Session[E]) MulVecContext(ctx context.Context, x []E) ([]E, error) {
+	y, err := s.GatherContext(ctx, x)
 	if err != nil {
 		return nil, err
 	}
+	_, dsp := s.startSpan(ctx, trace.SpanDecode, trace.A(trace.AttrKind, kindVec))
+	defer dsp.End()
 	defer obs.StartStage(s.reg, obs.StageDecode).End()
 	return coding.Decode(s.f, s.scheme, y)
 }
@@ -31,10 +41,18 @@ func (s *Session[E]) MulVec(x []E) ([]E, error) {
 // MulMat computes A·X for an l×n input matrix through the fleet — the batch
 // generalization, with the same per-block fault tolerance as MulVec.
 func (s *Session[E]) MulMat(x *matrix.Dense[E]) (*matrix.Dense[E], error) {
-	y, err := s.GatherBatch(x)
+	return s.MulMatContext(context.Background(), x)
+}
+
+// MulMatContext is MulMat bounded by the caller's context in addition to the
+// session's query timeout; a span carried in ctx parents the fleet's trace.
+func (s *Session[E]) MulMatContext(ctx context.Context, x *matrix.Dense[E]) (*matrix.Dense[E], error) {
+	y, err := s.GatherBatchContext(ctx, x)
 	if err != nil {
 		return nil, err
 	}
+	_, dsp := s.startSpan(ctx, trace.SpanDecode, trace.A(trace.AttrKind, kindMat))
+	defer dsp.End()
 	defer obs.StartStage(s.reg, obs.StageDecode).End()
 	return coding.DecodeBatch(s.f, s.scheme, y)
 }
@@ -44,12 +62,23 @@ func (s *Session[E]) MulMat(x *matrix.Dense[E]) (*matrix.Dense[E], error) {
 // concatenate in scheme device order, m+r values total. Decoding is owned by
 // the caller (MulVec, or the execution engine's query layer).
 func (s *Session[E]) Gather(x []E) ([]E, error) {
+	return s.GatherContext(context.Background(), x)
+}
+
+// GatherContext is Gather bounded by the caller's context in addition to the
+// session's query timeout: cancelling ctx cancels the in-flight block races.
+// A span carried in ctx parents the fleet.gather span (else the session's
+// tracer, if any, starts a fresh trace).
+func (s *Session[E]) GatherContext(ctx context.Context, x []E) ([]E, error) {
 	if len(x) != s.cols {
 		return nil, fmt.Errorf("fleet: input vector has %d entries, want %d", len(x), s.cols)
 	}
 	s.met.queries(kindVec).Inc()
-	ctx, cancel := context.WithTimeout(s.ctx, s.cfg.QueryTimeout)
+	qctx, cancel := s.queryContext(ctx)
 	defer cancel()
+	qctx, gsp := s.startSpan(qctx, trace.SpanFleetGather,
+		trace.A(trace.AttrKind, kindVec), trace.A("blocks", strconv.Itoa(len(s.blocks))))
+	defer gsp.End()
 
 	gather := obs.StartStage(s.reg, obs.StageGather)
 	parts := make([][]E, len(s.blocks))
@@ -59,7 +88,7 @@ func (s *Session[E]) Gather(x []E) ([]E, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			parts[j], errs[j] = fetchBlock(s, ctx, b, func(ctx context.Context, addr string) ([]E, error) {
+			parts[j], errs[j] = fetchBlock(s, qctx, b, func(ctx context.Context, addr string) ([]E, error) {
 				y, err := s.client.Compute(ctx, addr, x)
 				if err == nil && len(y) != b.want {
 					err = fmt.Errorf("fleet: replica %s returned %d values for block %d, want %d", addr, len(y), b.index, b.want)
@@ -73,6 +102,7 @@ func (s *Session[E]) Gather(x []E) ([]E, error) {
 	for _, err := range errs {
 		if err != nil {
 			s.met.queryErrors(kindVec).Inc()
+			gsp.SetError(err)
 			return nil, err
 		}
 	}
@@ -87,12 +117,22 @@ func (s *Session[E]) Gather(x []E) ([]E, error) {
 // (m+r)×n intermediate result B·T·X, undecoded, with the same per-block
 // fault tolerance.
 func (s *Session[E]) GatherBatch(x *matrix.Dense[E]) (*matrix.Dense[E], error) {
+	return s.GatherBatchContext(context.Background(), x)
+}
+
+// GatherBatchContext is GatherBatch bounded by the caller's context in
+// addition to the session's query timeout; a span carried in ctx parents the
+// fleet.gather span.
+func (s *Session[E]) GatherBatchContext(ctx context.Context, x *matrix.Dense[E]) (*matrix.Dense[E], error) {
 	if x.Rows() != s.cols {
 		return nil, fmt.Errorf("fleet: input matrix has %d rows, want %d", x.Rows(), s.cols)
 	}
 	s.met.queries(kindMat).Inc()
-	ctx, cancel := context.WithTimeout(s.ctx, s.cfg.QueryTimeout)
+	qctx, cancel := s.queryContext(ctx)
 	defer cancel()
+	qctx, gsp := s.startSpan(qctx, trace.SpanFleetGather,
+		trace.A(trace.AttrKind, kindMat), trace.A("blocks", strconv.Itoa(len(s.blocks))))
+	defer gsp.End()
 
 	xRows := make([][]E, x.Rows())
 	for i := range xRows {
@@ -106,7 +146,7 @@ func (s *Session[E]) GatherBatch(x *matrix.Dense[E]) (*matrix.Dense[E], error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			rows, err := fetchBlock(s, ctx, b, func(ctx context.Context, addr string) ([][]E, error) {
+			rows, err := fetchBlock(s, qctx, b, func(ctx context.Context, addr string) ([][]E, error) {
 				rows, err := s.client.ComputeBatch(ctx, addr, xRows)
 				if err == nil && len(rows) != b.want {
 					err = fmt.Errorf("fleet: replica %s returned %d rows for block %d, want %d", addr, len(rows), b.index, b.want)
@@ -125,10 +165,38 @@ func (s *Session[E]) GatherBatch(x *matrix.Dense[E]) (*matrix.Dense[E], error) {
 	for _, err := range errs {
 		if err != nil {
 			s.met.queryErrors(kindMat).Inc()
+			gsp.SetError(err)
 			return nil, err
 		}
 	}
 	return matrix.VStack(parts...), nil
+}
+
+// queryContext derives one query's context: bounded by the session lifetime
+// and QueryTimeout, cancelled early when the caller's ctx ends, and carrying
+// the caller's span (if any) so the fleet's spans parent under it. The
+// session context is the base — a query must not outlive Close — so the
+// caller's values do not propagate; only its span and its cancellation do.
+func (s *Session[E]) queryContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	qctx, cancel := context.WithTimeout(s.ctx, s.cfg.QueryTimeout)
+	if ctx == nil {
+		return qctx, cancel
+	}
+	if parent := trace.SpanFromContext(ctx); parent != nil {
+		qctx = trace.ContextWithSpan(qctx, parent)
+	}
+	stop := context.AfterFunc(ctx, cancel)
+	return qctx, func() { stop(); cancel() }
+}
+
+// startSpan opens a fleet-side span: a child when ctx carries a span (on
+// that span's tracer, so engine-owned traces continue seamlessly), else a
+// fresh root on the session's tracer, else a nil no-op span.
+func (s *Session[E]) startSpan(ctx context.Context, name string, attrs ...trace.Attr) (context.Context, *trace.Span) {
+	if parent := trace.SpanFromContext(ctx); parent != nil {
+		return parent.Tracer().StartSpan(ctx, name, attrs...)
+	}
+	return s.trc.StartRoot(ctx, name, attrs...)
 }
 
 // fetchBlock obtains one logical block's intermediate result from its
@@ -136,12 +204,20 @@ func (s *Session[E]) GatherBatch(x *matrix.Dense[E]) (*matrix.Dense[E], error) {
 // failover), and re-runs the race up to MaxRetries extra rounds with
 // exponential backoff plus full jitter. Every failure path returns a
 // *BlockUnavailableError.
-func fetchBlock[E comparable, T any](s *Session[E], ctx context.Context, b *blockState[E], call func(context.Context, string) (T, error)) (T, error) {
+func fetchBlock[E comparable, T any](s *Session[E], ctx context.Context, b *blockState[E], call func(context.Context, string) (T, error)) (v T, err error) {
 	var zero T
+	ctx, bsp := s.startSpan(ctx, trace.SpanFleetBlock, trace.A(trace.AttrBlock, strconv.Itoa(b.index)))
+	defer func() {
+		bsp.SetError(err)
+		bsp.End()
+	}()
 	backoff := s.cfg.RetryBackoff
 	var lastErr error
 	for round := 0; ; round++ {
 		cands := b.candidates(time.Now(), s.cfg.BreakerCooldown)
+		if skipped := b.replicaCount() - len(cands); skipped > 0 {
+			bsp.AddEvent(trace.EventBreakerSkip, trace.A("skipped", strconv.Itoa(skipped)))
+		}
 		if len(cands) > 0 {
 			v, err := raceReplicas(s, ctx, b, cands, call)
 			if err == nil {
@@ -155,6 +231,7 @@ func fetchBlock[E comparable, T any](s *Session[E], ctx context.Context, b *bloc
 			return zero, &BlockUnavailableError{Block: b.index, Attempts: round + 1, Err: lastErr}
 		}
 		s.met.retries.Inc()
+		bsp.AddEvent(trace.EventRetry, trace.A(trace.AttrRound, strconv.Itoa(round+1)))
 		if !sleepCtx(ctx, jitter(backoff)) {
 			return zero, &BlockUnavailableError{Block: b.index, Attempts: round + 1, Err: ctx.Err()}
 		}
@@ -164,10 +241,20 @@ func fetchBlock[E comparable, T any](s *Session[E], ctx context.Context, b *bloc
 	}
 }
 
+// replicaCount snapshots the block's current replica-set size.
+func (b *blockState[E]) replicaCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.replicas)
+}
+
 // attempt is one replica request's outcome inside a race.
 type attempt[T any] struct {
 	v   T
 	err error
+	// sp is the attempt's span, still open on success so the race loop can
+	// stamp the winner; failed attempts arrive with sp already ended.
+	sp *trace.Span
 }
 
 // raceReplicas runs one first-winner round over the candidate replicas:
@@ -182,26 +269,38 @@ func raceReplicas[E comparable, T any](s *Session[E], ctx context.Context, b *bl
 	defer cancel()
 	results := make(chan attempt[T], len(cands))
 	start := time.Now()
-	launch := func(d *device) {
+	launch := func(d *device, hedged bool) {
+		// The attempt span is created here (not in the goroutine) so its
+		// start time precedes the dial; each goroutine owns its span until it
+		// lands on the results channel.
+		actx, asp := s.startSpan(rctx, trace.SpanFleetAttempt,
+			trace.A(trace.AttrDevice, d.addr), trace.A(trace.AttrHedged, strconv.FormatBool(hedged)))
 		go func() {
-			v, err := call(rctx, d.addr)
+			v, err := call(actx, d.addr)
 			switch {
 			case err == nil:
 				d.recordSuccess()
 			case errors.Is(err, context.Canceled) && rctx.Err() != nil:
-				// Cancelled loser, not a device verdict.
+				// Cancelled loser, not a device verdict. The span ends clean
+				// (no error) so the straggler analytics count it as a loss,
+				// not a fault.
 			default:
 				d.recordFailure(s.cfg.BreakerThreshold)
+				asp.SetError(err)
 			}
-			results <- attempt[T]{v, err}
+			if err != nil {
+				asp.End()
+			}
+			results <- attempt[T]{v, err, asp}
 		}()
 	}
 	next := 0
-	launch(cands[next])
+	launch(cands[next], false)
 	next++
 	pending := 1
 	hedge := time.NewTimer(s.hedgeDelay())
 	defer hedge.Stop()
+	bsp := trace.SpanFromContext(ctx)
 	var lastErr error
 	for {
 		select {
@@ -211,12 +310,15 @@ func raceReplicas[E comparable, T any](s *Session[E], ctx context.Context, b *bl
 				d := time.Since(start)
 				s.lat.observe(d)
 				s.met.winner(b.index).ObserveDuration(d)
+				r.sp.SetAttr(trace.AttrWin, "true")
+				r.sp.End()
 				return r.v, nil
 			}
 			lastErr = r.err
 			if next < len(cands) {
 				s.met.retries.Inc()
-				launch(cands[next])
+				bsp.AddEvent(trace.EventFailover, trace.A(trace.AttrDevice, cands[next].addr))
+				launch(cands[next], false)
 				next++
 				pending++
 			} else if pending == 0 {
@@ -225,7 +327,8 @@ func raceReplicas[E comparable, T any](s *Session[E], ctx context.Context, b *bl
 		case <-hedge.C:
 			if next < len(cands) {
 				s.met.hedges.Inc()
-				launch(cands[next])
+				bsp.AddEvent(trace.EventHedge, trace.A(trace.AttrDevice, cands[next].addr))
+				launch(cands[next], true)
 				next++
 				pending++
 				hedge.Reset(s.hedgeDelay())

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"expvar"
 	"fmt"
 	"net"
@@ -9,6 +10,32 @@ import (
 	"time"
 )
 
+// Route mounts one extra debug handler on the telemetry mux — the hook the
+// tracing and runtime-introspection endpoints (/debug/traces, /debug/fleet,
+// /debug/engine) use to join /metrics and /debug/pprof under one server.
+type Route struct {
+	// Pattern is a net/http ServeMux pattern ("/debug/traces",
+	// "/debug/traces/{id}", ...).
+	Pattern string
+	// Handler serves it.
+	Handler http.Handler
+}
+
+// builtinPatterns are the mux patterns Handler always registers. Extra
+// routes are audited against them (and each other) so a typo'd pattern
+// cannot silently shadow /debug/pprof/ or double-register.
+var builtinPatterns = []string{
+	"/metrics",
+	"/metrics.json",
+	"/healthz",
+	"/debug/vars",
+	"/debug/pprof/",
+	"/debug/pprof/cmdline",
+	"/debug/pprof/profile",
+	"/debug/pprof/symbol",
+	"/debug/pprof/trace",
+}
+
 // Handler returns the runtime-introspection handler bundle:
 //
 //	/metrics        Prometheus text exposition (?format=json for a snapshot)
@@ -16,7 +43,12 @@ import (
 //	/healthz        liveness probe ("ok")
 //	/debug/vars     expvar (Go runtime memstats and cmdline)
 //	/debug/pprof/*  CPU/heap/goroutine/trace profiling
-func (r *Registry) Handler() http.Handler {
+//
+// Extra routes are mounted on the same mux. A route that collides with a
+// built-in pattern (or repeats another extra) panics with the offending
+// pattern — collisions are programmer errors and must not silently shadow
+// the profiler.
+func (r *Registry) Handler(extra ...Route) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		if req.URL.Query().Get("format") == "json" {
@@ -41,6 +73,21 @@ func (r *Registry) Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	seen := make(map[string]bool, len(builtinPatterns)+len(extra))
+	for _, p := range builtinPatterns {
+		seen[p] = true
+	}
+	for _, rt := range extra {
+		if rt.Handler == nil || rt.Pattern == "" {
+			panic(fmt.Sprintf("obs: debug route %q has no pattern or handler", rt.Pattern))
+		}
+		if seen[rt.Pattern] {
+			panic(fmt.Sprintf("obs: debug route %q collides with an already registered pattern", rt.Pattern))
+		}
+		seen[rt.Pattern] = true
+		mux.Handle(rt.Pattern, rt.Handler)
+	}
 	return mux
 }
 
@@ -50,10 +97,10 @@ type Server struct {
 	srv *http.Server
 }
 
-// StartServer serves the registry's Handler on addr (use "127.0.0.1:0" for
-// an ephemeral port; Addr reports the bound address) in a background
-// goroutine. A nil registry serves Default().
-func StartServer(r *Registry, addr string) (*Server, error) {
+// StartServer serves the registry's Handler (plus any extra debug routes)
+// on addr (use "127.0.0.1:0" for an ephemeral port; Addr reports the bound
+// address) in a background goroutine. A nil registry serves Default().
+func StartServer(r *Registry, addr string, extra ...Route) (*Server, error) {
 	if r == nil {
 		r = Default()
 	}
@@ -61,13 +108,44 @@ func StartServer(r *Registry, addr string) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
-	s := &Server{ln: ln, srv: &http.Server{Handler: r.Handler()}}
+	s := &Server{ln: ln, srv: &http.Server{Handler: r.Handler(extra...)}}
 	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// shutdownGrace bounds how long a context-driven shutdown waits for
+// in-flight scrapes before hard-closing.
+const shutdownGrace = 2 * time.Second
+
+// StartServerContext is StartServer bound to a context: when ctx is
+// cancelled the server shuts down gracefully (in-flight requests get
+// shutdownGrace to finish, then the listener hard-closes). Close remains
+// safe to call as well.
+func StartServerContext(ctx context.Context, r *Registry, addr string, extra ...Route) (*Server, error) {
+	s, err := StartServer(r, addr, extra...)
+	if err != nil {
+		return nil, err
+	}
+	go func() {
+		<-ctx.Done()
+		sctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+		defer cancel()
+		_ = s.Shutdown(sctx)
+	}()
 	return s, nil
 }
 
 // Addr returns the bound address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the server.
+// Shutdown stops the server gracefully, waiting for in-flight requests
+// until ctx expires (then closing hard).
+func (s *Server) Shutdown(ctx context.Context) error {
+	if err := s.srv.Shutdown(ctx); err != nil {
+		return s.srv.Close()
+	}
+	return nil
+}
+
+// Close stops the server immediately.
 func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sort"
+	"time"
+)
+
+// TraceView is one assembled trace: every retained span sharing a trace
+// ID, sorted by start time with per-span offsets from the trace's own
+// start — directly renderable as a waterfall.
+type TraceView struct {
+	TraceID string `json:"traceId"`
+	// Root names the trace's root span (the span with no retained parent
+	// that starts earliest), "" when the root was evicted.
+	Root string `json:"root,omitempty"`
+	// Start is the earliest span start; Duration spans to the latest end.
+	Start      time.Time     `json:"start"`
+	Duration   time.Duration `json:"durationNs"`
+	SpanCount  int           `json:"spanCount"`
+	ErrorCount int           `json:"errorCount"`
+	Spans      []SpanView    `json:"spans"`
+}
+
+// SpanView is one span inside a TraceView, annotated with waterfall
+// offsets.
+type SpanView struct {
+	SpanData
+	// OffsetNs is the span's start relative to the trace start; with
+	// DurationNs it positions the waterfall bar.
+	OffsetNs   int64 `json:"offsetNs"`
+	DurationNs int64 `json:"durationNs"`
+	// Depth is the span's ancestry depth within the retained trace
+	// (root = 0; orphans count from their earliest retained ancestor).
+	Depth int `json:"depth"`
+}
+
+// Assemble groups the tracer's retained spans into traces, most recent
+// first. Partially retained traces assemble from whatever survived the
+// buffer.
+func (t *Tracer) Assemble() []TraceView {
+	return assemble(t.Snapshot())
+}
+
+// AssembleTrace returns one assembled trace by hex ID; ok is false when no
+// retained span carries it.
+func (t *Tracer) AssembleTrace(id string) (TraceView, bool) {
+	var spans []SpanData
+	for _, sd := range t.Snapshot() {
+		if sd.TraceID == id {
+			spans = append(spans, sd)
+		}
+	}
+	if len(spans) == 0 {
+		return TraceView{}, false
+	}
+	return assemble(spans)[0], true
+}
+
+func assemble(spans []SpanData) []TraceView {
+	byTrace := make(map[string][]SpanData)
+	for _, sd := range spans {
+		byTrace[sd.TraceID] = append(byTrace[sd.TraceID], sd)
+	}
+	views := make([]TraceView, 0, len(byTrace))
+	for id, group := range byTrace {
+		sort.Slice(group, func(i, j int) bool {
+			if !group[i].Start.Equal(group[j].Start) {
+				return group[i].Start.Before(group[j].Start)
+			}
+			return group[i].SpanID < group[j].SpanID
+		})
+		v := TraceView{TraceID: id, Start: group[0].Start, SpanCount: len(group)}
+		present := make(map[string]SpanData, len(group))
+		for _, sd := range group {
+			present[sd.SpanID] = sd
+		}
+		depth := func(sd SpanData) int {
+			d := 0
+			// Walk retained ancestry; the bound guards cycles from corrupt
+			// adopted spans.
+			for p, ok := present[sd.ParentID]; ok && d < len(group); p, ok = present[p.ParentID] {
+				d++
+			}
+			return d
+		}
+		end := group[0].End
+		for _, sd := range group {
+			if sd.End.After(end) {
+				end = sd.End
+			}
+			if sd.Error != "" {
+				v.ErrorCount++
+			}
+			if _, hasParent := present[sd.ParentID]; !hasParent && v.Root == "" {
+				v.Root = sd.Name
+			}
+			v.Spans = append(v.Spans, SpanView{
+				SpanData:   sd,
+				OffsetNs:   sd.Start.Sub(v.Start).Nanoseconds(),
+				DurationNs: sd.Duration().Nanoseconds(),
+				Depth:      depth(sd),
+			})
+		}
+		v.Duration = end.Sub(v.Start)
+		views = append(views, v)
+	}
+	sort.Slice(views, func(i, j int) bool { return views[i].Start.After(views[j].Start) })
+	return views
+}
+
+// Export is the file/stream shape the exporter writes: an OTLP-flavoured
+// envelope (service identity + flat span records grouped by trace) that
+// waterfall tooling and the EXPERIMENTS recipes consume as plain JSON.
+type Export struct {
+	Service    string      `json:"service"`
+	ExportedAt time.Time   `json:"exportedAt"`
+	Traces     []TraceView `json:"traces"`
+}
+
+// WriteJSON renders every retained trace as one indented JSON document.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	exp := Export{Service: t.Service(), Traces: t.Assemble()}
+	if t != nil {
+		exp.ExportedAt = t.clock.Now()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(exp)
+}
+
+// WriteFile exports every retained trace to path (overwriting).
+func (t *Tracer) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := t.WriteJSON(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}

@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Stragglers derives per-device latency behavior from finished traces: a
+// rolling digest of replica-attempt latencies per device (p50/p95/p99) and
+// hedge-win attribution — how often a device won a block race outright vs.
+// as the speculative second request, and how often it lost a race it
+// started (the straggler signature).
+//
+// Subscribe it to a Tracer; it consumes SpanFleetAttempt spans and ignores
+// everything else. All methods are safe for concurrent use.
+type Stragglers struct {
+	mu      sync.Mutex
+	devices map[string]*deviceDigest
+}
+
+// digestWindow is the rolling sample count per device.
+const digestWindow = 256
+
+// deviceDigest is one device's rolling latency window plus attribution
+// counters.
+type deviceDigest struct {
+	buf  [digestWindow]time.Duration
+	n    int
+	next int
+
+	attempts  int64
+	wins      int64
+	hedgedWon int64 // wins by attempts that were launched as hedges
+	losses    int64 // finished attempts that did not win (cancelled or beaten)
+	errors    int64
+}
+
+// NewStragglers returns an empty analytics sink.
+func NewStragglers() *Stragglers {
+	return &Stragglers{devices: make(map[string]*deviceDigest)}
+}
+
+// Observe consumes one finished span. Wire it with Tracer.Subscribe.
+func (a *Stragglers) Observe(sd SpanData) {
+	if sd.Name != SpanFleetAttempt {
+		return
+	}
+	dev := sd.Attr(AttrDevice)
+	if dev == "" {
+		return
+	}
+	a.mu.Lock()
+	d := a.devices[dev]
+	if d == nil {
+		d = &deviceDigest{}
+		a.devices[dev] = d
+	}
+	d.attempts++
+	switch {
+	case sd.Attr(AttrWin) == "true":
+		d.wins++
+		if sd.Attr(AttrHedged) == "true" {
+			d.hedgedWon++
+		}
+		// Only winning attempts contribute latency samples: a loser's
+		// duration measures when it was cancelled, not how fast the device
+		// is.
+		d.buf[d.next] = sd.Duration()
+		d.next = (d.next + 1) % digestWindow
+		if d.n < digestWindow {
+			d.n++
+		}
+	case sd.Error != "":
+		d.errors++
+		d.losses++
+	default:
+		d.losses++
+	}
+	a.mu.Unlock()
+}
+
+// DeviceStats is one device's digest snapshot. Percentiles are zero until
+// the device has won at least one race.
+type DeviceStats struct {
+	Device   string `json:"device"`
+	Attempts int64  `json:"attempts"`
+	Wins     int64  `json:"wins"`
+	// HedgeWins counts wins by attempts launched speculatively — races this
+	// device rescued after the leader straggled.
+	HedgeWins int64         `json:"hedgeWins"`
+	Losses    int64         `json:"losses"`
+	Errors    int64         `json:"errors"`
+	Samples   int           `json:"samples"`
+	P50       time.Duration `json:"p50Ns"`
+	P95       time.Duration `json:"p95Ns"`
+	P99       time.Duration `json:"p99Ns"`
+}
+
+// Snapshot returns the per-device digests sorted by device name.
+func (a *Stragglers) Snapshot() []DeviceStats {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	out := make([]DeviceStats, 0, len(a.devices))
+	for dev, d := range a.devices {
+		st := DeviceStats{
+			Device:    dev,
+			Attempts:  d.attempts,
+			Wins:      d.wins,
+			HedgeWins: d.hedgedWon,
+			Losses:    d.losses,
+			Errors:    d.errors,
+			Samples:   d.n,
+		}
+		if d.n > 0 {
+			tmp := make([]time.Duration, d.n)
+			copy(tmp, d.buf[:d.n])
+			sort.Slice(tmp, func(i, j int) bool { return tmp[i] < tmp[j] })
+			st.P50 = quantile(tmp, 0.50)
+			st.P95 = quantile(tmp, 0.95)
+			st.P99 = quantile(tmp, 0.99)
+		}
+		out = append(out, st)
+	}
+	a.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Device < out[j].Device })
+	return out
+}
+
+// quantile reads the p-quantile from an ascending sample slice (nearest
+// rank, matching the fleet's adaptive-hedge percentile).
+func quantile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}

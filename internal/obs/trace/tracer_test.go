@@ -1,0 +1,345 @@
+package trace
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tr := New(Options{Service: "t"})
+	_, sp := tr.StartRoot(context.Background(), "root")
+	tp := sp.Traceparent()
+	if len(tp) != 55 {
+		t.Fatalf("traceparent %q: len %d, want 55", tp, len(tp))
+	}
+	got, ok := ParseTraceparent(tp)
+	if !ok {
+		t.Fatalf("ParseTraceparent(%q) not ok", tp)
+	}
+	if got != sp.Context() {
+		t.Fatalf("round trip changed context: %+v != %+v", got, sp.Context())
+	}
+}
+
+func TestParseTraceparentRejectsMalformed(t *testing.T) {
+	valid := "00-0123456789abcdef0123456789abcdef-0123456789abcdef-01"
+	if _, ok := ParseTraceparent(valid); !ok {
+		t.Fatalf("valid header rejected")
+	}
+	bad := []string{
+		"",
+		"00",
+		valid[:54],                          // too short
+		strings.Replace(valid, "-", "_", 1), // wrong separator
+		"00-" + strings.Repeat("0", 32) + "-0123456789abcdef-01",                 // zero trace id
+		"00-0123456789abcdef0123456789abcdef-" + strings.Repeat("0", 16) + "-01", // zero span id
+		"00-0123456789abcdefXXXXXX6789abcdef-0123456789abcdef-01",                // non-hex
+	}
+	for _, s := range bad {
+		if _, ok := ParseTraceparent(s); ok {
+			t.Errorf("ParseTraceparent(%q) accepted malformed input", s)
+		}
+	}
+	// Unknown version with correct field widths is accepted (forward
+	// compatibility).
+	if _, ok := ParseTraceparent("cc" + valid[2:]); !ok {
+		t.Errorf("unknown version with valid widths rejected")
+	}
+}
+
+func TestNilTracerAndSpanAreNoOps(t *testing.T) {
+	var tr *Tracer
+	ctx, sp := tr.StartRoot(context.Background(), "x", A("k", "v"))
+	if sp != nil {
+		t.Fatalf("nil tracer returned a span")
+	}
+	if _, sp2 := tr.StartSpan(ctx, "y"); sp2 != nil {
+		t.Fatalf("nil tracer StartSpan returned a span")
+	}
+	// Every span method must be callable on nil.
+	sp.SetAttr("a", "b")
+	sp.AddEvent("e")
+	sp.SetError(errors.New("boom"))
+	sp.End()
+	if _, ok := sp.Data(); ok {
+		t.Fatalf("nil span reported data")
+	}
+	if sp.Traceparent() != "" {
+		t.Fatalf("nil span has a traceparent")
+	}
+	tr.Record(SpanData{})
+	if tr.Snapshot() != nil {
+		t.Fatalf("nil tracer has spans")
+	}
+	if tr.Enabled() {
+		t.Fatalf("nil tracer reports enabled")
+	}
+}
+
+func TestBufferRetainsHeadTailAndErrors(t *testing.T) {
+	tr := New(Options{Service: "t", Capacity: 8, HeadKeep: 2, ErrorKeep: 4})
+	mk := func(i int, fail bool) {
+		_, sp := tr.StartRoot(context.Background(), fmt.Sprintf("s%d", i))
+		if fail {
+			sp.SetError(errors.New("x"))
+		}
+		sp.End()
+	}
+	mk(0, false)
+	mk(1, false)
+	mk(2, true) // error span, early enough to be evicted from the tail
+	for i := 3; i < 40; i++ {
+		mk(i, false)
+	}
+	byName := map[string]bool{}
+	for _, sd := range tr.Snapshot() {
+		byName[sd.Name] = true
+	}
+	for _, want := range []string{"s0", "s1", "s2", "s39"} {
+		if !byName[want] {
+			t.Errorf("span %s evicted, want retained (head/error/tail)", want)
+		}
+	}
+	if byName["s10"] {
+		t.Errorf("mid-stream span s10 survived a full tail wrap")
+	}
+}
+
+// TestSpanRingUnderConcurrentExport hammers the span ring from GOMAXPROCS
+// goroutines while exporters and the debug endpoint drain it concurrently.
+// Run with -race; correctness here is "no data race, no torn span".
+func TestSpanRingUnderConcurrentExport(t *testing.T) {
+	tr := New(Options{Service: "hammer", Capacity: 64, HeadKeep: 8, ErrorKeep: 8})
+	an := NewStragglers()
+	tr.Subscribe(an.Observe)
+	h := DebugHandler(tr, an)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	writers := runtime.GOMAXPROCS(0)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ctx, root := tr.StartRoot(context.Background(), SpanFleetGather)
+				_, child := tr.StartSpan(ctx, SpanFleetAttempt,
+					A(AttrDevice, fmt.Sprintf("dev-%d", w)), A(AttrWin, "true"))
+				child.AddEvent(EventHedge)
+				if i%7 == 0 {
+					child.SetError(errors.New("injected"))
+				}
+				child.End()
+				root.End()
+				tr.Record(SpanData{TraceID: NewTraceID(), SpanID: NewSpanID(), Name: "adopted"})
+			}
+		}(w)
+	}
+	deadline := time.After(200 * time.Millisecond)
+	for done := false; !done; {
+		select {
+		case <-deadline:
+			done = true
+		default:
+			if err := tr.WriteJSON(io.Discard); err != nil {
+				t.Errorf("WriteJSON: %v", err)
+			}
+			tr.Assemble()
+			an.Snapshot()
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces?spans=1", nil))
+			if !json.Valid(rec.Body.Bytes()) {
+				t.Errorf("/debug/traces returned invalid JSON under load")
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	for _, sd := range tr.Snapshot() {
+		if sd.SpanID == "" || sd.TraceID == "" {
+			t.Fatalf("torn span retained: %+v", sd)
+		}
+	}
+}
+
+// TestSpanNestingProperty is the property test: for randomly generated span
+// trees, every child's [start, end] nests inside its parent's on both the
+// wall clock and a virtual clock.
+func TestSpanNestingProperty(t *testing.T) {
+	t.Run("wall", func(t *testing.T) {
+		tr := New(Options{Service: "p"})
+		rng := rand.New(rand.NewPCG(1, 2))
+		for trial := 0; trial < 30; trial++ {
+			growSpanTree(tr, rng, nil)
+		}
+		checkNesting(t, tr.Snapshot())
+	})
+	t.Run("virtual", func(t *testing.T) {
+		vc := NewVirtualClock(time.Unix(0, 0).UTC())
+		tr := New(Options{Service: "p", Clock: vc})
+		rng := rand.New(rand.NewPCG(3, 4))
+		for trial := 0; trial < 30; trial++ {
+			growSpanTree(tr, rng, vc)
+		}
+		checkNesting(t, tr.Snapshot())
+	})
+}
+
+// growSpanTree opens a random, properly bracketed span tree: children
+// always start after their parent and end before it. A non-nil virtual
+// clock is advanced monotonically between operations.
+func growSpanTree(tr *Tracer, rng *rand.Rand, vc *VirtualClock) {
+	var off time.Duration
+	tick := func() {
+		if vc != nil {
+			off += time.Duration(1+rng.IntN(1000)) * time.Microsecond
+			vc.Set(off)
+		}
+	}
+	var grow func(ctx context.Context, depth int)
+	grow = func(ctx context.Context, depth int) {
+		tick()
+		ctx, sp := tr.StartSpan(ctx, fmt.Sprintf("d%d", depth))
+		if depth < 4 {
+			for i := 0; i < rng.IntN(3); i++ {
+				grow(ctx, depth+1)
+			}
+		}
+		tick()
+		sp.End()
+	}
+	tick()
+	ctx, root := tr.StartRoot(context.Background(), "root")
+	for i := 0; i < 1+rng.IntN(3); i++ {
+		grow(ctx, 1)
+	}
+	tick()
+	root.End()
+}
+
+// checkNesting asserts every retained span with a retained parent starts no
+// earlier and ends no later than that parent.
+func checkNesting(t *testing.T, spans []SpanData) {
+	t.Helper()
+	byID := make(map[string]SpanData, len(spans))
+	for _, sd := range spans {
+		byID[sd.TraceID+"/"+sd.SpanID] = sd
+	}
+	checked := 0
+	for _, sd := range spans {
+		if sd.ParentID == "" {
+			continue
+		}
+		parent, ok := byID[sd.TraceID+"/"+sd.ParentID]
+		if !ok {
+			continue
+		}
+		if sd.Start.Before(parent.Start) || sd.End.After(parent.End) {
+			t.Fatalf("span %s [%v,%v] escapes parent %s [%v,%v]",
+				sd.Name, sd.Start, sd.End, parent.Name, parent.Start, parent.End)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatalf("property checked no parent/child pairs")
+	}
+}
+
+func TestStragglerAttribution(t *testing.T) {
+	an := NewStragglers()
+	base := time.Unix(0, 0)
+	obs := func(dev string, d time.Duration, hedged, win bool, errMsg string) {
+		sd := SpanData{
+			Name:  SpanFleetAttempt,
+			Start: base, End: base.Add(d),
+			Attrs: []Attr{A(AttrDevice, dev), A(AttrHedged, fmt.Sprint(hedged))},
+			Error: errMsg,
+		}
+		if win {
+			sd.Attrs = append(sd.Attrs, A(AttrWin, "true"))
+		}
+		an.Observe(sd)
+	}
+	for i := 1; i <= 100; i++ {
+		obs("a", time.Duration(i)*time.Millisecond, false, true, "")
+	}
+	obs("b", 5*time.Millisecond, true, true, "")
+	obs("b", 0, false, false, "dead")
+	an.Observe(SpanData{Name: SpanRPCClient, Attrs: []Attr{A(AttrDevice, "c")}}) // ignored
+
+	stats := an.Snapshot()
+	if len(stats) != 2 {
+		t.Fatalf("got %d devices, want 2 (non-attempt spans must be ignored)", len(stats))
+	}
+	a, b := stats[0], stats[1]
+	if a.Device != "a" || b.Device != "b" {
+		t.Fatalf("unexpected order: %s, %s", a.Device, b.Device)
+	}
+	if a.Wins != 100 || a.Samples != 100 {
+		t.Fatalf("device a: wins=%d samples=%d", a.Wins, a.Samples)
+	}
+	if a.P50 < 40*time.Millisecond || a.P50 > 60*time.Millisecond {
+		t.Errorf("device a p50 = %v, want ≈50ms", a.P50)
+	}
+	if a.P95 < 90*time.Millisecond || a.P99 < a.P95 {
+		t.Errorf("device a p95=%v p99=%v", a.P95, a.P99)
+	}
+	if b.HedgeWins != 1 || b.Errors != 1 || b.Losses != 1 {
+		t.Errorf("device b attribution: %+v", b)
+	}
+}
+
+func TestAssembleWaterfall(t *testing.T) {
+	vc := NewVirtualClock(time.Unix(0, 0).UTC())
+	tr := New(Options{Service: "w", Clock: vc})
+	ctx, root := tr.StartRoot(context.Background(), "root")
+	vc.Set(10 * time.Millisecond)
+	_, child := tr.StartSpan(ctx, "child")
+	vc.Set(30 * time.Millisecond)
+	child.End()
+	vc.Set(40 * time.Millisecond)
+	root.End()
+
+	views := tr.Assemble()
+	if len(views) != 1 {
+		t.Fatalf("got %d traces, want 1", len(views))
+	}
+	v := views[0]
+	if v.Root != "root" || v.SpanCount != 2 || v.Duration != 40*time.Millisecond {
+		t.Fatalf("trace view: %+v", v)
+	}
+	if full, ok := tr.AssembleTrace(v.TraceID); !ok || full.SpanCount != 2 {
+		t.Fatalf("AssembleTrace(%s) = %+v, %v", v.TraceID, full, ok)
+	}
+	for _, s := range v.Spans {
+		switch s.Name {
+		case "root":
+			if s.Depth != 0 || s.OffsetNs != 0 {
+				t.Errorf("root waterfall: %+v", s)
+			}
+		case "child":
+			if s.Depth != 1 || s.OffsetNs != (10*time.Millisecond).Nanoseconds() ||
+				s.DurationNs != (20*time.Millisecond).Nanoseconds() {
+				t.Errorf("child waterfall: %+v", s)
+			}
+		}
+	}
+	if _, ok := tr.AssembleTrace("deadbeef"); ok {
+		t.Fatalf("AssembleTrace on unknown id succeeded")
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"github.com/scec/scec/internal/field"
 	"github.com/scec/scec/internal/matrix"
 	"github.com/scec/scec/internal/obs"
+	"github.com/scec/scec/internal/obs/trace"
 )
 
 // Message kinds.
@@ -39,6 +40,21 @@ const (
 	kindPing         = "ping"
 )
 
+// Frame versions. The version rides inside the gob envelope, so mixed
+// fleets interoperate in both directions: gob ignores stream fields the
+// receiver's struct lacks (an old server skips V/Traceparent) and
+// zero-fills struct fields the stream lacks (a new server reads V==0 from
+// an old client and treats it as FrameV1).
+const (
+	// FrameV1 is the pre-tracing frame layout (requests carry no version
+	// field at all; it decodes as 0 and is normalized to 1).
+	FrameV1 byte = 1
+	// FrameV2 adds trace propagation: requests may carry a W3C-style
+	// traceparent, and responses to traced V2 requests carry the device's
+	// server-side spans so the client can stitch one end-to-end trace.
+	FrameV2 byte = 2
+)
+
 // DefaultTimeout bounds every network round trip.
 const DefaultTimeout = 10 * time.Second
 
@@ -47,8 +63,15 @@ var ErrRemote = errors.New("transport: remote error")
 
 // request is the single envelope both roles send to a device.
 type request[E comparable] struct {
+	// V is the frame version (FrameV2 for current clients; absent — hence
+	// zero — on frames from pre-versioning clients).
+	V byte
 	// Kind selects the operation: kindStore, kindCompute, or kindPing.
 	Kind string
+	// Traceparent carries the caller's span context in the W3C header
+	// shape when the request is part of a trace (FrameV2+); empty
+	// otherwise.
+	Traceparent string
 	// Block carries the coded rows for a store request.
 	Block [][]E
 	// X carries the input vector for a compute request.
@@ -59,8 +82,14 @@ type request[E comparable] struct {
 
 // response is the device's answer.
 type response[E comparable] struct {
+	// V is the frame version the device answered with.
+	V byte
 	// Err is non-empty when the request failed remotely.
 	Err string
+	// Spans carries the device's finished server-side spans for a traced
+	// request (FrameV2+), re-emitted into the caller's trace so one user
+	// query assembles into a single cross-process waterfall.
+	Spans []trace.SpanData
 	// Y carries the intermediate results of a compute request.
 	Y []E
 	// YMat carries the intermediate result rows of a batch compute request.
@@ -79,6 +108,7 @@ type DeviceServer[E comparable] struct {
 	timeout     time.Duration
 	maxElements int
 	metrics     *obs.Registry
+	tracer      *trace.Tracer
 
 	ln        net.Listener
 	wg        sync.WaitGroup
@@ -113,6 +143,11 @@ type Options struct {
 	// Metrics receives the server's RPC and compute-stage telemetry; nil
 	// means obs.Default().
 	Metrics *obs.Registry
+	// Tracer, when non-nil, records a server-side span per traced request
+	// (plus a child compute span) and re-emits them to the client through
+	// the response frame. Nil disables device-side tracing; traced clients
+	// still work, they just see no device spans from this server.
+	Tracer *trace.Tracer
 }
 
 // NewDeviceServer starts an edge device listening on addr (use "127.0.0.1:0"
@@ -154,6 +189,7 @@ func NewDeviceServerOptions[E comparable](f field.Field[E], addr string, opts Op
 		timeout:     opts.Timeout,
 		maxElements: opts.MaxElements,
 		metrics:     metricsOrDefault(opts.Metrics),
+		tracer:      opts.Tracer,
 		ln:          ln,
 		done:        make(chan struct{}),
 	}
@@ -232,14 +268,68 @@ func (s *DeviceServer[E]) handle(conn net.Conn) {
 		return // malformed request: nothing sensible to answer
 	}
 	kind = knownKind(req.Kind)
-	resp := s.dispatch(req)
+	ctx, bag, sp := s.startServerSpan(req)
+	resp := s.dispatch(ctx, bag, req)
+	resp.V = FrameV2
 	errored = resp.Err != ""
+	if sp != nil {
+		if errored {
+			sp.SetError(errors.New(resp.Err))
+		}
+		sp.End()
+		bag.add(sp)
+		resp.Spans = bag.spans
+	}
 	// Encoding errors leave the client to observe a broken connection; the
 	// deadline above already bounds the exchange.
 	_ = gob.NewEncoder(cc).Encode(resp)
 }
 
-func (s *DeviceServer[E]) dispatch(req request[E]) response[E] {
+// spanBag collects the finished server-side spans of one request for
+// re-emission through the response frame. A request is handled by one
+// goroutine, so no locking is needed; a nil bag (untraced request) absorbs
+// adds silently.
+type spanBag struct {
+	spans []trace.SpanData
+}
+
+func (b *spanBag) add(sp *trace.Span) {
+	if b == nil {
+		return
+	}
+	if sd, ok := sp.Data(); ok {
+		b.spans = append(b.spans, sd)
+	}
+}
+
+// startServerSpan opens the device-side span for a traced request: the
+// frame's traceparent parents it, so the client's and device's spans share
+// one trace ID across the process boundary. Untraced requests (no tracer
+// configured, no traceparent, or a malformed one) get a nil span and bag.
+func (s *DeviceServer[E]) startServerSpan(req request[E]) (context.Context, *spanBag, *trace.Span) {
+	if s.tracer == nil || req.Traceparent == "" {
+		return context.Background(), nil, nil
+	}
+	parent, ok := trace.ParseTraceparent(req.Traceparent)
+	if !ok {
+		return context.Background(), nil, nil
+	}
+	ctx, sp := s.tracer.StartRemote(context.Background(), parent,
+		trace.SpanRPCServer, trace.A(trace.AttrKind, knownKind(req.Kind)), trace.A(trace.AttrDevice, s.Addr()))
+	return ctx, &spanBag{}, sp
+}
+
+// startComputeSpan opens the kernel-execution child span for a traced
+// request; untraced requests (nil bag) record nothing.
+func (s *DeviceServer[E]) startComputeSpan(ctx context.Context, bag *spanBag, kind string) *trace.Span {
+	if bag == nil {
+		return nil
+	}
+	_, csp := s.tracer.StartSpan(ctx, trace.SpanDeviceCompute, trace.A(trace.AttrKind, kind))
+	return csp
+}
+
+func (s *DeviceServer[E]) dispatch(ctx context.Context, bag *spanBag, req request[E]) response[E] {
 	switch req.Kind {
 	case kindPing:
 		return response[E]{}
@@ -271,9 +361,12 @@ func (s *DeviceServer[E]) dispatch(req request[E]) response[E] {
 		if len(req.X) != block.Cols() {
 			return response[E]{Err: fmt.Sprintf("compute: x has %d entries, coded rows have %d columns", len(req.X), block.Cols())}
 		}
+		csp := s.startComputeSpan(ctx, bag, "vec")
 		sp := obs.StartStage(s.metrics, obs.StageCompute)
 		y := matrix.MulVec(s.f, block, req.X)
 		sp.End()
+		csp.End()
+		bag.add(csp)
 		s.mu.Lock()
 		s.stats.Computes++
 		s.stats.ValuesReturned += len(y)
@@ -300,9 +393,12 @@ func (s *DeviceServer[E]) dispatch(req request[E]) response[E] {
 		if total := len(req.XMat) * len(req.XMat[0]); total > s.maxElements {
 			return response[E]{Err: fmt.Sprintf("compute-batch: X of %d elements exceeds the device cap of %d", total, s.maxElements)}
 		}
+		csp := s.startComputeSpan(ctx, bag, "mat")
 		sp := obs.StartStage(s.metrics, obs.StageCompute)
 		y := matrix.Mul(s.f, block, matrix.FromRows(req.XMat))
 		sp.End()
+		csp.End()
+		bag.add(csp)
 		rows := make([][]E, y.Rows())
 		for i := range rows {
 			rows[i] = y.Row(i)
@@ -326,6 +422,26 @@ func (s *DeviceServer[E]) dispatch(req request[E]) response[E] {
 func roundTrip[E comparable](ctx context.Context, addr string, timeout time.Duration, reg *obs.Registry, req request[E]) (resp response[E], err error) {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	req.V = FrameV2
+	// A client span is opened only inside an existing trace: the caller's
+	// span rides in ctx, and its traceparent is injected into the frame so
+	// the device parents its server span under this one.
+	if parent := trace.SpanFromContext(ctx); parent != nil {
+		var rsp *trace.Span
+		ctx, rsp = parent.Tracer().StartSpan(ctx, trace.SpanRPCClient,
+			trace.A(trace.AttrKind, req.Kind), trace.A(trace.AttrDevice, addr))
+		req.Traceparent = rsp.Traceparent()
+		tracer := parent.Tracer()
+		defer func() {
+			if err != nil {
+				rsp.SetError(err)
+			}
+			rsp.End()
+			for _, sd := range resp.Spans {
+				tracer.Record(sd)
+			}
+		}()
 	}
 	start := time.Now()
 	var cc *countingConn
@@ -369,7 +485,9 @@ func roundTrip[E comparable](ctx context.Context, addr string, timeout time.Dura
 		return response[E]{}, ctxErr(ctx, fmt.Errorf("transport: receive from %s: %w", addr, err))
 	}
 	if resp.Err != "" {
-		return response[E]{}, fmt.Errorf("%w: %s: %s", ErrRemote, addr, resp.Err)
+		// Keep the device's re-emitted spans so the deferred trace adoption
+		// above still stitches the failed server side into the trace.
+		return response[E]{Spans: resp.Spans}, fmt.Errorf("%w: %s: %s", ErrRemote, addr, resp.Err)
 	}
 	return resp, nil
 }

@@ -1,6 +1,7 @@
 package scec
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 
@@ -59,6 +60,12 @@ func DeployQuantized(a *Matrix[float64], fracBits uint, maxX float64, unitCosts 
 // error relative to the float product is the fixed-point quantization of
 // the operands; the coding itself is exact.
 func (d *QuantizedDeployment) MulVec(x []float64) ([]float64, error) {
+	return d.MulVecContext(context.Background(), x)
+}
+
+// MulVecContext is MulVec bounded by ctx; a span carried in ctx continues
+// into the exact pipeline's trace.
+func (d *QuantizedDeployment) MulVecContext(ctx context.Context, x []float64) ([]float64, error) {
 	if len(x) != d.l {
 		return nil, fmt.Errorf("scec: input vector has %d entries, want %d", len(x), d.l)
 	}
@@ -69,7 +76,7 @@ func (d *QuantizedDeployment) MulVec(x []float64) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	yq, err := d.Deployment.MulVec(xq)
+	yq, err := d.Deployment.MulVecContext(ctx, xq)
 	if err != nil {
 		return nil, err
 	}
@@ -80,6 +87,11 @@ func (d *QuantizedDeployment) MulVec(x []float64) ([]float64, error) {
 // pipeline: X is quantized entrywise, the coded batch round runs in F_p,
 // and every decoded dot product scales back to float64.
 func (d *QuantizedDeployment) MulMat(x *Matrix[float64]) (*Matrix[float64], error) {
+	return d.MulMatContext(context.Background(), x)
+}
+
+// MulMatContext is MulMat bounded by ctx; see MulVecContext.
+func (d *QuantizedDeployment) MulMatContext(ctx context.Context, x *Matrix[float64]) (*Matrix[float64], error) {
 	if x.Rows() != d.l {
 		return nil, fmt.Errorf("scec: input matrix has %d rows, want %d", x.Rows(), d.l)
 	}
@@ -90,7 +102,7 @@ func (d *QuantizedDeployment) MulMat(x *Matrix[float64]) (*Matrix[float64], erro
 	if err != nil {
 		return nil, err
 	}
-	yq, err := d.Deployment.MulMat(xq)
+	yq, err := d.Deployment.MulMatContext(ctx, xq)
 	if err != nil {
 		return nil, err
 	}

@@ -1,7 +1,9 @@
 package scec
 
 import (
+	"context"
 	"errors"
+	"net/http"
 
 	"github.com/scec/scec/internal/engine"
 	"github.com/scec/scec/internal/fleet"
@@ -57,6 +59,14 @@ func Serve[E comparable](dep *Deployment[E], cfg FleetConfig, opts ...DeployOpti
 	if c.backend != nil {
 		return nil, errors.New("scec: Serve executes over the given fleet; WithExecutor is not applicable")
 	}
+	// One WithTracing (or one FleetConfig.Tracer) is enough: engine and
+	// fleet layers share whichever tracer was provided.
+	if c.opts.Tracer == nil {
+		c.opts.Tracer = cfg.Tracer
+	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = c.opts.Tracer
+	}
 	s, err := fleet.Serve(dep.F, dep.Scheme, dep.Encoding, cfg)
 	if err != nil {
 		return nil, err
@@ -72,7 +82,14 @@ func Serve[E comparable](dep *Deployment[E], cfg FleetConfig, opts ...DeployOpti
 // MulVec computes A·x through the fleet (coalescing concurrent callers into
 // batch rounds when enabled).
 func (v *Served[E]) MulVec(x []E) ([]E, error) {
-	y, err := v.q.MulVec(x)
+	return v.MulVecContext(context.Background(), x)
+}
+
+// MulVecContext is MulVec bounded by ctx: cancelling it cancels the
+// in-flight replica races. A span carried in ctx continues into the fleet's
+// trace.
+func (v *Served[E]) MulVecContext(ctx context.Context, x []E) ([]E, error) {
+	y, err := v.q.MulVecContext(ctx, x)
 	if err != nil {
 		return nil, wrapEngineErr(err)
 	}
@@ -81,7 +98,12 @@ func (v *Served[E]) MulVec(x []E) ([]E, error) {
 
 // MulMat computes A·X for an l×n input matrix through the fleet.
 func (v *Served[E]) MulMat(x *Matrix[E]) (*Matrix[E], error) {
-	y, err := v.q.MulMat(x)
+	return v.MulMatContext(context.Background(), x)
+}
+
+// MulMatContext is MulMat bounded by ctx; see MulVecContext.
+func (v *Served[E]) MulMatContext(ctx context.Context, x *Matrix[E]) (*Matrix[E], error) {
+	y, err := v.q.MulMatContext(ctx, x)
 	if err != nil {
 		return nil, wrapEngineErr(err)
 	}
@@ -99,6 +121,14 @@ func (v *Served[E]) ReplicaCount(j int) int { return v.s.ReplicaCount(j) }
 
 // Session exposes the underlying fleet runtime.
 func (v *Served[E]) Session() *Session[E] { return v.s }
+
+// EngineDebugHandler serves the engine's dispatch/coalescing snapshot
+// (mount as /debug/engine); FleetDebugHandler serves the fleet's breaker,
+// replica-health, standby, and straggler snapshot (mount as /debug/fleet).
+func (v *Served[E]) EngineDebugHandler() http.Handler { return v.q.DebugHandler() }
+
+// FleetDebugHandler serves the fleet session's live runtime snapshot.
+func (v *Served[E]) FleetDebugHandler() http.Handler { return v.s.DebugHandler() }
 
 // Close flushes the query engine and shuts the fleet session down. Safe to
 // call more than once.

@@ -1,0 +1,34 @@
+package scec
+
+import (
+	"github.com/scec/scec/internal/obs/trace"
+)
+
+// Tracer records causally linked spans across the whole serving stack —
+// engine query layer, coalescer, fleet racing/hedging, transport round
+// trips, and device-side compute — into a bounded in-process buffer with
+// JSON export and /debug/traces introspection. A nil *Tracer is a valid
+// no-op everywhere it is accepted. See internal/obs/trace.
+type Tracer = trace.Tracer
+
+// TracerOptions tunes a Tracer (service name, retention buffer sizes,
+// clock). The zero value selects every default.
+type TracerOptions = trace.Options
+
+// NewTracer builds a tracer. Wire it into a deployment with WithTracing,
+// into a fleet session via FleetConfig.Tracer, and into device servers via
+// transport Options.Tracer; sharing one tracer per process is the normal
+// setup.
+func NewTracer(o TracerOptions) *Tracer { return trace.New(o) }
+
+// DeviceStats is one device's straggler digest: rolling win-latency
+// percentiles plus hedge-win attribution. See Session.Stragglers.
+type DeviceStats = trace.DeviceStats
+
+// WithTracing routes the deployment engine's query/coalesce/round/decode
+// spans (and, through context propagation, every substrate span below them)
+// to t. The fleet backend additionally needs FleetConfig.Tracer set to the
+// same tracer for its race/hedge spans and straggler analytics.
+func WithTracing[E comparable](t *Tracer) DeployOption[E] {
+	return func(c *deployConfig[E]) { c.opts.Tracer = t }
+}
