@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short test-fault trace-demo bench bench-json bench-check fuzz reproduce examples clean
+.PHONY: all build vet lint test test-short test-fault trace-demo bench bench-json bench-check load-check fuzz reproduce examples clean
 
 all: build vet lint test
 
@@ -60,6 +60,19 @@ bench-json:
 bench-check:
 	$(GO) run ./cmd/experiments -fig bench -check
 	$(GO) test -race ./internal/matrix/
+
+# Heavy-traffic SLO regression guard: one open-loop, coordinated-omission-
+# safe sweep of a real-socket 3-device loopback fleet plus a 1000-virtual-
+# device simulation with churn, writing the latency-vs-load curves and
+# saturation knees to results/load.{json,md}. The declared SLOs carry large
+# slack over the observed tails (p99 ≈ 5ms / 12ms respectively), so only a
+# real latency regression — not CI jitter — makes this exit non-zero.
+load-check:
+	$(GO) run ./cmd/scecnet load -rates 50,100,200 -step-requests 200 \
+		-slo "p99<=250ms@100" \
+		-sim-devices 1000 -sim-rates 500,1000,2000,4000 -sim-step-requests 2000 \
+		-sim-slo "p99<=100ms@1000" \
+		-out results/load.json -md results/load.md
 
 # Short fuzzing passes over the three fuzz targets (CI-friendly budgets).
 fuzz:

@@ -17,6 +17,14 @@
 //	    fault-tolerant session, and (optionally) kill one replica of every
 //	    coded block mid-stream to watch failover and self-repair
 //
+//	scecnet load -rates 50,100,200 -slo p99<=250ms@100
+//	    heavy-traffic SLO harness: open-loop, coordinated-omission-safe
+//	    offered-load sweeps against a 3-device real-socket fleet and a
+//	    thousand-device virtual-clock simulation with churn, writing the
+//	    latency-vs-load curves, saturation knees, and SLO verdicts to
+//	    results/load.json + load.md (non-zero exit on any SLO violation);
+//	    -metrics-addr adds a live /debug/slo route
+//
 // Every role accepts -metrics-addr to serve the telemetry bundle
 // (/metrics, /metrics.json, /healthz, /debug/pprof/*, /debug/vars) while it
 // runs; drive and demo print a per-stage timing table on completion, and
@@ -59,7 +67,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: scecnet <device|drive|demo|fleet> [flags]")
+		return fmt.Errorf("usage: scecnet <device|drive|demo|fleet|load> [flags]")
 	}
 	switch args[0] {
 	case "device":
@@ -70,8 +78,10 @@ func run(args []string, out io.Writer) error {
 		return runDemo(args[1:], out)
 	case "fleet":
 		return runFleet(args[1:], out)
+	case "load":
+		return runLoad(args[1:], out)
 	default:
-		return fmt.Errorf("unknown role %q (want device, drive, demo, or fleet)", args[0])
+		return fmt.Errorf("unknown role %q (want device, drive, demo, fleet, or load)", args[0])
 	}
 }
 

@@ -4,9 +4,15 @@
 // prints the per-device timeline and the resource accounting that Eq. (1)
 // prices.
 //
-// Example:
+// With -load it switches from one verified pipeline run to the heavy-traffic
+// harness: an open-loop, coordinated-omission-safe offered-load sweep over
+// the planned fleet (or -load-devices virtual devices) on the virtual clock,
+// with churn, reporting the latency-vs-load curve and saturation knee.
+//
+// Examples:
 //
 //	scecsim -m 2000 -l 128 -k 12 -seed 3 -straggler 2=25
+//	scecsim -load -load-devices 1000 -load-rates 500,1000,2000,4000
 package main
 
 import (
@@ -15,11 +21,14 @@ import (
 	"io"
 	"math/rand/v2"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
 
 	"github.com/scec/scec"
 	"github.com/scec/scec/internal/engine"
+	"github.com/scec/scec/internal/loadgen"
 	"github.com/scec/scec/internal/obs"
 	"github.com/scec/scec/internal/obs/trace"
 	"github.com/scec/scec/internal/sim"
@@ -47,9 +56,30 @@ func run(args []string, out io.Writer) error {
 		backend   = fs.String("backend", "sim", "execution backend: sim (virtual clock) or local (in-process kernels)")
 		metrics   = fs.String("metrics-json", "", "write the run's telemetry snapshot as JSON to this path (- for stdout)")
 		traceFile = fs.String("trace-export", "", "export the query's trace as JSON: the wall-clock engine spans plus the linked virtual-clock sim.run/sim.device timeline")
+
+		load        = fs.Bool("load", false, "run the open-loop heavy-traffic sweep on the virtual clock instead of one pipeline run")
+		loadDevices = fs.Int("load-devices", 0, "virtual fleet size for -load (0 uses the deployment plan's device count)")
+		loadRates   = fs.String("load-rates", "500,1000,2000,4000", "offered-load steps (QPS) for -load")
+		loadReqs    = fs.Int("load-requests", 2000, "requests per -load sweep step")
+		loadChurn   = fs.Duration("load-churn", 200*time.Millisecond, "mean virtual interval between churn events during -load (0 disables churn)")
+		loadArrival = fs.String("load-arrival", "poisson", "-load arrival schedule: poisson, uniform, or bursty[:FxL]")
+		loadSLO     = fs.String("load-slo", "", "comma-separated SLOs for -load, e.g. p99<=50ms@1000 (violations exit non-zero)")
+		loadOut     = fs.String("load-out", "", "write the -load report as JSON to this path")
+		loadMD      = fs.String("load-md", "", "write the -load report as markdown to this path")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *load {
+		if *straggler != "" || *failDev >= 0 || *replicas > 1 || *traceFile != "" || *backend != "sim" {
+			return fmt.Errorf("-load sweeps a homogeneous virtual fleet under churn; -straggler, -fail, -replicas, -trace-export, and -backend configure single pipeline runs")
+		}
+		return runSimLoad(out, simLoadConfig{
+			m: *m, l: *l, k: *k, cmax: *cmax, seed: *seed,
+			devices: *loadDevices, rates: *loadRates, requests: *loadReqs,
+			churn: *loadChurn, arrival: *loadArrival, slo: *loadSLO,
+			out: *loadOut, md: *loadMD, metricsPath: *metrics,
+		})
 	}
 
 	strag, err := parseStragglers(*straggler)
@@ -164,6 +194,111 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "exported %d retained spans to %s\n", retained, *traceFile)
 	}
 	return finish(out, *metrics)
+}
+
+// simLoadConfig carries the -load* flags into runSimLoad.
+type simLoadConfig struct {
+	m, l, k     int
+	cmax        float64
+	seed        uint64
+	devices     int
+	rates       string
+	requests    int
+	churn       time.Duration
+	arrival     string
+	slo         string
+	out, md     string
+	metricsPath string
+}
+
+// runSimLoad is scecsim's heavy-traffic mode: plan a deployment for the
+// configured instance exactly as a normal run would, then sweep the planned
+// fleet (or -load-devices virtual devices holding the same coded work) with
+// the open-loop virtual-clock generator under churn. The report shares the
+// results/load.json schema the scecnet load harness writes, and any declared
+// -load-slo violation is the returned (non-zero exit) error.
+func runSimLoad(out io.Writer, cfg simLoadConfig) error {
+	arrival, err := loadgen.ParseArrival(cfg.arrival)
+	if err != nil {
+		return err
+	}
+	rates, err := loadgen.ParseRates(cfg.rates)
+	if err != nil {
+		return err
+	}
+	slos, err := loadgen.ParseSLOs(cfg.slo)
+	if err != nil {
+		return err
+	}
+
+	f := scec.PrimeField()
+	rng := rand.New(rand.NewPCG(cfg.seed, 0x51ec))
+	in := workload.Instance(rng, cfg.m, cfg.k, workload.Uniform{Max: cfg.cmax})
+	a := scec.RandomMatrix(f, rng, cfg.m, cfg.l)
+	dep, err := scec.Deploy(f, a, in.Costs, rng)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = dep.Close() }()
+	devices := cfg.devices
+	if devices <= 0 {
+		devices = dep.Devices()
+	}
+	// Spread the plan's coded rows (m + r in total) across the virtual fleet.
+	rows := max((cfg.m+dep.Plan.R+devices-1)/devices, 1)
+	fmt.Fprintf(out, "plan: r=%d devices=%d cost=%.2f; sweeping %d virtual device(s) × %d coded row(s) at %s QPS (%s arrivals, churn every ~%v)\n",
+		dep.Plan.R, dep.Plan.I, dep.Cost(), devices, rows, cfg.rates, arrival.Name(), cfg.churn)
+
+	col := loadgen.NewCollector()
+	sc := loadgen.Scenario{
+		Name:    fmt.Sprintf("scecsim-%ddev", devices),
+		Backend: "sim",
+		Clock:   "virtual",
+		Arrival: arrival.Name(),
+		Devices: devices,
+	}
+	col.StartScenario(sc)
+	steps, stats, err := loadgen.VirtualSweep(loadgen.VirtualOptions{
+		Devices:         devices,
+		RowsPerDevice:   rows,
+		Cols:            cfg.l,
+		ChurnEvery:      cfg.churn,
+		Rates:           rates,
+		RequestsPerStep: cfg.requests,
+		Arrival:         arrival,
+		Seed:            cfg.seed,
+		Collector:       col,
+	})
+	if err != nil {
+		return err
+	}
+	sc.Steps = steps
+	sc.KneeQPS = loadgen.DetectKnee(steps, 0, 0)
+	sc.ChurnEvents, sc.Outages = stats.ChurnEvents, stats.Outages
+	sloErr := sc.CheckSLOs(slos)
+	col.FinishScenario(sc)
+	sc.WriteText(out)
+
+	if cfg.out != "" {
+		if err := os.MkdirAll(filepath.Dir(cfg.out), 0o755); err != nil {
+			return err
+		}
+	}
+	report := col.Report()
+	if err := report.WriteFiles(cfg.out, cfg.md); err != nil {
+		return err
+	}
+	if cfg.out != "" {
+		fmt.Fprintf(out, "report written to %s", cfg.out)
+		if cfg.md != "" {
+			fmt.Fprintf(out, " and %s", cfg.md)
+		}
+		fmt.Fprintln(out)
+	}
+	if err := finish(out, cfg.metricsPath); err != nil {
+		return err
+	}
+	return sloErr
 }
 
 // finish prints the registry-backed stage timing table (virtual durations

@@ -131,6 +131,16 @@ func (d *Deployment[E]) MulMatContext(ctx context.Context, x *Matrix[E]) (*Matri
 	return y, nil
 }
 
+// LoadTarget adapts the deployment into a load-generator target: each call
+// is one MulVec of x under the generator's per-request context. The input is
+// captured by reference; do not mutate it while a run is in flight.
+func (d *Deployment[E]) LoadTarget(x []E) func(ctx context.Context) error {
+	return func(ctx context.Context) error {
+		_, err := d.MulVecContext(ctx, x)
+		return err
+	}
+}
+
 // Backend names the execution backend serving this deployment's queries
 // ("local", "sim", or "fleet").
 func (d *Deployment[E]) Backend() string { return d.q.Backend() }

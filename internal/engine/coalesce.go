@@ -95,9 +95,17 @@ func (c *coalescer[E]) submit(ctx context.Context, x []E) ([]E, error) {
 		b.timer.Stop()
 		c.execute(b.waiters)
 	}
-	o := <-w.out
-	wsp.End()
-	return o.ax, o.err
+	// w.out is buffered (size 1), so abandoning the wait on cancellation
+	// never blocks the executing goroutine's send.
+	select {
+	case o := <-w.out:
+		wsp.End()
+		return o.ax, o.err
+	case <-ctx.Done():
+		wsp.SetError(ctx.Err())
+		wsp.End()
+		return nil, ctx.Err()
+	}
 }
 
 // flush executes a batch whose window elapsed, unless a full-batch flush

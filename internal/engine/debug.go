@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"net/http"
 	"time"
+
+	"github.com/scec/scec/internal/obs"
 )
 
 // DebugInfo is the query layer's live snapshot, served by DebugHandler as
@@ -19,6 +21,10 @@ type DebugInfo struct {
 	DispatchMat int64 `json:"dispatchMat"`
 	// Coalescing is present when request coalescing is enabled.
 	Coalescing *CoalesceDebug `json:"coalescing,omitempty"`
+	// Stages holds the interpolated p50/p95/p99 latency (seconds) of every
+	// pipeline stage recorded in the engine's registry; absent until a
+	// query has run.
+	Stages map[string]obs.Tails `json:"stages,omitempty"`
 }
 
 // CoalesceDebug is the coalescer's configuration and occupancy.
@@ -41,6 +47,7 @@ func (q *Query[E]) Debug() DebugInfo {
 		Cols:        q.cols,
 		DispatchVec: q.vec.Value(),
 		DispatchMat: q.mat.Value(),
+		Stages:      obs.StageTails(q.reg),
 	}
 	if q.co != nil {
 		info.Coalescing = &CoalesceDebug{

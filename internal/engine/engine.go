@@ -153,6 +153,9 @@ func (q *Query[E]) MulVecContext(ctx context.Context, x []E) (y []E, err error) 
 	if len(x) != q.cols {
 		return nil, fmt.Errorf("engine: input vector has %d entries, want %d", len(x), q.cols)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	ctx, qsp := q.startSpan(ctx, trace.SpanQueryVec)
 	defer func() {
 		qsp.SetError(err)
@@ -174,6 +177,9 @@ func (q *Query[E]) MulMat(x *matrix.Dense[E]) (*matrix.Dense[E], error) {
 func (q *Query[E]) MulMatContext(ctx context.Context, x *matrix.Dense[E]) (y *matrix.Dense[E], err error) {
 	if x.Rows() != q.cols {
 		return nil, fmt.Errorf("engine: input matrix has %d rows, want %d", x.Rows(), q.cols)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	ctx, qsp := q.startSpan(ctx, trace.SpanQueryMat)
 	defer func() {

@@ -40,6 +40,9 @@ func (e *LocalExecutor[E]) Name() string { return "local" }
 // Compute runs every device's B_j·T·x in-process under a compute-stage
 // span (and a device.compute trace span when ctx carries a trace).
 func (e *LocalExecutor[E]) Compute(ctx context.Context, x []E) ([]E, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	_, csp := traceSpan(ctx, trace.SpanDeviceCompute, trace.A(trace.AttrKind, "vec"))
 	defer csp.End()
 	defer obs.StartStage(e.reg, obs.StageCompute).End()
@@ -50,6 +53,9 @@ func (e *LocalExecutor[E]) Compute(ctx context.Context, x []E) ([]E, error) {
 // compute-stage span (and a device.compute trace span when ctx carries a
 // trace).
 func (e *LocalExecutor[E]) ComputeBatch(ctx context.Context, x *matrix.Dense[E]) (*matrix.Dense[E], error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	_, csp := traceSpan(ctx, trace.SpanDeviceCompute, trace.A(trace.AttrKind, "mat"))
 	defer csp.End()
 	defer obs.StartStage(e.reg, obs.StageCompute).End()

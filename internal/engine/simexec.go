@@ -88,7 +88,7 @@ func (e *SimExecutor[E]) Name() string { return "sim" }
 
 // Compute runs one simulated vector round and retains its report.
 func (e *SimExecutor[E]) Compute(ctx context.Context, x []E) ([]E, error) {
-	y, rep, err := sim.Gather(e.f, e.enc, x, e.cfg)
+	y, rep, err := sim.GatherContext(ctx, e.f, e.enc, x, e.cfg)
 	e.retain(rep, err, 1)
 	e.emitTrace(ctx, rep, err)
 	return y, err
@@ -97,7 +97,7 @@ func (e *SimExecutor[E]) Compute(ctx context.Context, x []E) ([]E, error) {
 // ComputeBatch runs one simulated width-n batch round and retains its
 // report.
 func (e *SimExecutor[E]) ComputeBatch(ctx context.Context, x *matrix.Dense[E]) (*matrix.Dense[E], error) {
-	y, rep, err := sim.GatherBatch(e.f, e.enc, x, e.cfg)
+	y, rep, err := sim.GatherBatchContext(ctx, e.f, e.enc, x, e.cfg)
 	e.retain(rep, err, x.Cols())
 	e.emitTrace(ctx, rep, err)
 	return y, err

@@ -1,0 +1,118 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+)
+
+// Collector accumulates a harness run's live state for the /debug/slo
+// route: completed scenarios, the scenario currently sweeping, and the step
+// in flight. All methods are safe for concurrent use and nil-safe, so the
+// sweep code can thread an optional collector without guarding every call.
+type Collector struct {
+	mu      sync.Mutex
+	report  Report
+	current *liveScenario
+}
+
+// liveScenario is the scenario being swept right now.
+type liveScenario struct {
+	Scenario Scenario `json:"scenario"`
+	// StepQPS is the offered load of the step in flight (0 between steps).
+	StepQPS float64 `json:"step_qps,omitempty"`
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{report: Report{Version: ReportVersion}}
+}
+
+// StartScenario begins live-reporting a scenario; sweep steps land on it via
+// the SweepOptions/VirtualOptions Collector hook until FinishScenario.
+func (c *Collector) StartScenario(sc Scenario) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.current = &liveScenario{Scenario: sc}
+}
+
+// stepStarted marks a step in flight.
+func (c *Collector) stepStarted(qps float64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.current != nil {
+		c.current.StepQPS = qps
+	}
+}
+
+// stepDone appends a completed step to the live scenario.
+func (c *Collector) stepDone(step StepResult) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.current != nil {
+		c.current.Scenario.Steps = append(c.current.Scenario.Steps, step)
+		c.current.StepQPS = 0
+	}
+}
+
+// FinishScenario replaces the live scenario with its final form (knee and
+// SLO results filled in) and files it into the report.
+func (c *Collector) FinishScenario(sc Scenario) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.report.Scenarios = append(c.report.Scenarios, sc)
+	c.current = nil
+}
+
+// Report returns a deep-enough copy of the completed scenarios.
+func (c *Collector) Report() Report {
+	if c == nil {
+		return Report{Version: ReportVersion}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := Report{Version: c.report.Version}
+	out.Scenarios = append(out.Scenarios, c.report.Scenarios...)
+	return out
+}
+
+// sloDebug is the /debug/slo JSON body.
+type sloDebug struct {
+	Report  Report        `json:"report"`
+	Current *liveScenario `json:"current,omitempty"`
+}
+
+// DebugHandler serves the collector's live snapshot as JSON — mount it as
+// /debug/slo via the obs handler's extra-route hook.
+func (c *Collector) DebugHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var body sloDebug
+		if c != nil {
+			c.mu.Lock()
+			body.Report = Report{Version: c.report.Version}
+			body.Report.Scenarios = append(body.Report.Scenarios, c.report.Scenarios...)
+			if c.current != nil {
+				cur := *c.current
+				cur.Scenario.Steps = append([]StepResult(nil), c.current.Scenario.Steps...)
+				body.Current = &cur
+			}
+			c.mu.Unlock()
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(body)
+	})
+}

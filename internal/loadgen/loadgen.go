@@ -1,0 +1,245 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/scec/scec/internal/obs"
+)
+
+// Target is the system under test: one request. The generator calls it from
+// many goroutines; implementations must be safe for concurrent use. The
+// context carries the per-request deadline and the run's cancellation.
+type Target func(ctx context.Context) error
+
+// DefaultMaxInFlight bounds outstanding requests when Options leaves
+// MaxInFlight zero — a memory backstop, not a pacing mechanism: requests
+// that cannot launch because the bound is hit are counted as shed and their
+// queue delay is still recorded, so saturation shows up in the tail instead
+// of silently throttling the offered load.
+const DefaultMaxInFlight = 4096
+
+// Options configures one open-loop run.
+type Options struct {
+	// Rate is the offered load in requests per second. Must be > 0.
+	Rate float64
+	// Requests is how many requests the schedule issues. Must be > 0.
+	Requests int
+	// Arrival is the inter-arrival schedule. Nil means Poisson{}.
+	Arrival Arrival
+	// Seed drives the arrival schedule's RNG.
+	Seed uint64
+	// Timeout bounds each request's context; zero means no per-request bound
+	// (the run context still applies).
+	Timeout time.Duration
+	// MaxInFlight caps concurrently outstanding requests; zero means
+	// DefaultMaxInFlight.
+	MaxInFlight int
+	// Metrics receives the generator's gauges and counters. Nil means
+	// obs.Default().
+	Metrics *obs.Registry
+}
+
+// Result is one run's outcome.
+type Result struct {
+	// Offered is the configured rate; Achieved is completed requests divided
+	// by the elapsed wall time.
+	Offered, Achieved float64
+	// Requests is the scheduled request count; Errors how many returned an
+	// error; Shed how many never launched because MaxInFlight was exhausted.
+	Requests, Errors, Shed int
+	// Elapsed spans the first intended arrival to the last completion.
+	Elapsed time.Duration
+	// Latency holds every request's latency measured from its intended
+	// arrival time (shed requests record their queue delay at shed time).
+	Latency *Recorder
+	// FirstErr retains the first request error for diagnostics.
+	FirstErr error
+}
+
+func (o *Options) validate() error {
+	if o.Rate <= 0 {
+		return fmt.Errorf("loadgen: offered rate %g must be positive", o.Rate)
+	}
+	if o.Requests <= 0 {
+		return fmt.Errorf("loadgen: request count %d must be positive", o.Requests)
+	}
+	return nil
+}
+
+// Run drives the target open-loop: request i's send time is derived from the
+// arrival schedule alone (never from request i-1's completion), and its
+// latency is measured from that intended time. If the pacer falls behind the
+// schedule — the scheduler hiccuped, or a stalled target is holding
+// MaxInFlight goroutines — requests launch late but are timed from when they
+// *should* have been sent, so the backlog's queue delay lands in the
+// recorded distribution instead of being omitted. Run returns once every
+// launched request completes; cancelling ctx stops the schedule early and
+// cancels in-flight requests.
+func Run(ctx context.Context, target Target, o Options) (Result, error) {
+	if err := o.validate(); err != nil {
+		return Result{}, err
+	}
+	if target == nil {
+		return Result{}, errors.New("loadgen: nil target")
+	}
+	arrival := o.Arrival
+	if arrival == nil {
+		arrival = Poisson{}
+	}
+	maxInFlight := o.MaxInFlight
+	if maxInFlight <= 0 {
+		maxInFlight = DefaultMaxInFlight
+	}
+	reg := o.Metrics
+	if reg == nil {
+		reg = obs.Default()
+	}
+	okCount := reg.Counter(obs.MetricLoadRequestsTotal, loadRequestsHelp, obs.L("outcome", "ok"))
+	errCount := reg.Counter(obs.MetricLoadRequestsTotal, loadRequestsHelp, obs.L("outcome", "error"))
+	shedCount := reg.Counter(obs.MetricLoadRequestsTotal, loadRequestsHelp, obs.L("outcome", "shed"))
+	inFlight := reg.Gauge(obs.MetricLoadInFlight, "Requests currently outstanding at the load generator.")
+	reg.Gauge(obs.MetricLoadOfferedQPS, "Offered load of the current open-loop run in requests/second.").Set(o.Rate)
+
+	rng := rand.New(rand.NewPCG(o.Seed, 0x10adc3))
+	rec := NewRecorder()
+	res := Result{Offered: o.Rate, Latency: rec}
+	var errCnt, shed atomic.Int64
+	var firstErr atomic.Value
+	sem := make(chan struct{}, maxInFlight)
+	var wg sync.WaitGroup
+
+	start := time.Now()
+	var offset time.Duration
+	issued := 0
+pace:
+	for i := 0; i < o.Requests; i++ {
+		if i > 0 {
+			offset += arrival.Gap(rng, o.Rate)
+		}
+		intended := start.Add(offset)
+		if wait := time.Until(intended); wait > 0 {
+			timer := time.NewTimer(wait)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				timer.Stop()
+				break pace
+			}
+		} else if ctx.Err() != nil {
+			break pace
+		}
+		issued++
+		select {
+		case sem <- struct{}{}:
+		default:
+			// MaxInFlight outstanding already: the target is saturated well
+			// past the knee. Shed the request but keep its sample — the delay
+			// it observed waiting to be shed is real queueing.
+			rec.Record(time.Since(intended))
+			shed.Add(1)
+			shedCount.Inc()
+			continue
+		}
+		wg.Add(1)
+		inFlight.Add(1)
+		go func(intended time.Time) {
+			defer wg.Done()
+			rctx, cancel := ctx, context.CancelFunc(func() {})
+			if o.Timeout > 0 {
+				rctx, cancel = context.WithTimeout(ctx, o.Timeout)
+			}
+			err := target(rctx)
+			cancel()
+			rec.Record(time.Since(intended))
+			if err != nil {
+				errCnt.Add(1)
+				errCount.Inc()
+				firstErr.CompareAndSwap(nil, err)
+			} else {
+				okCount.Inc()
+			}
+			inFlight.Add(-1)
+			<-sem
+		}(intended)
+	}
+	wg.Wait()
+
+	res.Elapsed = time.Since(start)
+	res.Requests = issued
+	res.Errors = int(errCnt.Load())
+	res.Shed = int(shed.Load())
+	if done := issued - res.Shed; done > 0 && res.Elapsed > 0 {
+		res.Achieved = float64(done) / res.Elapsed.Seconds()
+	}
+	if err, ok := firstErr.Load().(error); ok {
+		res.FirstErr = err
+	}
+	return res, ctx.Err()
+}
+
+const loadRequestsHelp = "Requests issued by the load generator, by outcome (ok, error, shed)."
+
+// RunClosed is the deliberately coordinated-omission-prone baseline: a fixed
+// pool of workers, each issuing its next request only after the previous one
+// returns, with latency measured from the actual send time. While the target
+// stalls, the workers stop sending — the stall contributes `workers` slow
+// samples instead of the full backlog an open-loop schedule would have
+// accumulated. It exists so tests and reports can quantify exactly how much
+// a closed-loop harness under-reports tail latency; never use it to check an
+// SLO.
+func RunClosed(ctx context.Context, target Target, workers, requests int, timeout time.Duration) (Result, error) {
+	if workers <= 0 || requests <= 0 {
+		return Result{}, fmt.Errorf("loadgen: closed loop needs positive workers (%d) and requests (%d)", workers, requests)
+	}
+	if target == nil {
+		return Result{}, errors.New("loadgen: nil target")
+	}
+	rec := NewRecorder()
+	var next, errCnt atomic.Int64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil && next.Add(1) <= int64(requests) {
+				sent := time.Now()
+				rctx, cancel := ctx, context.CancelFunc(func() {})
+				if timeout > 0 {
+					rctx, cancel = context.WithTimeout(ctx, timeout)
+				}
+				err := target(rctx)
+				cancel()
+				rec.Record(time.Since(sent))
+				if err != nil {
+					errCnt.Add(1)
+					firstErr.CompareAndSwap(nil, err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	done := int(rec.Count())
+	res := Result{
+		Requests: done,
+		Errors:   int(errCnt.Load()),
+		Elapsed:  elapsed,
+		Latency:  rec,
+	}
+	if elapsed > 0 {
+		res.Achieved = float64(done) / elapsed.Seconds()
+		res.Offered = res.Achieved // closed loops offer only what completes
+	}
+	if err, ok := firstErr.Load().(error); ok {
+		res.FirstErr = err
+	}
+	return res, ctx.Err()
+}

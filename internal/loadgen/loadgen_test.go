@@ -1,0 +1,212 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/scec/scec/internal/obs"
+)
+
+func TestRunBasic(t *testing.T) {
+	reg := obs.New()
+	var calls atomic.Int64
+	res, err := Run(context.Background(), func(ctx context.Context) error {
+		calls.Add(1)
+		return nil
+	}, Options{Rate: 2000, Requests: 200, Arrival: Uniform{}, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 200 || calls.Load() != 200 {
+		t.Fatalf("requests = %d, calls = %d, want 200", res.Requests, calls.Load())
+	}
+	if res.Errors != 0 || res.Shed != 0 {
+		t.Fatalf("unexpected errors/shed: %+v", res)
+	}
+	if res.Latency.Count() != 200 {
+		t.Fatalf("latency samples = %d, want 200", res.Latency.Count())
+	}
+	if res.Achieved <= 0 {
+		t.Fatalf("achieved = %g", res.Achieved)
+	}
+}
+
+func TestRunErrorsCounted(t *testing.T) {
+	boom := errors.New("boom")
+	var n atomic.Int64
+	res, err := Run(context.Background(), func(ctx context.Context) error {
+		if n.Add(1)%2 == 0 {
+			return boom
+		}
+		return nil
+	}, Options{Rate: 5000, Requests: 100, Arrival: Uniform{}, Metrics: obs.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 50 {
+		t.Fatalf("errors = %d, want 50", res.Errors)
+	}
+	if !errors.Is(res.FirstErr, boom) {
+		t.Fatalf("FirstErr = %v", res.FirstErr)
+	}
+}
+
+func TestRunCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	target := func(ctx context.Context) error {
+		started.Add(1)
+		<-ctx.Done()
+		return ctx.Err()
+	}
+	done := make(chan Result, 1)
+	go func() {
+		// Slow schedule: 10 QPS for 1000 requests would take 100s uncancelled.
+		res, _ := Run(ctx, target, Options{Rate: 10, Requests: 1000, Arrival: Uniform{}, Metrics: obs.New()})
+		done <- res
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case res := <-done:
+		if res.Requests >= 1000 {
+			t.Fatalf("cancelled run still issued all %d requests", res.Requests)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("run did not return promptly after cancellation")
+	}
+}
+
+func TestRunShedsAtMaxInFlight(t *testing.T) {
+	block := make(chan struct{})
+	var once sync.Once
+	res, err := Run(context.Background(), func(ctx context.Context) error {
+		select {
+		case <-block:
+		case <-time.After(2 * time.Second):
+		}
+		return nil
+	}, Options{
+		Rate:        2000,
+		Requests:    50,
+		Arrival:     Uniform{},
+		MaxInFlight: 4,
+		Metrics:     obs.New(),
+	})
+	once.Do(func() { close(block) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shed == 0 {
+		t.Fatalf("expected shed requests with MaxInFlight=4 and a blocked target: %+v", res)
+	}
+	// Shed samples still land in the distribution: counts stay exact.
+	if res.Latency.Count() != int64(res.Requests) {
+		t.Fatalf("latency samples %d != issued %d (shed must record queue delay)", res.Latency.Count(), res.Requests)
+	}
+}
+
+// TestCoordinatedOmissionGap is the harness's reason to exist: the same
+// stalling target measured open-loop and closed-loop. The target serves
+// instantly except for one long stall. The closed loop's single worker
+// simply doesn't send during the stall, so only one sample is slow; the
+// open-loop schedule keeps "arriving" and every request intended during the
+// stall records its full queue delay. The open-loop p99 must therefore
+// dwarf the closed-loop p99.
+func TestCoordinatedOmissionGap(t *testing.T) {
+	const stall = 300 * time.Millisecond
+	// A single-server target: requests serialize on the mutex, so everything
+	// that arrives while one request stalls queues behind it — the classic
+	// setup coordinated omission hides.
+	mkTarget := func() Target {
+		var mu sync.Mutex
+		var n int
+		return func(ctx context.Context) error {
+			mu.Lock()
+			defer mu.Unlock()
+			n++
+			if n == 20 {
+				time.Sleep(stall)
+			}
+			return nil
+		}
+	}
+
+	// Closed loop: one worker, measured from actual send time.
+	closed, err := RunClosed(context.Background(), mkTarget(), 1, 200, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Open loop at 500 QPS: ~150 requests are intended during the stall.
+	open, err := Run(context.Background(), mkTarget(), Options{
+		Rate:     500,
+		Requests: 200,
+		Arrival:  Uniform{},
+		Metrics:  obs.New(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	openP99 := open.Latency.Quantile(0.99)
+	closedP99 := closed.Latency.Quantile(0.99)
+	t.Logf("open-loop:   %v", open.Latency)
+	t.Logf("closed-loop: %v", closed.Latency)
+	if closedP99 >= stall/2 {
+		t.Fatalf("closed-loop p99 %v should hide the stall (only 1/200 samples slow)", closedP99)
+	}
+	if openP99 < stall/2 {
+		t.Fatalf("open-loop p99 %v must surface the stall's queue delay", openP99)
+	}
+	if openP99 < 10*closedP99 {
+		t.Fatalf("CO gap too small: open p99 %v vs closed p99 %v", openP99, closedP99)
+	}
+}
+
+func TestRunClosedValidation(t *testing.T) {
+	if _, err := RunClosed(context.Background(), nil, 1, 1, 0); err == nil {
+		t.Fatal("nil target accepted")
+	}
+	if _, err := RunClosed(context.Background(), func(context.Context) error { return nil }, 0, 1, 0); err == nil {
+		t.Fatal("zero workers accepted")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	ok := func(context.Context) error { return nil }
+	if _, err := Run(context.Background(), ok, Options{Rate: 0, Requests: 1}); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+	if _, err := Run(context.Background(), ok, Options{Rate: 1, Requests: 0}); err == nil {
+		t.Fatal("zero requests accepted")
+	}
+	if _, err := Run(context.Background(), nil, Options{Rate: 1, Requests: 1}); err == nil {
+		t.Fatal("nil target accepted")
+	}
+}
+
+func TestRunTimeoutAppliesPerRequest(t *testing.T) {
+	res, err := Run(context.Background(), func(ctx context.Context) error {
+		<-ctx.Done()
+		return ctx.Err()
+	}, Options{
+		Rate:     1000,
+		Requests: 20,
+		Arrival:  Uniform{},
+		Timeout:  20 * time.Millisecond,
+		Metrics:  obs.New(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 20 {
+		t.Fatalf("errors = %d, want 20 (every request must hit its deadline)", res.Errors)
+	}
+	if !errors.Is(res.FirstErr, context.DeadlineExceeded) {
+		t.Fatalf("FirstErr = %v, want deadline exceeded", res.FirstErr)
+	}
+}

@@ -1,0 +1,247 @@
+package loadgen
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"github.com/scec/scec/internal/sim"
+)
+
+// VirtualOptions configures a virtual-clock load scenario: the same stepped
+// open-loop sweep the wall-clock generator runs, executed as a discrete-
+// event simulation over thousands of modelled devices. Requests arrive per
+// the schedule on the virtual clock; each round's service time is priced by
+// internal/sim's device timeline (the slowest device bounds the round, as in
+// the real gather), and the user sustains Concurrency rounds in flight, so
+// offered load beyond Concurrency/serviceTime queues — which is exactly the
+// saturation knee the sweep detects. Latency is measured from the intended
+// virtual arrival time, the same coordinated-omission-safe rule as the real
+// generator.
+type VirtualOptions struct {
+	// Devices is the fleet size; RowsPerDevice the coded rows each holds;
+	// Cols the input-vector length. All must be positive.
+	Devices, RowsPerDevice, Cols int
+	// Concurrency is how many rounds the user drives in parallel (the
+	// service capacity of the queueing model). Zero means 16.
+	Concurrency int
+	// Profile is the nominal device profile; churn perturbs copies of it.
+	// The zero value means sim.DefaultProfile().
+	Profile sim.DeviceProfile
+	// ChurnEvery is the mean virtual interval between churn events (a device
+	// transiently slowing down, or dropping out and re-provisioning). Zero
+	// disables churn.
+	ChurnEvery time.Duration
+	// OutageFrac is the fraction of churn events that are outages — the
+	// device leaves and its replacement must receive the coded block before
+	// rounds can complete. The rest are slowdowns. Zero means 0.25.
+	OutageFrac float64
+	// SlowFactorMax bounds the straggler factor churn applies (sampled
+	// uniformly from [2, SlowFactorMax]). Zero means 8.
+	SlowFactorMax float64
+	// SlowDuration is the mean length of a churn slowdown. Zero means
+	// 10×ChurnEvery.
+	SlowDuration time.Duration
+
+	// Rates, RequestsPerStep, Arrival, Seed, KneeFactor, MinAchievedRatio,
+	// and Collector mirror SweepOptions on the virtual clock.
+	Rates            []float64
+	RequestsPerStep  int
+	Arrival          Arrival
+	Seed             uint64
+	KneeFactor       float64
+	MinAchievedRatio float64
+	Collector        *Collector
+}
+
+// VirtualStats aggregates the churn activity a virtual sweep generated.
+type VirtualStats struct {
+	// ChurnEvents counts all churn events; Outages the subset that took a
+	// device out entirely.
+	ChurnEvents, Outages int
+}
+
+func (o *VirtualOptions) validate() error {
+	if o.Devices <= 0 || o.RowsPerDevice <= 0 || o.Cols <= 0 {
+		return fmt.Errorf("loadgen: virtual scenario needs positive devices (%d), rows (%d), and cols (%d)",
+			o.Devices, o.RowsPerDevice, o.Cols)
+	}
+	if len(o.Rates) == 0 {
+		return fmt.Errorf("loadgen: virtual sweep needs at least one rate step")
+	}
+	p := o.profile()
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (o *VirtualOptions) profile() sim.DeviceProfile {
+	if o.Profile == (sim.DeviceProfile{}) {
+		return sim.DefaultProfile()
+	}
+	return o.Profile
+}
+
+// deviceState is one virtual device's current perturbation.
+type deviceState struct {
+	// slowUntil bounds the straggler window; slowFactor applies within it.
+	slowUntil  time.Duration
+	slowFactor float64
+	// outageUntil is when the device's replacement finishes re-provisioning;
+	// rounds starting before it wait for it.
+	outageUntil time.Duration
+}
+
+// serverHeap is a min-heap of server (round-slot) free times.
+type serverHeap []time.Duration
+
+func (h serverHeap) Len() int           { return len(h) }
+func (h serverHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h serverHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *serverHeap) Push(x any)        { *h = append(*h, x.(time.Duration)) }
+func (h *serverHeap) Pop() any          { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
+
+// VirtualSweep runs the stepped sweep on the virtual clock and returns the
+// per-step curve (Saturated flags set by DetectKnee) plus churn statistics.
+// Runs are deterministic in the options: the same seed yields the same
+// curve, bit for bit, at any fleet size.
+func VirtualSweep(o VirtualOptions) ([]StepResult, VirtualStats, error) {
+	if err := o.validate(); err != nil {
+		return nil, VirtualStats{}, err
+	}
+	arrival := o.Arrival
+	if arrival == nil {
+		arrival = Poisson{}
+	}
+	var stats VirtualStats
+	steps := make([]StepResult, 0, len(o.Rates))
+	for i, rate := range o.Rates {
+		o.Collector.stepStarted(rate)
+		step := o.runStep(rate, arrival, o.Seed+uint64(i), &stats)
+		steps = append(steps, step)
+		o.Collector.stepDone(step)
+	}
+	DetectKnee(steps, o.KneeFactor, o.MinAchievedRatio)
+	return steps, stats, nil
+}
+
+// runStep simulates one offered-load step.
+func (o *VirtualOptions) runStep(rate float64, arrival Arrival, seed uint64, stats *VirtualStats) StepResult {
+	requests := o.RequestsPerStep
+	if requests <= 0 {
+		requests = 1000
+	}
+	concurrency := o.Concurrency
+	if concurrency <= 0 {
+		concurrency = 16
+	}
+	base := o.profile()
+	rng := rand.New(rand.NewPCG(seed, 0x71a7c10c))
+	churnRNG := rand.New(rand.NewPCG(seed, 0xc402a))
+
+	states := make([]deviceState, o.Devices)
+	servers := make(serverHeap, concurrency)
+	heap.Init(&servers)
+
+	// nominal is the unperturbed per-device round time; healthy devices
+	// share it, so pricing a round over thousands of devices is a cheap
+	// scan with repricing only for the perturbed few.
+	nominal := sim.DeviceRoundTime(o.RowsPerDevice, o.Cols, 1, base)
+	// reprovision prices an outage: the replacement device receives the
+	// coded block over its uplink before it can serve.
+	reprovision := base.Latency + time.Duration(float64(o.RowsPerDevice*o.Cols)/base.UplinkRate*float64(time.Second))
+	outageFrac := o.OutageFrac
+	if outageFrac <= 0 {
+		outageFrac = 0.25
+	}
+	slowMax := o.SlowFactorMax
+	if slowMax < 2 {
+		slowMax = 8
+	}
+	slowMean := o.SlowDuration
+	if slowMean <= 0 {
+		slowMean = 10 * o.ChurnEvery
+	}
+
+	nextChurn := time.Duration(-1)
+	if o.ChurnEvery > 0 {
+		nextChurn = time.Duration(churnRNG.ExpFloat64() * float64(o.ChurnEvery))
+	}
+	churn := func(now time.Duration) {
+		for nextChurn >= 0 && nextChurn <= now {
+			at := nextChurn
+			j := churnRNG.IntN(o.Devices)
+			stats.ChurnEvents++
+			if churnRNG.Float64() < outageFrac {
+				stats.Outages++
+				if end := at + reprovision; end > states[j].outageUntil {
+					states[j].outageUntil = end
+				}
+			} else {
+				states[j].slowFactor = 2 + churnRNG.Float64()*(slowMax-2)
+				states[j].slowUntil = at + time.Duration(churnRNG.ExpFloat64()*float64(slowMean))
+			}
+			nextChurn = at + time.Duration(churnRNG.ExpFloat64()*float64(o.ChurnEvery))
+		}
+	}
+
+	// service prices one round starting at virtual time t: the slowest
+	// device's contribution given its state at t.
+	service := func(t time.Duration) time.Duration {
+		worst := nominal
+		for j := range states {
+			st := &states[j]
+			if st.outageUntil <= t && st.slowUntil <= t {
+				continue
+			}
+			d := nominal
+			if st.slowUntil > t && st.slowFactor > 1 {
+				p := base
+				p.StragglerFactor = base.StragglerFactor * st.slowFactor
+				d = sim.DeviceRoundTime(o.RowsPerDevice, o.Cols, 1, p)
+			}
+			if st.outageUntil > t {
+				d += st.outageUntil - t
+			}
+			if d > worst {
+				worst = d
+			}
+		}
+		return worst
+	}
+
+	rec := NewRecorder()
+	var offset, lastFinish time.Duration
+	for i := 0; i < requests; i++ {
+		if i > 0 {
+			offset += arrival.Gap(rng, rate)
+		}
+		arrivalAt := offset
+		free := heap.Pop(&servers).(time.Duration)
+		start := arrivalAt
+		if free > start {
+			start = free
+		}
+		churn(start)
+		svc := service(start)
+		finish := start + svc
+		heap.Push(&servers, finish)
+		rec.Record(finish - arrivalAt)
+		if finish > lastFinish {
+			lastFinish = finish
+		}
+	}
+
+	res := Result{
+		Offered:  rate,
+		Requests: requests,
+		Elapsed:  lastFinish,
+		Latency:  rec,
+	}
+	if lastFinish > 0 {
+		res.Achieved = float64(requests) / lastFinish.Seconds()
+	}
+	return summarize(res)
+}

@@ -1,0 +1,131 @@
+package loadgen
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func thousandDeviceOpts() VirtualOptions {
+	return VirtualOptions{
+		Devices:       1000,
+		RowsPerDevice: 2,
+		Cols:          64,
+		Concurrency:   16,
+		ChurnEvery:    200 * time.Millisecond,
+		Rates:         []float64{500, 1000, 2000, 4000},
+		// Small step budget keeps the test fast; determinism makes it exact.
+		RequestsPerStep: 400,
+		Seed:            11,
+	}
+}
+
+func TestVirtualSweepDeterministic(t *testing.T) {
+	a, statsA, err := VirtualSweep(thousandDeviceOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, statsB, err := VirtualSweep(thousandDeviceOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same options, different curves:\n%+v\n%+v", a, b)
+	}
+	if statsA != statsB {
+		t.Fatalf("same options, different churn: %+v vs %+v", statsA, statsB)
+	}
+}
+
+func TestVirtualSweepThousandDevicesWithChurn(t *testing.T) {
+	o := thousandDeviceOpts()
+	steps, stats, err := VirtualSweep(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != len(o.Rates) {
+		t.Fatalf("got %d steps, want %d", len(steps), len(o.Rates))
+	}
+	if stats.ChurnEvents == 0 {
+		t.Fatal("churn enabled but no churn events fired")
+	}
+	for i, s := range steps {
+		if s.Requests != o.RequestsPerStep {
+			t.Errorf("step %d: requests = %d, want %d", i, s.Requests, o.RequestsPerStep)
+		}
+		if s.P50 <= 0 || s.P99 < s.P50 || s.P999 < s.P99 || s.Max < s.P999 {
+			t.Errorf("step %d: quantiles out of order: %+v", i, s)
+		}
+	}
+	knee := DetectKnee(steps, 0, 0)
+	// The model's service time (~10ms/round, 16 rounds in flight) caps
+	// sustainable throughput well under the top offered rate, so the sweep
+	// must find a knee strictly inside the swept range.
+	if knee <= 0 || knee >= o.Rates[len(o.Rates)-1] {
+		t.Fatalf("knee = %g QPS, want inside (0, %g); steps: %+v", knee, o.Rates[len(o.Rates)-1], steps)
+	}
+	if !steps[len(steps)-1].Saturated {
+		t.Fatalf("top step at %g QPS should be saturated: %+v", o.Rates[len(o.Rates)-1], steps[len(steps)-1])
+	}
+}
+
+func TestVirtualSweepChurnLengthensTail(t *testing.T) {
+	calm := thousandDeviceOpts()
+	calm.ChurnEvery = 0
+	calm.Rates = []float64{500}
+	churny := thousandDeviceOpts()
+	churny.Rates = []float64{500}
+	churny.ChurnEvery = 50 * time.Millisecond
+	churny.OutageFrac = 0.5
+
+	a, _, err := VirtualSweep(calm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, stats, err := VirtualSweep(churny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Outages == 0 {
+		t.Fatal("expected outages at OutageFrac=0.5")
+	}
+	if b[0].P999 <= a[0].P999 {
+		t.Fatalf("churn must lengthen the tail: calm p999 %v, churny p999 %v", a[0].P999, b[0].P999)
+	}
+}
+
+func TestVirtualSweepValidation(t *testing.T) {
+	bad := thousandDeviceOpts()
+	bad.Devices = 0
+	if _, _, err := VirtualSweep(bad); err == nil || !strings.Contains(err.Error(), "positive devices") {
+		t.Fatalf("zero devices accepted: %v", err)
+	}
+	bad = thousandDeviceOpts()
+	bad.Rates = nil
+	if _, _, err := VirtualSweep(bad); err == nil {
+		t.Fatal("empty rate list accepted")
+	}
+}
+
+func TestCollectorLifecycle(t *testing.T) {
+	c := NewCollector()
+	c.StartScenario(Scenario{Name: "live"})
+	c.stepStarted(100)
+	c.stepDone(StepResult{OfferedQPS: 100})
+	sc := Scenario{Name: "live", KneeQPS: 100, Steps: []StepResult{{OfferedQPS: 100}}}
+	c.FinishScenario(sc)
+	rep := c.Report()
+	if len(rep.Scenarios) != 1 || rep.Scenarios[0].Name != "live" {
+		t.Fatalf("collector report: %+v", rep)
+	}
+	// Nil collector: every hook is a no-op, no panics.
+	var nc *Collector
+	nc.StartScenario(sc)
+	nc.stepStarted(1)
+	nc.stepDone(StepResult{})
+	nc.FinishScenario(sc)
+	if got := nc.Report(); len(got.Scenarios) != 0 {
+		t.Fatalf("nil collector report: %+v", got)
+	}
+}

@@ -106,6 +106,9 @@ type SeriesSnapshot struct {
 	Count   int64         `json:"count,omitempty"`
 	Sum     float64       `json:"sum,omitempty"`
 	Buckets []BucketCount `json:"buckets,omitempty"`
+	// Quantiles holds the interpolated p50/p95/p99 tail summary of a
+	// non-empty histogram series (see Histogram.Quantile); nil otherwise.
+	Quantiles *Tails `json:"quantiles,omitempty"`
 }
 
 // FamilySnapshot is one named metric with all its series.
@@ -155,6 +158,9 @@ func (r *Registry) Snapshot() Snapshot {
 				ss.Buckets = append(ss.Buckets, BucketCount{LE: formatFloat(bound), Count: cum})
 			}
 			ss.Buckets = append(ss.Buckets, BucketCount{LE: "+Inf", Count: h.Count()})
+			if tails, ok := h.Tails(); ok {
+				ss.Quantiles = &tails
+			}
 		}
 		snap.Metrics[i].Series = append(snap.Metrics[i].Series, ss)
 	})

@@ -2,13 +2,54 @@ package obs
 
 import (
 	"context"
+	"encoding/json"
 	"expvar"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
+	"runtime/debug"
+	"sync"
 	"time"
 )
+
+// buildInfo is the binary identity reported on /healthz and as the
+// scec_build_info gauge, resolved once from the embedded module metadata.
+type buildInfo struct {
+	GoVersion string `json:"go_version"`
+	Module    string `json:"module"`
+	Version   string `json:"version"`
+}
+
+var (
+	buildOnce sync.Once
+	buildID   buildInfo
+)
+
+// readBuildInfo resolves the binary's identity. Binaries built outside
+// module mode (rare: tests of vendored copies) fall back to "unknown".
+func readBuildInfo() buildInfo {
+	buildOnce.Do(func() {
+		buildID = buildInfo{GoVersion: runtime.Version(), Module: "unknown", Version: "unknown"}
+		if bi, ok := debug.ReadBuildInfo(); ok {
+			if bi.Main.Path != "" {
+				buildID.Module = bi.Main.Path
+			}
+			if bi.Main.Version != "" {
+				buildID.Version = bi.Main.Version
+			}
+		}
+	})
+	return buildID
+}
+
+// healthBody is the /healthz JSON response.
+type healthBody struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	buildInfo
+}
 
 // Route mounts one extra debug handler on the telemetry mux — the hook the
 // tracing and runtime-introspection endpoints (/debug/traces, /debug/fleet,
@@ -40,15 +81,22 @@ var builtinPatterns = []string{
 //
 //	/metrics        Prometheus text exposition (?format=json for a snapshot)
 //	/metrics.json   JSON snapshot
-//	/healthz        liveness probe ("ok")
+//	/healthz        liveness probe: JSON status, uptime, and build identity
 //	/debug/vars     expvar (Go runtime memstats and cmdline)
 //	/debug/pprof/*  CPU/heap/goroutine/trace profiling
+//
+// Handler also registers the scec_build_info constant gauge (value 1,
+// labels go_version/module/version) so scrapes carry the binary's identity.
 //
 // Extra routes are mounted on the same mux. A route that collides with a
 // built-in pattern (or repeats another extra) panics with the offending
 // pattern — collisions are programmer errors and must not silently shadow
 // the profiler.
 func (r *Registry) Handler(extra ...Route) http.Handler {
+	bi := readBuildInfo()
+	r.Gauge(MetricBuildInfo,
+		"Constant 1; the binary's identity is carried in the go_version, module, and version labels.",
+		L("go_version", bi.GoVersion), L("module", bi.Module), L("version", bi.Version)).Set(1)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		if req.URL.Query().Get("format") == "json" {
@@ -64,8 +112,12 @@ func (r *Registry) Handler(extra ...Route) http.Handler {
 		_ = r.WriteJSON(w)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintf(w, "ok uptime=%s\n", r.Uptime().Round(time.Millisecond))
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(healthBody{
+			Status:        "ok",
+			UptimeSeconds: r.Uptime().Seconds(),
+			buildInfo:     bi,
+		})
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -31,8 +31,14 @@ func TestHandlerBundle(t *testing.T) {
 	if code, body := get(t, h, "/metrics.json"); code != 200 || !strings.Contains(body, `"uptime_seconds"`) {
 		t.Fatalf("/metrics.json: code %d body %q", code, body)
 	}
-	if code, body := get(t, h, "/healthz"); code != 200 || !strings.HasPrefix(body, "ok") {
+	if code, body := get(t, h, "/healthz"); code != 200 ||
+		!strings.Contains(body, `"status":"ok"`) ||
+		!strings.Contains(body, `"uptime_seconds"`) ||
+		!strings.Contains(body, `"go_version"`) {
 		t.Fatalf("/healthz: code %d body %q", code, body)
+	}
+	if code, body := get(t, h, "/metrics"); code != 200 || !strings.Contains(body, "scec_build_info{") {
+		t.Fatalf("/metrics missing build info: code %d body %q", code, body)
 	}
 	if code, body := get(t, h, "/debug/vars"); code != 200 || !strings.Contains(body, "memstats") {
 		t.Fatalf("/debug/vars: code %d body %q", code, body)

@@ -98,6 +98,25 @@ const (
 	MetricSimDeviceResultSeconds = "scec_sim_device_result_seconds"
 	// MetricSimRuns counts completed simulator runs.
 	MetricSimRuns = "scec_sim_runs_total"
+
+	// Load-generator (internal/loadgen) metrics. The harness keeps its exact
+	// quantiles in its own log-bucketed recorder; these series surface the
+	// generator's activity on /metrics while a sweep runs.
+
+	// MetricLoadRequestsTotal counts generator-issued requests, labelled
+	// outcome=ok|error|shed (shed = the MaxInFlight backstop refused launch).
+	MetricLoadRequestsTotal = "scec_load_requests_total"
+	// MetricLoadInFlight is a gauge of requests currently outstanding at the
+	// generator.
+	MetricLoadInFlight = "scec_load_inflight"
+	// MetricLoadOfferedQPS is a gauge of the current open-loop run's offered
+	// load in requests/second.
+	MetricLoadOfferedQPS = "scec_load_offered_qps"
+
+	// MetricBuildInfo is a constant-1 gauge carrying the binary's identity as
+	// labels (go_version, module, version), the Prometheus build-info idiom;
+	// registered by the telemetry Handler.
+	MetricBuildInfo = "scec_build_info"
 )
 
 // Pipeline stage names, the values of the stage label on
@@ -146,6 +165,26 @@ func (s Span) End() time.Duration {
 	d := time.Since(s.start)
 	ObserveStage(s.reg, s.stage, d)
 	return d
+}
+
+// StageTails returns the interpolated p50/p95/p99 latency summary (in
+// seconds) of every pipeline stage that has recorded at least one
+// observation, keyed by stage name. A nil registry reads Default().
+func StageTails(r *Registry) map[string]Tails {
+	if r == nil {
+		r = Default()
+	}
+	out := make(map[string]Tails)
+	for _, stage := range Stages {
+		s := r.find(MetricStageSeconds, []Label{L("stage", stage)})
+		if s == nil || s.hist == nil {
+			continue
+		}
+		if tails, ok := s.hist.Tails(); ok {
+			out[stage] = tails
+		}
+	}
+	return out
 }
 
 // WriteStageTable renders a human-readable per-stage timing table from the

@@ -116,6 +116,60 @@ func (h *Histogram) Count() int64 { return h.total.Load() }
 // Sum returns the sum of all observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
 
+// Quantile returns the interpolated q-quantile (q in [0, 1]) of the
+// observations, Prometheus histogram_quantile-style: the target rank q·count
+// is located in the cumulative buckets and the value is interpolated
+// linearly within the containing bucket (observations are assumed
+// non-negative, so the first bucket interpolates from zero). When the rank
+// lands in the +Inf overflow bucket the highest finite bound is returned.
+// Returns NaN when the histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	n := h.total.Load()
+	if n == 0 || len(h.bounds) == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(n)
+	var cum int64
+	for i, bound := range h.bounds {
+		c := h.counts[i].Load()
+		if float64(cum+c) >= rank {
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			if c == 0 {
+				return bound
+			}
+			return lower + (bound-lower)*(rank-float64(cum))/float64(c)
+		}
+		cum += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// Tails is the interpolated tail summary of one histogram series, in the
+// histogram's unit (seconds for every *_seconds family in this repo).
+type Tails struct {
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
+}
+
+// Tails returns the p50/p95/p99 summary and whether the histogram has any
+// observations to summarize.
+func (h *Histogram) Tails() (Tails, bool) {
+	if h.Count() == 0 {
+		return Tails{}, false
+	}
+	return Tails{P50: h.Quantile(0.50), P95: h.Quantile(0.95), P99: h.Quantile(0.99)}, true
+}
+
 // DefLatencyBuckets spans 100µs to 10s, the range of interest for both RPC
 // round trips on loopback/LAN fleets and virtual-clock stage durations.
 var DefLatencyBuckets = []float64{

@@ -13,6 +13,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand/v2"
@@ -167,13 +168,20 @@ func Run[E comparable](f field.Field[E], enc *coding.Encoding[E], x []E, cfg Con
 // the execution engine (or Run) owns that — so the returned report's
 // CompletionTime covers only the last result arrival and DecodeOps is zero.
 func Gather[E comparable](f field.Field[E], enc *coding.Encoding[E], x []E, cfg Config) ([]E, Report, error) {
+	return GatherContext(context.Background(), f, enc, x, cfg)
+}
+
+// GatherContext is Gather with cancellation: the per-device loop checks ctx
+// between devices, so a caller abandoning a large simulated round (thousands
+// of devices, wide batches) gets control back promptly with ctx.Err().
+func GatherContext[E comparable](ctx context.Context, f field.Field[E], enc *coding.Encoding[E], x []E, cfg Config) ([]E, Report, error) {
 	l := len(x)
 	if err := checkRun(enc, l, cfg); err != nil {
 		return nil, Report{}, err
 	}
 	s := enc.Scheme
 	y := make([]E, 0, s.M()+s.R())
-	rep, err := gatherCore(enc, l, 1, cfg, func(j int) {
+	rep, err := gatherCore(ctx, enc, l, 1, cfg, func(j int) {
 		y = append(y, enc.ComputeDevice(f, j, x)...)
 	})
 	if err != nil {
@@ -187,11 +195,17 @@ func Gather[E comparable](f field.Field[E], enc *coding.Encoding[E], x []E, cfg 
 // timelines scale with n: every device receives l·n input values, performs
 // n times the field operations, and returns V(B_j)·n intermediate values.
 func GatherBatch[E comparable](f field.Field[E], enc *coding.Encoding[E], x *matrix.Dense[E], cfg Config) (*matrix.Dense[E], Report, error) {
+	return GatherBatchContext(context.Background(), f, enc, x, cfg)
+}
+
+// GatherBatchContext is GatherBatch with cancellation, checking ctx between
+// device computations like GatherContext.
+func GatherBatchContext[E comparable](ctx context.Context, f field.Field[E], enc *coding.Encoding[E], x *matrix.Dense[E], cfg Config) (*matrix.Dense[E], Report, error) {
 	if err := checkRun(enc, x.Rows(), cfg); err != nil {
 		return nil, Report{}, err
 	}
 	blocks := make([]*matrix.Dense[E], len(enc.Blocks))
-	rep, err := gatherCore(enc, x.Rows(), x.Cols(), cfg, func(j int) {
+	rep, err := gatherCore(ctx, enc, x.Rows(), x.Cols(), cfg, func(j int) {
 		blocks[j] = enc.ComputeDeviceBatch(f, j, x)
 	})
 	if err != nil {
@@ -231,6 +245,16 @@ func (cfg Config) registry() *obs.Registry {
 	return obs.Default()
 }
 
+// DeviceRoundTime prices one device's full round trip for a width-n query
+// (n = 1 is the vector query) on the virtual clock: x delivery, compute,
+// and result return. It is the per-device ResultArrives timestamp from a
+// run's report, exposed so schedulers and load models (internal/loadgen)
+// can price rounds without materializing an encoding.
+func DeviceRoundTime(rows, l, n int, p DeviceProfile) time.Duration {
+	d, _ := deviceTimeline(0, rows, l, n, p)
+	return d.ResultArrives
+}
+
 // deviceTimeline prices one device's share of a width-n round on the
 // virtual clock: rows·l·n multiplications plus rows·(l−1)·n additions,
 // l·n values up, rows·n values down (n = 1 is the vector query).
@@ -250,13 +274,16 @@ func deviceTimeline(j, rows, l, n int, p DeviceProfile) (DeviceReport, time.Dura
 // emit(j) for every surviving device in scheme order, and records the
 // store/compute/gather stage metrics. A sampled failure yields
 // ErrDeviceFailed with the partial report's Failed flags set.
-func gatherCore[E comparable](enc *coding.Encoding[E], l, n int, cfg Config, emit func(j int)) (Report, error) {
+func gatherCore[E comparable](ctx context.Context, enc *coding.Encoding[E], l, n int, cfg Config, emit func(j int)) (Report, error) {
 	reg := cfg.registry()
 	rng := rand.New(rand.NewPCG(cfg.Seed, 0x5cec^uint64(enc.Scheme.M())))
 	rep := Report{Devices: make([]DeviceReport, len(enc.Blocks))}
 	failed := false
 
 	for j, block := range enc.Blocks {
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
 		p := cfg.Profiles[j]
 		rows := block.Rows()
 		d, compute := deviceTimeline(j, rows, l, n, p)

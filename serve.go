@@ -110,6 +110,16 @@ func (v *Served[E]) MulMatContext(ctx context.Context, x *Matrix[E]) (*Matrix[E]
 	return y, nil
 }
 
+// LoadTarget adapts the handle into a load-generator target: each call is
+// one MulVec of x under the generator's per-request context. The input is
+// captured by reference; do not mutate it while a run is in flight.
+func (v *Served[E]) LoadTarget(x []E) func(ctx context.Context) error {
+	return func(ctx context.Context) error {
+		_, err := v.MulVecContext(ctx, x)
+		return err
+	}
+}
+
 // Devices returns the number of logical coded blocks served.
 func (v *Served[E]) Devices() int { return v.s.Devices() }
 

@@ -31,6 +31,15 @@ func WriteMetricsJSON(w io.Writer) error { return obs.Default().WriteJSON(w) }
 // far; it prints nothing when no stage has run.
 func WriteStageTable(w io.Writer) error { return obs.WriteStageTable(w, nil) }
 
+// Tails is the interpolated p50/p95/p99 summary of one latency histogram,
+// in seconds.
+type Tails = obs.Tails
+
+// StageTails returns the tail-latency summary of every pipeline stage that
+// has recorded at least one observation in the process-wide registry, keyed
+// by stage name (allocate, encode, store, compute, gather, decode).
+func StageTails() map[string]Tails { return obs.StageTails(nil) }
+
 // ServeMetrics starts serving MetricsHandler on addr ("127.0.0.1:0" picks
 // an ephemeral port) in a background goroutine and returns the bound
 // address plus a closer that stops the server.
