@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short test-fault trace-demo bench bench-json bench-check load-check fuzz reproduce examples clean
+.PHONY: all build vet lint test test-short test-fault trace-demo bench bench-json bench-check bench-transport load-check fuzz reproduce examples clean
 
 all: build vet lint test
 
@@ -61,6 +61,14 @@ bench-check:
 	$(GO) run ./cmd/experiments -fig bench -check
 	$(GO) test -race ./internal/matrix/
 
+# Transport microbench: v3 wire protocol vs the legacy gob codec — in-memory
+# frame round trips, single-stream loopback RTT (ping + coded-block store),
+# and 64-way multiplexed QPS on one pooled connection — merged into
+# results/bench.json, with the CheckTransportBench regression guard (frame
+# overhead, v3-vs-gob ratio, mux QPS floor).
+bench-transport:
+	$(GO) run ./cmd/experiments -fig bench-transport -check -out results
+
 # Heavy-traffic SLO regression guard: one open-loop, coordinated-omission-
 # safe sweep of a real-socket 3-device loopback fleet plus a 1000-virtual-
 # device simulation with churn, writing the latency-vs-load curves and
@@ -81,6 +89,7 @@ fuzz:
 	$(GO) test -fuzz FuzzTA1TA2Agreement -fuzztime 10s ./internal/alloc/
 	$(GO) test -fuzz FuzzEncodeDecodeGF256 -fuzztime 10s ./internal/coding/
 	$(GO) test -fuzz FuzzDecodeNeverPanics -fuzztime 10s ./internal/coding/
+	$(GO) test -fuzz FuzzWireFrame -fuzztime 10s ./internal/transport/
 
 # Regenerate every paper artifact into results/.
 reproduce:

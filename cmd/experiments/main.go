@@ -31,7 +31,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		fig       = fs.String("fig", "all", "figure to regenerate: 2a|2b|2c|2d|2e|all|rsweep|delay|comparison|dist|bench")
+		fig       = fs.String("fig", "all", "figure to regenerate: 2a|2b|2c|2d|2e|all|rsweep|delay|comparison|dist|bench|bench-transport")
 		claims    = fs.Bool("claims", true, "also evaluate the headline claims (requires -fig all)")
 		outDir    = fs.String("out", "", "directory for CSV + markdown output (empty: stdout only)")
 		instances = fs.Int("instances", 0, "instances per sweep point (0: paper default of 1000)")
@@ -51,6 +51,16 @@ func run(args []string, out io.Writer) error {
 	}
 
 	start := time.Now()
+	// bench-transport merges into the existing results file rather than
+	// replacing it, so the baseline must be loaded before os.Create
+	// truncates it.
+	var benchBase experiments.BenchReport
+	if *fig == "bench-transport" && *outDir != "" {
+		var err error
+		if benchBase, err = experiments.LoadBenchJSON(filepath.Join(*outDir, "bench.json")); err != nil {
+			return err
+		}
+	}
 	// The special (non-Fig.-2) studies share one render-to-stdout +
 	// optional-file pattern.
 	specials := map[string]struct {
@@ -104,9 +114,25 @@ func run(args []string, out io.Writer) error {
 			}
 			return experiments.WriteBenchJSON(w, rep)
 		}},
+		"bench-transport": {"bench.json", func(w io.Writer) error {
+			rep, err := experiments.BenchTransport(cfg)
+			if err != nil {
+				return err
+			}
+			for _, r := range rep.Results {
+				fmt.Fprintf(out, "%-50s %8d iters %14.0f ns/op %12.0f ops/s\n", r.Name, r.Iters, r.NsPerOp, r.OpsPerS)
+			}
+			if *check {
+				if err := experiments.CheckTransportBench(rep); err != nil {
+					return err
+				}
+				fmt.Fprintf(out, "transport bench check ok: frame overhead, v3-vs-gob RTT and mux QPS within bounds\n")
+			}
+			return experiments.WriteBenchJSON(w, experiments.MergeBench(benchBase, rep))
+		}},
 	}
 	if sp, special := specials[*fig]; special {
-		if *fig != "rsweep" && *fig != "bench" {
+		if *fig != "rsweep" && *fig != "bench" && *fig != "bench-transport" {
 			// rsweep and bench write their own stdout summaries; the
 			// others render identical content to stdout and to the file.
 			if err := sp.render(out); err != nil {
@@ -128,7 +154,7 @@ func run(args []string, out io.Writer) error {
 			if werr != nil {
 				return werr
 			}
-		} else if *fig == "rsweep" || *fig == "bench" {
+		} else if *fig == "rsweep" || *fig == "bench" || *fig == "bench-transport" {
 			if err := sp.render(io.Discard); err != nil {
 				return err
 			}

@@ -42,8 +42,13 @@ func runFleet(args []string, out io.Writer) error {
 		coalesceWin  = fs.Duration("coalesce-window", 0, "merge concurrent MulVec queries within this window into one batch round (0 off; queries run concurrently when on)")
 		coalesceMax  = fs.Int("coalesce-max", 0, "max queries per coalesced round (0 for the engine default)")
 		traceFile    = fs.String("trace-export", "", "record a distributed trace per query and write the JSON export here on completion")
+		protoName    = protoFlag(fs)
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	proto, err := transport.ParseProto(*protoName)
+	if err != nil {
 		return err
 	}
 	if *replicas < 1 || *standbys < 0 {
@@ -116,6 +121,7 @@ func runFleet(args []string, out io.Writer) error {
 			HedgeAfter: *hedgeAfter,
 			MaxRetries: *maxRetries,
 			Tracer:     tr,
+			Proto:      proto,
 			// Demo-paced health policy: notice a dead replica within a few
 			// hundred milliseconds and keep it quarantined for the whole run.
 			ProbeInterval:    150 * time.Millisecond,

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/scec/scec/internal/obs/trace"
+	"github.com/scec/scec/internal/transport"
 )
 
 // DebugInfo is the session's live runtime snapshot, served by DebugHandler
@@ -40,10 +41,15 @@ type BlockDebug struct {
 	Replicas  []DeviceDebug `json:"replicas"`
 }
 
-// DeviceDebug is one physical device's breaker position.
+// DeviceDebug is one physical device's breaker position and pooled
+// transport connection state.
 type DeviceDebug struct {
 	Addr    string `json:"addr"`
 	Breaker string `json:"breaker"`
+	// Conn is the transport pool's view of this device: negotiated
+	// protocol, in-flight streams, idle pooled connections, and when the
+	// device was last heard from over the persistent connection.
+	Conn transport.ConnDebug `json:"conn,omitzero"`
 }
 
 // Debug snapshots the session's runtime state: per-block replica health,
@@ -74,7 +80,7 @@ func (s *Session[E]) Debug() DebugInfo {
 			if st == BreakerClosed {
 				bd.Healthy++
 			}
-			bd.Replicas = append(bd.Replicas, DeviceDebug{Addr: d.addr, Breaker: st.String()})
+			bd.Replicas = append(bd.Replicas, DeviceDebug{Addr: d.addr, Breaker: st.String(), Conn: s.client.ConnDebug(d.addr)})
 		}
 		info.Blocks = append(info.Blocks, bd)
 	}
@@ -83,7 +89,7 @@ func (s *Session[E]) Debug() DebugInfo {
 	copy(standbys, s.standbys)
 	s.standbyMu.Unlock()
 	for _, d := range standbys {
-		info.Standbys = append(info.Standbys, DeviceDebug{Addr: d.addr, Breaker: d.State().String()})
+		info.Standbys = append(info.Standbys, DeviceDebug{Addr: d.addr, Breaker: d.State().String(), Conn: s.client.ConnDebug(d.addr)})
 	}
 	return info
 }

@@ -73,8 +73,18 @@ func NewFaultProxy(target string) (*FaultProxy, error) {
 // list instead of the device's real address.
 func (p *FaultProxy) Addr() string { return p.ln.Addr().String() }
 
-// SetMode switches the failure mode for subsequent connections.
-func (p *FaultProxy) SetMode(m FaultMode) { p.mode.Store(int32(m)) }
+// SetMode switches the failure mode. Live proxied connections are severed
+// so the new mode takes effect immediately: clients pool persistent
+// multiplexed connections, and a fault that only applied to future dials
+// would be invisible until the pool happened to reconnect.
+func (p *FaultProxy) SetMode(m FaultMode) {
+	p.mode.Store(int32(m))
+	p.mu.Lock()
+	for c := range p.conns {
+		_ = c.Close()
+	}
+	p.mu.Unlock()
+}
 
 // SetDelay sets the per-connection hold time used by FaultDelay.
 func (p *FaultProxy) SetDelay(d time.Duration) { p.delay.Store(int64(d)) }

@@ -149,6 +149,14 @@ func (s *Session[E]) probeOnce() {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Piggyback on the persistent connection's traffic: a device
+			// heard from within the probe period (a response or heartbeat
+			// frame on its pooled v3 connection) is demonstrably alive, so
+			// skip the explicit ping RPC.
+			if t, ok := s.client.LastContact(d.addr); ok && time.Since(t) < s.cfg.ProbeInterval {
+				d.recordSuccess()
+				return
+			}
 			ctx, cancel := context.WithTimeout(s.ctx, s.cfg.ProbeTimeout)
 			defer cancel()
 			err := s.probe.Ping(ctx, d.addr)

@@ -117,6 +117,31 @@ const (
 	// labels (go_version, module, version), the Prometheus build-info idiom;
 	// registered by the telemetry Handler.
 	MetricBuildInfo = "scec_build_info"
+
+	// Wire-protocol (internal/transport v3) metrics. Device labels range over
+	// the fixed fleet (the MetricFleetBreakerState convention), role over
+	// {client, server}, proto over {v3, gob}, and outcome over small fixed
+	// sets, so cardinality stays bounded.
+
+	// MetricTransportConnsOpen is a gauge of currently open transport
+	// connections, labelled role=client|server, proto=v3|gob, and (on the
+	// client role) device=<addr>.
+	MetricTransportConnsOpen = "scec_transport_conns_open"
+	// MetricTransportStreamsInflight is a gauge of v3 streams currently
+	// awaiting a response, labelled role=client|server and device=<addr>.
+	MetricTransportStreamsInflight = "scec_transport_streams_inflight"
+	// MetricTransportFlushFrames is a histogram of how many frames each
+	// write-batcher flush pushed to the socket in one syscall, labelled
+	// role=client|server. Size-1 flushes are the idle case; larger batches
+	// are the group-commit effect under concurrent streams.
+	MetricTransportFlushFrames = "scec_transport_flush_frames"
+	// MetricTransportNegotiations counts v3 protocol negotiations, labelled
+	// outcome=v3|legacy|error (legacy = the peer only speaks the gob
+	// protocol and the client fell back transparently).
+	MetricTransportNegotiations = "scec_transport_negotiations_total"
+	// MetricTransportHeartbeats counts piggybacked heartbeat pings sent on
+	// idle multiplexed connections, labelled outcome=ok|failed.
+	MetricTransportHeartbeats = "scec_transport_heartbeats_total"
 )
 
 // Pipeline stage names, the values of the stage label on

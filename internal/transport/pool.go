@@ -1,0 +1,638 @@
+package transport
+
+import (
+	"bufio"
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/scec/scec/internal/obs"
+	"github.com/scec/scec/internal/obs/trace"
+)
+
+// Pool defaults.
+const (
+	// DefaultLegacyTTL is how long a device that failed v3 negotiation is
+	// remembered as gob-only before auto-protocol clients re-probe it.
+	DefaultLegacyTTL = 10 * time.Second
+	// DefaultHeartbeatEvery is the idle interval after which a pooled v3
+	// connection sends a piggybacked heartbeat ping. It is well under the
+	// device's default request timeout, so idle pooled connections stay
+	// alive, and under the fleet's probe interval, so the prober can trust
+	// LastContact instead of dialing its own pings.
+	DefaultHeartbeatEvery = time.Second
+	// maxIdleGobConns caps the per-device freelist of legacy connections.
+	maxIdleGobConns = 4
+)
+
+// Pool owns the persistent client-side connections to a set of devices:
+// one multiplexed v3 connection per address (shared by every in-flight
+// request), or a small freelist of legacy gob connections for peers that
+// only speak the old protocol. Clients share the per-element-type package
+// pool by default; tests that need connection isolation set Client.Pool.
+type Pool[E comparable] struct {
+	legacyTTL time.Duration
+	heartbeat time.Duration
+
+	mu      sync.Mutex
+	entries map[string]*poolEntry[E]
+}
+
+// NewPool returns an empty pool with default tuning.
+func NewPool[E comparable]() *Pool[E] {
+	return &Pool[E]{
+		legacyTTL: DefaultLegacyTTL,
+		heartbeat: DefaultHeartbeatEvery,
+		entries:   make(map[string]*poolEntry[E]),
+	}
+}
+
+var (
+	sharedPoolMu sync.Mutex
+	sharedPools  = map[any]any{} // zero E → *Pool[E]
+)
+
+// SharedPool returns the process-wide pool for element type E. All
+// default-configured clients and clouds share it, so one device gets one
+// v3 connection no matter how many Client values talk to it.
+func SharedPool[E comparable]() *Pool[E] {
+	var z E
+	sharedPoolMu.Lock()
+	defer sharedPoolMu.Unlock()
+	if p, ok := sharedPools[any(z)].(*Pool[E]); ok {
+		return p
+	}
+	p := NewPool[E]()
+	sharedPools[any(z)] = p
+	return p
+}
+
+type poolEntry[E comparable] struct {
+	mu          sync.Mutex
+	connecting  chan struct{} // non-nil while one caller negotiates
+	mux         *muxConn[E]
+	legacyUntil time.Time
+	free        []*gobConn
+}
+
+func (p *Pool[E]) entry(addr string) *poolEntry[E] {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e := p.entries[addr]
+	if e == nil {
+		e = &poolEntry[E]{}
+		p.entries[addr] = e
+	}
+	return e
+}
+
+// LastContact reports when addr was last heard from on a live multiplexed
+// connection (a response or heartbeat frame). The fleet prober treats a
+// recent LastContact as a successful health check and skips its ping.
+func (p *Pool[E]) LastContact(addr string) (time.Time, bool) {
+	e := p.entry(addr)
+	e.mu.Lock()
+	m := e.mux
+	e.mu.Unlock()
+	if m == nil {
+		return time.Time{}, false
+	}
+	t := m.lastIn.Load()
+	if t == 0 {
+		return time.Time{}, false
+	}
+	return time.Unix(0, t), true
+}
+
+// ConnDebug is a point-in-time snapshot of the pool's state toward one
+// device, surfaced through /debug/fleet.
+type ConnDebug struct {
+	// Proto is the wire protocol of the live connection(s): "v3", "gob",
+	// or "" when nothing is pooled.
+	Proto string `json:"proto,omitempty"`
+	// InFlight counts v3 streams currently awaiting a response.
+	InFlight int `json:"in_flight,omitempty"`
+	// IdleConns counts pooled idle legacy connections.
+	IdleConns int `json:"idle_conns,omitempty"`
+	// LastContact is when the device was last heard from over v3.
+	LastContact time.Time `json:"last_contact,omitzero"`
+}
+
+// Debug snapshots the pool state for addr.
+func (p *Pool[E]) Debug(addr string) ConnDebug {
+	e := p.entry(addr)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	d := ConnDebug{IdleConns: len(e.free)}
+	if e.mux != nil {
+		d.Proto = "v3"
+		e.mux.mu.Lock()
+		d.InFlight = len(e.mux.streams)
+		e.mux.mu.Unlock()
+		if t := e.mux.lastIn.Load(); t != 0 {
+			d.LastContact = time.Unix(0, t)
+		}
+	} else if len(e.free) > 0 || time.Now().Before(e.legacyUntil) {
+		d.Proto = "gob"
+	}
+	return d
+}
+
+// roundTrip is the pooled counterpart of the package-level roundTrip: it
+// routes one request over the negotiated protocol, multiplexing v3
+// requests onto the device's persistent connection and reusing pooled
+// gob connections otherwise, with the same tracing, metrics, deadline,
+// and cancellation semantics.
+func (p *Pool[E]) roundTrip(ctx context.Context, addr string, timeout time.Duration, reg *obs.Registry, proto Proto, req request[E]) (resp response[E], err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	reg = metricsOrDefault(reg)
+	req.V = FrameV2
+	var finish func(response[E], error)
+	ctx, finish = startClientSpan(ctx, addr, &req)
+	defer func() { finish(resp, err) }()
+	start := time.Now()
+	var sent, recv int64
+	defer func() {
+		recordClient(reg, req.Kind, time.Since(start), sent, recv, err)
+	}()
+
+	cod, codOK := codecFor[E]()
+	_ = cod
+	useV3 := codOK && proto != ProtoGob
+	if !codOK && proto == ProtoV3 {
+		return resp, fmt.Errorf("transport: element type %T has no v3 wire codec", *new(E))
+	}
+	if useV3 && proto == ProtoAuto && p.legacyFresh(addr) {
+		useV3 = false
+	}
+	if useV3 {
+		for attempt := 0; ; attempt++ {
+			m, fresh, gerr := p.getMux(ctx, addr, timeout, reg)
+			if gerr != nil {
+				if errors.Is(gerr, errLegacyPeer) && proto == ProtoAuto {
+					useV3 = false
+					break // transparent gob fallback
+				}
+				return resp, gerr
+			}
+			r, s, rc, derr := m.do(ctx, timeout, &req)
+			sent, recv = sent+s, recv+rc
+			if derr != nil && errors.Is(derr, errConnBroken) && !fresh && attempt == 0 && ctx.Err() == nil {
+				// The reused connection died under this request (device
+				// restart, idle cut): all protocol requests are
+				// idempotent, so retry once on a fresh connection.
+				continue
+			}
+			return r, derr
+		}
+	}
+	r, s, rc, gerr := p.gobExchange(ctx, addr, timeout, &req)
+	sent, recv = sent+s, recv+rc
+	return r, gerr
+}
+
+func (p *Pool[E]) legacyFresh(addr string) bool {
+	e := p.entry(addr)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return time.Now().Before(e.legacyUntil)
+}
+
+// getMux returns the live multiplexed connection for addr, negotiating a
+// new one (single-flight across concurrent callers) when none exists.
+// fresh reports that this call dialed the connection itself.
+func (p *Pool[E]) getMux(ctx context.Context, addr string, timeout time.Duration, reg *obs.Registry) (m *muxConn[E], fresh bool, err error) {
+	e := p.entry(addr)
+	for {
+		e.mu.Lock()
+		if m := e.mux; m != nil {
+			if m.alive() {
+				e.mu.Unlock()
+				return m, false, nil
+			}
+			// A corpse whose teardown has not yet detached it: never hand
+			// it out (a request would burn its retry on a known-dead
+			// connection); dial fresh instead.
+			e.mux = nil
+		}
+		if time.Now().Before(e.legacyUntil) {
+			e.mu.Unlock()
+			return nil, false, fmt.Errorf("%w (recently negotiated)", errLegacyPeer)
+		}
+		if e.connecting == nil {
+			ch := make(chan struct{})
+			e.connecting = ch
+			e.mu.Unlock()
+			m, err := p.dialMux(ctx, addr, timeout, reg)
+			e.mu.Lock()
+			e.connecting = nil
+			if err == nil {
+				e.mux = m
+			} else if errors.Is(err, errLegacyPeer) {
+				e.legacyUntil = time.Now().Add(p.legacyTTL)
+			}
+			close(ch)
+			e.mu.Unlock()
+			return m, true, err
+		}
+		ch := e.connecting
+		e.mu.Unlock()
+		select {
+		case <-ch:
+			// Re-check: the negotiator installed a connection, marked the
+			// peer legacy, or failed (in which case we dial ourselves).
+		case <-ctx.Done():
+			return nil, false, ctxErr(ctx, fmt.Errorf("transport: dial %s: %w", addr, ctx.Err()))
+		}
+	}
+}
+
+// dialMux dials addr and performs the v3 handshake. Negotiation failures
+// where the peer closed on our hello classify as errLegacyPeer; timeouts
+// and refusals surface as themselves so dead devices are not retried over
+// gob (doubling the failure latency).
+func (p *Pool[E]) dialMux(ctx context.Context, addr string, timeout time.Duration, reg *obs.Registry) (*muxConn[E], error) {
+	cod, _ := codecFor[E]()
+	dialer := net.Dialer{Timeout: timeout}
+	conn, err := dialer.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, ctxErr(ctx, fmt.Errorf("transport: dial %s: %w", addr, err))
+	}
+	tuneConn(conn)
+	deadline := time.Now().Add(timeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	_ = conn.SetDeadline(deadline)
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			_ = conn.SetDeadline(time.Now())
+		case <-watchDone:
+		}
+	}()
+	outcome := "error"
+	defer func() {
+		reg.Counter(obs.MetricTransportNegotiations, "v3 protocol negotiations, by outcome (legacy = gob-only peer, fallback engaged).", obs.L("outcome", outcome)).Inc()
+	}()
+	h := clientHello(cod.code)
+	if _, err := conn.Write(h[:]); err != nil {
+		_ = conn.Close()
+		if peerClosed(err) {
+			outcome = "legacy"
+			return nil, fmt.Errorf("%w (%v)", errLegacyPeer, err)
+		}
+		return nil, ctxErr(ctx, fmt.Errorf("transport: send to %s: %w", addr, err))
+	}
+	br := bufio.NewReaderSize(conn, wireWriterBuf)
+	if err := readServerHello(br, cod.code); err != nil {
+		_ = conn.Close()
+		if errors.Is(err, errLegacyPeer) {
+			outcome = "legacy"
+			return nil, err
+		}
+		return nil, ctxErr(ctx, fmt.Errorf("transport: negotiate with %s: %w", addr, err))
+	}
+	_ = conn.SetDeadline(time.Time{})
+	outcome = "v3"
+	m := &muxConn[E]{
+		pool:    p,
+		addr:    addr,
+		cod:     cod,
+		conn:    conn,
+		timeout: timeout,
+		streams: make(map[uint32]chan *wireResponse[E]),
+		done:    make(chan struct{}),
+	}
+	role := obs.L("role", "client")
+	dev := obs.L("device", addr)
+	m.conns = reg.Gauge(obs.MetricTransportConnsOpen, connsHelp, role, obs.L("proto", "v3"), dev)
+	m.inflight = reg.Gauge(obs.MetricTransportStreamsInflight, streamsHelp, role, dev)
+	m.hbCounterOK = reg.Counter(obs.MetricTransportHeartbeats, heartbeatHelp, obs.L("outcome", "ok"))
+	m.hbCounterFail = reg.Counter(obs.MetricTransportHeartbeats, heartbeatHelp, obs.L("outcome", "failed"))
+	m.w = newWireWriter(conn, timeout, reg.Histogram(obs.MetricTransportFlushFrames, flushHelp, flushBuckets, role))
+	m.lastIn.Store(time.Now().UnixNano()) // the hello counts as contact
+	m.conns.Add(1)
+	m.wg.Add(2)
+	go m.readLoop(br)
+	go m.heartbeatLoop(p.heartbeat)
+	return m, nil
+}
+
+const heartbeatHelp = "Piggybacked heartbeat pings on idle multiplexed connections, by outcome."
+
+// muxConn is one live multiplexed v3 connection: many in-flight requests
+// share it, matched to responses by stream ID.
+type muxConn[E comparable] struct {
+	pool    *Pool[E]
+	addr    string
+	cod     elemCodec
+	conn    net.Conn
+	w       *wireWriter
+	timeout time.Duration
+
+	conns         *obs.Gauge
+	inflight      *obs.Gauge
+	hbCounterOK   *obs.Counter
+	hbCounterFail *obs.Counter
+
+	mu      sync.Mutex
+	streams map[uint32]chan *wireResponse[E]
+	nextID  uint32
+	closed  bool
+
+	lastIn  atomic.Int64 // unixnano of the last inbound frame
+	lastOut atomic.Int64 // unixnano of the last outbound frame
+	done    chan struct{}
+	wg      sync.WaitGroup
+}
+
+func (m *muxConn[E]) alive() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return !m.closed
+}
+
+func (m *muxConn[E]) readLoop(br *bufio.Reader) {
+	defer m.wg.Done()
+	for {
+		stream, wr, err := readResponseFrame[E](br, m.cod)
+		if err != nil {
+			m.teardown()
+			return
+		}
+		m.lastIn.Store(time.Now().UnixNano())
+		m.mu.Lock()
+		ch := m.streams[stream]
+		delete(m.streams, stream)
+		m.mu.Unlock()
+		if ch != nil {
+			ch <- wr // buffered; never blocks
+		}
+	}
+}
+
+// teardown closes the connection and detaches it from the pool; waiters
+// observe done and fail with errConnBroken. Idempotent.
+func (m *muxConn[E]) teardown() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	m.mu.Unlock()
+	close(m.done)
+	_ = m.conn.Close()
+	m.w.close()
+	m.conns.Add(-1)
+	e := m.pool.entry(m.addr)
+	e.mu.Lock()
+	if e.mux == m {
+		e.mux = nil
+	}
+	e.mu.Unlock()
+}
+
+// do issues one request on its own stream and waits for the matching
+// response, bounded by ctx and timeout.
+func (m *muxConn[E]) do(ctx context.Context, timeout time.Duration, req *request[E]) (resp response[E], sent, recv int64, err error) {
+	ch := make(chan *wireResponse[E], 1)
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return resp, 0, 0, fmt.Errorf("%w: send to %s", errConnBroken, m.addr)
+	}
+	m.nextID++
+	if m.nextID == 0 {
+		m.nextID = 1
+	}
+	id := m.nextID
+	m.streams[id] = ch
+	m.mu.Unlock()
+	m.inflight.Add(1)
+	defer m.inflight.Add(-1)
+	unregister := func() {
+		m.mu.Lock()
+		delete(m.streams, id)
+		m.mu.Unlock()
+	}
+	sent, werr := writeRequestFrame(m.w, m.cod, id, req)
+	if werr != nil {
+		unregister()
+		m.teardown()
+		return resp, 0, 0, fmt.Errorf("%w: send to %s: %v", errConnBroken, m.addr, werr)
+	}
+	m.lastOut.Store(time.Now().UnixNano())
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case wr := <-ch:
+		resp, err = m.finish(wr)
+		return resp, sent, wr.size, err
+	case <-m.done:
+		// Prefer a response that raced the teardown.
+		select {
+		case wr := <-ch:
+			resp, err = m.finish(wr)
+			return resp, sent, wr.size, err
+		default:
+		}
+		return resp, sent, 0, fmt.Errorf("%w: receive from %s", errConnBroken, m.addr)
+	case <-ctx.Done():
+		unregister()
+		return resp, sent, 0, ctxErr(ctx, fmt.Errorf("transport: receive from %s: %w", m.addr, ctx.Err()))
+	case <-timer.C:
+		unregister()
+		return resp, sent, 0, fmt.Errorf("transport: receive from %s: %w", m.addr, os.ErrDeadlineExceeded)
+	}
+}
+
+// finish converts a decoded wire response into the internal envelope,
+// preserving the device's re-emitted spans on both outcomes (so failed
+// requests still stitch their server side into the trace).
+func (m *muxConn[E]) finish(wr *wireResponse[E]) (response[E], error) {
+	if wr.errMsg != "" {
+		return response[E]{Spans: wr.spans}, fmt.Errorf("%w: %s: %s", ErrRemote, m.addr, wr.errMsg)
+	}
+	resp := response[E]{V: FrameV2, Spans: wr.spans, Y: wr.y, yMat: wr.yMat}
+	if wr.yMat != nil {
+		rows := make([][]E, wr.yMat.Rows())
+		for i := range rows {
+			rows[i] = wr.yMat.RowView(i)
+		}
+		resp.YMat = rows
+	}
+	return resp, nil
+}
+
+// heartbeatLoop pings the device whenever the connection has been idle
+// for a full interval, keeping the server's idle deadline from cutting
+// the pooled connection and feeding LastContact for the fleet's breaker
+// prober. A failed heartbeat tears the connection down: the next request
+// redials rather than discovering the corpse itself.
+func (m *muxConn[E]) heartbeatLoop(every time.Duration) {
+	defer m.wg.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.done:
+			return
+		case <-t.C:
+			last := m.lastIn.Load()
+			if out := m.lastOut.Load(); out > last {
+				last = out
+			}
+			if time.Since(time.Unix(0, last)) < every {
+				continue
+			}
+			req := request[E]{V: FrameV2, Kind: kindPing}
+			_, _, _, err := m.do(context.Background(), m.timeout, &req)
+			if err != nil {
+				m.hbCounterFail.Inc()
+				m.teardown()
+				return
+			}
+			m.hbCounterOK.Inc()
+		}
+	}
+}
+
+// startClientSpan opens the rpc.client span when the caller is tracing,
+// injecting its traceparent into the request. The returned finish must be
+// called exactly once with the outcome; it adopts the device's re-emitted
+// spans into this trace.
+func startClientSpan[E comparable](ctx context.Context, addr string, req *request[E]) (context.Context, func(response[E], error)) {
+	parent := trace.SpanFromContext(ctx)
+	if parent == nil {
+		return ctx, func(response[E], error) {}
+	}
+	tracer := parent.Tracer()
+	ctx, rsp := tracer.StartSpan(ctx, trace.SpanRPCClient,
+		trace.A(trace.AttrKind, req.Kind), trace.A(trace.AttrDevice, addr))
+	req.Traceparent = rsp.Traceparent()
+	return ctx, func(resp response[E], err error) {
+		if err != nil {
+			rsp.SetError(err)
+		}
+		rsp.End()
+		for _, sd := range resp.Spans {
+			tracer.Record(sd)
+		}
+	}
+}
+
+// gobConn is one pooled legacy connection with its persistent gob codec
+// state (the stream's type descriptors transmit once per connection, not
+// once per request).
+type gobConn struct {
+	conn net.Conn
+	cc   *countingConn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+func (g *gobConn) close() { _ = g.conn.Close() }
+
+// getGob returns an idle pooled legacy connection or dials a new one.
+func (p *Pool[E]) getGob(ctx context.Context, addr string, timeout time.Duration) (g *gobConn, fromPool bool, err error) {
+	e := p.entry(addr)
+	e.mu.Lock()
+	if n := len(e.free); n > 0 {
+		g = e.free[n-1]
+		e.free = e.free[:n-1]
+		e.mu.Unlock()
+		return g, true, nil
+	}
+	e.mu.Unlock()
+	dialer := net.Dialer{Timeout: timeout}
+	conn, err := dialer.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, false, ctxErr(ctx, fmt.Errorf("transport: dial %s: %w", addr, err))
+	}
+	tuneConn(conn)
+	cc := &countingConn{Conn: conn}
+	return &gobConn{conn: conn, cc: cc, enc: gob.NewEncoder(cc), dec: gob.NewDecoder(cc)}, false, nil
+}
+
+// putGob returns a healthy connection to the freelist.
+func (p *Pool[E]) putGob(addr string, g *gobConn) {
+	e := p.entry(addr)
+	e.mu.Lock()
+	if len(e.free) < maxIdleGobConns {
+		e.free = append(e.free, g)
+		g = nil
+	}
+	e.mu.Unlock()
+	if g != nil {
+		g.close()
+	}
+}
+
+// gobExchange performs one legacy round trip over a pooled connection. A
+// transport failure on a reused connection (the server may have cut it
+// while idle) retries once on a freshly dialed one.
+func (p *Pool[E]) gobExchange(ctx context.Context, addr string, timeout time.Duration, req *request[E]) (resp response[E], sent, recv int64, err error) {
+	for attempt := 0; attempt < 2; attempt++ {
+		g, fromPool, derr := p.getGob(ctx, addr, timeout)
+		if derr != nil {
+			return resp, sent, recv, derr
+		}
+		var r response[E]
+		s, rc, xerr := gobDo(ctx, g, addr, timeout, req, &r)
+		sent, recv = sent+s, recv+rc
+		if xerr == nil {
+			p.putGob(addr, g)
+			if r.Err != "" {
+				return response[E]{Spans: r.Spans}, sent, recv, fmt.Errorf("%w: %s: %s", ErrRemote, addr, r.Err)
+			}
+			return r, sent, recv, nil
+		}
+		g.close()
+		if fromPool && attempt == 0 && ctx.Err() == nil {
+			continue // stale pooled connection: retry on a fresh dial
+		}
+		return resp, sent, recv, xerr
+	}
+	return resp, sent, recv, err // unreachable
+}
+
+// gobDo runs one request/response exchange on g with the deadline and
+// cancellation semantics of the one-shot roundTrip.
+func gobDo[E comparable](ctx context.Context, g *gobConn, addr string, timeout time.Duration, req *request[E], resp *response[E]) (sent, recv int64, err error) {
+	r0, w0 := g.cc.read, g.cc.written
+	deadline := time.Now().Add(timeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	if err := g.conn.SetDeadline(deadline); err != nil {
+		return 0, 0, fmt.Errorf("transport: deadline %s: %w", addr, err)
+	}
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			_ = g.conn.SetDeadline(time.Now())
+		case <-watchDone:
+		}
+	}()
+	if err := g.enc.Encode(req); err != nil {
+		return g.cc.written - w0, g.cc.read - r0, ctxErr(ctx, fmt.Errorf("transport: send to %s: %w", addr, err))
+	}
+	if err := g.dec.Decode(resp); err != nil {
+		return g.cc.written - w0, g.cc.read - r0, ctxErr(ctx, fmt.Errorf("transport: receive from %s: %w", addr, err))
+	}
+	return g.cc.written - w0, g.cc.read - r0, nil
+}

@@ -1,0 +1,187 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/scec/scec/internal/field"
+	"github.com/scec/scec/internal/obs"
+)
+
+// TestMuxManyStreamsOneConnection fires 64 concurrent computes through one
+// pool and asserts they all multiplex onto a single server-side connection
+// — the tentpole property of the v3 transport.
+func TestMuxManyStreamsOneConnection(t *testing.T) {
+	f := field.Prime{}
+	reg := obs.New()
+	srv, err := NewDeviceServerOptions[uint64](f, "127.0.0.1:0", Options{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	storeBlock(t, srv.Addr(), []uint64{2, 3})
+
+	client := Client[uint64]{F: f, Timeout: 5 * time.Second, Pool: NewPool[uint64]()}
+	const parallel = 64
+	var wg sync.WaitGroup
+	errs := make([]error, parallel)
+	for i := 0; i < parallel; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			y, err := client.Compute(t.Context(), srv.Addr(), []uint64{5, 7})
+			if err == nil && (len(y) != 1 || y[0] != 31) {
+				err = errors.New("wrong result")
+			}
+			errs[i] = err
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("stream %d: %v", i, err)
+		}
+	}
+	if got := srv.connsV3.Value(); got != 1 {
+		t.Fatalf("server v3 connections = %v, want 1 (all streams share one)", got)
+	}
+	if d := client.ConnDebug(srv.Addr()); d.Proto != "v3" {
+		t.Fatalf("pool debug = %+v, want live v3 connection", d)
+	}
+	if got := srv.Stats().Computes; got != parallel {
+		t.Fatalf("server computes = %d, want %d", got, parallel)
+	}
+}
+
+// TestHeartbeatKeepsConnectionAlive: with a server idle timeout shorter
+// than the test's idle window, only the pool's piggybacked heartbeats can
+// keep the negotiated connection open — no re-negotiation may occur.
+func TestHeartbeatKeepsConnectionAlive(t *testing.T) {
+	f := field.Prime{}
+	srv, err := NewDeviceServerOptions[uint64](f, "127.0.0.1:0", Options{Timeout: 250 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	pool := NewPool[uint64]()
+	pool.heartbeat = 50 * time.Millisecond
+	reg := obs.New()
+	client := Client[uint64]{F: f, Timeout: 2 * time.Second, Metrics: reg, Pool: pool}
+	if err := client.Ping(t.Context(), srv.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(700 * time.Millisecond) // several server idle timeouts
+	last, ok := client.LastContact(srv.Addr())
+	if !ok {
+		t.Fatal("no LastContact despite heartbeats")
+	}
+	if age := time.Since(last); age > 300*time.Millisecond {
+		t.Fatalf("LastContact is %v old, heartbeats are not flowing", age)
+	}
+	if err := client.Ping(t.Context(), srv.Addr()); err != nil {
+		t.Fatalf("ping after idle window: %v", err)
+	}
+	if n := reg.Counter(obs.MetricTransportNegotiations, "", obs.L("outcome", "v3")).Value(); n != 1 {
+		t.Fatalf("v3 negotiations = %d, want 1 (connection must have survived idle)", n)
+	}
+	if hb := reg.Counter(obs.MetricTransportHeartbeats, "", obs.L("outcome", "ok")).Value(); hb < 3 {
+		t.Fatalf("ok heartbeats = %d, want several over the idle window", hb)
+	}
+}
+
+// TestPoolReconnectsAfterServerRestart kills the device mid-lifetime and
+// restarts it on the same address: the pooled connection dies, and the
+// next request must transparently redial instead of failing.
+func TestPoolReconnectsAfterServerRestart(t *testing.T) {
+	f := field.Prime{}
+	srv, err := NewDeviceServer[uint64](f, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	client := Client[uint64]{F: f, Timeout: 2 * time.Second, Pool: NewPool[uint64]()}
+	if err := client.Ping(t.Context(), addr); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	srv2, err := NewDeviceServer[uint64](f, addr)
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	defer srv2.Close()
+	// The pooled connection is now a corpse; the request must retry on a
+	// fresh dial without surfacing the broken-connection error.
+	if err := client.Ping(t.Context(), addr); err != nil {
+		t.Fatalf("ping after restart: %v", err)
+	}
+}
+
+// TestPooledContextCancelPrompt cancels a request whose server completed
+// the handshake but never answers frames: the multiplexed wait must abort
+// promptly with context.Canceled, well before the RPC timeout.
+func TestPooledContextCancelPrompt(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				// Speak just enough v3 to pass negotiation, then go silent.
+				buf := make([]byte, helloLen)
+				if _, err := io.ReadFull(conn, buf); err != nil {
+					return
+				}
+				h := serverHello(1, helloOK)
+				_, _ = conn.Write(h[:])
+				select {} // never answer; the test process exits anyway
+			}()
+		}
+	}()
+
+	client := Client[uint64]{F: field.Prime{}, Timeout: 30 * time.Second, Pool: NewPool[uint64]()}
+	ctx, cancel := context.WithCancel(t.Context())
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		done <- client.Ping(ctx, ln.Addr().String())
+	}()
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+		if elapsed := time.Since(start); elapsed > 5*time.Second {
+			t.Fatalf("cancellation took %v, want prompt abort", elapsed)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("pooled request ignored context cancellation")
+	}
+}
+
+// TestSharedPoolIsPerElementType: the default pools are singletons per
+// element type, so every Client[uint64] shares device connections.
+func TestSharedPoolIsPerElementType(t *testing.T) {
+	if SharedPool[uint64]() != SharedPool[uint64]() {
+		t.Fatal("SharedPool[uint64] is not a singleton")
+	}
+	if any(SharedPool[uint64]()) == any(SharedPool[float64]()) {
+		t.Fatal("pools for distinct element types must be distinct")
+	}
+}

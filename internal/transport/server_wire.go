@@ -1,0 +1,433 @@
+package transport
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/scec/scec/internal/matrix"
+	"github.com/scec/scec/internal/obs/trace"
+)
+
+// Metric help strings shared by both roles.
+const (
+	flushHelp   = "Frames pushed to the socket per write-batcher flush syscall, by role."
+	connsHelp   = "Open transport connections, by role, wire protocol, and device."
+	streamsHelp = "v3 streams currently awaiting a response, by role and device."
+)
+
+// serveV3 answers binary-protocol frames on one persistent connection:
+// it completes the hello handshake, then reads request frames and
+// dispatches each to its own goroutine, so slow computes do not block the
+// stream — responses multiplex back through the shared write batcher in
+// completion order, matched by stream ID.
+func (s *DeviceServer[E]) serveV3(conn net.Conn, cc *countingConn, br *bufio.Reader) {
+	code, err := readClientHello(br)
+	if err != nil {
+		recordServer(s.metrics, "malformed", 0, cc.read, cc.written, true)
+		return
+	}
+	cod, ok := codecFor[E]()
+	_ = conn.SetWriteDeadline(time.Now().Add(s.timeout))
+	if !ok || code != cod.code {
+		h := serverHello(cod.code, helloRejectElem)
+		_, _ = conn.Write(h[:])
+		recordServer(s.metrics, "malformed", 0, cc.read, cc.written, true)
+		return
+	}
+	h := serverHello(cod.code, helloOK)
+	if _, err := conn.Write(h[:]); err != nil {
+		return
+	}
+	s.connsV3.Add(1)
+	defer s.connsV3.Add(-1)
+	w := newWireWriter(conn, s.timeout, s.flushHist)
+	defer w.close()
+	var handlers sync.WaitGroup
+	defer handlers.Wait()
+	for {
+		if err := conn.SetReadDeadline(time.Now().Add(s.timeout)); err != nil {
+			return
+		}
+		select {
+		case <-s.done:
+			return
+		default:
+		}
+		req, err := readRequestFrame[E](br, cod, s.maxElements)
+		if err != nil {
+			var ne net.Error
+			if !errors.Is(err, io.EOF) && !(errors.As(err, &ne) && ne.Timeout()) && !peerClosed(err) {
+				// Broken framing mid-stream: count it, drop the connection.
+				recordServer(s.metrics, "malformed", 0, cc.read, cc.written, true)
+			}
+			return
+		}
+		handlers.Add(1)
+		s.streamsOpen.Add(1)
+		go func() {
+			defer handlers.Done()
+			defer s.streamsOpen.Add(-1)
+			s.handleWire(w, cod, req)
+		}()
+	}
+}
+
+// handleWire serves one decoded v3 request frame end to end.
+func (s *DeviceServer[E]) handleWire(w *wireWriter, cod elemCodec, req *wireRequest[E]) {
+	start := time.Now()
+	kind := opToKind(req.op)
+	ctx, bag, sp := s.startServerSpan(kind, req.tp)
+	var (
+		errMsg string
+		y      []E
+		yMat   *matrix.Dense[E]
+	)
+	switch {
+	case req.capErr != "":
+		errMsg = req.capErr
+	case req.op == opPing:
+	case req.op == opStore:
+		if req.block.Rows() == 0 {
+			errMsg = "store: empty coded block"
+		} else {
+			s.installBlock(req.block)
+		}
+	case req.op == opCompute:
+		y, errMsg = s.mulVec(ctx, bag, req.x)
+	case req.op == opComputeBatch:
+		yMat, errMsg = s.mulMat(ctx, bag, req.xmat)
+	}
+	errored := errMsg != ""
+	var spans []byte
+	if sp != nil {
+		if errored {
+			sp.SetError(errors.New(errMsg))
+		}
+		sp.End()
+		bag.add(sp)
+		spans = encodeSpans(bag.spans)
+	}
+	written, _ := writeResponseFrame(w, cod, req.stream, req.op, errMsg, y, yMat, spans)
+	recordServer(s.metrics, kind, time.Since(start), req.size, written, errored)
+}
+
+// writeResponseFrame appends one response frame:
+//
+//	u32 length | u32 streamID | u8 op|0x80 | u8 status |
+//	  (status!=0: u32 msgLen | msg)
+//	  (status==0, compute: u32 n | elems)
+//	  (status==0, compute-batch: u32 rows | u32 cols | elems)
+//	| u32 spansLen | gob([]trace.SpanData)
+//
+// and returns the frame's full wire size.
+func writeResponseFrame[E comparable](w *wireWriter, cod elemCodec, stream uint32, op byte, errMsg string, y []E, yMat *matrix.Dense[E], spans []byte) (int64, error) {
+	payload := 1 + 4 + len(spans) // status byte + spans trailer
+	switch {
+	case errMsg != "":
+		payload += 4 + len(errMsg)
+	case op == opCompute:
+		payload += 4 + len(y)*cod.size
+	case op == opComputeBatch:
+		payload += 8 + yMat.Rows()*yMat.Cols()*cod.size
+	}
+	size := int64(frameOverhead + payload)
+	err := w.writeFrame(func(bw *bufio.Writer) error {
+		var hdr [frameOverhead + 1]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], uint32(5+payload))
+		binary.LittleEndian.PutUint32(hdr[4:8], stream)
+		hdr[8] = op | opResponseBit
+		if errMsg != "" {
+			hdr[9] = 1
+		}
+		if _, err := bw.Write(hdr[:]); err != nil {
+			return err
+		}
+		var u [8]byte
+		switch {
+		case errMsg != "":
+			binary.LittleEndian.PutUint32(u[:4], uint32(len(errMsg)))
+			if _, err := bw.Write(u[:4]); err != nil {
+				return err
+			}
+			if _, err := bw.WriteString(errMsg); err != nil {
+				return err
+			}
+		case op == opCompute:
+			binary.LittleEndian.PutUint32(u[:4], uint32(len(y)))
+			if _, err := bw.Write(u[:4]); err != nil {
+				return err
+			}
+			if _, err := bw.Write(elemWireBytes(y, cod.size)); err != nil {
+				return err
+			}
+		case op == opComputeBatch:
+			binary.LittleEndian.PutUint32(u[:4], uint32(yMat.Rows()))
+			binary.LittleEndian.PutUint32(u[4:8], uint32(yMat.Cols()))
+			if _, err := bw.Write(u[:8]); err != nil {
+				return err
+			}
+			slab := yMat.RowsView(0, yMat.Rows())
+			if _, err := bw.Write(elemWireBytes(slab, cod.size)); err != nil {
+				return err
+			}
+		}
+		binary.LittleEndian.PutUint32(u[:4], uint32(len(spans)))
+		if _, err := bw.Write(u[:4]); err != nil {
+			return err
+		}
+		_, err := bw.Write(spans)
+		return err
+	})
+	if err != nil {
+		return 0, err
+	}
+	return size, nil
+}
+
+// encodeSpans gob-encodes a span batch for the response trailer; spans are
+// cold-path metadata, so gob's flexibility beats a hand-rolled layout here.
+func encodeSpans(spans []trace.SpanData) []byte {
+	if len(spans) == 0 {
+		return nil
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(spans); err != nil {
+		return nil
+	}
+	return buf.Bytes()
+}
+
+func decodeSpans(b []byte) []trace.SpanData {
+	if len(b) == 0 {
+		return nil
+	}
+	var spans []trace.SpanData
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&spans); err != nil {
+		return nil
+	}
+	return spans
+}
+
+// writeRequestFrame appends one request frame (layout in wire.go: the
+// traceparent prefix, then the op-specific dimensions and the raw
+// little-endian element slab) and returns its full wire size.
+func writeRequestFrame[E comparable](w *wireWriter, cod elemCodec, stream uint32, req *request[E]) (int64, error) {
+	if _, ok := kindToOp(req.Kind); !ok {
+		// Reject before writeFrame: a sticky writer error would poison the
+		// shared connection for an error that wrote no bytes.
+		return 0, fmt.Errorf("transport: kind %q has no v3 encoding", req.Kind)
+	}
+	var size int64
+	err := w.writeFrame(func(bw *bufio.Writer) error {
+		var ferr error
+		size, ferr = encodeRequestFrame(bw, cod, stream, req)
+		return ferr
+	})
+	if err != nil {
+		return 0, err
+	}
+	return size, nil
+}
+
+// encodeRequestFrame writes exactly one request frame to bw and returns its
+// on-wire size. Split from writeRequestFrame so the bench harness can
+// measure pure encode cost against an in-memory buffer.
+func encodeRequestFrame[E comparable](bw *bufio.Writer, cod elemCodec, stream uint32, req *request[E]) (int64, error) {
+	op, ok := kindToOp(req.Kind)
+	if !ok {
+		return 0, fmt.Errorf("transport: kind %q has no v3 encoding", req.Kind)
+	}
+	tp := req.Traceparent
+	if len(tp) > 255 {
+		tp = "" // cannot happen with W3C traceparents; degrade to untraced
+	}
+	var vec, slab []E
+	var rows, cols int
+	switch op {
+	case opCompute:
+		vec = req.X
+	case opStore:
+		m := req.blockM
+		if m == nil {
+			m = matrix.FromRows(req.Block)
+		}
+		rows, cols = m.Rows(), m.Cols()
+		slab = m.RowsView(0, rows)
+	case opComputeBatch:
+		m := req.xmatM
+		if m == nil {
+			m = matrix.FromRows(req.XMat)
+		}
+		rows, cols = m.Rows(), m.Cols()
+		slab = m.RowsView(0, rows)
+	}
+	payload := 1 + len(tp)
+	switch op {
+	case opCompute:
+		payload += 4 + len(vec)*cod.size
+	case opStore, opComputeBatch:
+		payload += 8 + len(slab)*cod.size
+	}
+	size := int64(frameOverhead + payload)
+	var hdr [frameOverhead + 1]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(5+payload))
+	binary.LittleEndian.PutUint32(hdr[4:8], stream)
+	hdr[8] = op
+	hdr[9] = byte(len(tp))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	if len(tp) > 0 {
+		if _, err := bw.WriteString(tp); err != nil {
+			return 0, err
+		}
+	}
+	var u [8]byte
+	switch op {
+	case opCompute:
+		binary.LittleEndian.PutUint32(u[:4], uint32(len(vec)))
+		if _, err := bw.Write(u[:4]); err != nil {
+			return 0, err
+		}
+		if _, err := bw.Write(elemWireBytes(vec, cod.size)); err != nil {
+			return 0, err
+		}
+	case opStore, opComputeBatch:
+		binary.LittleEndian.PutUint32(u[:4], uint32(rows))
+		binary.LittleEndian.PutUint32(u[4:8], uint32(cols))
+		if _, err := bw.Write(u[:8]); err != nil {
+			return 0, err
+		}
+		if _, err := bw.Write(elemWireBytes(slab, cod.size)); err != nil {
+			return 0, err
+		}
+	}
+	return size, nil
+}
+
+// wireResponse is one decoded v3 response frame on the client side.
+type wireResponse[E comparable] struct {
+	op     byte
+	errMsg string
+	y      []E
+	yMat   *matrix.Dense[E]
+	spans  []trace.SpanData
+	size   int64
+}
+
+// readResponseFrame decodes one response frame, returning its stream ID
+// for mux dispatch.
+func readResponseFrame[E comparable](br *bufio.Reader, cod elemCodec) (uint32, *wireResponse[E], error) {
+	var hdr [frameOverhead]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	length := binary.LittleEndian.Uint32(hdr[0:4])
+	if length < 6 || length > maxFrameLen {
+		return 0, nil, fmt.Errorf("transport: bad response frame length %d", length)
+	}
+	stream := binary.LittleEndian.Uint32(hdr[4:8])
+	wr := &wireResponse[E]{op: hdr[8], size: int64(4 + length)}
+	if wr.op&opResponseBit == 0 {
+		return 0, nil, fmt.Errorf("transport: request op %#x in response frame", wr.op)
+	}
+	body := int(length) - 5
+	var u [8]byte
+	if _, err := io.ReadFull(br, u[:1]); err != nil {
+		return 0, nil, err
+	}
+	status := u[0]
+	body--
+	readU32 := func() (int, error) {
+		if body < 4 {
+			return 0, errors.New("transport: truncated response payload")
+		}
+		if _, err := io.ReadFull(br, u[:4]); err != nil {
+			return 0, err
+		}
+		body -= 4
+		return int(binary.LittleEndian.Uint32(u[:4])), nil
+	}
+	if status != 0 {
+		n, err := readU32()
+		if err != nil {
+			return 0, nil, err
+		}
+		if n > body {
+			return 0, nil, errors.New("transport: error message overruns frame")
+		}
+		msg := make([]byte, n)
+		if _, err := io.ReadFull(br, msg); err != nil {
+			return 0, nil, err
+		}
+		body -= n
+		wr.errMsg = string(msg)
+		if wr.errMsg == "" {
+			wr.errMsg = "unspecified remote error"
+		}
+	} else {
+		switch wr.op &^ opResponseBit {
+		case opPing, opStore:
+		case opCompute:
+			n, err := readU32()
+			if err != nil {
+				return 0, nil, err
+			}
+			// The spans trailer still follows (≥ 4 bytes), bounding the
+			// element count — and with it the allocation — by the frame.
+			if body < 4 || n*cod.size > body-4 {
+				return 0, nil, fmt.Errorf("transport: %d response elements do not fit frame", n)
+			}
+			if wr.y, err = readElemsChunked[E](br, n, cod.size); err != nil {
+				return 0, nil, err
+			}
+			body -= n * cod.size
+		case opComputeBatch:
+			rows, err := readU32()
+			if err != nil {
+				return 0, nil, err
+			}
+			cols, err := readU32()
+			if err != nil {
+				return 0, nil, err
+			}
+			// Division, not multiplication: rows·cols·size can overflow
+			// uint64 on forged dimensions and sneak past a product check.
+			total := uint64(rows) * uint64(cols)
+			if body < 4 || rows < 0 || cols < 0 || total > uint64(body-4)/uint64(cod.size) {
+				return 0, nil, fmt.Errorf("transport: %dx%d response does not fit frame", rows, cols)
+			}
+			data, err := readElemsChunked[E](br, int(total), cod.size)
+			if err != nil {
+				return 0, nil, err
+			}
+			body -= int(total) * cod.size
+			wr.yMat = matrix.FromSlice(rows, cols, data)
+		default:
+			return 0, nil, fmt.Errorf("transport: unknown response op %#x", wr.op)
+		}
+	}
+	n, err := readU32()
+	if err != nil {
+		return 0, nil, err
+	}
+	if n != body {
+		return 0, nil, fmt.Errorf("transport: spans trailer of %d bytes in %d remaining", n, body)
+	}
+	if n > 0 {
+		b := make([]byte, n)
+		if _, err := io.ReadFull(br, b); err != nil {
+			return 0, nil, err
+		}
+		wr.spans = decodeSpans(b)
+	}
+	return stream, wr, nil
+}

@@ -10,17 +10,30 @@
 //     gathers the intermediate results in device order, and decodes Ax with
 //     m subtractions.
 //
-// The package is generic over the field element type; each request opens one
-// connection (device fleets are small and requests are large, so connection
-// reuse buys nothing at this scale and keeps the protocol trivially
-// debuggable with netcat-style tooling).
+// The package speaks two wire protocols and is generic over the field
+// element type:
+//
+//   - v3 (default): one persistent connection per device multiplexes many
+//     in-flight requests as length-prefixed binary frames with stream IDs;
+//     field-element slabs travel as raw little-endian bytes (zero copy on
+//     little-endian hosts), small writes batch through a group-commit
+//     flusher, and idle connections carry piggybacked heartbeats that the
+//     fleet runtime reads instead of dialing separate pings.
+//   - gob (legacy): one request per exchange in an encoding/gob envelope
+//     (FrameV1/FrameV2), kept for mixed fleets and debuggability.
+//
+// Clients negotiate on connect (see wire.go) and fall back to gob
+// transparently, and servers accept both, so mixed-version fleets keep
+// working in both directions.
 package transport
 
 import (
+	"bufio"
 	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
@@ -78,6 +91,13 @@ type request[E comparable] struct {
 	X []E
 	// XMat carries the input matrix (rows) for a batch compute request.
 	XMat [][]E
+
+	// blockM/xmatM are the contiguous zero-copy forms of Block/XMat for
+	// the v3 binary protocol. Unexported, so gob never sees them; when
+	// set, the v3 encoder writes the backing slab directly instead of
+	// walking row slices.
+	blockM *matrix.Dense[E]
+	xmatM  *matrix.Dense[E]
 }
 
 // response is the device's answer.
@@ -94,6 +114,10 @@ type response[E comparable] struct {
 	Y []E
 	// YMat carries the intermediate result rows of a batch compute request.
 	YMat [][]E
+
+	// yMat is the contiguous form of YMat filled in by the v3 decoder;
+	// when set, YMat holds row views into it.
+	yMat *matrix.Dense[E]
 }
 
 // DefaultMaxElements bounds the number of field elements a device accepts
@@ -107,6 +131,7 @@ type DeviceServer[E comparable] struct {
 	f           field.Field[E]
 	timeout     time.Duration
 	maxElements int
+	proto       Proto
 	metrics     *obs.Registry
 	tracer      *trace.Tracer
 
@@ -114,6 +139,15 @@ type DeviceServer[E comparable] struct {
 	wg        sync.WaitGroup
 	done      chan struct{}
 	closeOnce sync.Once
+
+	// Telemetry for the persistent-connection machinery.
+	flushHist   *obs.Histogram
+	connsV3     *obs.Gauge
+	connsGob    *obs.Gauge
+	streamsOpen *obs.Gauge
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
 
 	mu    sync.Mutex
 	block *matrix.Dense[E]
@@ -148,6 +182,11 @@ type Options struct {
 	// the response frame. Nil disables device-side tracing; traced clients
 	// still work, they just see no device spans from this server.
 	Tracer *trace.Tracer
+	// Proto restricts the wire protocols the server accepts: ProtoAuto
+	// (the default) serves both, ProtoGob emulates a legacy gob-only
+	// device (v3 hellos fail like any undecodable gob stream), and
+	// ProtoV3 rejects gob connections.
+	Proto Proto
 }
 
 // NewDeviceServer starts an edge device listening on addr (use "127.0.0.1:0"
@@ -188,11 +227,19 @@ func NewDeviceServerOptions[E comparable](f field.Field[E], addr string, opts Op
 		f:           f,
 		timeout:     opts.Timeout,
 		maxElements: opts.MaxElements,
+		proto:       opts.Proto,
 		metrics:     metricsOrDefault(opts.Metrics),
 		tracer:      opts.Tracer,
 		ln:          ln,
 		done:        make(chan struct{}),
+		conns:       make(map[net.Conn]struct{}),
 	}
+	role := obs.L("role", "server")
+	dev := obs.L("device", s.Addr())
+	s.flushHist = s.metrics.Histogram(obs.MetricTransportFlushFrames, flushHelp, flushBuckets, role)
+	s.connsV3 = s.metrics.Gauge(obs.MetricTransportConnsOpen, connsHelp, role, obs.L("proto", "v3"), dev)
+	s.connsGob = s.metrics.Gauge(obs.MetricTransportConnsOpen, connsHelp, role, obs.L("proto", "gob"), dev)
+	s.streamsOpen = s.metrics.Gauge(obs.MetricTransportStreamsInflight, streamsHelp, role, dev)
 	s.wg.Add(1)
 	go s.serve()
 	return s, nil
@@ -218,13 +265,23 @@ func (s *DeviceServer[E]) Stats() Stats {
 	return s.stats
 }
 
-// Close stops accepting connections and waits for in-flight requests. It is
-// idempotent; repeated calls return nil.
+// Close stops accepting connections, unblocks the readers of every
+// persistent connection (in-flight requests still get their responses
+// flushed), and waits for the server's goroutines. It is idempotent;
+// repeated calls return nil.
 func (s *DeviceServer[E]) Close() error {
 	var err error
 	s.closeOnce.Do(func() {
 		close(s.done)
 		err = s.ln.Close()
+		s.connMu.Lock()
+		for c := range s.conns {
+			// Expire reads rather than closing: the per-connection reader
+			// observes the pop, sees done closed, and exits its loop after
+			// its in-flight handlers finish writing.
+			_ = c.SetReadDeadline(time.Now())
+		}
+		s.connMu.Unlock()
 		s.wg.Wait()
 	})
 	return err
@@ -246,43 +303,118 @@ func (s *DeviceServer[E]) serve() {
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			s.handle(conn)
+			s.handleConn(conn)
 		}()
 	}
 }
 
-func (s *DeviceServer[E]) handle(conn net.Conn) {
+// trackConn registers a live connection for teardown on Close.
+func (s *DeviceServer[E]) trackConn(conn net.Conn) bool {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	select {
+	case <-s.done:
+		return false
+	default:
+		s.conns[conn] = struct{}{}
+		return true
+	}
+}
+
+func (s *DeviceServer[E]) untrackConn(conn net.Conn) {
+	s.connMu.Lock()
+	delete(s.conns, conn)
+	s.connMu.Unlock()
+}
+
+// handleConn routes one accepted connection to the protocol it speaks: a
+// leading 0x00 byte is the v3 hello magic (no gob stream starts with
+// 0x00), anything else is a legacy gob client.
+func (s *DeviceServer[E]) handleConn(conn net.Conn) {
 	defer conn.Close()
-	start := time.Now()
-	cc := &countingConn{Conn: conn}
-	kind := "malformed"
-	errored := true
-	defer func() {
-		recordServer(s.metrics, kind, time.Since(start), cc.read, cc.written, errored)
-	}()
-	if err := conn.SetDeadline(time.Now().Add(s.timeout)); err != nil {
+	tuneConn(conn)
+	if !s.trackConn(conn) {
 		return
 	}
-	var req request[E]
-	if err := gob.NewDecoder(cc).Decode(&req); err != nil {
-		return // malformed request: nothing sensible to answer
+	defer s.untrackConn(conn)
+	start := time.Now()
+	cc := &countingConn{Conn: conn}
+	br := bufio.NewReaderSize(cc, wireWriterBuf)
+	if err := conn.SetReadDeadline(time.Now().Add(s.timeout)); err != nil {
+		return
 	}
-	kind = knownKind(req.Kind)
-	ctx, bag, sp := s.startServerSpan(req)
-	resp := s.dispatch(ctx, bag, req)
-	resp.V = FrameV2
-	errored = resp.Err != ""
-	if sp != nil {
-		if errored {
-			sp.SetError(errors.New(resp.Err))
+	first, err := br.Peek(1)
+	if err != nil {
+		// Nothing decodable arrived (idle peer cut by the deadline, or an
+		// immediate close): the legacy behavior counted this malformed.
+		recordServer(s.metrics, "malformed", time.Since(start), cc.read, cc.written, true)
+		return
+	}
+	if first[0] == v3Magic[0] && s.proto != ProtoGob {
+		s.serveV3(conn, cc, br)
+		return
+	}
+	if s.proto == ProtoV3 {
+		recordServer(s.metrics, "malformed", time.Since(start), cc.read, cc.written, true)
+		return
+	}
+	s.serveGob(conn, cc, br)
+}
+
+// serveGob answers gob-envelope requests sequentially on one connection
+// until the peer closes or goes idle past the timeout. The decoder and
+// encoder persist across requests (gob streams amortize their type
+// descriptors), so a pooled legacy client pays the reflection walk but
+// not a fresh type handshake per call.
+func (s *DeviceServer[E]) serveGob(conn net.Conn, cc *countingConn, br *bufio.Reader) {
+	s.connsGob.Add(1)
+	defer s.connsGob.Add(-1)
+	dec := gob.NewDecoder(br)
+	enc := gob.NewEncoder(cc)
+	served := 0
+	for {
+		if err := conn.SetReadDeadline(time.Now().Add(s.timeout)); err != nil {
+			return
 		}
-		sp.End()
-		bag.add(sp)
-		resp.Spans = bag.spans
+		select {
+		case <-s.done:
+			return
+		default:
+		}
+		start := time.Now()
+		readStart, writtenStart := cc.read, cc.written
+		var req request[E]
+		if err := dec.Decode(&req); err != nil {
+			if served == 0 || !errors.Is(err, io.EOF) {
+				// First-exchange failures and mid-stream garbage count as
+				// malformed; EOF on an idle reused connection is normal
+				// teardown.
+				recordServer(s.metrics, "malformed", time.Since(start), cc.read-readStart, cc.written-writtenStart, true)
+			}
+			return
+		}
+		kind := knownKind(req.Kind)
+		ctx, bag, sp := s.startServerSpan(knownKind(req.Kind), req.Traceparent)
+		resp := s.dispatch(ctx, bag, req)
+		resp.V = FrameV2
+		errored := resp.Err != ""
+		if sp != nil {
+			if errored {
+				sp.SetError(errors.New(resp.Err))
+			}
+			sp.End()
+			bag.add(sp)
+			resp.Spans = bag.spans
+		}
+		_ = conn.SetWriteDeadline(time.Now().Add(s.timeout))
+		err := enc.Encode(resp)
+		recordServer(s.metrics, kind, time.Since(start), cc.read-readStart, cc.written-writtenStart, errored)
+		if err != nil {
+			// The client observes the broken connection; nothing more to do.
+			return
+		}
+		served++
 	}
-	// Encoding errors leave the client to observe a broken connection; the
-	// deadline above already bounds the exchange.
-	_ = gob.NewEncoder(cc).Encode(resp)
 }
 
 // spanBag collects the finished server-side spans of one request for
@@ -306,16 +438,17 @@ func (b *spanBag) add(sp *trace.Span) {
 // frame's traceparent parents it, so the client's and device's spans share
 // one trace ID across the process boundary. Untraced requests (no tracer
 // configured, no traceparent, or a malformed one) get a nil span and bag.
-func (s *DeviceServer[E]) startServerSpan(req request[E]) (context.Context, *spanBag, *trace.Span) {
-	if s.tracer == nil || req.Traceparent == "" {
+// kind must already be collapsed through knownKind.
+func (s *DeviceServer[E]) startServerSpan(kind, traceparent string) (context.Context, *spanBag, *trace.Span) {
+	if s.tracer == nil || traceparent == "" {
 		return context.Background(), nil, nil
 	}
-	parent, ok := trace.ParseTraceparent(req.Traceparent)
+	parent, ok := trace.ParseTraceparent(traceparent)
 	if !ok {
 		return context.Background(), nil, nil
 	}
 	ctx, sp := s.tracer.StartRemote(context.Background(), parent,
-		trace.SpanRPCServer, trace.A(trace.AttrKind, knownKind(req.Kind)), trace.A(trace.AttrDevice, s.Addr()))
+		trace.SpanRPCServer, trace.A(trace.AttrKind, kind), trace.A(trace.AttrDevice, s.Addr()))
 	return ctx, &spanBag{}, sp
 }
 
@@ -345,72 +478,103 @@ func (s *DeviceServer[E]) dispatch(ctx context.Context, bag *spanBag, req reques
 		if total := len(req.Block) * len(req.Block[0]); total > s.maxElements {
 			return response[E]{Err: fmt.Sprintf("store: block of %d elements exceeds the device cap of %d", total, s.maxElements)}
 		}
-		block := matrix.FromRows(req.Block)
-		s.mu.Lock()
-		s.block = block
-		s.stats.Stores++
-		s.mu.Unlock()
+		s.installBlock(matrix.FromRows(req.Block))
 		return response[E]{}
 	case kindCompute:
-		s.mu.Lock()
-		block := s.block
-		s.mu.Unlock()
-		if block == nil {
-			return response[E]{Err: "compute: no coded block stored"}
+		y, msg := s.mulVec(ctx, bag, req.X)
+		if msg != "" {
+			return response[E]{Err: msg}
 		}
-		if len(req.X) != block.Cols() {
-			return response[E]{Err: fmt.Sprintf("compute: x has %d entries, coded rows have %d columns", len(req.X), block.Cols())}
-		}
-		csp := s.startComputeSpan(ctx, bag, "vec")
-		sp := obs.StartStage(s.metrics, obs.StageCompute)
-		y := matrix.MulVec(s.f, block, req.X)
-		sp.End()
-		csp.End()
-		bag.add(csp)
-		s.mu.Lock()
-		s.stats.Computes++
-		s.stats.ValuesReturned += len(y)
-		s.mu.Unlock()
 		return response[E]{Y: y}
 	case kindComputeBatch:
-		s.mu.Lock()
-		block := s.block
-		s.mu.Unlock()
-		if block == nil {
-			return response[E]{Err: "compute-batch: no coded block stored"}
-		}
-		if len(req.XMat) != block.Cols() {
-			return response[E]{Err: fmt.Sprintf("compute-batch: X has %d rows, coded rows have %d columns", len(req.XMat), block.Cols())}
-		}
 		for i, row := range req.XMat {
 			if len(row) != len(req.XMat[0]) {
 				return response[E]{Err: fmt.Sprintf("compute-batch: ragged X (row %d)", i)}
 			}
 		}
-		if len(req.XMat[0]) == 0 {
-			return response[E]{Err: "compute-batch: X has no columns"}
+		var xm *matrix.Dense[E]
+		if len(req.XMat) > 0 && len(req.XMat[0]) > 0 {
+			if total := len(req.XMat) * len(req.XMat[0]); total > s.maxElements {
+				return response[E]{Err: fmt.Sprintf("compute-batch: X of %d elements exceeds the device cap of %d", total, s.maxElements)}
+			}
+			xm = matrix.FromRows(req.XMat)
+		} else {
+			xm = matrix.FromSlice[E](len(req.XMat), 0, nil)
 		}
-		if total := len(req.XMat) * len(req.XMat[0]); total > s.maxElements {
-			return response[E]{Err: fmt.Sprintf("compute-batch: X of %d elements exceeds the device cap of %d", total, s.maxElements)}
+		y, msg := s.mulMat(ctx, bag, xm)
+		if msg != "" {
+			return response[E]{Err: msg}
 		}
-		csp := s.startComputeSpan(ctx, bag, "mat")
-		sp := obs.StartStage(s.metrics, obs.StageCompute)
-		y := matrix.Mul(s.f, block, matrix.FromRows(req.XMat))
-		sp.End()
-		csp.End()
-		bag.add(csp)
 		rows := make([][]E, y.Rows())
 		for i := range rows {
-			rows[i] = y.Row(i)
+			rows[i] = y.RowView(i)
 		}
-		s.mu.Lock()
-		s.stats.BatchComputes++
-		s.stats.ValuesReturned += y.Rows() * y.Cols()
-		s.mu.Unlock()
 		return response[E]{YMat: rows}
 	default:
 		return response[E]{Err: fmt.Sprintf("unknown request kind %q", req.Kind)}
 	}
+}
+
+// installBlock stores a validated coded block.
+func (s *DeviceServer[E]) installBlock(block *matrix.Dense[E]) {
+	s.mu.Lock()
+	s.block = block
+	s.stats.Stores++
+	s.mu.Unlock()
+}
+
+// mulVec validates and executes one vector compute against the stored
+// block, returning the result or the remote-error string. Both wire
+// protocols dispatch through here, so validation messages, the compute
+// stage span, and the stats counters stay identical across them.
+func (s *DeviceServer[E]) mulVec(ctx context.Context, bag *spanBag, x []E) ([]E, string) {
+	s.mu.Lock()
+	block := s.block
+	s.mu.Unlock()
+	if block == nil {
+		return nil, "compute: no coded block stored"
+	}
+	if len(x) != block.Cols() {
+		return nil, fmt.Sprintf("compute: x has %d entries, coded rows have %d columns", len(x), block.Cols())
+	}
+	csp := s.startComputeSpan(ctx, bag, "vec")
+	sp := obs.StartStage(s.metrics, obs.StageCompute)
+	y := matrix.MulVec(s.f, block, x)
+	sp.End()
+	csp.End()
+	bag.add(csp)
+	s.mu.Lock()
+	s.stats.Computes++
+	s.stats.ValuesReturned += len(y)
+	s.mu.Unlock()
+	return y, ""
+}
+
+// mulMat is mulVec's batch counterpart; x carries the input rows.
+func (s *DeviceServer[E]) mulMat(ctx context.Context, bag *spanBag, x *matrix.Dense[E]) (*matrix.Dense[E], string) {
+	s.mu.Lock()
+	block := s.block
+	s.mu.Unlock()
+	if block == nil {
+		return nil, "compute-batch: no coded block stored"
+	}
+	if x.Rows() != block.Cols() {
+		return nil, fmt.Sprintf("compute-batch: X has %d rows, coded rows have %d columns", x.Rows(), block.Cols())
+	}
+	if x.Cols() == 0 {
+		return nil, "compute-batch: X has no columns"
+	}
+	csp := s.startComputeSpan(ctx, bag, "mat")
+	sp := obs.StartStage(s.metrics, obs.StageCompute)
+	y := matrix.Mul(s.f, block, x)
+	sp.End()
+	csp.End()
+	bag.add(csp)
+	s.mu.Lock()
+	s.stats.BatchComputes++
+	s.stats.ValuesReturned += y.Rows() * y.Cols()
+	s.mu.Unlock()
+	return y, ""
 }
 
 // roundTrip dials addr, sends req, and decodes the response, recording the
@@ -509,6 +673,20 @@ type Cloud[E comparable] struct {
 	// Metrics receives RPC and store-stage telemetry; nil means
 	// obs.Default().
 	Metrics *obs.Registry
+	// Proto selects the wire protocol: ProtoAuto (default) negotiates v3
+	// and falls back to gob, ProtoGob forces legacy frames, ProtoV3
+	// refuses to fall back.
+	Proto Proto
+	// Pool holds the persistent device connections; nil means the shared
+	// per-element-type pool.
+	Pool *Pool[E]
+}
+
+func (c Cloud[E]) pool() *Pool[E] {
+	if c.Pool != nil {
+		return c.Pool
+	}
+	return SharedPool[E]()
 }
 
 // Distribute pushes coded block j of enc to addrs[j] for every device,
@@ -552,11 +730,13 @@ func (c Cloud[E]) Store(ctx context.Context, addr string, block *matrix.Dense[E]
 }
 
 func (c Cloud[E]) store(ctx context.Context, addr string, block *matrix.Dense[E], timeout time.Duration, reg *obs.Registry) error {
+	// Block (row views, read-only) feeds the gob fallback; blockM lets the
+	// v3 encoder write the backing slab without touching the rows at all.
 	rows := make([][]E, block.Rows())
 	for i := range rows {
-		rows[i] = block.Row(i)
+		rows[i] = block.RowView(i)
 	}
-	_, err := roundTrip(ctx, addr, timeout, reg, request[E]{Kind: kindStore, Block: rows})
+	_, err := c.pool().roundTrip(ctx, addr, timeout, reg, c.Proto, request[E]{Kind: kindStore, Block: rows, blockM: block})
 	return err
 }
 
@@ -571,6 +751,31 @@ type Client[E comparable] struct {
 	// Metrics receives RPC and gather/decode-stage telemetry; nil means
 	// obs.Default().
 	Metrics *obs.Registry
+	// Proto selects the wire protocol: ProtoAuto (default) negotiates v3
+	// and falls back to gob, ProtoGob forces legacy frames, ProtoV3
+	// refuses to fall back.
+	Proto Proto
+	// Pool holds the persistent device connections; nil means the shared
+	// per-element-type pool.
+	Pool *Pool[E]
+}
+
+func (c Client[E]) pool() *Pool[E] {
+	if c.Pool != nil {
+		return c.Pool
+	}
+	return SharedPool[E]()
+}
+
+// LastContact reports when addr was last heard from on this client's
+// pooled multiplexed connection; see Pool.LastContact.
+func (c Client[E]) LastContact(addr string) (time.Time, bool) {
+	return c.pool().LastContact(addr)
+}
+
+// ConnDebug snapshots the pooled connection state toward addr.
+func (c Client[E]) ConnDebug(addr string) ConnDebug {
+	return c.pool().Debug(addr)
 }
 
 // Gather sends x to every device concurrently and concatenates the
@@ -595,7 +800,7 @@ func (c Client[E]) Gather(ctx context.Context, addrs []string, rowsOn []int, x [
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			resp, err := roundTrip(ctx, addr, timeout, reg, request[E]{Kind: kindCompute, X: x})
+			resp, err := c.pool().roundTrip(ctx, addr, timeout, reg, c.Proto, request[E]{Kind: kindCompute, X: x})
 			if err != nil {
 				errs[j] = err
 				return
@@ -648,7 +853,7 @@ func (c Client[E]) Compute(ctx context.Context, addr string, x []E) ([]E, error)
 	if timeout == 0 {
 		timeout = DefaultTimeout
 	}
-	resp, err := roundTrip(ctx, addr, timeout, metricsOrDefault(c.Metrics), request[E]{Kind: kindCompute, X: x})
+	resp, err := c.pool().roundTrip(ctx, addr, timeout, metricsOrDefault(c.Metrics), c.Proto, request[E]{Kind: kindCompute, X: x})
 	if err != nil {
 		return nil, err
 	}
@@ -662,7 +867,7 @@ func (c Client[E]) ComputeBatch(ctx context.Context, addr string, xRows [][]E) (
 	if timeout == 0 {
 		timeout = DefaultTimeout
 	}
-	resp, err := roundTrip(ctx, addr, timeout, metricsOrDefault(c.Metrics), request[E]{Kind: kindComputeBatch, XMat: xRows})
+	resp, err := c.pool().roundTrip(ctx, addr, timeout, metricsOrDefault(c.Metrics), c.Proto, request[E]{Kind: kindComputeBatch, XMat: xRows})
 	if err != nil {
 		return nil, err
 	}
@@ -676,7 +881,7 @@ func (c Client[E]) Ping(ctx context.Context, addr string) error {
 	if timeout == 0 {
 		timeout = DefaultTimeout
 	}
-	_, err := roundTrip(ctx, addr, timeout, metricsOrDefault(c.Metrics), request[E]{Kind: kindPing})
+	_, err := c.pool().roundTrip(ctx, addr, timeout, metricsOrDefault(c.Metrics), c.Proto, request[E]{Kind: kindPing})
 	return err
 }
 
@@ -694,9 +899,11 @@ func (c Client[E]) MulMat(ctx context.Context, addrs []string, x *matrix.Dense[E
 	}
 	reg := metricsOrDefault(c.Metrics)
 	gather := obs.StartStage(reg, obs.StageGather)
+	// Row views feed the gob fallback; xmatM lets the v3 encoder write the
+	// backing slab directly.
 	xRows := make([][]E, x.Rows())
 	for i := range xRows {
-		xRows[i] = x.Row(i)
+		xRows[i] = x.RowView(i)
 	}
 	parts := make([]*matrix.Dense[E], len(addrs))
 	errs := make([]error, len(addrs))
@@ -705,7 +912,7 @@ func (c Client[E]) MulMat(ctx context.Context, addrs []string, x *matrix.Dense[E
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			resp, err := roundTrip(ctx, addr, timeout, reg, request[E]{Kind: kindComputeBatch, XMat: xRows})
+			resp, err := c.pool().roundTrip(ctx, addr, timeout, reg, c.Proto, request[E]{Kind: kindComputeBatch, XMat: xRows, xmatM: x})
 			if err != nil {
 				errs[j] = err
 				return
@@ -714,7 +921,11 @@ func (c Client[E]) MulMat(ctx context.Context, addrs []string, x *matrix.Dense[E
 				errs[j] = fmt.Errorf("transport: device %d returned %d rows, want %d", j, len(resp.YMat), rowsOn[j])
 				return
 			}
-			parts[j] = matrix.FromRows(resp.YMat)
+			if resp.yMat != nil {
+				parts[j] = resp.yMat // v3: already a contiguous matrix
+			} else {
+				parts[j] = matrix.FromRows(resp.YMat)
+			}
 		}()
 	}
 	wg.Wait()
@@ -750,6 +961,6 @@ func Ping[E comparable](ctx context.Context, addr string, timeout time.Duration)
 	if timeout == 0 {
 		timeout = DefaultTimeout
 	}
-	_, err := roundTrip(ctx, addr, timeout, nil, request[E]{Kind: kindPing})
+	_, err := SharedPool[E]().roundTrip(ctx, addr, timeout, nil, ProtoAuto, request[E]{Kind: kindPing})
 	return err
 }

@@ -1,0 +1,462 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"unsafe"
+
+	"github.com/scec/scec/internal/matrix"
+)
+
+// Proto selects the wire protocol a client speaks to a device. The v3
+// protocol multiplexes many in-flight requests over one persistent
+// connection using length-prefixed binary frames with zero-copy
+// field-element payloads; the gob protocol is the original
+// one-request-per-exchange encoding/gob framing (FrameV1/FrameV2).
+type Proto int
+
+const (
+	// ProtoAuto negotiates v3 on first contact and falls back to gob
+	// transparently when the peer closes on the v3 hello (a gob-only
+	// device). This is the default.
+	ProtoAuto Proto = iota
+	// ProtoV3 requires the binary protocol; peers that do not speak it
+	// produce an error instead of a fallback.
+	ProtoV3
+	// ProtoGob forces the legacy gob protocol.
+	ProtoGob
+)
+
+func (p Proto) String() string {
+	switch p {
+	case ProtoAuto:
+		return "auto"
+	case ProtoV3:
+		return "v3"
+	case ProtoGob:
+		return "gob"
+	}
+	return fmt.Sprintf("proto(%d)", int(p))
+}
+
+// ParseProto parses a -proto CLI value.
+func ParseProto(s string) (Proto, error) {
+	switch s {
+	case "", "auto":
+		return ProtoAuto, nil
+	case "v3":
+		return ProtoV3, nil
+	case "gob":
+		return ProtoGob, nil
+	}
+	return ProtoAuto, fmt.Errorf("transport: unknown protocol %q (want auto, v3, or gob)", s)
+}
+
+// The v3 wire format.
+//
+// Connections open with a 12-byte hello in each direction:
+//
+//	client: magic[8] | version | elemCode | reserved[2]
+//	server: magic[8] | version | elemCode | status | reserved[1]
+//
+// where magic is {0x00, 'S', 'C', 'E', 'C', 'v', '3', '\n'}. The leading
+// 0x00 byte is deliberate: no gob stream begins with 0x00 (gob messages
+// start with a non-zero length byte), so a v3 hello makes a gob-only
+// server fail its decode and close the connection — which the client
+// detects and treats as "peer speaks gob" — while a v3 server can peek
+// one byte to route each accepted connection to the right protocol.
+//
+// After the handshake both directions carry frames:
+//
+//	u32 length | u32 streamID | u8 op | payload
+//
+// (all integers little-endian; length counts streamID+op+payload, i.e.
+// 5+len(payload)). Responses echo the request's streamID with op|0x80,
+// so many requests can be in flight on one connection at once.
+var v3Magic = [8]byte{0x00, 'S', 'C', 'E', 'C', 'v', '3', '\n'}
+
+const (
+	wireVersion = 3
+	helloLen    = 12
+
+	helloOK         = 0 // server hello status: accepted
+	helloRejectElem = 1 // server hello status: element-type mismatch
+)
+
+// Frame ops. A response frame carries the request op with opResponseBit set.
+const (
+	opPing         byte = 1
+	opStore        byte = 2
+	opCompute      byte = 3
+	opComputeBatch byte = 4
+	opResponseBit  byte = 0x80
+)
+
+// frameOverhead is the per-frame byte count besides the payload: the u32
+// length prefix plus the u32 streamID and u8 op it counts.
+const frameOverhead = 4 + 5
+
+// maxFrameLen bounds the declared frame length so a garbage length prefix
+// cannot drive pathological reads; real payload allocation is separately
+// gated on the receiver's element cap.
+const maxFrameLen = 1<<31 - 1
+
+// errLegacyPeer classifies a failed v3 negotiation where the peer closed
+// or answered garbage — the signature of a gob-only device.
+var errLegacyPeer = errors.New("transport: peer does not speak v3")
+
+// errConnBroken reports that a multiplexed connection died with the
+// request in flight; the pool retries such requests once on a fresh
+// connection when they were issued on a reused one.
+var errConnBroken = errors.New("transport: connection broken")
+
+func kindToOp(kind string) (byte, bool) {
+	switch kind {
+	case kindPing:
+		return opPing, true
+	case kindStore:
+		return opStore, true
+	case kindCompute:
+		return opCompute, true
+	case kindComputeBatch:
+		return opComputeBatch, true
+	}
+	return 0, false
+}
+
+func opToKind(op byte) string {
+	switch op &^ opResponseBit {
+	case opPing:
+		return kindPing
+	case opStore:
+		return kindStore
+	case opCompute:
+		return kindCompute
+	case opComputeBatch:
+		return kindComputeBatch
+	}
+	return "unknown"
+}
+
+// elemCodec describes how one field-element type goes on the wire.
+type elemCodec struct {
+	code byte // hello elemCode
+	size int  // bytes per element
+}
+
+// codecFor resolves the wire codec for E. The three concrete element
+// types of the repo's fields (Prime → uint64, GF256 → byte, Real →
+// float64) are supported; anything else reports false and the transport
+// stays on the gob protocol for that type.
+func codecFor[E comparable]() (elemCodec, bool) {
+	var z E
+	switch any(z).(type) {
+	case uint64:
+		return elemCodec{code: 1, size: 8}, true
+	case byte:
+		return elemCodec{code: 2, size: 1}, true
+	case float64:
+		return elemCodec{code: 3, size: 8}, true
+	}
+	return elemCodec{}, false
+}
+
+// hostLittleEndian reports whether the running machine stores integers
+// little-endian, in which case element slabs alias directly to their wire
+// bytes (zero copy). Big-endian hosts take a per-element conversion path.
+var hostLittleEndian = func() bool {
+	x := uint16(0x0102)
+	return *(*byte)(unsafe.Pointer(&x)) == 0x02
+}()
+
+// elemWireBytes returns the little-endian wire image of s: an aliasing
+// view on little-endian hosts, a converted copy on big-endian ones.
+// The caller must not let the returned slice outlive its use of s.
+func elemWireBytes[E comparable](s []E, size int) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	if hostLittleEndian {
+		return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*size)
+	}
+	buf := make([]byte, len(s)*size)
+	switch v := any(s).(type) {
+	case []uint64:
+		for i, e := range v {
+			binary.LittleEndian.PutUint64(buf[i*8:], e)
+		}
+	case []byte:
+		copy(buf, v)
+	case []float64:
+		for i, e := range v {
+			binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(e))
+		}
+	}
+	return buf
+}
+
+// readElems fills dst with len(dst) elements read from r as little-endian
+// wire bytes, reading directly into the destination slab on little-endian
+// hosts.
+func readElems[E comparable](r io.Reader, dst []E, size int) error {
+	if len(dst) == 0 {
+		return nil
+	}
+	if hostLittleEndian {
+		_, err := io.ReadFull(r, unsafe.Slice((*byte)(unsafe.Pointer(&dst[0])), len(dst)*size))
+		return err
+	}
+	buf := make([]byte, len(dst)*size)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return err
+	}
+	switch v := any(dst).(type) {
+	case []uint64:
+		for i := range v {
+			v[i] = binary.LittleEndian.Uint64(buf[i*8:])
+		}
+	case []byte:
+		copy(v, buf)
+	case []float64:
+		for i := range v {
+			v[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+		}
+	}
+	return nil
+}
+
+// readElemsChunked reads total elements, growing the destination in
+// bounded chunks so a forged frame header cannot provoke a huge upfront
+// allocation: memory grows only as fast as bytes actually arrive.
+func readElemsChunked[E comparable](r io.Reader, total int, size int) ([]E, error) {
+	const chunk = 1 << 16
+	dst := make([]E, 0, min(total, chunk))
+	buf := make([]E, min(total, chunk))
+	for len(dst) < total {
+		n := min(total-len(dst), chunk)
+		if err := readElems(r, buf[:n], size); err != nil {
+			return nil, err
+		}
+		dst = append(dst, buf[:n]...)
+	}
+	return dst, nil
+}
+
+// Hello encoding.
+
+func clientHello(code byte) [helloLen]byte {
+	var h [helloLen]byte
+	copy(h[:], v3Magic[:])
+	h[8] = wireVersion
+	h[9] = code
+	return h
+}
+
+func serverHello(code, status byte) [helloLen]byte {
+	var h [helloLen]byte
+	copy(h[:], v3Magic[:])
+	h[8] = wireVersion
+	h[9] = code
+	h[10] = status
+	return h
+}
+
+// readClientHello consumes and validates a client hello (the peeked 0x00
+// magic byte included). A malformed hello is a protocol error; the caller
+// closes the connection.
+func readClientHello(r io.Reader) (code byte, err error) {
+	var h [helloLen]byte
+	if _, err := io.ReadFull(r, h[:]); err != nil {
+		return 0, fmt.Errorf("transport: read v3 hello: %w", err)
+	}
+	if [8]byte(h[:8]) != v3Magic {
+		return 0, errors.New("transport: bad v3 hello magic")
+	}
+	if h[8] != wireVersion {
+		return 0, fmt.Errorf("transport: unsupported wire version %d", h[8])
+	}
+	return h[9], nil
+}
+
+// readServerHello consumes and validates the server's hello. Short reads
+// and bad magic classify as errLegacyPeer (the far side never spoke v3);
+// an explicit rejection status surfaces as a hard error.
+func readServerHello(r io.Reader, wantCode byte) error {
+	var h [helloLen]byte
+	if _, err := io.ReadFull(r, h[:]); err != nil {
+		if peerClosed(err) {
+			return fmt.Errorf("%w (%v)", errLegacyPeer, err)
+		}
+		return fmt.Errorf("transport: read v3 server hello: %w", err)
+	}
+	if [8]byte(h[:8]) != v3Magic || h[8] != wireVersion {
+		return errLegacyPeer
+	}
+	if h[10] != helloOK {
+		return fmt.Errorf("transport: device rejected v3 handshake (status %d, element code %d, ours %d)", h[10], h[9], wantCode)
+	}
+	if h[9] != wantCode {
+		return fmt.Errorf("transport: device speaks element code %d, client speaks %d", h[9], wantCode)
+	}
+	return nil
+}
+
+// wireRequest is one decoded v3 request frame on the server side.
+type wireRequest[E comparable] struct {
+	stream uint32
+	op     byte
+	tp     string // traceparent, "" when untraced
+	x      []E    // compute input vector
+	block  *matrix.Dense[E]
+	xmat   *matrix.Dense[E]
+	// capErr carries a request-level validation failure detected during
+	// decode (an element count over the device cap): the payload was
+	// drained, the connection stays healthy, and the server answers this
+	// error string instead of dispatching.
+	capErr string
+	// size is the full on-wire frame size in bytes, for byte accounting.
+	size int64
+}
+
+// readRequestFrame decodes one request frame from br. It validates every
+// declared dimension against the frame length before allocating, so a
+// forged frame can never allocate more than maxElements field elements;
+// dimension counts over maxElements drain the (bounded) payload and
+// report a request-level capErr rather than poisoning the connection.
+// A nil request with a nil error never happens; io.EOF before the first
+// header byte surfaces unchanged so callers can distinguish clean
+// connection teardown.
+func readRequestFrame[E comparable](br *bufio.Reader, cod elemCodec, maxElements int) (*wireRequest[E], error) {
+	var hdr [frameOverhead]byte
+	if _, err := io.ReadFull(br, hdr[:1]); err != nil {
+		return nil, err // io.EOF here = clean close between frames
+	}
+	if _, err := io.ReadFull(br, hdr[1:]); err != nil {
+		return nil, fmt.Errorf("transport: short frame header: %w", err)
+	}
+	length := binary.LittleEndian.Uint32(hdr[0:4])
+	if length < 5 || length > maxFrameLen {
+		return nil, fmt.Errorf("transport: bad frame length %d", length)
+	}
+	req := &wireRequest[E]{
+		stream: binary.LittleEndian.Uint32(hdr[4:8]),
+		op:     hdr[8],
+		size:   int64(4 + length),
+	}
+	body := int(length) - 5 // payload bytes still on the wire
+	if req.op&opResponseBit != 0 {
+		return nil, fmt.Errorf("transport: response op %#x in request frame", req.op)
+	}
+
+	// Traceparent prefix: u8 len | bytes.
+	var tl [1]byte
+	if body < 1 {
+		return nil, errors.New("transport: truncated request payload")
+	}
+	if _, err := io.ReadFull(br, tl[:]); err != nil {
+		return nil, fmt.Errorf("transport: read traceparent length: %w", err)
+	}
+	body--
+	if int(tl[0]) > body {
+		return nil, errors.New("transport: traceparent overruns frame")
+	}
+	if tl[0] > 0 {
+		tp := make([]byte, tl[0])
+		if _, err := io.ReadFull(br, tp); err != nil {
+			return nil, fmt.Errorf("transport: read traceparent: %w", err)
+		}
+		body -= len(tp)
+		req.tp = string(tp)
+	}
+
+	readDims := func(n int) ([]uint32, error) {
+		var b [8]byte
+		if body < 4*n {
+			return nil, errors.New("transport: truncated request dimensions")
+		}
+		if _, err := io.ReadFull(br, b[:4*n]); err != nil {
+			return nil, fmt.Errorf("transport: read dimensions: %w", err)
+		}
+		body -= 4 * n
+		dims := make([]uint32, n)
+		for i := range dims {
+			dims[i] = binary.LittleEndian.Uint32(b[4*i:])
+		}
+		return dims, nil
+	}
+	// drain discards the remaining payload (bounded by the declared frame
+	// length, which the peer must actually transmit) so an over-cap
+	// request keeps the connection framed.
+	drain := func() error {
+		_, err := io.CopyN(io.Discard, br, int64(body))
+		body = 0
+		return err
+	}
+	// slab validates total elements against the remaining payload and the
+	// device cap, then reads them zero-copy into a fresh slab.
+	slab := func(total uint64, capMsg string) ([]E, error) {
+		if total != uint64(body)/uint64(cod.size) || total*uint64(cod.size) != uint64(body) {
+			return nil, fmt.Errorf("transport: %d elements do not match %d payload bytes", total, body)
+		}
+		if total > uint64(maxElements) {
+			req.capErr = capMsg
+			return nil, drain()
+		}
+		dst := make([]E, total)
+		if err := readElems(br, dst, cod.size); err != nil {
+			return nil, fmt.Errorf("transport: read elements: %w", err)
+		}
+		body = 0
+		return dst, nil
+	}
+
+	switch req.op {
+	case opPing:
+		if body != 0 {
+			return nil, fmt.Errorf("transport: ping frame carries %d payload bytes", body)
+		}
+	case opCompute:
+		dims, err := readDims(1)
+		if err != nil {
+			return nil, err
+		}
+		n := uint64(dims[0])
+		x, err := slab(n, fmt.Sprintf("compute: x of %d elements exceeds the device cap of %d", n, maxElements))
+		if err != nil {
+			return nil, err
+		}
+		req.x = x
+	case opStore, opComputeBatch:
+		dims, err := readDims(2)
+		if err != nil {
+			return nil, err
+		}
+		rows, cols := uint64(dims[0]), uint64(dims[1])
+		noun, capNoun := "store", "block"
+		if req.op == opComputeBatch {
+			noun, capNoun = "compute-batch", "X"
+		}
+		data, err := slab(rows*cols, fmt.Sprintf("%s: %s of %d elements exceeds the device cap of %d", noun, capNoun, rows*cols, maxElements))
+		if err != nil {
+			return nil, err
+		}
+		if req.capErr == "" {
+			m := matrix.FromSlice(int(rows), int(cols), data)
+			if req.op == opStore {
+				req.block = m
+			} else {
+				req.xmat = m
+			}
+		}
+	default:
+		return nil, fmt.Errorf("transport: unknown request op %#x", req.op)
+	}
+	if body != 0 {
+		return nil, fmt.Errorf("transport: %d trailing payload bytes", body)
+	}
+	return req, nil
+}

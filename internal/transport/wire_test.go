@@ -1,0 +1,372 @@
+package transport
+
+import (
+	"context"
+	"encoding/binary"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/scec/scec/internal/coding"
+	"github.com/scec/scec/internal/field"
+	"github.com/scec/scec/internal/matrix"
+	"github.com/scec/scec/internal/obs"
+	"github.com/scec/scec/internal/obs/trace"
+)
+
+// rawV3Conn dials a device server and completes the v3 handshake with raw
+// bytes, so the tests below pin the exact wire layout rather than trusting
+// the encoder and decoder to agree with each other.
+func rawV3Conn(t *testing.T, addr string, elemCode byte) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = conn.Close() })
+	_ = conn.SetDeadline(time.Now().Add(5 * time.Second))
+	hello := []byte{0x00, 'S', 'C', 'E', 'C', 'v', '3', '\n', 3, elemCode, 0, 0}
+	if _, err := conn.Write(hello); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 12)
+	if _, err := io.ReadFull(conn, got); err != nil {
+		t.Fatalf("read server hello: %v", err)
+	}
+	want := []byte{0x00, 'S', 'C', 'E', 'C', 'v', '3', '\n', 3, elemCode, 0, 0}
+	if string(got) != string(want) {
+		t.Fatalf("server hello = % x, want % x", got, want)
+	}
+	return conn
+}
+
+// readRawFrame reads one whole frame (length prefix included).
+func readRawFrame(t *testing.T, conn net.Conn) []byte {
+	t.Helper()
+	var lenb [4]byte
+	if _, err := io.ReadFull(conn, lenb[:]); err != nil {
+		t.Fatalf("read frame length: %v", err)
+	}
+	n := binary.LittleEndian.Uint32(lenb[:])
+	rest := make([]byte, n)
+	if _, err := io.ReadFull(conn, rest); err != nil {
+		t.Fatalf("read frame body: %v", err)
+	}
+	return append(lenb[:], rest...)
+}
+
+// TestWireV3PingFrameBytes pins the hello handshake and the ping exchange
+// byte for byte: a wire-format change that breaks deployed peers must fail
+// here, not in production.
+func TestWireV3PingFrameBytes(t *testing.T) {
+	srv, err := NewDeviceServer[uint64](field.Prime{}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	conn := rawV3Conn(t, srv.Addr(), 1)
+
+	// Ping on stream 7: length=6 | stream=7 | opPing | tpLen=0.
+	ping := []byte{6, 0, 0, 0, 7, 0, 0, 0, 1, 0}
+	if _, err := conn.Write(ping); err != nil {
+		t.Fatal(err)
+	}
+	// Response: length=10 | stream=7 | 0x81 | status=0 | spansLen=0.
+	want := []byte{10, 0, 0, 0, 7, 0, 0, 0, 0x81, 0, 0, 0, 0, 0}
+	if got := readRawFrame(t, conn); string(got) != string(want) {
+		t.Fatalf("ping response = % x, want % x", got, want)
+	}
+}
+
+// TestWireV3ComputeFrameBytes pins the store and compute frame layouts,
+// including the raw little-endian element slabs, against a real server.
+func TestWireV3ComputeFrameBytes(t *testing.T) {
+	srv, err := NewDeviceServer[uint64](field.Prime{}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	conn := rawV3Conn(t, srv.Addr(), 1)
+
+	le64 := func(vals ...uint64) []byte {
+		b := make([]byte, 0, 8*len(vals))
+		for _, v := range vals {
+			b = binary.LittleEndian.AppendUint64(b, v)
+		}
+		return b
+	}
+	// Store [[2 3]] on stream 1: tpLen=0 | rows=1 | cols=2 | slab.
+	store := []byte{30, 0, 0, 0, 1, 0, 0, 0, 2, 0, 1, 0, 0, 0, 2, 0, 0, 0}
+	store = append(store, le64(2, 3)...)
+	if _, err := conn.Write(store); err != nil {
+		t.Fatal(err)
+	}
+	wantStore := []byte{10, 0, 0, 0, 1, 0, 0, 0, 0x82, 0, 0, 0, 0, 0}
+	if got := readRawFrame(t, conn); string(got) != string(wantStore) {
+		t.Fatalf("store response = % x, want % x", got, wantStore)
+	}
+
+	// Compute x=[5 7] on stream 2: tpLen=0 | n=2 | slab. y = 2·5+3·7 = 31.
+	comp := []byte{26, 0, 0, 0, 2, 0, 0, 0, 3, 0, 2, 0, 0, 0}
+	comp = append(comp, le64(5, 7)...)
+	if _, err := conn.Write(comp); err != nil {
+		t.Fatal(err)
+	}
+	wantComp := []byte{22, 0, 0, 0, 2, 0, 0, 0, 0x83, 0, 1, 0, 0, 0}
+	wantComp = append(wantComp, le64(31)...)
+	wantComp = append(wantComp, 0, 0, 0, 0)
+	if got := readRawFrame(t, conn); string(got) != string(wantComp) {
+		t.Fatalf("compute response = % x, want % x", got, wantComp)
+	}
+
+	if got := srv.Stats(); got.Stores != 1 || got.Computes != 1 {
+		t.Fatalf("server stats = %+v after raw exchanges", got)
+	}
+}
+
+// TestWireV3RejectsWrongElemCode: a hello with a mismatched element code
+// must be answered with an explicit rejection status, not silence.
+func TestWireV3RejectsWrongElemCode(t *testing.T) {
+	srv, err := NewDeviceServer[uint64](field.Prime{}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(5 * time.Second))
+	hello := []byte{0x00, 'S', 'C', 'E', 'C', 'v', '3', '\n', 3, 2 /* byte, not uint64 */, 0, 0}
+	if _, err := conn.Write(hello); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 12)
+	if _, err := io.ReadFull(conn, got); err != nil {
+		t.Fatalf("read rejection hello: %v", err)
+	}
+	if got[10] != helloRejectElem {
+		t.Fatalf("rejection status = %d, want %d (hello % x)", got[10], helloRejectElem, got)
+	}
+}
+
+// TestV3ClientFallsBackToGobOnlyServer runs a default (auto) client against
+// a server emulating a legacy gob-only device: the first request must
+// negotiate, detect the legacy peer, transparently retry over gob, and the
+// pool must remember the verdict so later requests skip the probe.
+func TestV3ClientFallsBackToGobOnlyServer(t *testing.T) {
+	f := field.Prime{}
+	srv, err := NewDeviceServerOptions[uint64](f, "127.0.0.1:0", Options{Proto: ProtoGob})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	storeBlock(t, srv.Addr(), []uint64{2, 3})
+
+	reg := obs.New()
+	client := Client[uint64]{F: f, Timeout: 2 * time.Second, Metrics: reg, Pool: NewPool[uint64]()}
+	for i := 0; i < 3; i++ {
+		y, err := client.Compute(t.Context(), srv.Addr(), []uint64{5, 7})
+		if err != nil {
+			t.Fatalf("compute %d: %v", i, err)
+		}
+		if len(y) != 1 || y[0] != 31 {
+			t.Fatalf("compute %d: got %v, want [31]", i, y)
+		}
+	}
+	if d := client.ConnDebug(srv.Addr()); d.Proto != "gob" {
+		t.Fatalf("pool debug proto = %q, want gob (%+v)", d.Proto, d)
+	}
+	legacy := reg.Counter(obs.MetricTransportNegotiations, "", obs.L("outcome", "legacy")).Value()
+	if legacy != 1 {
+		t.Fatalf("legacy negotiations = %d, want exactly 1 (verdict must be cached)", legacy)
+	}
+}
+
+// TestForcedGobClientAgainstAutoServer forces the legacy protocol against a
+// dual-protocol server — the downgrade direction of mixed-version interop.
+func TestForcedGobClientAgainstAutoServer(t *testing.T) {
+	f := field.Prime{}
+	srv, err := NewDeviceServer[uint64](f, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	storeBlock(t, srv.Addr(), []uint64{2, 3})
+
+	client := Client[uint64]{F: f, Timeout: 2 * time.Second, Proto: ProtoGob, Pool: NewPool[uint64]()}
+	y, err := client.Compute(t.Context(), srv.Addr(), []uint64{5, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(y) != 1 || y[0] != 31 {
+		t.Fatalf("got %v, want [31]", y)
+	}
+	if d := client.ConnDebug(srv.Addr()); d.Proto != "gob" || d.IdleConns != 1 {
+		t.Fatalf("pool debug = %+v, want one idle gob conn", d)
+	}
+}
+
+// TestProtoV3RefusesGobOnlyServer: with fallback disabled the client must
+// surface the negotiation failure instead of silently downgrading.
+func TestProtoV3RefusesGobOnlyServer(t *testing.T) {
+	f := field.Prime{}
+	srv, err := NewDeviceServerOptions[uint64](f, "127.0.0.1:0", Options{Proto: ProtoGob})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client := Client[uint64]{F: f, Timeout: 2 * time.Second, Proto: ProtoV3, Pool: NewPool[uint64]()}
+	if err := client.Ping(t.Context(), srv.Addr()); err == nil {
+		t.Fatal("ProtoV3 client succeeded against a gob-only server")
+	}
+}
+
+// diffProtocols runs the full pipeline (distribute, MulVec, MulMat) over
+// both wire protocols against the same fleet and requires bit-identical
+// results: the zero-copy binary codec must not change a single element for
+// any field.
+func diffProtocols[E comparable](t *testing.T, f field.Field[E]) {
+	rng := testRNG()
+	const m, l, r = 8, 5, 4
+	s, err := coding.New(m, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := matrix.Random[E](f, rng, m, l)
+	enc, err := coding.Encode[E](f, s, a, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs, _ := startFleet[E](t, f, s.Devices())
+
+	protos := []Proto{ProtoGob, ProtoV3}
+	vecs := make([][]E, len(protos))
+	mats := make([]*matrix.Dense[E], len(protos))
+	x := matrix.RandomVec[E](f, rng, l)
+	xm := matrix.Random[E](f, rng, l, 3)
+	for i, proto := range protos {
+		pool := NewPool[E]()
+		cloud := Cloud[E]{Timeout: 2 * time.Second, Proto: proto, Pool: pool}
+		if err := cloud.Distribute(t.Context(), addrs, enc); err != nil {
+			t.Fatalf("%v distribute: %v", proto, err)
+		}
+		client := Client[E]{F: f, Scheme: s, Timeout: 2 * time.Second, Proto: proto, Pool: pool}
+		if vecs[i], err = client.MulVec(t.Context(), addrs, x); err != nil {
+			t.Fatalf("%v MulVec: %v", proto, err)
+		}
+		if mats[i], err = client.MulMat(t.Context(), addrs, xm); err != nil {
+			t.Fatalf("%v MulMat: %v", proto, err)
+		}
+	}
+	for i := range vecs[0] {
+		if vecs[0][i] != vecs[1][i] {
+			t.Fatalf("MulVec[%d]: gob %v != v3 %v", i, vecs[0][i], vecs[1][i])
+		}
+	}
+	if mats[0].Rows() != mats[1].Rows() || mats[0].Cols() != mats[1].Cols() {
+		t.Fatalf("MulMat shape: gob %dx%d != v3 %dx%d", mats[0].Rows(), mats[0].Cols(), mats[1].Rows(), mats[1].Cols())
+	}
+	for i := 0; i < mats[0].Rows(); i++ {
+		for j := 0; j < mats[0].Cols(); j++ {
+			if mats[0].At(i, j) != mats[1].At(i, j) {
+				t.Fatalf("MulMat[%d,%d]: gob %v != v3 %v", i, j, mats[0].At(i, j), mats[1].At(i, j))
+			}
+		}
+	}
+}
+
+// TestProtocolsBitIdentical covers all three concrete element types; the
+// comparisons are exact (==), not tolerance-based, pinning that the two
+// protocols move identical bits end to end.
+func TestProtocolsBitIdentical(t *testing.T) {
+	t.Run("prime", func(t *testing.T) { diffProtocols[uint64](t, field.Prime{}) })
+	t.Run("gf256", func(t *testing.T) { diffProtocols[byte](t, field.GF256{}) })
+	t.Run("real", func(t *testing.T) { diffProtocols[float64](t, field.Real{Tol: 1e-9}) })
+}
+
+// TestV3RemoteErrorStrings pins that validation failures arrive with the
+// same error text over v3 as over gob (shared validation cores).
+func TestV3RemoteErrorStrings(t *testing.T) {
+	f := field.Prime{}
+	srv, err := NewDeviceServer[uint64](f, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	gobC := Client[uint64]{F: f, Timeout: 2 * time.Second, Proto: ProtoGob, Pool: NewPool[uint64]()}
+	v3C := Client[uint64]{F: f, Timeout: 2 * time.Second, Proto: ProtoV3, Pool: NewPool[uint64]()}
+	_, gobErr := gobC.Compute(t.Context(), srv.Addr(), []uint64{1})
+	_, v3Err := v3C.Compute(t.Context(), srv.Addr(), []uint64{1})
+	if gobErr == nil || v3Err == nil {
+		t.Fatalf("compute before store: gob=%v v3=%v, want remote errors", gobErr, v3Err)
+	}
+	if gobErr.Error() != v3Err.Error() {
+		t.Fatalf("error text diverges:\n  gob: %s\n  v3:  %s", gobErr, v3Err)
+	}
+}
+
+// TestV3ElementCap: an over-cap store over v3 must fail with the same
+// message as gob and leave the connection healthy for the next request.
+func TestV3ElementCap(t *testing.T) {
+	f := field.Prime{}
+	srv, err := NewDeviceServerLimited[uint64](f, "127.0.0.1:0", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	pool := NewPool[uint64]()
+	cloud := Cloud[uint64]{Timeout: 2 * time.Second, Proto: ProtoV3, Pool: pool}
+	big := matrix.FromSlice(3, 2, make([]uint64, 6))
+	err = cloud.Store(t.Context(), srv.Addr(), big)
+	if err == nil {
+		t.Fatal("over-cap store succeeded")
+	}
+	want := "store: block of 6 elements exceeds the device cap of 4"
+	if got := err.Error(); !strings.Contains(got, want) {
+		t.Fatalf("err %q does not contain %q", got, want)
+	}
+	// The connection survived the drained over-cap payload.
+	small := matrix.FromSlice(2, 2, []uint64{1, 2, 3, 4})
+	if err := cloud.Store(t.Context(), srv.Addr(), small); err != nil {
+		t.Fatalf("in-cap store after over-cap failure: %v", err)
+	}
+	if got := srv.StoredRows(); got != 2 {
+		t.Fatalf("stored rows = %d, want 2", got)
+	}
+}
+
+// TestV3TracedExchange: spans must ride the v3 response trailer exactly as
+// they ride the gob envelope.
+func TestV3TracedExchange(t *testing.T) {
+	f := field.Prime{}
+	devTr := trace.New(trace.Options{Service: "device"})
+	srv, err := NewDeviceServerOptions[uint64](f, "127.0.0.1:0", Options{Tracer: devTr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	pool := NewPool[uint64]()
+	cloud := Cloud[uint64]{Timeout: 2 * time.Second, Proto: ProtoV3, Pool: pool}
+	if err := cloud.Store(t.Context(), srv.Addr(), matrix.FromSlice(1, 2, []uint64{1, 1})); err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.New(trace.Options{Service: "user"})
+	ctx, root := tr.StartRoot(context.Background(), "query")
+	client := Client[uint64]{F: f, Timeout: 2 * time.Second, Proto: ProtoV3, Pool: pool}
+	if _, err := client.Compute(ctx, srv.Addr(), []uint64{4, 9}); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	names := map[string]int{}
+	for _, sd := range tr.Snapshot() {
+		names[sd.Name]++
+	}
+	if names[trace.SpanRPCServer] != 1 || names[trace.SpanDeviceCompute] != 1 {
+		t.Fatalf("v3 exchange did not adopt device spans: %v", names)
+	}
+}
