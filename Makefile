@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short test-fault trace-demo bench bench-json bench-check bench-transport load-check fuzz reproduce examples clean
+.PHONY: all build vet lint test test-short test-fault trace-demo bench bench-json bench-check bench-transport load-check adapt-check fuzz reproduce examples clean
 
 all: build vet lint test
 
@@ -81,6 +81,16 @@ load-check:
 		-sim-devices 1000 -sim-rates 500,1000,2000,4000 -sim-step-requests 2000 \
 		-sim-slo "p99<=100ms@1000" \
 		-out results/load.json -md results/load.md
+
+# Closed-loop recovery guard: the deterministic virtual-clock scenario (a
+# 1000-device fleet hit by a chronic 5x straggler and an 8s outage) served
+# by the adaptive control plane vs a frozen baseline vs an instant-replan
+# oracle. Writes results/adapt.json and fails unless the adaptive arm
+# recovers to within 1.5x the oracle's steady-state p99, stays >=2x better
+# than frozen, and drops zero queries — everything on the virtual clock and
+# one seeded RNG, so the committed report is bit-reproducible.
+adapt-check:
+	$(GO) run ./cmd/scecsim -adaptive -adapt-check -adapt-out results/adapt.json
 
 # Short fuzzing passes over the three fuzz targets (CI-friendly budgets).
 fuzz:

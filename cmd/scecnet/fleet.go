@@ -42,6 +42,8 @@ func runFleet(args []string, out io.Writer) error {
 		coalesceWin  = fs.Duration("coalesce-window", 0, "merge concurrent MulVec queries within this window into one batch round (0 off; queries run concurrently when on)")
 		coalesceMax  = fs.Int("coalesce-max", 0, "max queries per coalesced round (0 for the engine default)")
 		traceFile    = fs.String("trace-export", "", "record a distributed trace per query and write the JSON export here on completion")
+		adaptive     = fs.Bool("adaptive", false, "run the closed-loop adaptive control plane: learn per-device costs from live traffic, re-plan with TA2, and migrate blocks without dropping queries")
+		replanEvery  = fs.Duration("replan-every", 500*time.Millisecond, "adaptive control period (with -adaptive)")
 		protoName    = protoFlag(fs)
 	)
 	if err := fs.Parse(args); err != nil {
@@ -59,6 +61,9 @@ func runFleet(args []string, out io.Writer) error {
 	case "local":
 		if *injectFaults {
 			return fmt.Errorf("-inject-faults needs -backend fleet (the local engine has no replicas to kill)")
+		}
+		if *adaptive {
+			return fmt.Errorf("-adaptive needs -backend fleet (the local engine has no devices to migrate)")
 		}
 	default:
 		return fmt.Errorf("unknown -backend %q (want fleet or local)", *backend)
@@ -150,7 +155,14 @@ func runFleet(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "launched %d loopback devices (%d replicas per block + %d standbys)\n",
 			dep.Devices()**replicas+*standbys, *replicas, *standbys)
 
-		s, err := scec.Serve(dep, cfg, engineOpts...)
+		serveOpts := engineOpts
+		if *adaptive {
+			serveOpts = append(serveOpts, scec.WithAdaptive[uint64](scec.AdaptiveConfig{
+				ReplanEvery: *replanEvery,
+				Tracer:      tr,
+			}))
+		}
+		s, err := scec.Serve(dep, cfg, serveOpts...)
 		if err != nil {
 			return err
 		}
@@ -182,6 +194,9 @@ func runFleet(args []string, out io.Writer) error {
 		routes = append(routes,
 			obs.Route{Pattern: "/debug/fleet", Handler: served.FleetDebugHandler()},
 			obs.Route{Pattern: "/debug/engine", Handler: served.EngineDebugHandler()})
+		if *adaptive {
+			routes = append(routes, obs.Route{Pattern: "/debug/adapt", Handler: served.AdaptDebugHandler()})
+		}
 	} else {
 		routes = append(routes, obs.Route{Pattern: "/debug/engine", Handler: dep.EngineDebugHandler()})
 	}
@@ -266,6 +281,10 @@ func runFleet(args []string, out io.Writer) error {
 		if err := writeFleetSummary(out); err != nil {
 			return err
 		}
+	}
+	if *adaptive && served != nil {
+		replans, adopts, moved := served.Adaptive().Stats()
+		fmt.Fprintf(out, "adaptive summary: replans=%d adopts=%d blocksMoved=%d\n", replans, adopts, moved)
 	}
 	if err := writeEngineSummary(out); err != nil {
 		return err

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/scec/scec/internal/adapt"
+)
+
+// adaptConfig carries the -adaptive flags into runAdaptScenario.
+type adaptConfig struct {
+	devices  int
+	m        int
+	qps      float64
+	duration time.Duration
+	seed     uint64
+	initialR int
+	out      string
+	check    bool
+}
+
+// Acceptance bounds for -adapt-check (and the committed results/adapt.json):
+// the adaptive arm's steady-state p99 must recover to within 1.5× the
+// instant-replanning oracle, the frozen baseline must remain at least 2×
+// worse than adaptive, and no arm may fail a single query.
+const (
+	adaptMaxOverOracle   = 1.5
+	adaptMinFrozenFactor = 2.0
+)
+
+// runAdaptScenario is scecsim's closed-loop recovery study: a large
+// virtual-clock fleet deployed by TA2 is hit mid-run by a chronic straggler
+// and a transient outage, and three regimes serve the same Poisson arrivals —
+// adaptive (the internal/adapt control plane), frozen (never re-plans), and
+// oracle (re-plans instantly on the true factors). The report is
+// deterministic for a given seed.
+func runAdaptScenario(out io.Writer, cfg adaptConfig) error {
+	rep, err := adapt.RunScenario(adapt.ScenarioConfig{
+		Devices:  cfg.devices,
+		M:        cfg.m,
+		QPS:      cfg.qps,
+		Duration: cfg.duration,
+		Seed:     cfg.seed,
+		InitialR: cfg.initialR,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "recovery scenario: %d devices, m=%d, %.0f QPS for %s (seed %d)\n",
+		rep.Devices, rep.M, rep.QPS, time.Duration(rep.DurationMs)*time.Millisecond, rep.Seed)
+	fmt.Fprintf(out, "faults: chronic straggler on device %d, outage on device %d\n",
+		rep.StragglerDevice, rep.OutageDevice)
+	fmt.Fprintln(out, "arm       steady-p50   steady-p95   steady-p99   overall-p99  final-r  replans  adopts  moved")
+	for _, a := range []adapt.ArmResult{rep.Frozen, rep.Adaptive, rep.Oracle} {
+		fmt.Fprintf(out, "%-8s %9.2fms  %9.2fms  %9.2fms  %9.2fms  %7d  %7d  %6d  %5d\n",
+			a.Name, a.SteadyP50Ms, a.SteadyP95Ms, a.SteadyP99Ms, a.OverallP99Ms,
+			a.FinalR, a.Replans, a.Adopts, a.BlocksMoved)
+	}
+	fmt.Fprintf(out, "adaptive/oracle steady p99 = %.2fx (bound ≤ %.1fx); frozen/adaptive = %.2fx (bound ≥ %.1fx)\n",
+		rep.AdaptiveOverOracleP99, adaptMaxOverOracle, rep.FrozenOverAdaptiveP99, adaptMinFrozenFactor)
+	for _, ev := range rep.Events {
+		fmt.Fprintf(out, "  %s\n", ev)
+	}
+
+	if cfg.out != "" {
+		if dir := filepath.Dir(cfg.out); dir != "." {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return err
+			}
+		}
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "report written to %s\n", cfg.out)
+	}
+	if cfg.check {
+		return checkAdaptReport(rep)
+	}
+	return nil
+}
+
+// checkAdaptReport enforces the recovery acceptance bounds.
+func checkAdaptReport(rep *adapt.RecoveryReport) error {
+	for _, a := range []adapt.ArmResult{rep.Frozen, rep.Adaptive, rep.Oracle} {
+		if a.FailedQueries != 0 {
+			return fmt.Errorf("adapt-check: %s arm failed %d queries; migrations must drop none", a.Name, a.FailedQueries)
+		}
+	}
+	if rep.AdaptiveOverOracleP99 > adaptMaxOverOracle {
+		return fmt.Errorf("adapt-check: adaptive steady p99 is %.2fx the oracle's (bound %.1fx)",
+			rep.AdaptiveOverOracleP99, adaptMaxOverOracle)
+	}
+	if rep.FrozenOverAdaptiveP99 < adaptMinFrozenFactor {
+		return fmt.Errorf("adapt-check: frozen baseline is only %.2fx worse than adaptive (bound %.1fx): the control plane bought too little",
+			rep.FrozenOverAdaptiveP99, adaptMinFrozenFactor)
+	}
+	return nil
+}

@@ -66,9 +66,28 @@ func run(args []string, out io.Writer) error {
 		loadSLO     = fs.String("load-slo", "", "comma-separated SLOs for -load, e.g. p99<=50ms@1000 (violations exit non-zero)")
 		loadOut     = fs.String("load-out", "", "write the -load report as JSON to this path")
 		loadMD      = fs.String("load-md", "", "write the -load report as markdown to this path")
+
+		adaptive      = fs.Bool("adaptive", false, "run the closed-loop recovery scenario: adaptive vs frozen vs oracle re-planning under a mid-run straggler and outage")
+		adaptDevices  = fs.Int("adapt-devices", 0, "candidate pool size for -adaptive (0 for the scenario default, 1000)")
+		adaptM        = fs.Int("adapt-m", 0, "data-matrix rows for -adaptive (0 for the scenario default, 4096)")
+		adaptQPS      = fs.Float64("adapt-qps", 0, "offered load for -adaptive (0 for the scenario default, 100)")
+		adaptDuration = fs.Duration("adapt-duration", 0, "virtual run length for -adaptive (0 for the scenario default, 60s)")
+		adaptInitialR = fs.Int("adapt-initial-r", 0, "force the -adaptive starting deployment to this suboptimal r (0 starts at the TA2 optimum)")
+		adaptOut      = fs.String("adapt-out", "", "write the -adaptive recovery report as JSON to this path")
+		adaptCheck    = fs.Bool("adapt-check", false, "enforce the -adaptive acceptance bounds (recovery within 1.5x oracle, >=2x better than frozen, zero failed queries); violations exit non-zero")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *adaptive {
+		if *load || *straggler != "" || *failDev >= 0 || *replicas > 1 || *traceFile != "" {
+			return fmt.Errorf("-adaptive runs its own three-arm recovery scenario; -load, -straggler, -fail, -replicas, and -trace-export configure other modes")
+		}
+		return runAdaptScenario(out, adaptConfig{
+			devices: *adaptDevices, m: *adaptM, qps: *adaptQPS,
+			duration: *adaptDuration, seed: *seed, initialR: *adaptInitialR,
+			out: *adaptOut, check: *adaptCheck,
+		})
 	}
 	if *load {
 		if *straggler != "" || *failDev >= 0 || *replicas > 1 || *traceFile != "" || *backend != "sim" {

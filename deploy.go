@@ -83,6 +83,9 @@ func Deploy[E comparable](f Field[E], a *Matrix[E], unitCosts []float64, rng *ra
 		return nil, fmt.Errorf("scec: encode: %w", err)
 	}
 	cfg := newDeployConfig(opts)
+	if cfg.adaptive != nil {
+		return nil, fmt.Errorf("scec: WithAdaptive applies to Serve, not Deploy: the control plane needs a live fleet to migrate")
+	}
 	exec, err := cfg.backend(f, enc)
 	if err != nil {
 		return nil, fmt.Errorf("scec: bind executor: %w", err)

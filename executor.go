@@ -3,6 +3,7 @@ package scec
 import (
 	"time"
 
+	"github.com/scec/scec/internal/adapt"
 	"github.com/scec/scec/internal/engine"
 	"github.com/scec/scec/internal/obs"
 	"github.com/scec/scec/internal/sim"
@@ -61,8 +62,9 @@ func FleetExecutor[E comparable](cfg FleetExecutorConfig) ExecutorBackend[E] {
 // deployConfig collects the facade options shared by Deploy, DeployChunked,
 // and DeployQuantized.
 type deployConfig[E comparable] struct {
-	backend engine.Backend[E]
-	opts    engine.Options
+	backend  engine.Backend[E]
+	opts     engine.Options
+	adaptive *adapt.Config // non-nil when WithAdaptive was given (Serve only)
 }
 
 // DeployOption customizes how a deployment executes queries.
@@ -91,6 +93,28 @@ func WithCoalescing[E comparable](window time.Duration, maxBatch int) DeployOpti
 // of the process-default registry.
 func WithEngineMetrics[E comparable](reg *obs.Registry) DeployOption[E] {
 	return func(c *deployConfig[E]) { c.opts.Metrics = reg }
+}
+
+// AdaptiveConfig tunes the closed-loop adaptive control plane enabled by
+// WithAdaptive: the control period, the EWMA cost-learning parameters, the
+// hysteresis margin and cooldown, and the migration timeout. The zero value
+// selects sensible defaults for every field. See internal/adapt.Config.
+type AdaptiveConfig = adapt.Config
+
+// AdaptiveController is the running control loop behind an adaptive Served
+// handle: it learns per-device costs from winning-attempt latencies and
+// heartbeat RTTs, periodically re-runs the paper's TA2 allocation on the
+// learned costs, and migrates coded blocks live when a re-plan clears the
+// hysteresis margin. See internal/adapt.Controller.
+type AdaptiveController = adapt.Controller
+
+// WithAdaptive enables the closed-loop adaptive control plane on a Serve
+// deployment: a background controller learns per-device costs from the
+// fleet's own query traffic, re-plans with TA2, and rehosts or reshapes the
+// deployment live — without failing a single query. Only Serve accepts it;
+// Deploy's static backends have nothing to adapt.
+func WithAdaptive[E comparable](cfg AdaptiveConfig) DeployOption[E] {
+	return func(c *deployConfig[E]) { c.adaptive = &cfg }
 }
 
 // newDeployConfig applies opts over the local-backend default.

@@ -1,0 +1,131 @@
+// Package adapt is the closed-loop adaptive control plane over a deployed
+// MCSCEC fleet: it learns per-device costs from live signals, re-runs the
+// paper's allocation on what it learned, and migrates coded blocks while
+// queries keep flowing.
+//
+// The paper's TA1/TA2 allocation (Algorithms 1–2) is solved once, against
+// unit costs assumed known and stationary. Real edge fleets drift: devices
+// straggle chronically, links degrade, machines disappear. This package adds
+// the feedback loop the paper's §VI leaves to future work, without touching
+// its optimality or security arguments — the loop only changes *which*
+// instance is solved and *where* blocks live, never how they are coded:
+//
+//   - an Estimator folds the fleet's straggler digest (winning-attempt
+//     latencies) and the transport's heartbeat round trips into per-device
+//     EWMA cost multipliers over the provisioning-time base costs;
+//   - a Planner periodically re-runs TA2 on the learned costs and applies
+//     hysteresis — a candidate plan is adopted only when it beats the
+//     incumbent, evaluated at the same learned costs, by a configurable
+//     margin, outside a cooldown window — so noise cannot flap the fleet;
+//   - a Controller executes adopted plans live. A plan with the same r is a
+//     set of block moves: each block is re-pushed to its new device and the
+//     replica sets swap atomically (fleet.Rehost), with moves scheduled so a
+//     destination is always free. A plan with a different r reshapes the
+//     whole deployment: new rounds park on a gate, in-flight rounds drain,
+//     the data matrix is reconstructed and re-encoded at the new r, and the
+//     fresh fleet session swaps in (engine.Swappable.SwapDrained) — no
+//     query is ever failed by a migration.
+//
+// Security is preserved by construction. A rehost moves B_j·T verbatim, so
+// every device's view stays the single-block view of Def. 2 (the fleet layer
+// additionally refuses a destination that already hosts another block). A
+// reshape generates a fresh Eq. (8) encoding with fresh randomness, which is
+// exactly a new deployment.
+package adapt
+
+import (
+	"time"
+
+	"github.com/scec/scec/internal/obs"
+	"github.com/scec/scec/internal/obs/trace"
+)
+
+// Defaults for zero Config fields.
+const (
+	DefaultReplanEvery    = 2 * time.Second
+	DefaultAlpha          = 0.3
+	DefaultMinSamples     = 3
+	DefaultMaxFactor      = 64.0
+	DefaultOutageFactor   = 256.0
+	DefaultMinImprovement = 0.05
+	DefaultMigrateTimeout = 30 * time.Second
+	DefaultHistory        = 64
+)
+
+// Config tunes the adaptive control plane. The zero value of every field
+// selects the package default.
+type Config struct {
+	// ReplanEvery is the control period: how often the estimator snapshot is
+	// taken and TA2 re-runs on the learned costs.
+	ReplanEvery time.Duration
+	// Alpha is the EWMA weight of a new latency/RTT sample (0 < Alpha ≤ 1).
+	Alpha float64
+	// MinSamples is how many winning-attempt samples a device needs before
+	// its learned factor is trusted; below it the device is assumed nominal
+	// (factor 1), so fresh standbys are attractive migration targets.
+	MinSamples int
+	// MaxFactor clamps a device's learned cost multiplier.
+	MaxFactor float64
+	// OutageFactor is the multiplier assigned to a device whose circuit
+	// breaker is open. It is large but finite: the allocation problem
+	// requires finite positive costs, and a finite penalty still lets TA2
+	// use a dead-but-cheap device if literally nothing else can serve.
+	OutageFactor float64
+	// MinImprovement is the hysteresis margin: a candidate plan is adopted
+	// only if its cost is at least this fraction below the incumbent's cost
+	// at the same learned prices.
+	MinImprovement float64
+	// Cooldown is the minimum interval between adoptions. Zero selects
+	// 3×ReplanEvery. An unhealthy incumbent device bypasses the cooldown
+	// (but never the improvement margin).
+	Cooldown time.Duration
+	// MigrateTimeout bounds the execution of one adopted plan end to end.
+	MigrateTimeout time.Duration
+	// History is how many decisions and migration events the controller
+	// retains for /debug/adapt.
+	History int
+	// BaseCosts maps device addresses to their provisioning-time unit costs
+	// c_j; the learned cost is base×factor. Missing addresses default to 1,
+	// so a nil map means "learn relative costs from scratch".
+	BaseCosts map[string]float64
+	// Metrics receives scec_adapt_* telemetry; nil means obs.Default().
+	Metrics *obs.Registry
+	// Tracer, when non-nil, records one adapt.replan span per control cycle
+	// and one adapt.migrate span per executed migration.
+	Tracer *trace.Tracer
+}
+
+// withDefaults resolves zero values.
+func (c Config) withDefaults() Config {
+	if c.ReplanEvery <= 0 {
+		c.ReplanEvery = DefaultReplanEvery
+	}
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		c.Alpha = DefaultAlpha
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = DefaultMinSamples
+	}
+	if c.MaxFactor <= 1 {
+		c.MaxFactor = DefaultMaxFactor
+	}
+	if c.OutageFactor <= 1 {
+		c.OutageFactor = DefaultOutageFactor
+	}
+	if c.MinImprovement <= 0 {
+		c.MinImprovement = DefaultMinImprovement
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 3 * c.ReplanEvery
+	}
+	if c.MigrateTimeout <= 0 {
+		c.MigrateTimeout = DefaultMigrateTimeout
+	}
+	if c.History <= 0 {
+		c.History = DefaultHistory
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.Default()
+	}
+	return c
+}

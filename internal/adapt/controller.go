@@ -1,0 +1,431 @@
+package adapt
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/scec/scec/internal/obs"
+	"github.com/scec/scec/internal/obs/trace"
+)
+
+// Substrate is what the controller drives: the live placement, the devices
+// eligible to receive a block, health and network signals, and the two
+// migration mechanisms. internal/adapt ships the fleet-backed implementation
+// (FleetAdapter); tests and the virtual-clock scenario substitute models.
+type Substrate interface {
+	// Placements snapshots every block's serving device (the replica the
+	// planner accounts for) in scheme order.
+	Placements() []BlockHost
+	// Free lists devices currently eligible to receive a block (warm
+	// standbys outside any quarantine).
+	Free() []string
+	// Healthy reports whether the device's breaker is closed.
+	Healthy(addr string) bool
+	// RTT reports the last transport heartbeat round trip toward addr.
+	RTT(addr string) (time.Duration, bool)
+	// Rehost moves one block to a free device without interrupting queries.
+	Rehost(ctx context.Context, block int, from, to string) error
+	// Reshape re-encodes the deployment at a new r and swaps it in behind a
+	// drain; target is the per-block host assignment of the new scheme.
+	Reshape(ctx context.Context, target []string, r int) error
+}
+
+// MigrationEvent is one executed (or attempted) block movement.
+type MigrationEvent struct {
+	At    time.Duration `json:"atNs"`
+	Kind  string        `json:"kind"` // "rehost" | "reshape"
+	Block int           `json:"block"`
+	From  string        `json:"from,omitempty"`
+	To    string        `json:"to,omitempty"`
+	Err   string        `json:"error,omitempty"`
+}
+
+const (
+	replansHelp    = "Adaptive control cycles, by hysteresis outcome."
+	migrationsHelp = "Executed adaptive migrations, by kind and outcome."
+	movedHelp      = "Coded blocks moved by adaptive migrations."
+	planCostHelp   = "Learned-cost objective of the current adaptive plan."
+	planRHelp      = "Coding parameter r of the current adaptive plan."
+	factorHelp     = "Learned per-device cost multiplier (1 = nominal)."
+)
+
+// Controller closes the loop: every ReplanEvery it snapshots the estimator,
+// asks the planner for a verdict, and executes adopted plans against the
+// substrate. Step is exported so tests and the virtual-clock scenario can
+// drive the cycle deterministically; Start runs it on a wall-clock ticker.
+type Controller struct {
+	cfg     Config
+	est     *Estimator
+	planner *Planner
+	sub     Substrate
+
+	start time.Time
+	rows  atomic.Pointer[[]int] // per-block row counts for ObserveWin
+
+	mu        sync.Mutex
+	decisions []Decision
+	events    []MigrationEvent
+	replans   int
+	adopts    int
+	moved     int
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+	once   sync.Once
+}
+
+// New builds a controller over the substrate. The planner's host pool is the
+// union of the current placement and the currently free devices, priced by
+// cfg.BaseCosts (missing addresses cost 1): every device the fleet knows at
+// construction time is a candidate for the rest of the session.
+func New(cfg Config, sub Substrate) (*Controller, error) {
+	cfg = cfg.withDefaults()
+	placements := sub.Placements()
+	if len(placements) == 0 {
+		return nil, fmt.Errorf("adapt: substrate serves no blocks")
+	}
+	m := 0
+	rows := make([]int, len(placements))
+	var hosts []Host
+	seen := make(map[string]bool)
+	add := func(addr string) {
+		if addr == "" || seen[addr] {
+			return
+		}
+		seen[addr] = true
+		base := cfg.BaseCosts[addr]
+		if base <= 0 {
+			base = 1
+		}
+		hosts = append(hosts, Host{Addr: addr, Base: base})
+	}
+	for _, b := range placements {
+		m += b.Rows
+		rows[b.Block] = b.Rows
+		add(b.Addr)
+	}
+	for _, addr := range sub.Free() {
+		add(addr)
+	}
+	// The placement holds m+r coded rows; the planner needs the data rows m.
+	// The largest block holds exactly r (Lemma 2 shape).
+	r := 0
+	for _, b := range placements {
+		if b.Rows > r {
+			r = b.Rows
+		}
+	}
+	m -= r
+	planner, err := NewPlanner(m, hosts, cfg.MinImprovement, cfg.Cooldown)
+	if err != nil {
+		return nil, err
+	}
+	c := &Controller{
+		cfg:     cfg,
+		est:     NewEstimator(cfg.Alpha, cfg.MinSamples, cfg.MaxFactor),
+		planner: planner,
+		sub:     sub,
+		start:   time.Now(),
+	}
+	c.rows.Store(&rows)
+	c.ctx, c.cancel = context.WithCancel(context.Background())
+	return c, nil
+}
+
+// Estimator exposes the cost estimator (e.g. to feed recorded observations).
+func (c *Controller) Estimator() *Estimator { return c.est }
+
+// Now is the controller's clock: elapsed time since construction.
+func (c *Controller) Now() time.Duration { return time.Since(c.start) }
+
+// ObserveWin feeds one winning replica attempt; wire it to
+// fleet.Config.OnWin. It is on the query path: one atomic load and one
+// short-locked EWMA fold.
+func (c *Controller) ObserveWin(device string, block int, latency time.Duration) {
+	rows := *c.rows.Load()
+	if block < 0 || block >= len(rows) {
+		return
+	}
+	c.est.ObserveLatency(device, c.Now(), latency, rows[block])
+}
+
+// Start runs the control loop until Stop.
+func (c *Controller) Start() {
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		t := time.NewTicker(c.cfg.ReplanEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-c.ctx.Done():
+				return
+			case <-t.C:
+				_, _ = c.Step(c.ctx, c.Now())
+			}
+		}
+	}()
+}
+
+// Stop halts the control loop; in-flight migrations finish first. Idempotent.
+func (c *Controller) Stop() {
+	c.once.Do(func() {
+		c.cancel()
+		c.wg.Wait()
+	})
+}
+
+// Step runs one control cycle at caller-clock time now: poll heartbeat RTTs,
+// snapshot learned factors (unhealthy devices pinned to the outage factor),
+// decide, and execute an adopted plan. It returns the decision for
+// introspection; execution errors are recorded as migration events and
+// metrics, not returned, because a failed move leaves the fleet serving from
+// wherever blocks actually are.
+func (c *Controller) Step(ctx context.Context, now time.Duration) (Decision, error) {
+	reg := c.cfg.Metrics
+	for _, h := range c.planner.Hosts() {
+		if rtt, ok := c.sub.RTT(h.Addr); ok {
+			c.est.ObserveRTT(h.Addr, now, rtt)
+		}
+	}
+	factors := c.est.Factors()
+	for _, h := range c.planner.Hosts() {
+		if !c.sub.Healthy(h.Addr) {
+			if factors[h.Addr] < c.cfg.OutageFactor {
+				factors[h.Addr] = c.cfg.OutageFactor
+			}
+		}
+		reg.Gauge(obs.MetricAdaptDeviceFactor, factorHelp, obs.L("device", h.Addr)).Set(factorOr1(factors, h.Addr))
+	}
+
+	current := c.sub.Placements()
+	rows := make([]int, len(current))
+	for _, b := range current {
+		rows[b.Block] = b.Rows
+	}
+	c.rows.Store(&rows)
+	urgent := false
+	for _, b := range current {
+		if !c.sub.Healthy(b.Addr) {
+			urgent = true
+			break
+		}
+	}
+
+	var span *trace.Span
+	if c.cfg.Tracer != nil {
+		ctx, span = c.cfg.Tracer.StartSpan(ctx, trace.SpanAdaptReplan)
+		defer span.End()
+	}
+	d, err := c.planner.Decide(now, factors, current, urgent)
+	c.mu.Lock()
+	c.replans++
+	if d.Adopt {
+		c.adopts++
+	}
+	c.decisions = append(c.decisions, d)
+	if len(c.decisions) > c.cfg.History {
+		c.decisions = c.decisions[len(c.decisions)-c.cfg.History:]
+	}
+	c.mu.Unlock()
+	if err != nil {
+		return d, err
+	}
+
+	if d.Adopt {
+		reg.Counter(obs.MetricAdaptReplansTotal, replansHelp, obs.L("outcome", "adopted")).Inc()
+		if span != nil {
+			span.AddEvent(trace.EventAdopt, trace.A(trace.AttrKind, adoptKind(d)))
+		}
+		reg.Gauge(obs.MetricAdaptPlanCost, planCostHelp).Set(d.CandidateCost)
+		reg.Gauge(obs.MetricAdaptPlanR, planRHelp).Set(float64(d.R))
+		c.execute(ctx, now, d)
+	} else {
+		reg.Counter(obs.MetricAdaptReplansTotal, replansHelp, obs.L("outcome", "held")).Inc()
+		if span != nil {
+			span.AddEvent(trace.EventHold, trace.A(trace.AttrKind, d.Reason))
+		}
+	}
+	return d, nil
+}
+
+func adoptKind(d Decision) string {
+	if d.Reshape {
+		return "reshape"
+	}
+	return "rehost"
+}
+
+func factorOr1(factors map[string]float64, addr string) float64 {
+	if f, ok := factors[addr]; ok {
+		return f
+	}
+	return 1
+}
+
+// execute realizes an adopted decision against the substrate.
+func (c *Controller) execute(ctx context.Context, now time.Duration, d Decision) {
+	ctx, cancel := context.WithTimeout(ctx, c.cfg.MigrateTimeout)
+	defer cancel()
+	if c.cfg.Tracer != nil {
+		var span *trace.Span
+		ctx, span = c.cfg.Tracer.StartSpan(ctx, trace.SpanAdaptMigrate, trace.A(trace.AttrKind, adoptKind(d)))
+		defer span.End()
+	}
+	reg := c.cfg.Metrics
+	if d.Reshape {
+		err := c.sub.Reshape(ctx, d.Target, d.R)
+		ev := MigrationEvent{At: now, Kind: "reshape", Block: -1}
+		outcome := "ok"
+		if err != nil {
+			ev.Err = err.Error()
+			outcome = "failed"
+		}
+		reg.Counter(obs.MetricAdaptMigrationsTotal, migrationsHelp, obs.L("kind", "reshape"), obs.L("outcome", outcome)).Inc()
+		if err == nil {
+			reg.Counter(obs.MetricAdaptBlocksMovedTotal, movedHelp).Add(int64(len(d.Target)))
+			c.mu.Lock()
+			c.moved += len(d.Target)
+			c.mu.Unlock()
+		}
+		c.record(ev)
+		return
+	}
+	c.rehostAll(ctx, now, d)
+}
+
+// rehostAll executes a same-r adoption as a sequence of single-block
+// rehosts, always moving into a device that is currently free: moving a
+// block frees its source, so a chain of displacements unwinds from the free
+// end. A genuine cycle (no free device at all) is broken by bouncing one
+// block through a scratch standby; if none exists the remaining moves are
+// deferred to a later cycle and recorded as such — they are cost-neutral
+// permutations by construction (equal row counts), so nothing is lost.
+func (c *Controller) rehostAll(ctx context.Context, now time.Duration, d Decision) {
+	reg := c.cfg.Metrics
+	occupied := make(map[string]int) // device → block it currently serves
+	cur := make(map[int]string)      // block → current device
+	for _, b := range c.sub.Placements() {
+		occupied[b.Addr] = b.Block
+		cur[b.Block] = b.Addr
+	}
+	target := make(map[int]string, len(d.Moves))
+	pending := make([]int, 0, len(d.Moves))
+	for _, mv := range d.Moves {
+		if cur[mv.Block] != mv.From {
+			// Placement changed under us (concurrent repair); skip.
+			continue
+		}
+		target[mv.Block] = mv.To
+		pending = append(pending, mv.Block)
+	}
+	move := func(block int, to string) bool {
+		from := cur[block]
+		err := c.sub.Rehost(ctx, block, from, to)
+		ev := MigrationEvent{At: now, Kind: "rehost", Block: block, From: from, To: to}
+		outcome := "ok"
+		if err != nil {
+			ev.Err = err.Error()
+			outcome = "failed"
+		}
+		reg.Counter(obs.MetricAdaptMigrationsTotal, migrationsHelp, obs.L("kind", "rehost"), obs.L("outcome", outcome)).Inc()
+		c.record(ev)
+		if err != nil {
+			return false
+		}
+		delete(occupied, from)
+		occupied[to] = block
+		cur[block] = to
+		reg.Counter(obs.MetricAdaptBlocksMovedTotal, movedHelp).Inc()
+		c.mu.Lock()
+		c.moved++
+		c.mu.Unlock()
+		return true
+	}
+	for len(pending) > 0 {
+		if ctx.Err() != nil {
+			c.deferMoves(now, pending, target, cur, ctx.Err().Error())
+			return
+		}
+		progressed := false
+		next := pending[:0]
+		for _, block := range pending {
+			to := target[block]
+			if _, busy := occupied[to]; busy {
+				next = append(next, block)
+				continue
+			}
+			move(block, to) // failure drops the move; a later cycle retries
+			progressed = true
+		}
+		pending = next
+		if progressed || len(pending) == 0 {
+			continue
+		}
+		// Every pending target is occupied by another pending block: a pure
+		// displacement cycle. Bounce one block through a free scratch device.
+		scratch := c.scratchDevice(occupied, target)
+		if scratch == "" {
+			c.deferMoves(now, pending, target, cur, "no free device to break displacement cycle")
+			return
+		}
+		if !move(pending[0], scratch) {
+			pending = pending[1:]
+		}
+	}
+}
+
+// scratchDevice picks a free device that is not anyone's target.
+func (c *Controller) scratchDevice(occupied map[string]int, target map[int]string) string {
+	wanted := make(map[string]bool, len(target))
+	for _, to := range target {
+		wanted[to] = true
+	}
+	for _, addr := range c.sub.Free() {
+		if _, busy := occupied[addr]; !busy && !wanted[addr] {
+			return addr
+		}
+	}
+	return ""
+}
+
+// deferMoves records the moves this cycle could not execute.
+func (c *Controller) deferMoves(now time.Duration, pending []int, target map[int]string, cur map[int]string, why string) {
+	for _, block := range pending {
+		c.record(MigrationEvent{
+			At: now, Kind: "rehost", Block: block,
+			From: cur[block], To: target[block],
+			Err: "deferred: " + why,
+		})
+	}
+}
+
+// record appends a migration event to the bounded history.
+func (c *Controller) record(ev MigrationEvent) {
+	c.mu.Lock()
+	c.events = append(c.events, ev)
+	if len(c.events) > c.cfg.History {
+		c.events = c.events[len(c.events)-c.cfg.History:]
+	}
+	c.mu.Unlock()
+}
+
+// Stats reports lifetime counters: control cycles run, plans adopted, and
+// blocks moved.
+func (c *Controller) Stats() (replans, adopts, blocksMoved int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.replans, c.adopts, c.moved
+}
+
+// String identifies the controller in logs.
+func (c *Controller) String() string {
+	replans, adopts, moved := c.Stats()
+	return "adapt.Controller{replans=" + strconv.Itoa(replans) +
+		" adopts=" + strconv.Itoa(adopts) + " moved=" + strconv.Itoa(moved) + "}"
+}

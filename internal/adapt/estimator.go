@@ -1,0 +1,206 @@
+package adapt
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Estimator learns per-device cost multipliers online. It consumes two live
+// signals, both cheap and already flowing:
+//
+//   - winning-attempt latencies (the straggler digest's raw material),
+//     normalized per coded row so devices holding r rows and devices holding
+//     the last block's m−(i−2)·r rows are comparable;
+//   - transport heartbeat round trips, the network half of the cost.
+//
+// Each signal is folded into a per-device EWMA; a device's factor is its
+// estimate relative to the fleet median — the pessimistic max of its compute
+// ratio and its network ratio — clamped to [1/maxFactor, maxFactor]. Devices
+// without enough samples report the neutral factor 1: an unobserved standby
+// is assumed nominal, which is what makes it an attractive migration target.
+//
+// All observation timestamps are durations on the caller's clock (wall
+// elapsed for the live controller, virtual time in the recovery scenario),
+// so the estimator itself is deterministic and clock-free.
+type Estimator struct {
+	alpha      float64
+	minSamples int
+	maxFactor  float64
+
+	mu   sync.Mutex
+	devs map[string]*devEstimate
+}
+
+// devEstimate is one device's running state.
+type devEstimate struct {
+	perRow   float64 // EWMA seconds of winning-attempt latency per coded row
+	rtt      float64 // EWMA seconds of heartbeat round trip
+	samples  int     // latency samples folded in
+	rtts     int     // RTT samples folded in
+	lastSeen time.Duration
+}
+
+// DeviceEstimate is one device's snapshot for introspection.
+type DeviceEstimate struct {
+	Device string `json:"device"`
+	// PerRowNs is the EWMA winning-attempt latency per coded row.
+	PerRowNs int64 `json:"perRowNs"`
+	// RTTNs is the EWMA heartbeat round trip (0 when never measured).
+	RTTNs int64 `json:"rttNs"`
+	// Samples counts latency observations.
+	Samples int `json:"samples"`
+	// Factor is the learned cost multiplier (1 = nominal).
+	Factor float64 `json:"factor"`
+	// LastSeenMs is the caller-clock timestamp of the latest observation.
+	LastSeenMs int64 `json:"lastSeenMs"`
+}
+
+// NewEstimator builds an estimator with the given EWMA weight, trust
+// threshold, and factor clamp (zero values select the package defaults).
+func NewEstimator(alpha float64, minSamples int, maxFactor float64) *Estimator {
+	if alpha <= 0 || alpha > 1 {
+		alpha = DefaultAlpha
+	}
+	if minSamples <= 0 {
+		minSamples = DefaultMinSamples
+	}
+	if maxFactor <= 1 {
+		maxFactor = DefaultMaxFactor
+	}
+	return &Estimator{
+		alpha:      alpha,
+		minSamples: minSamples,
+		maxFactor:  maxFactor,
+		devs:       make(map[string]*devEstimate),
+	}
+}
+
+// ObserveLatency folds one winning-attempt latency for a device serving
+// `rows` coded rows, observed at caller-clock time now.
+func (e *Estimator) ObserveLatency(device string, now, latency time.Duration, rows int) {
+	if rows <= 0 || latency <= 0 {
+		return
+	}
+	perRow := latency.Seconds() / float64(rows)
+	e.mu.Lock()
+	d := e.dev(device)
+	if d.samples == 0 {
+		d.perRow = perRow
+	} else {
+		d.perRow += e.alpha * (perRow - d.perRow)
+	}
+	d.samples++
+	d.lastSeen = now
+	e.mu.Unlock()
+}
+
+// ObserveRTT folds one transport heartbeat round trip.
+func (e *Estimator) ObserveRTT(device string, now, rtt time.Duration) {
+	if rtt <= 0 {
+		return
+	}
+	e.mu.Lock()
+	d := e.dev(device)
+	if d.rtts == 0 {
+		d.rtt = rtt.Seconds()
+	} else {
+		d.rtt += e.alpha * (rtt.Seconds() - d.rtt)
+	}
+	d.rtts++
+	d.lastSeen = now
+	e.mu.Unlock()
+}
+
+// dev returns the device's state, creating it. Caller holds e.mu.
+func (e *Estimator) dev(device string) *devEstimate {
+	d := e.devs[device]
+	if d == nil {
+		d = &devEstimate{}
+		e.devs[device] = d
+	}
+	return d
+}
+
+// Factors returns the learned cost multiplier of every observed device.
+// Devices below the sample threshold (and devices the map has never seen)
+// are neutral: callers treat a missing key as factor 1.
+func (e *Estimator) Factors() map[string]float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	medRow, medRTT := e.medians()
+	out := make(map[string]float64, len(e.devs))
+	for addr, d := range e.devs {
+		out[addr] = e.factor(d, medRow, medRTT)
+	}
+	return out
+}
+
+// factor computes one device's clamped multiplier against the fleet medians.
+// Caller holds e.mu.
+func (e *Estimator) factor(d *devEstimate, medRow, medRTT float64) float64 {
+	f := 1.0
+	if d.samples >= e.minSamples && medRow > 0 {
+		f = d.perRow / medRow
+	}
+	if d.rtts >= e.minSamples && medRTT > 0 {
+		if rf := d.rtt / medRTT; rf > f {
+			f = rf
+		}
+	}
+	if f > e.maxFactor {
+		f = e.maxFactor
+	}
+	if f < 1/e.maxFactor {
+		f = 1 / e.maxFactor
+	}
+	return f
+}
+
+// medians computes the fleet-median per-row latency and RTT over trusted
+// devices. Caller holds e.mu.
+func (e *Estimator) medians() (medRow, medRTT float64) {
+	var rowSamples, rttSamples []float64
+	for _, d := range e.devs {
+		if d.samples >= e.minSamples {
+			rowSamples = append(rowSamples, d.perRow)
+		}
+		if d.rtts >= e.minSamples {
+			rttSamples = append(rttSamples, d.rtt)
+		}
+	}
+	return median(rowSamples), median(rttSamples)
+}
+
+func median(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	sort.Float64s(v)
+	n := len(v)
+	if n%2 == 1 {
+		return v[n/2]
+	}
+	return (v[n/2-1] + v[n/2]) / 2
+}
+
+// Snapshot returns every device's estimate, sorted by address, for
+// /debug/adapt.
+func (e *Estimator) Snapshot() []DeviceEstimate {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	medRow, medRTT := e.medians()
+	out := make([]DeviceEstimate, 0, len(e.devs))
+	for addr, d := range e.devs {
+		out = append(out, DeviceEstimate{
+			Device:     addr,
+			PerRowNs:   int64(d.perRow * 1e9),
+			RTTNs:      int64(d.rtt * 1e9),
+			Samples:    d.samples,
+			Factor:     e.factor(d, medRow, medRTT),
+			LastSeenMs: d.lastSeen.Milliseconds(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Device < out[j].Device })
+	return out
+}

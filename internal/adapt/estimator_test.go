@@ -1,0 +1,119 @@
+package adapt
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// feedNominal gives every listed device `n` identical per-row observations so
+// the fleet median is well defined.
+func feedNominal(e *Estimator, devs []string, n int, perRow time.Duration, rows int) {
+	for i := 0; i < n; i++ {
+		for _, d := range devs {
+			e.ObserveLatency(d, time.Duration(i)*time.Second, perRow*time.Duration(rows), rows)
+		}
+	}
+}
+
+func TestEstimatorNeutralBelowMinSamples(t *testing.T) {
+	e := NewEstimator(0.3, 3, 64)
+	e.ObserveLatency("a", 0, 10*time.Millisecond, 1)
+	e.ObserveLatency("b", 0, 500*time.Millisecond, 1)
+	f := e.Factors()
+	if f["a"] != 1 || f["b"] != 1 {
+		t.Fatalf("factors before MinSamples should be neutral, got %v", f)
+	}
+}
+
+func TestEstimatorStragglerFactor(t *testing.T) {
+	e := NewEstimator(0.5, 3, 64)
+	devs := []string{"a", "b", "c", "d"}
+	feedNominal(e, devs, 5, 10*time.Millisecond, 4)
+	// Device "e" is chronically 5× slower per row.
+	feedNominal(e, []string{"e"}, 5, 50*time.Millisecond, 4)
+	f := e.Factors()
+	if got := f["e"]; math.Abs(got-5) > 0.01 {
+		t.Fatalf("straggler factor = %g, want ≈5", got)
+	}
+	for _, d := range devs {
+		if math.Abs(f[d]-1) > 0.01 {
+			t.Fatalf("nominal device %s factor = %g, want ≈1", d, f[d])
+		}
+	}
+}
+
+func TestEstimatorRowNormalization(t *testing.T) {
+	e := NewEstimator(0.5, 2, 64)
+	// Same per-row speed, different block sizes: factors must agree.
+	feedNominal(e, []string{"big"}, 4, 10*time.Millisecond, 100)
+	feedNominal(e, []string{"small"}, 4, 10*time.Millisecond, 10)
+	f := e.Factors()
+	if math.Abs(f["big"]-f["small"]) > 1e-9 {
+		t.Fatalf("row-normalized factors differ: big=%g small=%g", f["big"], f["small"])
+	}
+}
+
+func TestEstimatorRTTDominates(t *testing.T) {
+	e := NewEstimator(0.5, 2, 64)
+	devs := []string{"a", "b", "c"}
+	feedNominal(e, devs, 3, 10*time.Millisecond, 1)
+	for i := 0; i < 3; i++ {
+		for _, d := range devs {
+			e.ObserveRTT(d, 0, 2*time.Millisecond)
+		}
+	}
+	// "c" computes at the median but its link is 8× slower: the factor is
+	// the pessimistic max of the two ratios.
+	for i := 0; i < 3; i++ {
+		e.ObserveRTT("c", 0, 16*time.Millisecond)
+	}
+	f := e.Factors()
+	if f["c"] < 4 {
+		t.Fatalf("RTT-degraded device factor = %g, want > 4", f["c"])
+	}
+}
+
+func TestEstimatorClamp(t *testing.T) {
+	e := NewEstimator(1, 1, 8)
+	feedNominal(e, []string{"a", "b", "c"}, 2, 10*time.Millisecond, 1)
+	feedNominal(e, []string{"slow"}, 2, 10*time.Second, 1)
+	feedNominal(e, []string{"fast"}, 2, time.Nanosecond, 1)
+	f := e.Factors()
+	if f["slow"] != 8 {
+		t.Fatalf("slow factor = %g, want clamped to 8", f["slow"])
+	}
+	if f["fast"] != 1.0/8 {
+		t.Fatalf("fast factor = %g, want clamped to 1/8", f["fast"])
+	}
+}
+
+func TestEstimatorEWMAConverges(t *testing.T) {
+	e := NewEstimator(0.5, 1, 64)
+	// First sample seeds the EWMA; a step change converges geometrically.
+	e.ObserveLatency("a", 0, 10*time.Millisecond, 1)
+	for i := 0; i < 20; i++ {
+		e.ObserveLatency("a", 0, 40*time.Millisecond, 1)
+	}
+	snap := e.Snapshot()
+	if len(snap) != 1 || snap[0].Device != "a" {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	got := time.Duration(snap[0].PerRowNs)
+	if got < 39*time.Millisecond || got > 40*time.Millisecond {
+		t.Fatalf("EWMA per-row = %v, want ≈40ms after convergence", got)
+	}
+}
+
+func TestEstimatorSnapshotSorted(t *testing.T) {
+	e := NewEstimator(0.5, 1, 64)
+	for _, d := range []string{"z", "m", "a"} {
+		e.ObserveLatency(d, 0, time.Millisecond, 1)
+	}
+	snap := e.Snapshot()
+	for i := 1; i < len(snap); i++ {
+		if snap[i-1].Device >= snap[i].Device {
+			t.Fatalf("snapshot not sorted: %+v", snap)
+		}
+	}
+}

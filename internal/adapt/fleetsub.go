@@ -1,0 +1,172 @@
+package adapt
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"time"
+
+	"github.com/scec/scec/internal/coding"
+	"github.com/scec/scec/internal/engine"
+	"github.com/scec/scec/internal/field"
+	"github.com/scec/scec/internal/fleet"
+	"github.com/scec/scec/internal/matrix"
+)
+
+// FleetAdapter binds the controller to a live fleet session and its
+// engine.Swappable executor.
+//
+// Rehosts delegate to the session (push-then-swap, no re-encode: replicas of
+// one block are security-equivalent). A reshape is a full redeployment at a
+// new r: the confidential matrix is reconstructed from the *initial*
+// encoding (A is recoverable from any complete encoding, exactly the user's
+// own decode path), re-encoded with fresh randomness at the new r, and
+// served by a brand-new fleet session that SwapDrained installs behind a
+// gate — new rounds wait, in-flight rounds drain, nothing fails.
+//
+// When the session replicates blocks, the adapter plans over each block's
+// first replica (the provisioning-order leader): the control loop migrates
+// the replica the planner accounts for, and the fleet's self-repair
+// machinery keeps the remaining replicas healthy independently.
+type FleetAdapter[E comparable] struct {
+	f        field.Field[E]
+	enc0     *coding.Encoding[E] // initial encoding, for reconstruction
+	swap     *engine.Swappable[E]
+	template fleet.Config // policy reused for reshaped sessions
+	pool     []string     // every address the adapter may provision
+
+	dataOnce sync.Once
+	data     *matrix.Dense[E] // reconstructed A, built on first reshape
+	dataErr  error
+
+	mu  sync.Mutex
+	cur *fleet.Session[E]
+	rng *rand.Rand
+}
+
+// NewFleetAdapter wraps a live session. template is the fleet policy reused
+// when a reshape builds a replacement session (its Replicas/Standbys are
+// overwritten per plan); rng feeds the fresh randomness of re-encodes.
+func NewFleetAdapter[E comparable](f field.Field[E], enc *coding.Encoding[E], s *fleet.Session[E], swap *engine.Swappable[E], template fleet.Config, rng *rand.Rand) (*FleetAdapter[E], error) {
+	if enc == nil || s == nil || swap == nil {
+		return nil, fmt.Errorf("adapt: fleet adapter needs an encoding, a session, and a swappable executor")
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("adapt: fleet adapter needs a randomness source for re-encodes")
+	}
+	a := &FleetAdapter[E]{f: f, enc0: enc, swap: swap, template: template, cur: s, rng: rng}
+	seen := make(map[string]bool)
+	for _, hosts := range s.BlockHosts() {
+		for _, addr := range hosts {
+			if !seen[addr] {
+				seen[addr] = true
+				a.pool = append(a.pool, addr)
+			}
+		}
+	}
+	for _, addr := range s.StandbyAddrs() {
+		if !seen[addr] {
+			seen[addr] = true
+			a.pool = append(a.pool, addr)
+		}
+	}
+	return a, nil
+}
+
+// Session returns the session currently serving queries (it changes across
+// reshapes).
+func (a *FleetAdapter[E]) Session() *fleet.Session[E] {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.cur
+}
+
+// Placements reports each block's leader replica and row count.
+func (a *FleetAdapter[E]) Placements() []BlockHost {
+	s := a.Session()
+	scheme := s.Scheme()
+	hosts := s.BlockHosts()
+	out := make([]BlockHost, 0, len(hosts))
+	for j, group := range hosts {
+		if len(group) == 0 {
+			continue
+		}
+		out = append(out, BlockHost{Block: j, Addr: group[0], Rows: scheme.RowsOn(j)})
+	}
+	return out
+}
+
+// Free lists standbys eligible to receive a block right now.
+func (a *FleetAdapter[E]) Free() []string { return a.Session().StandbyAddrs() }
+
+// Healthy reports the device's breaker state.
+func (a *FleetAdapter[E]) Healthy(addr string) bool { return a.Session().DeviceHealthy(addr) }
+
+// RTT reports the device's last transport heartbeat round trip.
+func (a *FleetAdapter[E]) RTT(addr string) (time.Duration, bool) { return a.Session().DeviceRTT(addr) }
+
+// Rehost moves one block live; see fleet.Session.Rehost.
+func (a *FleetAdapter[E]) Rehost(ctx context.Context, block int, from, to string) error {
+	return a.Session().Rehost(ctx, block, from, to)
+}
+
+// Reshape redeploys at a new r behind the executor gate. The replacement
+// session serves one replica per block at target's addresses; every pool
+// device not hosting a block becomes a standby of the new session, so
+// self-repair and later rehosts keep working.
+func (a *FleetAdapter[E]) Reshape(ctx context.Context, target []string, r int) error {
+	a.dataOnce.Do(func() {
+		a.data, a.dataErr = coding.Reconstruct(a.f, a.enc0)
+	})
+	if a.dataErr != nil {
+		return fmt.Errorf("adapt: reshape: reconstruct data matrix: %w", a.dataErr)
+	}
+	scheme, err := coding.New(a.data.Rows(), r)
+	if err != nil {
+		return fmt.Errorf("adapt: reshape: %w", err)
+	}
+	if scheme.Devices() != len(target) {
+		return fmt.Errorf("adapt: reshape: r=%d needs %d hosts, plan has %d", r, scheme.Devices(), len(target))
+	}
+
+	a.mu.Lock()
+	enc, err := coding.Encode(a.f, scheme, a.data, a.rng)
+	a.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("adapt: reshape: re-encode: %w", err)
+	}
+
+	cfg := a.template
+	cfg.Replicas = make([][]string, len(target))
+	used := make(map[string]bool, len(target))
+	for j, addr := range target {
+		cfg.Replicas[j] = []string{addr}
+		used[addr] = true
+	}
+	cfg.Standbys = nil
+	for _, addr := range a.pool {
+		if !used[addr] {
+			cfg.Standbys = append(cfg.Standbys, addr)
+		}
+	}
+
+	var next *fleet.Session[E]
+	err = a.swap.SwapDrained(ctx, func(ctx context.Context) (engine.Executor[E], *coding.Scheme, error) {
+		s, err := fleet.Serve(a.f, scheme, enc, cfg)
+		if err != nil {
+			return nil, nil, fmt.Errorf("adapt: reshape: provision: %w", err)
+		}
+		next = s
+		return engine.WrapSession(s, true), scheme, nil
+	})
+	if err != nil {
+		return err
+	}
+	a.mu.Lock()
+	a.cur = next
+	a.mu.Unlock()
+	return nil
+}
+
+var _ Substrate = (*FleetAdapter[uint64])(nil)

@@ -1,0 +1,271 @@
+package adapt
+
+import (
+	"context"
+	"errors"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/scec/scec/internal/coding"
+	"github.com/scec/scec/internal/engine"
+	"github.com/scec/scec/internal/field"
+	"github.com/scec/scec/internal/fleet"
+	"github.com/scec/scec/internal/matrix"
+	"github.com/scec/scec/internal/obs"
+	"github.com/scec/scec/internal/transport"
+)
+
+// liveEnv is a real loopback deployment: device servers behind fault
+// proxies, a fleet session, a swappable engine, and the adaptive controller
+// bound through a FleetAdapter — the full production wiring, in-process.
+type liveEnv struct {
+	f      field.Prime
+	scheme *coding.Scheme
+	enc    *coding.Encoding[uint64]
+	a      *matrix.Dense[uint64]
+	x      []uint64
+	want   []uint64
+
+	proxies  []*fleet.FaultProxy // proxies[j] fronts block j's device
+	standbys []*fleet.FaultProxy
+
+	session *fleet.Session[uint64]
+	swap    *engine.Swappable[uint64]
+	query   *engine.Query[uint64]
+	adapter *FleetAdapter[uint64]
+	ctrl    *Controller
+}
+
+func newLiveEnv(t *testing.T, standbys int) *liveEnv {
+	t.Helper()
+	env := &liveEnv{}
+	rng := rand.New(rand.NewPCG(5, 17))
+	const m, l, r = 8, 5, 4
+	scheme, err := coding.New(m, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.scheme = scheme
+	env.a = matrix.New[uint64](m, l)
+	for i := 0; i < m; i++ {
+		for j := 0; j < l; j++ {
+			env.a.Set(i, j, env.f.Rand(rng))
+		}
+	}
+	env.enc, err = coding.Encode[uint64](env.f, scheme, env.a, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.x = make([]uint64, l)
+	for j := range env.x {
+		env.x[j] = env.f.Rand(rng)
+	}
+	env.want = make([]uint64, m)
+	for i := range env.want {
+		s := env.f.Zero()
+		for j := 0; j < l; j++ {
+			s = env.f.Add(s, env.f.Mul(env.a.At(i, j), env.x[j]))
+		}
+		env.want[i] = s
+	}
+
+	newProxied := func() *fleet.FaultProxy {
+		srv, err := transport.NewDeviceServer[uint64](env.f, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = srv.Close() })
+		p, err := fleet.NewFaultProxy(srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = p.Close() })
+		return p
+	}
+
+	// OnWin routes through an atomic pointer because the controller does not
+	// exist yet when the session config is built — the same wiring the scec
+	// facade uses.
+	var ctrl atomic.Pointer[Controller]
+	cfg := fleet.Config{
+		Replicas:      make([][]string, scheme.Devices()),
+		QueryTimeout:  10 * time.Second,
+		RPCTimeout:    2 * time.Second,
+		HedgeAfter:    -1,
+		ProbeInterval: -1,
+		Metrics:       obs.New(),
+		OnWin: func(device string, block int, latency time.Duration) {
+			if c := ctrl.Load(); c != nil {
+				c.ObserveWin(device, block, latency)
+			}
+		},
+	}
+	for j := range cfg.Replicas {
+		p := newProxied()
+		env.proxies = append(env.proxies, p)
+		cfg.Replicas[j] = []string{p.Addr()}
+	}
+	for k := 0; k < standbys; k++ {
+		p := newProxied()
+		env.standbys = append(env.standbys, p)
+		cfg.Standbys = append(cfg.Standbys, p.Addr())
+	}
+
+	env.session, err = fleet.Serve[uint64](env.f, scheme, env.enc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.swap, err = engine.NewSwappable[uint64](engine.WrapSession(env.session, true), scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.query, err = engine.New(env.f, env.enc, env.swap, engine.Options{Metrics: obs.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = env.query.Close() })
+
+	env.adapter, err = NewFleetAdapter(env.f, env.enc, env.session, env.swap, cfg, rand.New(rand.NewPCG(23, 42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.ctrl, err = New(Config{
+		MinSamples: 3,
+		// A wide margin: on a 5-device pool the optimal r genuinely shifts
+		// when one device slows, and the test wants the cheap same-r rehost
+		// the margin prefers, not a full reshape.
+		MinImprovement: 0.10,
+		Cooldown:       time.Millisecond, // tests drive Step manually
+		Metrics:        obs.New(),
+	}, env.adapter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(env.ctrl.Stop)
+	ctrl.Store(env.ctrl)
+	return env
+}
+
+func (env *liveEnv) checkAnswer(t *testing.T) {
+	t.Helper()
+	got, err := env.query.MulVec(env.x)
+	if err != nil {
+		t.Fatalf("MulVec: %v", err)
+	}
+	for i := range got {
+		if got[i] != env.want[i] {
+			t.Fatalf("row %d = %d, want %d", i, got[i], env.want[i])
+		}
+	}
+}
+
+// TestLiveControllerEvictsDelayedDevice runs the whole loop against real
+// sockets: a fault proxy delays one device, winning-attempt latencies feed
+// the estimator through fleet.Config.OnWin, and a control step migrates the
+// block to a standby — with every query before, during, and after correct.
+func TestLiveControllerEvictsDelayedDevice(t *testing.T) {
+	env := newLiveEnv(t, 2)
+	slowAddr := env.proxies[0].Addr()
+	env.proxies[0].SetDelay(60 * time.Millisecond)
+	env.proxies[0].SetMode(fleet.FaultDelay)
+
+	// Each query's winning attempts feed the estimator; a handful is enough
+	// to cross MinSamples on every device.
+	for i := 0; i < 6; i++ {
+		env.checkAnswer(t)
+	}
+
+	d, err := env.ctrl.Step(context.Background(), env.ctrl.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Adopt || d.Reshape {
+		t.Fatalf("decision = %+v, want a rehost adoption off the delayed device", d)
+	}
+	moved := false
+	for _, mv := range d.Moves {
+		if mv.From == slowAddr {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Fatalf("moves %v do not evict the delayed device %s", d.Moves, slowAddr)
+	}
+	for _, b := range env.adapter.Placements() {
+		if b.Addr == slowAddr {
+			t.Fatalf("delayed device still serves block %d", b.Block)
+		}
+	}
+	replans, adopts, blocks := env.ctrl.Stats()
+	if replans != 1 || adopts != 1 || blocks == 0 {
+		t.Fatalf("stats = %d/%d/%d", replans, adopts, blocks)
+	}
+	env.checkAnswer(t)
+}
+
+// TestLiveReshapeUnderLoad drives concurrent queries through a full
+// drain-and-swap redeployment at a new r: reconstruction, re-encode with
+// fresh randomness, a brand-new fleet session — and not one failed or wrong
+// query.
+func TestLiveReshapeUnderLoad(t *testing.T) {
+	env := newLiveEnv(t, 2)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := 0; n < 15; n++ {
+				got, err := env.query.MulVec(env.x)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for i := range got {
+					if got[i] != env.want[i] {
+						errs <- errors.New("wrong result during reshape")
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	// New r=3 over m=8 needs ⌈(8+3)/3⌉ = 4 devices: the 3 incumbents plus
+	// one standby.
+	target := make([]string, 0, 4)
+	for _, p := range env.proxies {
+		target = append(target, p.Addr())
+	}
+	target = append(target, env.standbys[0].Addr())
+	if err := env.adapter.Reshape(context.Background(), target, 3); err != nil {
+		t.Fatalf("Reshape: %v", err)
+	}
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("query failed during reshape: %v", err)
+	}
+
+	next := env.adapter.Session()
+	if next == env.session {
+		t.Fatal("reshape did not install a new session")
+	}
+	if got := next.Scheme().R(); got != 3 {
+		t.Fatalf("new session r = %d, want 3", got)
+	}
+	if got := len(env.adapter.Placements()); got != 4 {
+		t.Fatalf("new placement has %d blocks, want 4", got)
+	}
+	// The remaining pool device is the new session's standby.
+	free := env.adapter.Free()
+	if len(free) != 1 || free[0] != env.standbys[1].Addr() {
+		t.Fatalf("free pool after reshape = %v, want the unused standby", free)
+	}
+	env.checkAnswer(t)
+}

@@ -1,0 +1,20 @@
+package alloc
+
+import "fmt"
+
+// CostAt re-prices a plan against a different cost vector: Σ_j V(B_j)·c'_j
+// with the plan's row counts kept fixed. The adaptive control plane uses it
+// for its hysteresis comparison — the incumbent plan evaluated at the
+// *learned* costs is the baseline a candidate re-plan must beat by the
+// minimum improvement before a migration is worth its disruption. Costs are
+// indexed in the same device order the plan's assignments refer to.
+func (p Plan) CostAt(costs []float64) (float64, error) {
+	total := 0.0
+	for _, a := range p.Assignments {
+		if a.Device < 0 || a.Device >= len(costs) {
+			return 0, fmt.Errorf("alloc: assignment references device %d of %d", a.Device, len(costs))
+		}
+		total += float64(a.Rows) * costs[a.Device]
+	}
+	return total, nil
+}

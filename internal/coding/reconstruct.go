@@ -1,0 +1,57 @@
+package coding
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/scec/scec/internal/field"
+	"github.com/scec/scec/internal/matrix"
+)
+
+// Reconstruct inverts Encode: it recovers the data matrix A from an
+// encoding's coded blocks and retained random rows, using the Eq. (8)
+// structure — data row p is coded as A_p + R_{p mod r}, so one subtraction
+// per row undoes it (global row p+r lives on device ⌊(p+r)/r⌋).
+//
+// The adaptive control plane depends on this when it re-tunes r online: the
+// cloud does not keep A after deployment, but the encoding it does keep
+// determines A exactly, so a live reshape can re-encode under a new scheme
+// without the original matrix. Security is unchanged — Reconstruct runs on
+// the cloud, which already holds every block and the random rows; no device
+// learns anything new.
+func Reconstruct[E comparable](f field.Field[E], enc *Encoding[E]) (*matrix.Dense[E], error) {
+	if enc == nil || enc.Scheme == nil {
+		return nil, errors.New("coding: encoding has no structured scheme attached")
+	}
+	s := enc.Scheme
+	if len(enc.Blocks) != s.i {
+		return nil, fmt.Errorf("coding: encoding has %d blocks, scheme has %d devices", len(enc.Blocks), s.i)
+	}
+	if enc.Random == nil || enc.Random.Rows() != s.r {
+		return nil, errors.New("coding: encoding is missing its random rows; cannot reconstruct")
+	}
+	l := enc.Random.Cols()
+	a := matrix.New[E](s.m, l)
+	for j := 0; j < s.i; j++ {
+		from, to := s.RowRange(j)
+		block := enc.Blocks[j]
+		if block.Rows() != to-from || block.Cols() != l {
+			return nil, fmt.Errorf("coding: block %d is %dx%d, want %dx%d", j, block.Rows(), block.Cols(), to-from, l)
+		}
+		// Rows below r are the random rows themselves; data starts at r.
+		g := max(from, s.r)
+		// Mirror Encode's chunking: runs of consecutive rows share one
+		// contiguous subtraction until p mod r wraps.
+		for g < to {
+			p := g - s.r
+			q := p % s.r
+			n := min(to-g, s.r-q)
+			matrix.VecSubInto(f,
+				a.RowsView(p, p+n),
+				block.RowsView(g-from, g-from+n),
+				enc.Random.RowsView(q, q+n))
+			g += n
+		}
+	}
+	return a, nil
+}

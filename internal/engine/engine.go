@@ -200,32 +200,67 @@ func (q *Query[E]) startSpan(ctx context.Context, name string) (context.Context,
 	return q.trc.StartRoot(ctx, name, backend)
 }
 
+// roundExec is one round's coherent view of the execution substrate: the
+// executor it dispatches to and the scheme its results decode under. For a
+// fixed executor both come from the Query; over a Swappable they come from
+// whichever epoch the round joined, so a swap landing mid-round can never
+// make decode use a scheme the dispatch didn't.
+type roundExec[E comparable] struct {
+	exec    Executor[E]
+	scheme  *coding.Scheme
+	release func()
+}
+
+// beginRound snapshots the substrate for one dispatch+decode round. The
+// returned release must run when the round is fully done (a swap drains on
+// it).
+func (q *Query[E]) beginRound(ctx context.Context) (roundExec[E], error) {
+	if s, ok := q.exec.(*Swappable[E]); ok {
+		ep, release, err := s.acquire(ctx)
+		if err != nil {
+			return roundExec[E]{}, err
+		}
+		return roundExec[E]{exec: ep.exec, scheme: ep.scheme, release: release}, nil
+	}
+	return roundExec[E]{exec: q.exec, scheme: q.scheme, release: func() {}}, nil
+}
+
 // mulVecDirect runs one uncoalesced vector round: dispatch, then decode
 // under a stage span.
 func (q *Query[E]) mulVecDirect(ctx context.Context, x []E) ([]E, error) {
+	r, err := q.beginRound(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer r.release()
 	q.vec.Inc()
-	y, err := q.exec.Compute(ctx, x)
+	y, err := r.exec.Compute(ctx, x)
 	if err != nil {
 		return nil, err
 	}
 	_, dsp := q.startSpan(ctx, trace.SpanDecode)
 	defer dsp.End()
 	defer obs.StartStage(q.reg, obs.StageDecode).End()
-	return coding.Decode(q.f, q.scheme, y)
+	return coding.Decode(q.f, r.scheme, y)
 }
 
 // mulMatDirect runs one batch round: dispatch, then decode under a stage
 // span.
 func (q *Query[E]) mulMatDirect(ctx context.Context, x *matrix.Dense[E]) (*matrix.Dense[E], error) {
+	r, err := q.beginRound(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer r.release()
 	q.mat.Inc()
-	y, err := q.exec.ComputeBatch(ctx, x)
+	y, err := r.exec.ComputeBatch(ctx, x)
 	if err != nil {
 		return nil, err
 	}
 	_, dsp := q.startSpan(ctx, trace.SpanDecode)
 	defer dsp.End()
 	defer obs.StartStage(q.reg, obs.StageDecode).End()
-	return coding.DecodeBatch(q.f, q.scheme, y)
+	return coding.DecodeBatch(q.f, r.scheme, y)
 }
 
 // Close flushes any pending coalesced batch and closes the executor. It is

@@ -136,6 +136,11 @@ type Config struct {
 	// adopts device-side spans re-emitted over the transport, and feeds the
 	// per-device straggler analytics. Nil disables fleet tracing.
 	Tracer *trace.Tracer
+	// OnWin, when non-nil, is called for every winning replica attempt with
+	// the device address, logical block index, and attempt latency. The
+	// adaptive control plane's cost estimator feeds from it without needing
+	// a tracer. The callback runs on the query path and must be fast.
+	OnWin func(device string, block int, latency time.Duration)
 }
 
 // withDefaults resolves zero values.
@@ -197,7 +202,12 @@ type Session[E comparable] struct {
 	probe  transport.Client[E]
 	cloud  transport.Cloud[E]
 
-	blocks  []*blockState[E]
+	blocks []*blockState[E]
+
+	// devMu guards the devices map: Serve fills it, but the adaptive
+	// control plane's Rehost registers fresh devices at runtime while the
+	// prober iterates, so every access takes the lock.
+	devMu   sync.Mutex
 	devices map[string]*device
 
 	standbyMu sync.Mutex
@@ -304,8 +314,15 @@ func Serve[E comparable](f field.Field[E], scheme *coding.Scheme, enc *coding.En
 	return s, nil
 }
 
-// newDevice registers a device and its breaker-state gauge.
+// newDevice registers a device and its breaker-state gauge, reusing the
+// existing registration (breaker history included) when the address is
+// already known.
 func (s *Session[E]) newDevice(addr string) *device {
+	s.devMu.Lock()
+	defer s.devMu.Unlock()
+	if d := s.devices[addr]; d != nil {
+		return d
+	}
 	d := &device{
 		addr:  addr,
 		gauge: s.reg.Gauge(obs.MetricFleetBreakerState, breakerHelp, obs.L("device", addr)),

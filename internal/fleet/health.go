@@ -45,6 +45,26 @@ type device struct {
 	state    BreakerState
 	fails    int       // consecutive failures
 	openedAt time.Time // when the breaker last opened
+	// vacatedAt is when a rehost removed this device from its replica set.
+	// Until one RPC timeout has passed, in-flight attempts that snapshotted
+	// the old replica set may still be reading the old block, so the device
+	// must not receive a different block yet.
+	vacatedAt time.Time
+}
+
+// markVacated starts the post-rehost quarantine window.
+func (d *device) markVacated(now time.Time) {
+	d.mu.Lock()
+	d.vacatedAt = now
+	d.mu.Unlock()
+}
+
+// vacatedWithin reports whether the device vacated a block less than window
+// ago (and so must not be handed a new one yet).
+func (d *device) vacatedWithin(now time.Time, window time.Duration) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return !d.vacatedAt.IsZero() && now.Sub(d.vacatedAt) < window
 }
 
 // recordSuccess closes the breaker.
@@ -144,8 +164,14 @@ func (s *Session[E]) probeLoop() {
 
 // probeOnce pings every device concurrently and then runs the repair check.
 func (s *Session[E]) probeOnce() {
-	var wg sync.WaitGroup
+	s.devMu.Lock()
+	devices := make([]*device, 0, len(s.devices))
 	for _, d := range s.devices {
+		devices = append(devices, d)
+	}
+	s.devMu.Unlock()
+	var wg sync.WaitGroup
+	for _, d := range devices {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()

@@ -1,0 +1,180 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/scec/scec/internal/coding"
+	"github.com/scec/scec/internal/obs"
+)
+
+// The fleet side of live block migration. The adaptive control plane
+// (internal/adapt) decides *when* a block should move; Rehost is the fleet
+// mechanism that moves it without interrupting service:
+//
+//  1. the block's retained coded rows are pushed to the destination device
+//     (exactly the self-repair push — replicas of the same block are
+//     security-equivalent by Def. 2, so no re-encode is needed);
+//  2. under the block's lock, the destination joins the replica set and the
+//     vacated source leaves it, atomically from any query's point of view
+//     (candidates snapshot the set under the same lock);
+//  3. the source returns to the standby pool behind a quarantine: attempts
+//     that snapshotted the old replica set may still be reading the old
+//     block from it for up to one RPC timeout, so a Store of a *different*
+//     block must not overwrite it until they cannot exist.
+//
+// Changing r is not a rehost — that reshapes every block and swaps the whole
+// session through engine.Swappable; see internal/adapt.
+
+// Scheme exposes the session's coding scheme (the adaptive planner needs
+// the per-block row counts it implies).
+func (s *Session[E]) Scheme() *coding.Scheme { return s.scheme }
+
+// BlockHosts snapshots the current replica addresses of every logical
+// block, in scheme order.
+func (s *Session[E]) BlockHosts() [][]string {
+	hosts := make([][]string, len(s.blocks))
+	for j, b := range s.blocks {
+		b.mu.Lock()
+		group := make([]string, len(b.replicas))
+		for i, d := range b.replicas {
+			group[i] = d.addr
+		}
+		b.mu.Unlock()
+		hosts[j] = group
+	}
+	return hosts
+}
+
+// StandbyAddrs lists the standby devices currently eligible to receive a
+// block: healthy breakers, outside the post-vacate quarantine.
+func (s *Session[E]) StandbyAddrs() []string {
+	s.standbyMu.Lock()
+	defer s.standbyMu.Unlock()
+	now := time.Now()
+	var addrs []string
+	for _, d := range s.standbys {
+		if d.healthy() && !d.vacatedWithin(now, s.cfg.RPCTimeout) {
+			addrs = append(addrs, d.addr)
+		}
+	}
+	return addrs
+}
+
+// DeviceHealthy reports whether addr's circuit breaker is fully closed.
+// Unknown devices report false.
+func (s *Session[E]) DeviceHealthy(addr string) bool {
+	s.devMu.Lock()
+	d := s.devices[addr]
+	s.devMu.Unlock()
+	return d != nil && d.healthy()
+}
+
+// DeviceRTT reports the last measured transport round trip toward addr
+// (negotiation handshake or timed idle heartbeat), the estimator's network
+// signal.
+func (s *Session[E]) DeviceRTT(addr string) (time.Duration, bool) {
+	return s.client.LastRTT(addr)
+}
+
+const rehostHelp = "Live block migrations (adaptive rehost pushes), by outcome."
+
+// Rehost moves logical block `block` from replica `from` to device `to`
+// without interrupting queries: push first, then an atomic replica swap.
+// `to` is normally a warm standby; an address the session has never seen is
+// registered on the fly (the caller vouches a device server runs there).
+// The vacated `from` joins the standby pool after its quarantine, so a
+// sequence of rehosts recycles devices instead of consuming them.
+func (s *Session[E]) Rehost(ctx context.Context, block int, from, to string) error {
+	if block < 0 || block >= len(s.blocks) {
+		return fmt.Errorf("fleet: rehost block %d of %d", block, len(s.blocks))
+	}
+	if from == to {
+		return fmt.Errorf("fleet: rehost block %d onto its own host %s", block, to)
+	}
+	b := s.blocks[block]
+	// One device stores exactly one block (the Serve invariant Def. 2's
+	// per-device view relies on): refuse a destination that already hosts
+	// any block.
+	for _, other := range s.blocks {
+		other.mu.Lock()
+		for _, d := range other.replicas {
+			if d.addr == to {
+				other.mu.Unlock()
+				return fmt.Errorf("fleet: rehost destination %s already hosts block %d", to, other.index)
+			}
+		}
+		other.mu.Unlock()
+	}
+	dest, err := s.claimStandby(to)
+	if err != nil {
+		return err
+	}
+
+	ctx, cancel := mergeSessionCtx(ctx, s.ctx, s.cfg.RPCTimeout)
+	defer cancel()
+	sp := obs.StartStage(s.reg, obs.StageStore) // a rehost re-runs the store stage
+	err = s.cloud.Store(ctx, to, b.rows)
+	sp.End()
+	if err != nil {
+		s.reg.Counter(obs.MetricFleetRehostsTotal, rehostHelp, obs.L("outcome", outcomeFailed)).Inc()
+		if s.ctx.Err() == nil {
+			dest.recordFailure(s.cfg.BreakerThreshold)
+		}
+		s.returnStandby(dest)
+		return fmt.Errorf("fleet: rehost block %d to %s: %w", block, to, err)
+	}
+	dest.recordSuccess()
+
+	var vacated *device
+	b.mu.Lock()
+	b.replicas = append(b.replicas, dest)
+	for i, d := range b.replicas {
+		if d.addr == from {
+			vacated = d
+			b.replicas = append(b.replicas[:i], b.replicas[i+1:]...)
+			break
+		}
+	}
+	b.mu.Unlock()
+	if vacated != nil {
+		vacated.markVacated(time.Now())
+		s.returnStandby(vacated)
+	}
+	s.reg.Counter(obs.MetricFleetRehostsTotal, rehostHelp, obs.L("outcome", outcomeOK)).Inc()
+	return nil
+}
+
+// claimStandby removes the named device from the standby pool, or registers
+// a brand-new device when the address is unknown. Quarantined standbys are
+// refused: a Store could overwrite a block that straggling in-flight
+// attempts are still reading.
+func (s *Session[E]) claimStandby(addr string) (*device, error) {
+	s.standbyMu.Lock()
+	for i, d := range s.standbys {
+		if d.addr != addr {
+			continue
+		}
+		if d.vacatedWithin(time.Now(), s.cfg.RPCTimeout) {
+			s.standbyMu.Unlock()
+			return nil, fmt.Errorf("fleet: standby %s is quarantined after vacating its block; retry shortly", addr)
+		}
+		s.standbys = append(s.standbys[:i], s.standbys[i+1:]...)
+		s.standbyMu.Unlock()
+		return d, nil
+	}
+	s.standbyMu.Unlock()
+	return s.newDevice(addr), nil
+}
+
+// mergeSessionCtx bounds an operation by the caller's context, the session
+// lifetime, and the RPC timeout.
+func mergeSessionCtx(ctx context.Context, session context.Context, timeout time.Duration) (context.Context, context.CancelFunc) {
+	merged, cancel := context.WithTimeout(session, timeout)
+	if ctx == nil {
+		return merged, cancel
+	}
+	stop := context.AfterFunc(ctx, cancel)
+	return merged, func() { stop(); cancel() }
+}

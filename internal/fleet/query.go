@@ -255,6 +255,8 @@ type attempt[T any] struct {
 	// sp is the attempt's span, still open on success so the race loop can
 	// stamp the winner; failed attempts arrive with sp already ended.
 	sp *trace.Span
+	// d is the replica the attempt ran against.
+	d *device
 }
 
 // raceReplicas runs one first-winner round over the candidate replicas:
@@ -291,7 +293,7 @@ func raceReplicas[E comparable, T any](s *Session[E], ctx context.Context, b *bl
 			if err != nil {
 				asp.End()
 			}
-			results <- attempt[T]{v, err, asp}
+			results <- attempt[T]{v, err, asp, d}
 		}()
 	}
 	next := 0
@@ -310,6 +312,9 @@ func raceReplicas[E comparable, T any](s *Session[E], ctx context.Context, b *bl
 				d := time.Since(start)
 				s.lat.observe(d)
 				s.met.winner(b.index).ObserveDuration(d)
+				if s.cfg.OnWin != nil {
+					s.cfg.OnWin(r.d.addr, b.index, d)
+				}
 				r.sp.SetAttr(trace.AttrWin, "true")
 				r.sp.End()
 				return r.v, nil

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"context"
+	"time"
 
 	"github.com/scec/scec/internal/obs"
 )
@@ -69,12 +70,14 @@ func (s *Session[E]) repair(b *blockState[E], sb *device) {
 	s.met.repairs(outcomeOK).Inc()
 }
 
-// takeStandby pops the first healthy standby, or nil.
+// takeStandby pops the first healthy standby outside the post-vacate
+// quarantine, or nil.
 func (s *Session[E]) takeStandby() *device {
 	s.standbyMu.Lock()
 	defer s.standbyMu.Unlock()
+	now := time.Now()
 	for i, d := range s.standbys {
-		if d.healthy() {
+		if d.healthy() && !d.vacatedWithin(now, s.cfg.RPCTimeout) {
 			s.standbys = append(s.standbys[:i], s.standbys[i+1:]...)
 			return d
 		}

@@ -43,6 +43,10 @@ type VirtualOptions struct {
 	// SlowDuration is the mean length of a churn slowdown. Zero means
 	// 10×ChurnEvery.
 	SlowDuration time.Duration
+	// Replay, when non-nil, drives per-device straggler factors from a
+	// recorded timeline (e.g. ReplayFromStragglers over a live fleet's
+	// straggler digest) instead of — or on top of — random churn.
+	Replay *Replay
 
 	// Rates, RequestsPerStep, Arrival, Seed, KneeFactor, MinAchievedRatio,
 	// and Collector mirror SweepOptions on the virtual clock.
@@ -74,7 +78,7 @@ func (o *VirtualOptions) validate() error {
 	if err := p.Validate(); err != nil {
 		return err
 	}
-	return nil
+	return o.Replay.Validate()
 }
 
 func (o *VirtualOptions) profile() sim.DeviceProfile {
@@ -92,6 +96,9 @@ type deviceState struct {
 	// outageUntil is when the device's replacement finishes re-provisioning;
 	// rounds starting before it wait for it.
 	outageUntil time.Duration
+	// replayFactor is the recorded timeline's current factor (≤ 1 nominal);
+	// it composes multiplicatively with an active churn slowdown.
+	replayFactor float64
 }
 
 // serverHeap is a min-heap of server (round-slot) free times.
@@ -165,6 +172,27 @@ func (o *VirtualOptions) runStep(rate float64, arrival Arrival, seed uint64, sta
 		slowMean = 10 * o.ChurnEvery
 	}
 
+	// replayAdvance walks each recorded timeline's cursor up to the virtual
+	// clock; round starts are nondecreasing, so cursors only move forward.
+	var cursors []int
+	if o.Replay != nil {
+		cursors = make([]int, len(o.Replay.Devices))
+	}
+	replayAdvance := func(now time.Duration) {
+		if o.Replay == nil {
+			return
+		}
+		for j, steps := range o.Replay.Devices {
+			if j >= len(states) {
+				break
+			}
+			for cursors[j] < len(steps) && steps[cursors[j]].At <= now {
+				states[j].replayFactor = steps[cursors[j]].Factor
+				cursors[j]++
+			}
+		}
+	}
+
 	nextChurn := time.Duration(-1)
 	if o.ChurnEvery > 0 {
 		nextChurn = time.Duration(churnRNG.ExpFloat64() * float64(o.ChurnEvery))
@@ -193,13 +221,20 @@ func (o *VirtualOptions) runStep(rate float64, arrival Arrival, seed uint64, sta
 		worst := nominal
 		for j := range states {
 			st := &states[j]
-			if st.outageUntil <= t && st.slowUntil <= t {
+			if st.outageUntil <= t && st.slowUntil <= t && st.replayFactor <= 1 {
 				continue
 			}
 			d := nominal
+			factor := 1.0
 			if st.slowUntil > t && st.slowFactor > 1 {
+				factor = st.slowFactor
+			}
+			if st.replayFactor > 1 {
+				factor *= st.replayFactor
+			}
+			if factor > 1 {
 				p := base
-				p.StragglerFactor = base.StragglerFactor * st.slowFactor
+				p.StragglerFactor = base.StragglerFactor * factor
 				d = sim.DeviceRoundTime(o.RowsPerDevice, o.Cols, 1, p)
 			}
 			if st.outageUntil > t {
@@ -225,6 +260,7 @@ func (o *VirtualOptions) runStep(rate float64, arrival Arrival, seed uint64, sta
 			start = free
 		}
 		churn(start)
+		replayAdvance(start)
 		svc := service(start)
 		finish := start + svc
 		heap.Push(&servers, finish)

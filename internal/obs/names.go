@@ -75,6 +75,34 @@ const (
 	// block="j", scheme order) of the latency of the winning replica
 	// attempt for each served block fetch.
 	MetricFleetBlockWinnerSeconds = "scec_fleet_block_winner_seconds"
+	// MetricFleetRehostsTotal counts live block migrations (adaptive rehost
+	// pushes of a block to a new device), labelled outcome=ok|failed.
+	MetricFleetRehostsTotal = "scec_fleet_rehosts_total"
+
+	// Adaptive-control-plane (internal/adapt) metrics. Label sets are
+	// bounded: outcome/reason/kind over small fixed enumerations, device
+	// over the provisioned fleet (the MetricFleetBreakerState convention).
+
+	// MetricAdaptReplansTotal counts re-planning decisions, labelled
+	// outcome=adopted|held (held = hysteresis, cooldown, or no improvement
+	// kept the incumbent).
+	MetricAdaptReplansTotal = "scec_adapt_replans_total"
+	// MetricAdaptMigrationsTotal counts executed plan migrations, labelled
+	// kind=rehost|reshape and outcome=ok|failed.
+	MetricAdaptMigrationsTotal = "scec_adapt_migrations_total"
+	// MetricAdaptBlocksMovedTotal counts individual coded blocks pushed to a
+	// new device by adaptive migrations.
+	MetricAdaptBlocksMovedTotal = "scec_adapt_blocks_moved_total"
+	// MetricAdaptPlanCost is a gauge of the incumbent plan's expected cost
+	// at the current learned unit costs.
+	MetricAdaptPlanCost = "scec_adapt_plan_cost"
+	// MetricAdaptPlanR is a gauge of the incumbent plan's number of random
+	// rows r.
+	MetricAdaptPlanR = "scec_adapt_plan_r"
+	// MetricAdaptDeviceFactor is a per-device gauge (label device=<addr>) of
+	// the learned slowdown factor relative to the fleet baseline (1 =
+	// nominal).
+	MetricAdaptDeviceFactor = "scec_adapt_device_factor"
 
 	// Execution-engine (internal/engine) metrics. Label sets are bounded:
 	// backend ranges over the three executor implementations and kind over

@@ -39,6 +39,14 @@ const (
 	// one run root and one span per simulated device timeline.
 	SpanSimRun    = "sim.run"
 	SpanSimDevice = "sim.device"
+
+	// SpanAdaptReplan is one adaptive control cycle: estimator snapshot →
+	// TA2 on learned costs → hysteresis verdict. Its EventAdopt/EventHold
+	// records the decision; an adopted cycle parents a SpanAdaptMigrate.
+	SpanAdaptReplan = "adapt.replan"
+	// SpanAdaptMigrate is one executed migration: the rehost pushes or the
+	// drain-and-swap reshape that installs an adopted plan.
+	SpanAdaptMigrate = "adapt.migrate"
 )
 
 // Shared attribute keys.
@@ -78,4 +86,9 @@ const (
 	EventBreakerSkip = "breaker-skip"
 	// EventCoalesced fires on a wait span when its round executes.
 	EventCoalesced = "coalesced"
+	// EventAdopt / EventHold fire on an adapt.replan span when the candidate
+	// plan is adopted for migration or held back (hysteresis, cooldown, or
+	// insufficient improvement).
+	EventAdopt = "adopt"
+	EventHold  = "hold"
 )

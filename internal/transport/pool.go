@@ -110,6 +110,25 @@ func (p *Pool[E]) LastContact(addr string) (time.Time, bool) {
 	return time.Unix(0, t), true
 }
 
+// LastRTT reports the most recent round-trip time measured on addr's live
+// multiplexed connection: the negotiation handshake at dial, refreshed by
+// every timed idle heartbeat. It is the estimator's cheap per-device
+// network-health signal — no extra RPCs are spent on it.
+func (p *Pool[E]) LastRTT(addr string) (time.Duration, bool) {
+	e := p.entry(addr)
+	e.mu.Lock()
+	m := e.mux
+	e.mu.Unlock()
+	if m == nil {
+		return 0, false
+	}
+	rtt := m.rtt.Load()
+	if rtt == 0 {
+		return 0, false
+	}
+	return time.Duration(rtt), true
+}
+
 // ConnDebug is a point-in-time snapshot of the pool's state toward one
 // device, surfaced through /debug/fleet.
 type ConnDebug struct {
@@ -122,6 +141,9 @@ type ConnDebug struct {
 	IdleConns int `json:"idle_conns,omitempty"`
 	// LastContact is when the device was last heard from over v3.
 	LastContact time.Time `json:"last_contact,omitzero"`
+	// RTT is the last measured round trip on the v3 connection (handshake
+	// or timed heartbeat); zero when nothing has been measured.
+	RTT time.Duration `json:"rtt_ns,omitempty"`
 }
 
 // Debug snapshots the pool state for addr.
@@ -138,6 +160,7 @@ func (p *Pool[E]) Debug(addr string) ConnDebug {
 		if t := e.mux.lastIn.Load(); t != 0 {
 			d.LastContact = time.Unix(0, t)
 		}
+		d.RTT = time.Duration(e.mux.rtt.Load())
 	} else if len(e.free) > 0 || time.Now().Before(e.legacyUntil) {
 		d.Proto = "gob"
 	}
@@ -286,6 +309,7 @@ func (p *Pool[E]) dialMux(ctx context.Context, addr string, timeout time.Duratio
 		reg.Counter(obs.MetricTransportNegotiations, "v3 protocol negotiations, by outcome (legacy = gob-only peer, fallback engaged).", obs.L("outcome", outcome)).Inc()
 	}()
 	h := clientHello(cod.code)
+	helloStart := time.Now()
 	if _, err := conn.Write(h[:]); err != nil {
 		_ = conn.Close()
 		if peerClosed(err) {
@@ -322,6 +346,7 @@ func (p *Pool[E]) dialMux(ctx context.Context, addr string, timeout time.Duratio
 	m.hbCounterFail = reg.Counter(obs.MetricTransportHeartbeats, heartbeatHelp, obs.L("outcome", "failed"))
 	m.w = newWireWriter(conn, timeout, reg.Histogram(obs.MetricTransportFlushFrames, flushHelp, flushBuckets, role))
 	m.lastIn.Store(time.Now().UnixNano()) // the hello counts as contact
+	m.rtt.Store(int64(time.Since(helloStart)))
 	m.conns.Add(1)
 	m.wg.Add(2)
 	go m.readLoop(br)
@@ -353,6 +378,7 @@ type muxConn[E comparable] struct {
 
 	lastIn  atomic.Int64 // unixnano of the last inbound frame
 	lastOut atomic.Int64 // unixnano of the last outbound frame
+	rtt     atomic.Int64 // last measured round-trip time, nanoseconds
 	done    chan struct{}
 	wg      sync.WaitGroup
 }
@@ -479,8 +505,11 @@ func (m *muxConn[E]) finish(wr *wireResponse[E]) (response[E], error) {
 // heartbeatLoop pings the device whenever the connection has been idle
 // for a full interval, keeping the server's idle deadline from cutting
 // the pooled connection and feeding LastContact for the fleet's breaker
-// prober. A failed heartbeat tears the connection down: the next request
-// redials rather than discovering the corpse itself.
+// prober. Each heartbeat is timed end to end and refreshes the
+// connection's round-trip estimate (LastRTT), giving cost estimators a
+// free per-device network signal. A failed heartbeat tears the connection
+// down: the next request redials rather than discovering the corpse
+// itself.
 func (m *muxConn[E]) heartbeatLoop(every time.Duration) {
 	defer m.wg.Done()
 	t := time.NewTicker(every)
@@ -498,12 +527,14 @@ func (m *muxConn[E]) heartbeatLoop(every time.Duration) {
 				continue
 			}
 			req := request[E]{V: FrameV2, Kind: kindPing}
+			sentAt := time.Now()
 			_, _, _, err := m.do(context.Background(), m.timeout, &req)
 			if err != nil {
 				m.hbCounterFail.Inc()
 				m.teardown()
 				return
 			}
+			m.rtt.Store(int64(time.Since(sentAt)))
 			m.hbCounterOK.Inc()
 		}
 	}

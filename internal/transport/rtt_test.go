@@ -1,0 +1,54 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"github.com/scec/scec/internal/field"
+	"github.com/scec/scec/internal/obs"
+)
+
+// TestLastRTTMeasured pins the estimator's network signal: the handshake
+// seeds an RTT for the pooled connection, idle heartbeats keep refreshing
+// it, and ConnDebug surfaces the same number.
+func TestLastRTTMeasured(t *testing.T) {
+	f := field.Prime{}
+	srv, err := NewDeviceServer[uint64](f, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	pool := NewPool[uint64]()
+	pool.heartbeat = 30 * time.Millisecond
+	client := Client[uint64]{F: f, Timeout: 2 * time.Second, Metrics: obs.New(), Pool: pool}
+
+	if _, ok := client.LastRTT(srv.Addr()); ok {
+		t.Fatal("RTT reported before any connection exists")
+	}
+	if err := client.Ping(t.Context(), srv.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	rtt, ok := client.LastRTT(srv.Addr())
+	if !ok {
+		t.Fatal("no RTT after the negotiation handshake")
+	}
+	if rtt <= 0 || rtt > time.Second {
+		t.Fatalf("loopback handshake RTT = %v, implausible", rtt)
+	}
+
+	// Idle heartbeats refresh the measurement without any caller RPCs.
+	time.Sleep(150 * time.Millisecond)
+	rtt2, ok := client.LastRTT(srv.Addr())
+	if !ok || rtt2 <= 0 {
+		t.Fatalf("RTT lost after idle heartbeats: %v %v", rtt2, ok)
+	}
+
+	dbg := pool.Debug(srv.Addr())
+	if dbg.RTT != rtt2 {
+		t.Fatalf("ConnDebug.RTT = %v, LastRTT = %v; must agree", dbg.RTT, rtt2)
+	}
+	if dbg.Proto != "v3" {
+		t.Fatalf("proto = %q, want v3", dbg.Proto)
+	}
+}

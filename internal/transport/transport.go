@@ -773,6 +773,13 @@ func (c Client[E]) LastContact(addr string) (time.Time, bool) {
 	return c.pool().LastContact(addr)
 }
 
+// LastRTT reports the most recent round-trip time measured on this
+// client's pooled multiplexed connection to addr (negotiation handshake,
+// refreshed by timed idle heartbeats); see Pool.LastRTT.
+func (c Client[E]) LastRTT(addr string) (time.Duration, bool) {
+	return c.pool().LastRTT(addr)
+}
+
 // ConnDebug snapshots the pooled connection state toward addr.
 func (c Client[E]) ConnDebug(addr string) ConnDebug {
 	return c.pool().Debug(addr)

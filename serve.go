@@ -3,8 +3,12 @@ package scec
 import (
 	"context"
 	"errors"
+	"math/rand/v2"
 	"net/http"
+	"sync/atomic"
+	"time"
 
+	"github.com/scec/scec/internal/adapt"
 	"github.com/scec/scec/internal/engine"
 	"github.com/scec/scec/internal/fleet"
 )
@@ -34,10 +38,26 @@ type BlockUnavailableError = fleet.BlockUnavailableError
 
 // Served is a live serving handle: the engine's query layer (validation,
 // dispatch counters, optional request coalescing, decode) over a
-// fault-tolerant fleet session.
+// fault-tolerant fleet session. With WithAdaptive the handle additionally
+// runs the closed-loop control plane, and the session underneath may be
+// replaced live by a reshape — the accessors always reflect the current one.
 type Served[E comparable] struct {
 	q *engine.Query[E]
 	s *fleet.Session[E]
+
+	// Adaptive-only state (nil without WithAdaptive).
+	adapter *adapt.FleetAdapter[E]
+	ctrl    *adapt.Controller
+}
+
+// session resolves the fleet session currently serving queries: the adapter's
+// view when the control plane may have reshaped it, the provisioning-time
+// session otherwise.
+func (v *Served[E]) session() *fleet.Session[E] {
+	if v.adapter != nil {
+		return v.adapter.Session()
+	}
+	return v.s
 }
 
 // Serve provisions dep's coded blocks onto the replicated device fleet
@@ -67,16 +87,75 @@ func Serve[E comparable](dep *Deployment[E], cfg FleetConfig, opts ...DeployOpti
 	if cfg.Tracer == nil {
 		cfg.Tracer = c.opts.Tracer
 	}
+	if c.adaptive == nil {
+		s, err := fleet.Serve(dep.F, dep.Scheme, dep.Encoding, cfg)
+		if err != nil {
+			return nil, err
+		}
+		q, err := engine.New(dep.F, dep.Encoding, engine.WrapSession(s, true), c.opts)
+		if err != nil {
+			_ = s.Close()
+			return nil, err
+		}
+		return &Served[E]{q: q, s: s}, nil
+	}
+	return serveAdaptive(dep, cfg, c)
+}
+
+// serveAdaptive builds the adaptive serving stack: the fleet session feeds
+// winning-attempt latencies into the controller through OnWin, the engine
+// runs over a swappable executor so a reshape can replace the whole session
+// behind a drain, and the controller closes the loop on a background ticker.
+func serveAdaptive[E comparable](dep *Deployment[E], cfg FleetConfig, c deployConfig[E]) (*Served[E], error) {
+	aCfg := *c.adaptive
+	if aCfg.Tracer == nil {
+		aCfg.Tracer = cfg.Tracer
+	}
+	if aCfg.Metrics == nil {
+		aCfg.Metrics = cfg.Metrics
+	}
+
+	// The controller does not exist yet when the session starts serving, so
+	// OnWin routes through an atomic pointer; a caller-provided OnWin still
+	// sees every win.
+	var ctrl atomic.Pointer[adapt.Controller]
+	userOnWin := cfg.OnWin
+	cfg.OnWin = func(device string, block int, latency time.Duration) {
+		if cc := ctrl.Load(); cc != nil {
+			cc.ObserveWin(device, block, latency)
+		}
+		if userOnWin != nil {
+			userOnWin(device, block, latency)
+		}
+	}
+
 	s, err := fleet.Serve(dep.F, dep.Scheme, dep.Encoding, cfg)
 	if err != nil {
 		return nil, err
 	}
-	q, err := engine.New(dep.F, dep.Encoding, engine.WrapSession(s, true), c.opts)
+	sw, err := engine.NewSwappable[E](engine.WrapSession(s, true), dep.Scheme)
 	if err != nil {
 		_ = s.Close()
 		return nil, err
 	}
-	return &Served[E]{q: q, s: s}, nil
+	q, err := engine.New(dep.F, dep.Encoding, sw, c.opts)
+	if err != nil {
+		_ = sw.Close()
+		return nil, err
+	}
+	adapter, err := adapt.NewFleetAdapter(dep.F, dep.Encoding, s, sw, cfg, rand.New(rand.NewPCG(rand.Uint64(), rand.Uint64())))
+	if err != nil {
+		_ = q.Close()
+		return nil, err
+	}
+	controller, err := adapt.New(aCfg, adapter)
+	if err != nil {
+		_ = q.Close()
+		return nil, err
+	}
+	ctrl.Store(controller)
+	controller.Start()
+	return &Served[E]{q: q, s: s, adapter: adapter, ctrl: controller}, nil
 }
 
 // MulVec computes A·x through the fleet (coalescing concurrent callers into
@@ -120,26 +199,61 @@ func (v *Served[E]) LoadTarget(x []E) func(ctx context.Context) error {
 	}
 }
 
-// Devices returns the number of logical coded blocks served.
-func (v *Served[E]) Devices() int { return v.s.Devices() }
+// Devices returns the number of logical coded blocks served. Under
+// WithAdaptive this tracks the current plan: a reshape to a different r
+// changes it.
+func (v *Served[E]) Devices() int { return v.session().Devices() }
 
 // Standbys returns how many warm standby devices remain unused.
-func (v *Served[E]) Standbys() int { return v.s.Standbys() }
+func (v *Served[E]) Standbys() int { return v.session().Standbys() }
 
 // ReplicaCount returns how many replicas currently serve block j.
-func (v *Served[E]) ReplicaCount(j int) int { return v.s.ReplicaCount(j) }
+func (v *Served[E]) ReplicaCount(j int) int { return v.session().ReplicaCount(j) }
 
-// Session exposes the underlying fleet runtime.
-func (v *Served[E]) Session() *Session[E] { return v.s }
+// Session exposes the underlying fleet runtime. Under WithAdaptive it is the
+// session currently serving queries — a reshape replaces it, so do not cache
+// the pointer across control cycles.
+func (v *Served[E]) Session() *Session[E] { return v.session() }
+
+// Adaptive returns the running control loop, or nil when the handle was not
+// served WithAdaptive.
+func (v *Served[E]) Adaptive() *AdaptiveController { return v.ctrl }
 
 // EngineDebugHandler serves the engine's dispatch/coalescing snapshot
 // (mount as /debug/engine); FleetDebugHandler serves the fleet's breaker,
 // replica-health, standby, and straggler snapshot (mount as /debug/fleet).
 func (v *Served[E]) EngineDebugHandler() http.Handler { return v.q.DebugHandler() }
 
-// FleetDebugHandler serves the fleet session's live runtime snapshot.
-func (v *Served[E]) FleetDebugHandler() http.Handler { return v.s.DebugHandler() }
+// FleetDebugHandler serves the fleet session's live runtime snapshot. Under
+// WithAdaptive the handler resolves the current session per request, so it
+// stays correct across reshapes.
+func (v *Served[E]) FleetDebugHandler() http.Handler {
+	if v.adapter == nil {
+		return v.s.DebugHandler()
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		v.session().DebugHandler().ServeHTTP(w, r)
+	})
+}
 
-// Close flushes the query engine and shuts the fleet session down. Safe to
-// call more than once.
-func (v *Served[E]) Close() error { return v.q.Close() }
+// AdaptDebugHandler serves the adaptive control plane's live snapshot
+// (learned factors, plan decisions, migration events); mount as /debug/adapt.
+// Without WithAdaptive it reports 404.
+func (v *Served[E]) AdaptDebugHandler() http.Handler {
+	if v.ctrl == nil {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			http.Error(w, "adaptive control plane not enabled; serve with WithAdaptive", http.StatusNotFound)
+		})
+	}
+	return v.ctrl.DebugHandler()
+}
+
+// Close stops the adaptive control loop (in-flight migrations finish first),
+// flushes the query engine, and shuts the fleet session down. Safe to call
+// more than once.
+func (v *Served[E]) Close() error {
+	if v.ctrl != nil {
+		v.ctrl.Stop()
+	}
+	return v.q.Close()
+}
