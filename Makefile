@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short test-fault trace-demo bench bench-json bench-check bench-transport load-check adapt-check fuzz reproduce examples clean
+.PHONY: all build vet lint test test-short test-fault trace-demo bench bench-json bench-check bench-transport load-check adapt-check collusion-check fuzz reproduce examples clean
 
 all: build vet lint test
 
@@ -69,6 +69,14 @@ bench-check:
 bench-transport:
 	$(GO) run ./cmd/experiments -fig bench-transport -check -out results
 
+# Security-tier regression guard: sweep the collusion threshold t = 1..4
+# (plus the Eq. (8) structured baseline) on one deterministic fleet, write
+# the cost/latency trajectory to results/collusion.json, and fail unless
+# the plan cost is monotone in t and the t = 1 Cauchy plan degenerates to
+# the TA1 baseline's cost.
+collusion-check:
+	$(GO) run ./cmd/experiments -fig collusion -check -out results
+
 # Heavy-traffic SLO regression guard: one open-loop, coordinated-omission-
 # safe sweep of a real-socket 3-device loopback fleet plus a 1000-virtual-
 # device simulation with churn, writing the latency-vs-load curves and
@@ -92,7 +100,7 @@ load-check:
 adapt-check:
 	$(GO) run ./cmd/scecsim -adaptive -adapt-check -adapt-out results/adapt.json
 
-# Short fuzzing passes over the three fuzz targets (CI-friendly budgets).
+# Short fuzzing passes over every fuzz target (CI-friendly budgets).
 fuzz:
 	$(GO) test -fuzz FuzzPrimeArithmetic -fuzztime 10s ./internal/field/
 	$(GO) test -fuzz FuzzGF256Arithmetic -fuzztime 10s ./internal/field/
@@ -100,6 +108,7 @@ fuzz:
 	$(GO) test -fuzz FuzzEncodeDecodeGF256 -fuzztime 10s ./internal/coding/
 	$(GO) test -fuzz FuzzDecodeNeverPanics -fuzztime 10s ./internal/coding/
 	$(GO) test -fuzz FuzzWireFrame -fuzztime 10s ./internal/transport/
+	$(GO) test -fuzz FuzzCollusionDecode -fuzztime 10s ./internal/coding/
 
 # Regenerate every paper artifact into results/.
 reproduce:

@@ -31,7 +31,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		fig       = fs.String("fig", "all", "figure to regenerate: 2a|2b|2c|2d|2e|all|rsweep|delay|comparison|dist|bench|bench-transport")
+		fig       = fs.String("fig", "all", "figure to regenerate: 2a|2b|2c|2d|2e|all|rsweep|delay|comparison|dist|bench|bench-transport|collusion")
 		claims    = fs.Bool("claims", true, "also evaluate the headline claims (requires -fig all)")
 		outDir    = fs.String("out", "", "directory for CSV + markdown output (empty: stdout only)")
 		instances = fs.Int("instances", 0, "instances per sweep point (0: paper default of 1000)")
@@ -114,6 +114,24 @@ func run(args []string, out io.Writer) error {
 			}
 			return experiments.WriteBenchJSON(w, rep)
 		}},
+		"collusion": {"collusion.json", func(w io.Writer) error {
+			rep, err := experiments.CollusionSweep(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "%-4s %-10s %6s %8s %12s %14s %14s\n", "t", "scheme", "r", "devices", "plan-cost", "encode-ns", "decode-ns")
+			for _, p := range rep.Points {
+				fmt.Fprintf(out, "%-4d %-10s %6d %8d %12.2f %14.0f %14.0f\n",
+					p.T, p.Scheme, p.R, p.Devices, p.PlanCost, p.EncodeNs, p.DecodeNs)
+			}
+			if *check {
+				if err := experiments.CheckCollusion(rep); err != nil {
+					return err
+				}
+				fmt.Fprintf(out, "collusion check ok: cost monotone in t, t=1 Cauchy matches the TA1 baseline\n")
+			}
+			return experiments.WriteCollusionJSON(w, rep)
+		}},
 		"bench-transport": {"bench.json", func(w io.Writer) error {
 			rep, err := experiments.BenchTransport(cfg)
 			if err != nil {
@@ -132,9 +150,9 @@ func run(args []string, out io.Writer) error {
 		}},
 	}
 	if sp, special := specials[*fig]; special {
-		if *fig != "rsweep" && *fig != "bench" && *fig != "bench-transport" {
-			// rsweep and bench write their own stdout summaries; the
-			// others render identical content to stdout and to the file.
+		if *fig != "rsweep" && *fig != "bench" && *fig != "bench-transport" && *fig != "collusion" {
+			// rsweep, bench, and collusion write their own stdout summaries;
+			// the others render identical content to stdout and to the file.
 			if err := sp.render(out); err != nil {
 				return err
 			}
@@ -154,7 +172,7 @@ func run(args []string, out io.Writer) error {
 			if werr != nil {
 				return werr
 			}
-		} else if *fig == "rsweep" || *fig == "bench" || *fig == "bench-transport" {
+		} else if *fig == "rsweep" || *fig == "bench" || *fig == "bench-transport" || *fig == "collusion" {
 			if err := sp.render(io.Discard); err != nil {
 				return err
 			}

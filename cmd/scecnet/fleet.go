@@ -35,6 +35,7 @@ func runFleet(args []string, out io.Writer) error {
 		hedgeAfter   = fs.Duration("hedge-after", 0, "hedge delay before a speculative replica request (0 adaptive, negative off)")
 		maxRetries   = fs.Int("max-retries", fleet.DefaultMaxRetries, "extra replica-selection rounds per block fetch (negative for none)")
 		injectFaults = fs.Bool("inject-faults", false, "kill the first replica of every block mid-stream")
+		tFlag        = fs.Int("t", 1, "collusion threshold: t >= 2 deploys the Cauchy-masked coding tier secure against t colluding devices")
 		seed         = fs.Uint64("seed", 1, "random seed")
 		metricsAddr  = fs.String("metrics-addr", "", "serve /metrics, /healthz, and /debug endpoints on this address")
 		timeout      = fs.Duration("timeout", transport.DefaultTimeout, "per-round-trip bound for store and compute requests")
@@ -55,6 +56,12 @@ func runFleet(args []string, out io.Writer) error {
 	}
 	if *replicas < 1 || *standbys < 0 {
 		return fmt.Errorf("need -replicas >= 1 and -standbys >= 0")
+	}
+	if *tFlag < 1 {
+		return fmt.Errorf("-t %d: the collusion threshold must be at least 1", *tFlag)
+	}
+	if *adaptive && *tFlag >= 2 {
+		return fmt.Errorf("-adaptive re-plans with the t = 1 allocators; the t-collusion tier (-t %d) is static for now", *tFlag)
 	}
 	switch *backend {
 	case "fleet":
@@ -93,12 +100,16 @@ func runFleet(args []string, out io.Writer) error {
 		// fleet path binds them to the serving session below instead.
 		deployOpts = engineOpts
 	}
+	if *tFlag >= 2 {
+		deployOpts = append(deployOpts, scec.WithCollusion[uint64](*tFlag))
+	}
 	dep, err := scec.Deploy(f, a, in.Costs, rng, deployOpts...)
 	if err != nil {
 		return err
 	}
 	defer dep.Close()
-	fmt.Fprintf(out, "plan: r=%d, %d coded blocks, cost %.2f\n", dep.Plan.R, dep.Devices(), dep.Cost())
+	fmt.Fprintf(out, "plan: %s r=%d t=%d, %d coded blocks, cost %.2f\n",
+		dep.Plan.Algorithm, dep.Plan.R, dep.Code.T(), dep.Devices(), dep.Cost())
 
 	query := dep.MulVec
 	injectNow := func() {}

@@ -177,6 +177,7 @@ func runDrive(args []string, out io.Writer) error {
 		devices     = fs.String("devices", "", "comma-separated device addresses, cheapest first")
 		m           = fs.Int("m", 100, "rows of the confidential matrix A")
 		l           = fs.Int("l", 32, "columns of A")
+		t           = fs.Int("t", 1, "collusion threshold: t >= 2 deploys the Cauchy-masked coding tier secure against t colluding devices")
 		batch       = fs.Int("batch", 0, "additionally verify a batch A·X with this many columns")
 		seed        = fs.Uint64("seed", 1, "random seed")
 		metricsAddr = fs.String("metrics-addr", "", "serve /metrics, /healthz, and /debug endpoints on this address")
@@ -208,7 +209,7 @@ func runDrive(args []string, out io.Writer) error {
 	if ms != nil {
 		defer ms.Close()
 	}
-	if err := drive(out, addrs, *m, *l, *batch, *seed, *timeout, proto, tr); err != nil {
+	if err := drive(out, addrs, *m, *l, *batch, *t, *seed, *timeout, proto, tr); err != nil {
 		return err
 	}
 	return exportTraces(out, tr, *traceFile)
@@ -220,6 +221,7 @@ func runDemo(args []string, out io.Writer) error {
 		m           = fs.Int("m", 100, "rows of the confidential matrix A")
 		l           = fs.Int("l", 32, "columns of A")
 		k           = fs.Int("k", 8, "devices to launch on loopback")
+		t           = fs.Int("t", 1, "collusion threshold: t >= 2 deploys the Cauchy-masked coding tier secure against t colluding devices")
 		batch       = fs.Int("batch", 4, "additionally verify a batch A·X with this many columns")
 		seed        = fs.Uint64("seed", 1, "random seed")
 		metricsAddr = fs.String("metrics-addr", "", "serve /metrics, /healthz, and /debug endpoints on this address")
@@ -261,7 +263,7 @@ func runDemo(args []string, out io.Writer) error {
 		addrs[j] = srv.Addr()
 	}
 	fmt.Fprintf(out, "launched %d loopback devices\n", *k)
-	if err := drive(out, addrs, *m, *l, *batch, *seed, *timeout, proto, tr); err != nil {
+	if err := drive(out, addrs, *m, *l, *batch, *t, *seed, *timeout, proto, tr); err != nil {
 		return err
 	}
 	return exportTraces(out, tr, *traceFile)
@@ -273,13 +275,17 @@ func runDemo(args []string, out io.Writer) error {
 // verified end to end. Completion prints the per-stage timing table. A
 // non-nil tracer roots one trace per query; the transport layer carries it
 // to the devices and adopts their server-side spans back.
-func drive(out io.Writer, addrs []string, m, l, batch int, seed uint64, timeout time.Duration, proto transport.Proto, tr *trace.Tracer) error {
+func drive(out io.Writer, addrs []string, m, l, batch, t int, seed uint64, timeout time.Duration, proto transport.Proto, tr *trace.Tracer) error {
 	f := scec.PrimeField()
 	rng := rand.New(rand.NewPCG(seed, 0xd21fe))
 	in := workload.Instance(rng, m, len(addrs), workload.Uniform{Max: 5})
 
 	a := scec.RandomMatrix(f, rng, m, l)
-	dep, err := scec.Deploy(f, a, in.Costs, rng)
+	var opts []scec.DeployOption[uint64]
+	if t >= 2 {
+		opts = append(opts, scec.WithCollusion[uint64](t))
+	}
+	dep, err := scec.Deploy(f, a, in.Costs, rng, opts...)
 	if err != nil {
 		return err
 	}
@@ -288,15 +294,15 @@ func drive(out io.Writer, addrs []string, m, l, batch int, seed uint64, timeout 
 	for j, as := range dep.Plan.Assignments {
 		selected[j] = addrs[as.Device]
 	}
-	fmt.Fprintf(out, "plan: r=%d, %d of %d devices selected, cost %.2f\n",
-		dep.Plan.R, dep.Devices(), len(addrs), dep.Cost())
+	fmt.Fprintf(out, "plan: %s r=%d t=%d, %d of %d devices selected, cost %.2f\n",
+		dep.Plan.Algorithm, dep.Plan.R, dep.Code.T(), dep.Devices(), len(addrs), dep.Cost())
 
 	if err := (transport.Cloud[uint64]{Timeout: timeout, Proto: proto}).Distribute(context.Background(), selected, dep.Encoding); err != nil {
 		return fmt.Errorf("distribute: %w", err)
 	}
 	fmt.Fprintf(out, "cloud distributed %d coded rows across the fleet\n", m+dep.Plan.R)
 
-	client := transport.Client[uint64]{F: f, Scheme: dep.Scheme, Timeout: timeout, Proto: proto}
+	client := transport.Client[uint64]{F: f, Code: dep.Code, Timeout: timeout, Proto: proto}
 	x := scec.RandomVector(f, rng, l)
 	vctx, vsp := tr.StartRoot(context.Background(), trace.SpanQueryVec, trace.A(trace.AttrKind, "vec"))
 	got, err := client.MulVec(vctx, selected, x)

@@ -49,6 +49,7 @@ func run(args []string, out io.Writer) error {
 		l         = fs.Int("l", 64, "columns of A (and length of x)")
 		k         = fs.Int("k", 10, "edge devices in the candidate fleet")
 		cmax      = fs.Float64("cmax", 5, "fleet costs sampled from U(1, c_max)")
+		tFlag     = fs.Int("t", 1, "collusion threshold: t >= 2 deploys the Cauchy-masked coding tier secure against t colluding devices")
 		seed      = fs.Uint64("seed", 1, "random seed")
 		straggler = fs.String("straggler", "", "per-device slowdowns, e.g. 0=10,2=3")
 		failDev   = fs.Int("fail", -1, "force this device (scheme order) to fail")
@@ -79,9 +80,15 @@ func run(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *tFlag < 1 {
+		return fmt.Errorf("-t %d: the collusion threshold must be at least 1", *tFlag)
+	}
 	if *adaptive {
 		if *load || *straggler != "" || *failDev >= 0 || *replicas > 1 || *traceFile != "" {
 			return fmt.Errorf("-adaptive runs its own three-arm recovery scenario; -load, -straggler, -fail, -replicas, and -trace-export configure other modes")
+		}
+		if *tFlag >= 2 {
+			return fmt.Errorf("-adaptive re-plans with the t = 1 allocators; the t-collusion tier (-t %d) is static for now", *tFlag)
 		}
 		return runAdaptScenario(out, adaptConfig{
 			devices: *adaptDevices, m: *adaptM, qps: *adaptQPS,
@@ -94,7 +101,7 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("-load sweeps a homogeneous virtual fleet under churn; -straggler, -fail, -replicas, -trace-export, and -backend configure single pipeline runs")
 		}
 		return runSimLoad(out, simLoadConfig{
-			m: *m, l: *l, k: *k, cmax: *cmax, seed: *seed,
+			m: *m, l: *l, k: *k, cmax: *cmax, t: *tFlag, seed: *seed,
 			devices: *loadDevices, rates: *loadRates, requests: *loadReqs,
 			churn: *loadChurn, arrival: *loadArrival, slo: *loadSLO,
 			out: *loadOut, md: *loadMD, metricsPath: *metrics,
@@ -117,6 +124,9 @@ func run(args []string, out io.Writer) error {
 	}
 	var tr *trace.Tracer
 	var opts []scec.DeployOption[uint64]
+	if *tFlag >= 2 {
+		opts = append(opts, scec.WithCollusion[uint64](*tFlag))
+	}
 	if *traceFile != "" {
 		tr = trace.New(trace.Options{Service: "scecsim"})
 		opts = append(opts, scec.WithTracing[uint64](tr))
@@ -146,7 +156,8 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	defer func() { _ = dep.Close() }()
-	fmt.Fprintf(out, "plan: r=%d devices=%d cost=%.2f backend=%s\n", dep.Plan.R, dep.Plan.I, dep.Cost(), dep.Backend())
+	fmt.Fprintf(out, "plan: %s r=%d t=%d devices=%d cost=%.2f backend=%s\n",
+		dep.Plan.Algorithm, dep.Plan.R, dep.Code.T(), dep.Plan.I, dep.Cost(), dep.Backend())
 	if *failDev >= dep.Devices() {
 		return fmt.Errorf("-fail %d out of range (deployment has %d devices)", *failDev, dep.Devices())
 	}
@@ -217,7 +228,7 @@ func run(args []string, out io.Writer) error {
 
 // simLoadConfig carries the -load* flags into runSimLoad.
 type simLoadConfig struct {
-	m, l, k     int
+	m, l, k, t  int
 	cmax        float64
 	seed        uint64
 	devices     int
@@ -254,7 +265,14 @@ func runSimLoad(out io.Writer, cfg simLoadConfig) error {
 	rng := rand.New(rand.NewPCG(cfg.seed, 0x51ec))
 	in := workload.Instance(rng, cfg.m, cfg.k, workload.Uniform{Max: cfg.cmax})
 	a := scec.RandomMatrix(f, rng, cfg.m, cfg.l)
-	dep, err := scec.Deploy(f, a, in.Costs, rng)
+	var opts []scec.DeployOption[uint64]
+	if cfg.t >= 2 {
+		if cfg.devices > 0 {
+			return fmt.Errorf("-load-devices spreads rows uniformly over a virtual fleet; the -t %d layout comes from the collusion plan, so leave -load-devices unset", cfg.t)
+		}
+		opts = append(opts, scec.WithCollusion[uint64](cfg.t))
+	}
+	dep, err := scec.Deploy(f, a, in.Costs, rng, opts...)
 	if err != nil {
 		return err
 	}
@@ -263,10 +281,19 @@ func runSimLoad(out io.Writer, cfg simLoadConfig) error {
 	if devices <= 0 {
 		devices = dep.Devices()
 	}
-	// Spread the plan's coded rows (m + r in total) across the virtual fleet.
+	// Sweep the plan's own per-device row layout (heterogeneous under the
+	// t-collusion tier); a -load-devices override instead spreads the plan's
+	// coded rows (m + r in total) uniformly across the virtual fleet.
+	var deviceRows []int
 	rows := max((cfg.m+dep.Plan.R+devices-1)/devices, 1)
-	fmt.Fprintf(out, "plan: r=%d devices=%d cost=%.2f; sweeping %d virtual device(s) × %d coded row(s) at %s QPS (%s arrivals, churn every ~%v)\n",
-		dep.Plan.R, dep.Plan.I, dep.Cost(), devices, rows, cfg.rates, arrival.Name(), cfg.churn)
+	if cfg.devices <= 0 {
+		deviceRows = make([]int, len(dep.Plan.Assignments))
+		for j, as := range dep.Plan.Assignments {
+			deviceRows[j] = as.Rows
+		}
+	}
+	fmt.Fprintf(out, "plan: %s r=%d t=%d devices=%d cost=%.2f; sweeping %d virtual device(s) at %s QPS (%s arrivals, churn every ~%v)\n",
+		dep.Plan.Algorithm, dep.Plan.R, dep.Code.T(), dep.Plan.I, dep.Cost(), devices, cfg.rates, arrival.Name(), cfg.churn)
 
 	col := loadgen.NewCollector()
 	sc := loadgen.Scenario{
@@ -280,6 +307,7 @@ func runSimLoad(out io.Writer, cfg simLoadConfig) error {
 	steps, stats, err := loadgen.VirtualSweep(loadgen.VirtualOptions{
 		Devices:         devices,
 		RowsPerDevice:   rows,
+		DeviceRows:      deviceRows,
 		Cols:            cfg.l,
 		ChurnEvery:      cfg.churn,
 		Rates:           rates,

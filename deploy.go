@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"net/http"
+	"sort"
 
 	"github.com/scec/scec/internal/alloc"
 	"github.com/scec/scec/internal/coding"
@@ -35,16 +36,23 @@ func AmortizedUnitCosts(l, queries int, comps []CostComponents) ([]float64, erro
 }
 
 // Deployment is a fully provisioned secure multiplication service for one
-// confidential matrix: the optimal plan, the coding scheme it induces, and
+// confidential matrix: the optimal plan, the coding design it induces, and
 // every device's coded block.
 type Deployment[E comparable] struct {
 	// F is the arithmetic field.
 	F Field[E]
-	// Plan is the cost-optimal task allocation (TA1).
+	// Plan is the cost-optimal task allocation (TA1, or TACollusion under
+	// WithCollusion).
 	Plan Plan
-	// Scheme is the Eq. (8) coding design for (m, Plan.R).
+	// Code is the deployed coding design — the Eq. (8) scheme by default,
+	// the Cauchy t-collusion design under WithCollusion, or whatever
+	// WithCode supplied. Every execution backend decodes through it.
+	Code Code[E]
+	// Scheme is the Eq. (8) coding design for (m, Plan.R) when the default
+	// structured tier is deployed; nil under WithCollusion/WithCode. Callers
+	// needing scheme-specific introspection should prefer Code.
 	Scheme *Scheme
-	// Encoding holds the coded blocks, in scheme device order; block j
+	// Encoding holds the coded blocks, in code device order; block j
 	// belongs to the device with index Plan.Assignments[j].Device in the
 	// caller's cost slice.
 	Encoding *Encoding[E]
@@ -59,32 +67,28 @@ type Deployment[E comparable] struct {
 // assignments refer back to those indexes.
 //
 // Queries execute over the in-process kernels by default; pass WithExecutor
-// to run them over the simulator or a real fleet instead, and
-// WithCoalescing to merge concurrent MulVec callers into batch rounds.
+// to run them over the simulator or a real fleet instead, WithCoalescing to
+// merge concurrent MulVec callers into batch rounds, and WithCollusion(t)
+// (or WithCode) to deploy the t-collusion-secure coding tier instead of the
+// single-attacker Eq. (8) scheme.
 func Deploy[E comparable](f Field[E], a *Matrix[E], unitCosts []float64, rng *rand.Rand, opts ...DeployOption[E]) (*Deployment[E], error) {
-	allocate := obs.StartStage(nil, obs.StageAllocate)
-	plan, err := alloc.TA1(Instance{M: a.Rows(), Costs: unitCosts})
-	allocate.End()
-	if err != nil {
-		return nil, fmt.Errorf("scec: allocate: %w", err)
-	}
-	scheme, err := coding.New(a.Rows(), plan.R)
-	if err != nil {
-		return nil, fmt.Errorf("scec: coding design: %w", err)
-	}
-	if scheme.Devices() != plan.I {
-		// Cannot happen: both derive i = ⌈(m+r)/r⌉ from the same (m, r).
-		return nil, fmt.Errorf("scec: plan selects %d devices but scheme needs %d", plan.I, scheme.Devices())
-	}
-	encode := obs.StartStage(nil, obs.StageEncode)
-	enc, err := coding.Encode(f, scheme, a, rng)
-	encode.End()
-	if err != nil {
-		return nil, fmt.Errorf("scec: encode: %w", err)
-	}
 	cfg := newDeployConfig(opts)
 	if cfg.adaptive != nil {
 		return nil, fmt.Errorf("scec: WithAdaptive applies to Serve, not Deploy: the control plane needs a live fleet to migrate")
+	}
+	if cfg.code != nil && cfg.collusionT > 0 {
+		return nil, fmt.Errorf("scec: WithCode and WithCollusion are mutually exclusive (the code fixes its own threshold)")
+	}
+
+	plan, code, err := planAndCode(f, a, unitCosts, cfg)
+	if err != nil {
+		return nil, err
+	}
+	encode := obs.StartStage(nil, obs.StageEncode)
+	enc, err := code.Encode(a, rng)
+	encode.End()
+	if err != nil {
+		return nil, fmt.Errorf("scec: encode: %w", err)
 	}
 	exec, err := cfg.backend(f, enc)
 	if err != nil {
@@ -95,7 +99,86 @@ func Deploy[E comparable](f Field[E], a *Matrix[E], unitCosts []float64, rng *ra
 		_ = exec.Close()
 		return nil, fmt.Errorf("scec: bind executor: %w", err)
 	}
-	return &Deployment[E]{F: f, Plan: plan, Scheme: scheme, Encoding: enc, q: q}, nil
+	d := &Deployment[E]{F: f, Plan: plan, Code: code, Encoding: enc, q: q}
+	if sc, ok := code.(*coding.StructuredCode[E]); ok {
+		d.Scheme = sc.Scheme()
+	}
+	return d, nil
+}
+
+// planAndCode solves the allocation and builds the coding design for the
+// selected security tier: the Eq. (8) scheme under TA1 by default, the
+// Cauchy design under the coalition-aware TACollusion sweep for
+// WithCollusion(t), or a caller-built code mapped onto the cheapest devices
+// for WithCode.
+func planAndCode[E comparable](f Field[E], a *Matrix[E], unitCosts []float64, cfg deployConfig[E]) (Plan, Code[E], error) {
+	if cfg.code != nil {
+		plan, err := customCodePlan(a.Rows(), unitCosts, cfg.code)
+		if err != nil {
+			return Plan{}, nil, err
+		}
+		return plan, cfg.code, nil
+	}
+	allocate := obs.StartStage(nil, obs.StageAllocate)
+	defer allocate.End()
+	if t := cfg.collusionT; t > 0 {
+		plan, err := alloc.TACollusion(Instance{M: a.Rows(), Costs: unitCosts}, t)
+		if err != nil {
+			return Plan{}, nil, fmt.Errorf("scec: allocate: %w", err)
+		}
+		rows := make([]int, plan.I)
+		for j, as := range plan.Assignments {
+			rows[j] = as.Rows
+		}
+		code, err := coding.NewCollusion(f, a.Rows(), plan.R, t, rows)
+		if err != nil {
+			return Plan{}, nil, fmt.Errorf("scec: coding design: %w", err)
+		}
+		return plan, code, nil
+	}
+	plan, err := alloc.TA1(Instance{M: a.Rows(), Costs: unitCosts})
+	if err != nil {
+		return Plan{}, nil, fmt.Errorf("scec: allocate: %w", err)
+	}
+	code, err := coding.NewStructured(f, a.Rows(), plan.R)
+	if err != nil {
+		return Plan{}, nil, fmt.Errorf("scec: coding design: %w", err)
+	}
+	if code.Devices() != plan.I {
+		// Cannot happen: both derive i = ⌈(m+r)/r⌉ from the same (m, r).
+		return Plan{}, nil, fmt.Errorf("scec: plan selects %d devices but scheme needs %d", plan.I, code.Devices())
+	}
+	return plan, code, nil
+}
+
+// customCodePlan reports a WithCode deployment as a Plan: coded block j goes
+// to the j-th cheapest device, so the assignment order matches the code's
+// device order exactly as it does for the solved tiers.
+func customCodePlan[E comparable](m int, unitCosts []float64, code Code[E]) (Plan, error) {
+	if code.M() != m {
+		return Plan{}, fmt.Errorf("scec: code expects m = %d rows, matrix has %d", code.M(), m)
+	}
+	n := code.Devices()
+	if n > len(unitCosts) {
+		return Plan{}, fmt.Errorf("scec: code spans %d devices, only %d costs given", n, len(unitCosts))
+	}
+	in := Instance{M: m, Costs: unitCosts}
+	if err := in.Validate(); err != nil {
+		return Plan{}, fmt.Errorf("scec: allocate: %w", err)
+	}
+	order := make([]int, len(unitCosts))
+	for j := range order {
+		order[j] = j
+	}
+	sort.SliceStable(order, func(a, b int) bool { return unitCosts[order[a]] < unitCosts[order[b]] })
+	assignments := make([]Assignment, n)
+	cost := 0.0
+	for j := 0; j < n; j++ {
+		rows := code.RowsOn(j)
+		assignments[j] = Assignment{Device: order[j], Rows: rows}
+		cost += float64(rows) * unitCosts[order[j]]
+	}
+	return Plan{Algorithm: "custom", R: code.R(), I: n, Assignments: assignments, Cost: cost}, nil
 }
 
 // MulVec computes A·x through the deployment's execution engine — the
@@ -171,14 +254,14 @@ func wrapEngineErr(err error) error {
 func (d *Deployment[E]) Cost() float64 { return d.Plan.Cost }
 
 // Devices returns the number of participating edge devices.
-func (d *Deployment[E]) Devices() int { return d.Scheme.Devices() }
+func (d *Deployment[E]) Devices() int { return d.Code.Devices() }
 
 // Audit runs the attack harness against every device and returns the
 // per-device leak dimensions (all zero for this construction).
 func (d *Deployment[E]) Audit() []int {
-	leaks := make([]int, d.Scheme.Devices())
+	leaks := make([]int, d.Code.Devices())
 	for j := range leaks {
-		leaks[j] = AuditDevice(d.F, d.Scheme, j)
+		leaks[j] = AuditCode(d.F, d.Code, j)
 	}
 	return leaks
 }

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"github.com/scec/scec/internal/adapt"
+	"github.com/scec/scec/internal/coding"
 	"github.com/scec/scec/internal/engine"
 	"github.com/scec/scec/internal/obs"
 	"github.com/scec/scec/internal/sim"
@@ -62,9 +63,11 @@ func FleetExecutor[E comparable](cfg FleetExecutorConfig) ExecutorBackend[E] {
 // deployConfig collects the facade options shared by Deploy, DeployChunked,
 // and DeployQuantized.
 type deployConfig[E comparable] struct {
-	backend  engine.Backend[E]
-	opts     engine.Options
-	adaptive *adapt.Config // non-nil when WithAdaptive was given (Serve only)
+	backend    engine.Backend[E]
+	opts       engine.Options
+	adaptive   *adapt.Config  // non-nil when WithAdaptive was given (Serve only)
+	collusionT int            // > 0 when WithCollusion selected the Cauchy tier
+	code       coding.Code[E] // non-nil when WithCode supplied a prebuilt code
 }
 
 // DeployOption customizes how a deployment executes queries.
@@ -107,6 +110,26 @@ type AdaptiveConfig = adapt.Config
 // learned costs, and migrates coded blocks live when a re-plan clears the
 // hysteresis margin. See internal/adapt.Controller.
 type AdaptiveController = adapt.Controller
+
+// WithCollusion selects the t-collusion security tier for a deployment: the
+// allocation is solved with the coalition-aware TACollusion sweep and the
+// matrix is encoded under the Cauchy-masked design of NewCollusionScheme, so
+// any coalition of up to t honest-but-curious devices learns nothing about
+// A. t = 1 deploys the Cauchy design at the classic threat model (useful for
+// cross-checking the tiers); the default Eq. (8) scheme remains the cheaper
+// choice there, with its m-subtraction decode.
+func WithCollusion[E comparable](t int) DeployOption[E] {
+	return func(c *deployConfig[E]) { c.collusionT = t }
+}
+
+// WithCode deploys a caller-constructed coding design instead of solving the
+// allocation: the code fixes (m, r, per-device rows), coded block j is
+// assigned to the j-th cheapest device, and the plan is reported with
+// algorithm "custom". Use it to deploy a CollusionScheme with a hand-tuned
+// row layout, or any future Code implementation, through the same facade.
+func WithCode[E comparable](code coding.Code[E]) DeployOption[E] {
+	return func(c *deployConfig[E]) { c.code = code }
+}
 
 // WithAdaptive enables the closed-loop adaptive control plane on a Serve
 // deployment: a background controller learns per-device costs from the

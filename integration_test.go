@@ -68,7 +68,7 @@ func TestIntegrationDeployOverTCP(t *testing.T) {
 	if err := (transport.Cloud[uint64]{}).Distribute(t.Context(), addrs, dep.Encoding); err != nil {
 		t.Fatal(err)
 	}
-	client := transport.Client[uint64]{F: f, Scheme: dep.Scheme}
+	client := transport.Client[uint64]{F: f, Code: dep.Code}
 	x := scec.RandomVector(f, rng, 10)
 	got, err := client.MulVec(t.Context(), addrs, x)
 	if err != nil {

@@ -21,9 +21,13 @@ import (
 // one block are security-equivalent). A reshape is a full redeployment at a
 // new r: the confidential matrix is reconstructed from the *initial*
 // encoding (A is recoverable from any complete encoding, exactly the user's
-// own decode path), re-encoded with fresh randomness at the new r, and
-// served by a brand-new fleet session that SwapDrained installs behind a
-// gate — new rounds wait, in-flight rounds drain, nothing fails.
+// own decode path), re-encoded with fresh randomness under a code of the
+// same kind (coding.Reshaped preserves the deployment's scheme — structured
+// stays structured, t-collusion keeps its threshold), and served by a
+// brand-new fleet session that SwapDrained installs behind a gate — new
+// rounds wait, in-flight rounds drain, nothing fails. A reshape whose shape
+// admits no t-secure row layout returns an error before any device is
+// touched, so the swap degrades to a pause.
 //
 // When the session replicates blocks, the adapter plans over each block's
 // first replica (the provisioning-order leader): the control loop migrates
@@ -85,14 +89,14 @@ func (a *FleetAdapter[E]) Session() *fleet.Session[E] {
 // Placements reports each block's leader replica and row count.
 func (a *FleetAdapter[E]) Placements() []BlockHost {
 	s := a.Session()
-	scheme := s.Scheme()
+	code := s.Code()
 	hosts := s.BlockHosts()
 	out := make([]BlockHost, 0, len(hosts))
 	for j, group := range hosts {
 		if len(group) == 0 {
 			continue
 		}
-		out = append(out, BlockHost{Block: j, Addr: group[0], Rows: scheme.RowsOn(j)})
+		out = append(out, BlockHost{Block: j, Addr: group[0], Rows: code.RowsOn(j)})
 	}
 	return out
 }
@@ -122,16 +126,13 @@ func (a *FleetAdapter[E]) Reshape(ctx context.Context, target []string, r int) e
 	if a.dataErr != nil {
 		return fmt.Errorf("adapt: reshape: reconstruct data matrix: %w", a.dataErr)
 	}
-	scheme, err := coding.New(a.data.Rows(), r)
+	code, err := coding.Reshaped(a.f, a.enc0.Code, a.data.Rows(), r, len(target))
 	if err != nil {
 		return fmt.Errorf("adapt: reshape: %w", err)
 	}
-	if scheme.Devices() != len(target) {
-		return fmt.Errorf("adapt: reshape: r=%d needs %d hosts, plan has %d", r, scheme.Devices(), len(target))
-	}
 
 	a.mu.Lock()
-	enc, err := coding.Encode(a.f, scheme, a.data, a.rng)
+	enc, err := code.Encode(a.data, a.rng)
 	a.mu.Unlock()
 	if err != nil {
 		return fmt.Errorf("adapt: reshape: re-encode: %w", err)
@@ -152,13 +153,13 @@ func (a *FleetAdapter[E]) Reshape(ctx context.Context, target []string, r int) e
 	}
 
 	var next *fleet.Session[E]
-	err = a.swap.SwapDrained(ctx, func(ctx context.Context) (engine.Executor[E], *coding.Scheme, error) {
-		s, err := fleet.Serve(a.f, scheme, enc, cfg)
+	err = a.swap.SwapDrained(ctx, func(ctx context.Context) (engine.Executor[E], coding.Code[E], error) {
+		s, err := fleet.Serve(a.f, enc, cfg)
 		if err != nil {
 			return nil, nil, fmt.Errorf("adapt: reshape: provision: %w", err)
 		}
 		next = s
-		return engine.WrapSession(s, true), scheme, nil
+		return engine.WrapSession(s, true), code, nil
 	})
 	if err != nil {
 		return err

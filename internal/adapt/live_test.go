@@ -114,11 +114,11 @@ func newLiveEnv(t *testing.T, standbys int) *liveEnv {
 		cfg.Standbys = append(cfg.Standbys, p.Addr())
 	}
 
-	env.session, err = fleet.Serve[uint64](env.f, scheme, env.enc, cfg)
+	env.session, err = fleet.Serve[uint64](env.f, env.enc, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	env.swap, err = engine.NewSwappable[uint64](engine.WrapSession(env.session, true), scheme)
+	env.swap, err = engine.NewSwappable[uint64](engine.WrapSession(env.session, true), env.enc.Code)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,7 +256,7 @@ func TestLiveReshapeUnderLoad(t *testing.T) {
 	if next == env.session {
 		t.Fatal("reshape did not install a new session")
 	}
-	if got := next.Scheme().R(); got != 3 {
+	if got := next.Code().R(); got != 3 {
 		t.Fatalf("new session r = %d, want 3", got)
 	}
 	if got := len(env.adapter.Placements()); got != 4 {

@@ -1,7 +1,5 @@
 package alloc
 
-import "fmt"
-
 // BruteForce computes the exact MCSCEC optimum by exhaustive search, without
 // relying on i*, Theorem 2's range, or the Lemma 2 shape. The test suite uses
 // it as independent ground truth for Theorems 4–5.
@@ -52,39 +50,8 @@ func BruteForce(in Instance) (Plan, error) {
 // instance: every participating device exists and is distinct, row counts are
 // in [1, r] (Lemma 1), they sum to m+r, I matches, and Cost matches the
 // assignments. TAw/oS plans (R == 0) are exempt from the Lemma 1 cap and must
-// sum to m instead.
+// sum to m instead. It is the t = 1 case of the scheme-aware VerifyT: the
+// single-device cap max V(B_j) ≤ r is the one-coalition capacity condition.
 func Verify(in Instance, p Plan) error {
-	if err := in.Validate(); err != nil {
-		return err
-	}
-	if p.I != len(p.Assignments) {
-		return fmt.Errorf("alloc: plan I = %d but %d assignments", p.I, len(p.Assignments))
-	}
-	seen := make(map[int]bool, len(p.Assignments))
-	sum, costSum := 0, 0.0
-	for _, a := range p.Assignments {
-		if a.Device < 0 || a.Device >= in.K() {
-			return fmt.Errorf("alloc: assignment references device %d of %d", a.Device, in.K())
-		}
-		if seen[a.Device] {
-			return fmt.Errorf("alloc: device %d assigned twice", a.Device)
-		}
-		seen[a.Device] = true
-		if a.Rows < 1 {
-			return fmt.Errorf("alloc: device %d assigned %d rows", a.Device, a.Rows)
-		}
-		if p.R > 0 && a.Rows > p.R {
-			return fmt.Errorf("alloc: device %d carries %d rows > r = %d (violates Lemma 1)", a.Device, a.Rows, p.R)
-		}
-		sum += a.Rows
-		costSum += float64(a.Rows) * in.Costs[a.Device]
-	}
-	want := in.M + p.R
-	if sum != want {
-		return fmt.Errorf("alloc: assignments carry %d rows, want m+r = %d", sum, want)
-	}
-	if diff := costSum - p.Cost; diff > 1e-6 || diff < -1e-6 {
-		return fmt.Errorf("alloc: plan cost %g does not match assignments (%g)", p.Cost, costSum)
-	}
-	return nil
+	return VerifyT(in, p, 1)
 }

@@ -1,0 +1,128 @@
+package alloc
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TACollusion solves the task-allocation problem under the t-collusion
+// threat model (the paper's §VI extension, served by the Cauchy design in
+// internal/coding): any coalition of up to t devices may pool their coded
+// rows, so the security condition generalizes from Lemma 1's per-device cap
+// V(B_j) ≤ r to the coalition capacity condition — the t largest row counts
+// must sum to at most r.
+//
+// The search keeps the Lemma 2 exchange argument (cheapest devices first,
+// heaviest loads on the cheapest devices) and sweeps the per-device width w:
+// with every device capped at w rows, r = t·w random rows make any t-device
+// coalition hold at most r rows, and n = ⌈m/w⌉ + t devices place all
+// m + r coded rows (the last device takes the 1..w-row remainder). For
+// t = 1 the sweep coincides with TA1's shape exactly.
+//
+// TACollusion errors when the fleet is too small: n devices are needed for
+// the widest feasible shape, so k ≥ t+1 is required (w = m gives the
+// smallest fleet, 1 + t devices).
+func TACollusion(in Instance, t int) (Plan, error) {
+	if err := in.Validate(); err != nil {
+		return Plan{}, err
+	}
+	if t < 1 {
+		return Plan{}, fmt.Errorf("alloc: collusion threshold t = %d, need t >= 1", t)
+	}
+	dev := sortDevices(in)
+	prefix := prefixSums(dev.costs)
+	m, k := in.M, in.K()
+
+	bestW, bestN, bestCost := 0, 0, -1.0
+	for w := 1; w <= m; w++ {
+		n := ceilDiv(m, w) + t
+		if n > k {
+			continue // fleet too small for this width
+		}
+		last := m - (ceilDiv(m, w)-1)*w
+		cost := float64(w)*prefix[n-1] + float64(last)*dev.costs[n-1]
+		if bestCost < 0 || cost < bestCost {
+			bestW, bestN, bestCost = w, n, cost
+		}
+	}
+	if bestCost < 0 {
+		return Plan{}, fmt.Errorf("alloc: k = %d devices cannot host a t = %d collusion deployment (need k >= %d)", k, t, t+1)
+	}
+
+	r := t * bestW
+	assignments := make([]Assignment, 0, bestN)
+	remaining := m + r
+	for pos := 0; pos < bestN; pos++ {
+		rows := bestW
+		if pos == bestN-1 {
+			rows = remaining
+		}
+		assignments = append(assignments, Assignment{Device: dev.order[pos], Rows: rows})
+		remaining -= rows
+	}
+	return Plan{Algorithm: "TAt", R: r, I: bestN, Assignments: assignments, Cost: bestCost}, nil
+}
+
+// VerifyT checks the structural invariants of a plan under the t-collusion
+// security condition: every participating device exists and is distinct,
+// row counts are positive and sum to m+r, I and Cost match, and — for
+// secure plans (R > 0) — the t largest row counts sum to at most r, the
+// coalition generalization of Lemma 1. VerifyT(in, p, 1) is exactly the
+// classic Verify.
+func VerifyT(in Instance, p Plan, t int) error {
+	if err := in.Validate(); err != nil {
+		return err
+	}
+	if t < 1 {
+		return fmt.Errorf("alloc: collusion threshold t = %d, need t >= 1", t)
+	}
+	if p.I != len(p.Assignments) {
+		return fmt.Errorf("alloc: plan I = %d but %d assignments", p.I, len(p.Assignments))
+	}
+	seen := make(map[int]bool, len(p.Assignments))
+	sum, costSum := 0, 0.0
+	rows := make([]int, 0, len(p.Assignments))
+	for _, a := range p.Assignments {
+		if a.Device < 0 || a.Device >= in.K() {
+			return fmt.Errorf("alloc: assignment references device %d of %d", a.Device, in.K())
+		}
+		if seen[a.Device] {
+			return fmt.Errorf("alloc: device %d assigned twice", a.Device)
+		}
+		seen[a.Device] = true
+		if a.Rows < 1 {
+			return fmt.Errorf("alloc: device %d assigned %d rows", a.Device, a.Rows)
+		}
+		rows = append(rows, a.Rows)
+		sum += a.Rows
+		costSum += float64(a.Rows) * in.Costs[a.Device]
+	}
+	if p.R > 0 {
+		if cap := largestSum(rows, t); cap > p.R {
+			return fmt.Errorf("alloc: %d colluding devices could hold %d rows > r = %d (violates the coalition capacity condition)", t, cap, p.R)
+		}
+	}
+	want := in.M + p.R
+	if sum != want {
+		return fmt.Errorf("alloc: assignments carry %d rows, want m+r = %d", sum, want)
+	}
+	if diff := costSum - p.Cost; diff > 1e-6 || diff < -1e-6 {
+		return fmt.Errorf("alloc: plan cost %g does not match assignments (%g)", p.Cost, costSum)
+	}
+	return nil
+}
+
+// largestSum returns the sum of the t largest values in rows (all of them
+// when t exceeds the count).
+func largestSum(rows []int, t int) int {
+	sorted := append([]int(nil), rows...)
+	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+	if t > len(sorted) {
+		t = len(sorted)
+	}
+	sum := 0
+	for _, v := range sorted[:t] {
+		sum += v
+	}
+	return sum
+}

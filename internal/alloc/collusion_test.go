@@ -1,0 +1,125 @@
+package alloc
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// TestTACollusionReducesToTA1 pins the t = 1 degeneration: the coalition
+// sweep must match TA1's optimal cost exactly (the shapes coincide, since
+// ⌈m/w⌉ + 1 = ⌈(m+w)/w⌉ for every width w = r).
+func TestTACollusionReducesToTA1(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 4))
+	for trial := 0; trial < 50; trial++ {
+		m := 1 + rng.IntN(60)
+		k := 2 + rng.IntN(10)
+		costs := make([]float64, k)
+		for j := range costs {
+			costs[j] = 0.5 + rng.Float64()*4
+		}
+		in := Instance{M: m, Costs: costs}
+		opt, err := TA1(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := TACollusion(in, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := got.Cost - opt.Cost; d > 1e-9 || d < -1e-9 {
+			t.Fatalf("trial %d (m=%d k=%d): TACollusion(1) cost %g, TA1 cost %g", trial, m, k, got.Cost, opt.Cost)
+		}
+		if err := VerifyT(in, got, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestTACollusionPlansVerify checks random instances across thresholds: every
+// returned plan must satisfy the coalition-aware verifier and use r = t·w
+// random rows for some width w.
+func TestTACollusionPlansVerify(t *testing.T) {
+	rng := rand.New(rand.NewPCG(6, 28))
+	for trial := 0; trial < 60; trial++ {
+		m := 1 + rng.IntN(50)
+		tc := 1 + rng.IntN(3)
+		k := tc + 1 + rng.IntN(12)
+		costs := make([]float64, k)
+		for j := range costs {
+			costs[j] = 0.25 + rng.Float64()*5
+		}
+		in := Instance{M: m, Costs: costs}
+		p, err := TACollusion(in, tc)
+		if err != nil {
+			t.Fatalf("trial %d (m=%d k=%d t=%d): %v", trial, m, k, tc, err)
+		}
+		if p.Algorithm != "TAt" {
+			t.Fatalf("plan algorithm %q", p.Algorithm)
+		}
+		if p.R%tc != 0 {
+			t.Fatalf("r = %d is not a multiple of t = %d", p.R, tc)
+		}
+		if err := VerifyT(in, p, tc); err != nil {
+			t.Fatalf("trial %d: %v\nplan: %+v", trial, err, p)
+		}
+	}
+}
+
+// TestTACollusionCostMonotoneInT: a stronger threat model can never be
+// cheaper — for a fixed fleet the optimal cost is non-decreasing in t.
+func TestTACollusionCostMonotoneInT(t *testing.T) {
+	costs := []float64{0.7, 1.1, 1.9, 2.4, 3.0, 3.3, 4.1, 5.2}
+	in := Instance{M: 24, Costs: costs}
+	prev := -1.0
+	for tc := 1; tc <= 4; tc++ {
+		p, err := TACollusion(in, tc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Cost < prev {
+			t.Fatalf("t=%d costs %g, cheaper than t=%d at %g", tc, p.Cost, tc-1, prev)
+		}
+		prev = p.Cost
+	}
+}
+
+// TestTACollusionFleetTooSmall: hosting a t-collusion deployment needs at
+// least t+1 devices.
+func TestTACollusionFleetTooSmall(t *testing.T) {
+	in := Instance{M: 10, Costs: []float64{1, 2}}
+	if _, err := TACollusion(in, 2); err == nil {
+		t.Fatal("expected error: 2 devices cannot host t = 2")
+	}
+	if _, err := TACollusion(in, 0); err == nil {
+		t.Fatal("expected error for t = 0")
+	}
+}
+
+// TestVerifyTCatchesCoalitionViolations: plans that satisfy the classic
+// per-device cap but let a 2-coalition exceed r must be rejected at t = 2.
+func TestVerifyTCatchesCoalitionViolations(t *testing.T) {
+	in := Instance{M: 4, Costs: []float64{1, 2, 3}}
+	// r = 2: each device holds 2 ≤ r rows (classic Lemma 1 holds), but any
+	// two devices pool 4 > r rows.
+	p := Plan{
+		Algorithm: "TAt", R: 2, I: 3,
+		Assignments: []Assignment{{Device: 0, Rows: 2}, {Device: 1, Rows: 2}, {Device: 2, Rows: 2}},
+		Cost:        1*2 + 2*2 + 3*2,
+	}
+	if err := VerifyT(in, p, 1); err != nil {
+		t.Fatalf("classic verification should pass: %v", err)
+	}
+	if err := VerifyT(in, p, 2); err == nil {
+		t.Fatal("expected a coalition capacity violation at t = 2")
+	}
+}
+
+// TestLargestSum pins the helper on short lists and t beyond the count.
+func TestLargestSum(t *testing.T) {
+	if got := largestSum([]int{3, 9, 1, 5}, 2); got != 14 {
+		t.Fatalf("largestSum = %d, want 14", got)
+	}
+	if got := largestSum([]int{2, 2}, 5); got != 4 {
+		t.Fatalf("largestSum beyond count = %d, want 4", got)
+	}
+}

@@ -115,6 +115,26 @@ func (s *CollusionScheme[E]) T() int { return s.t }
 // Devices returns the number of participating devices.
 func (s *CollusionScheme[E]) Devices() int { return len(s.rows) }
 
+// K implements Code: B is square, so every device's rows are needed.
+func (s *CollusionScheme[E]) K() int { return len(s.rows) }
+
+// Name implements Code.
+func (s *CollusionScheme[E]) Name() string { return "collusion" }
+
+// RowsOn returns V(B_j), the number of coded rows device j holds.
+func (s *CollusionScheme[E]) RowsOn(j int) int {
+	if j < 0 || j >= len(s.rows) {
+		panic(fmt.Sprintf("coding: device %d out of range [0, %d)", j, len(s.rows)))
+	}
+	return s.rows[j]
+}
+
+// DeviceCoefficients implements Code: device j's rows of B.
+func (s *CollusionScheme[E]) DeviceCoefficients(j int) *matrix.Dense[E] {
+	from, to := s.RowRange(j)
+	return matrix.RowSlice(s.b, from, to).Clone()
+}
+
 // CoefficientMatrix returns (a copy of) the full coefficient matrix B.
 func (s *CollusionScheme[E]) CoefficientMatrix() *matrix.Dense[E] { return s.b.Clone() }
 
@@ -141,9 +161,10 @@ func (s *CollusionScheme[E]) Encode(a *matrix.Dense[E], rng *rand.Rand) (*Encodi
 		from, to := s.RowRange(j)
 		blocks[j] = matrix.Mul(s.f, matrix.RowSlice(s.b, from, to), t)
 	}
-	// Encoding.Scheme is the structured-scheme handle; collusion encodings
-	// decode via DecodeGaussian with the full B, so no Scheme is attached.
-	return &Encoding[E]{Scheme: nil, Blocks: blocks, Random: random}, nil
+	// Encoding.Scheme stays nil — there is no m-subtraction shortcut — but
+	// the Code handle makes the encoding first-class across every execution
+	// layer: engine, fleet, sim, and transport decode through it.
+	return &Encoding[E]{Code: s, Blocks: blocks, Random: random}, nil
 }
 
 // Decode recovers Ax from the concatenated intermediate results by solving
@@ -161,44 +182,42 @@ func (s *CollusionScheme[E]) Decode(y []E) ([]E, error) {
 	return tx[:s.m], nil
 }
 
-// Verify checks availability and t-collusion security exhaustively: every
-// coalition of up to t devices must span a subspace that intersects λ̄
-// trivially. The check enumerates coalitions, so it is intended for the
-// small fleets where collusion schemes are configured; the Cauchy argument
-// above is the general guarantee.
+// DecodeBatch recovers A·X from the stacked intermediate block Y = B·T·X by
+// solving each column against the construction-time LU factorization —
+// O((m+r)²) per column, the batch counterpart of Decode.
+func (s *CollusionScheme[E]) DecodeBatch(y *matrix.Dense[E]) (*matrix.Dense[E], error) {
+	n := s.m + s.r
+	if y.Rows() != n {
+		return nil, fmt.Errorf("coding: got %d intermediate rows, want m+r = %d", y.Rows(), n)
+	}
+	cols := y.Cols()
+	ax := matrix.New[E](s.m, cols)
+	col := make([]E, n)
+	for c := 0; c < cols; c++ {
+		for p := 0; p < n; p++ {
+			col[p] = y.At(p, c)
+		}
+		tx, err := s.lu.Solve(col)
+		if err != nil {
+			return nil, err
+		}
+		for p := 0; p < s.m; p++ {
+			ax.Set(p, c, tx[p])
+		}
+	}
+	return ax, nil
+}
+
+// Verify checks availability and t-collusion security exhaustively through
+// the shared coalition walk (CheckSecurityT): every coalition of up to t
+// devices must span a subspace that intersects λ̄ trivially. It enumerates
+// coalitions, so it is intended for the small fleets where collusion codes
+// are configured; the Cauchy argument above is the general guarantee.
 func (s *CollusionScheme[E]) Verify() error {
 	if err := CheckAvailability(s.f, s.b); err != nil {
 		return err
 	}
-	lambda := DataSubspace(s.f, s.m, s.r)
-	k := len(s.rows)
-	coalition := make([]int, 0, s.t)
-	var walk func(start int) error
-	walk = func(start int) error {
-		if len(coalition) > 0 {
-			blocks := make([]*matrix.Dense[E], 0, len(coalition))
-			for _, j := range coalition {
-				from, to := s.RowRange(j)
-				blocks = append(blocks, matrix.RowSlice(s.b, from, to))
-			}
-			pooled := matrix.VStack(blocks...)
-			if dim := matrix.SpanIntersectionDim(s.f, pooled, lambda); dim != 0 {
-				return fmt.Errorf("%w: coalition %v leaks a %d-dimensional data subspace", ErrNotSecure, coalition, dim)
-			}
-		}
-		if len(coalition) == s.t {
-			return nil
-		}
-		for j := start; j < k; j++ {
-			coalition = append(coalition, j)
-			if err := walk(j + 1); err != nil {
-				return err
-			}
-			coalition = coalition[:len(coalition)-1]
-		}
-		return nil
-	}
-	return walk(0)
+	return CheckSecurityT(s.f, s.b, s.m, s.rows, s.t)
 }
 
 // cauchy builds an n×c Cauchy matrix over f with nodes x_i = i and

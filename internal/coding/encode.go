@@ -12,7 +12,13 @@ import (
 // device coded blocks B_j·T ready for distribution, plus the random rows R
 // (retained only by the cloud; they never leave it).
 type Encoding[E comparable] struct {
-	// Scheme is the coding design the blocks follow.
+	// Code is the coding design the blocks follow — the scheme-agnostic
+	// handle every execution layer decodes through. Always set by the
+	// package encoders.
+	Code Code[E]
+	// Scheme is the structured Eq. (8) design when the encoding was produced
+	// by one; nil for other code kinds (e.g. CollusionScheme). It exists for
+	// the structure-exploiting fast paths; generic callers use Code.
 	Scheme *Scheme
 	// Blocks[j] holds device j's coded rows B_j·T, a V(B_j)×l matrix.
 	Blocks []*matrix.Dense[E]
@@ -98,7 +104,7 @@ func EncodeWithRandom[E comparable](f field.Field[E], s *Scheme, a, random *matr
 			}
 		}
 	})
-	return &Encoding[E]{Scheme: s, Blocks: blocks, Random: random}, nil
+	return &Encoding[E]{Code: BindScheme(f, s), Scheme: s, Blocks: blocks, Random: random}, nil
 }
 
 // ComputeDevice performs device j's work in the Coded Edge Computing step:

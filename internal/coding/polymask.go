@@ -187,7 +187,10 @@ func (s *PolyMaskScheme[E]) Verify() error {
 	for p := 0; p < s.m; p++ {
 		lambda.Set(p, p, one)
 	}
-	deviceBlock := func(j int) *matrix.Dense[E] {
+	// The shared coalition walk (also behind CollusionScheme.Verify and
+	// CheckSecurityT) does the enumeration; this scheme only supplies its
+	// per-device coefficient representation.
+	return checkCoalitions(f, s.n, s.t, lambda, func(j int) *matrix.Dense[E] {
 		b := matrix.New[E](s.m, dim)
 		power := one
 		for i := 0; i <= s.t; i++ {
@@ -197,32 +200,5 @@ func (s *PolyMaskScheme[E]) Verify() error {
 			power = f.Mul(power, s.alphas[j])
 		}
 		return b
-	}
-
-	coalition := make([]int, 0, s.t)
-	var walk func(start int) error
-	walk = func(start int) error {
-		if len(coalition) > 0 {
-			blocks := make([]*matrix.Dense[E], 0, len(coalition))
-			for _, j := range coalition {
-				blocks = append(blocks, deviceBlock(j))
-			}
-			pooled := matrix.VStack(blocks...)
-			if d := matrix.SpanIntersectionDim(f, pooled, lambda); d != 0 {
-				return fmt.Errorf("%w: coalition %v leaks a %d-dimensional data subspace", ErrNotSecure, coalition, d)
-			}
-		}
-		if len(coalition) == s.t {
-			return nil
-		}
-		for j := start; j < s.n; j++ {
-			coalition = append(coalition, j)
-			if err := walk(j + 1); err != nil {
-				return err
-			}
-			coalition = coalition[:len(coalition)-1]
-		}
-		return nil
-	}
-	return walk(0)
+	})
 }

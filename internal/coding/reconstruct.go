@@ -9,9 +9,12 @@ import (
 )
 
 // Reconstruct inverts Encode: it recovers the data matrix A from an
-// encoding's coded blocks and retained random rows, using the Eq. (8)
-// structure — data row p is coded as A_p + R_{p mod r}, so one subtraction
-// per row undoes it (global row p+r lives on device ⌊(p+r)/r⌋).
+// encoding's coded blocks. For the structured Eq. (8) scheme it uses the
+// retained random rows directly — data row p is coded as A_p + R_{p mod r},
+// so one subtraction per row undoes it. For any other code it stacks the
+// blocks into Y = B·T and runs the code's own batch decoder (taking X = I:
+// the first m rows of T are A), so adaptive reshapes work under every
+// scheme.
 //
 // The adaptive control plane depends on this when it re-tunes r online: the
 // cloud does not keep A after deployment, but the encoding it does keep
@@ -20,8 +23,11 @@ import (
 // the cloud, which already holds every block and the random rows; no device
 // learns anything new.
 func Reconstruct[E comparable](f field.Field[E], enc *Encoding[E]) (*matrix.Dense[E], error) {
-	if enc == nil || enc.Scheme == nil {
-		return nil, errors.New("coding: encoding has no structured scheme attached")
+	if enc == nil || (enc.Scheme == nil && enc.Code == nil) {
+		return nil, errors.New("coding: encoding has no code attached")
+	}
+	if enc.Scheme == nil {
+		return reconstructGeneric(enc)
 	}
 	s := enc.Scheme
 	if len(enc.Blocks) != s.i {
@@ -54,4 +60,20 @@ func Reconstruct[E comparable](f field.Field[E], enc *Encoding[E]) (*matrix.Dens
 		}
 	}
 	return a, nil
+}
+
+// reconstructGeneric recovers A through the code's own batch decoder: the
+// stacked blocks are exactly Y = B·T (the intermediate result for X = I),
+// and DecodeBatch(Y) returns the first m rows of T, i.e. A.
+func reconstructGeneric[E comparable](enc *Encoding[E]) (*matrix.Dense[E], error) {
+	code := enc.Code
+	if len(enc.Blocks) != code.Devices() {
+		return nil, fmt.Errorf("coding: encoding has %d blocks, code has %d devices", len(enc.Blocks), code.Devices())
+	}
+	for j, block := range enc.Blocks {
+		if block.Rows() != code.RowsOn(j) {
+			return nil, fmt.Errorf("coding: block %d holds %d rows, code expects %d", j, block.Rows(), code.RowsOn(j))
+		}
+	}
+	return code.DecodeBatch(matrix.VStack(enc.Blocks...))
 }

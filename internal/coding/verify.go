@@ -71,6 +71,73 @@ func CheckSecurity[E comparable](f field.Field[E], b *matrix.Dense[E], m int, ro
 	return nil
 }
 
+// CheckSecurityT generalizes CheckSecurity to coalitions: every coalition of
+// up to t devices, pooling their coefficient rows, must span a subspace that
+// intersects λ̄ trivially. t = 1 is exactly Definition 2. The check
+// enumerates coalitions, so it is meant for the small fleets where collusion
+// codes are configured; the Cauchy rank argument is the general guarantee.
+func CheckSecurityT[E comparable](f field.Field[E], b *matrix.Dense[E], m int, rows []int, t int) error {
+	n := b.Rows()
+	r := b.Cols() - m
+	if r < 0 {
+		return fmt.Errorf("coding: m = %d exceeds B's %d columns", m, b.Cols())
+	}
+	if t < 1 {
+		return fmt.Errorf("coding: t = %d, need t >= 1", t)
+	}
+	sum := 0
+	for _, v := range rows {
+		if v < 0 {
+			return fmt.Errorf("coding: negative device row count %d", v)
+		}
+		sum += v
+	}
+	if sum != n {
+		return fmt.Errorf("coding: device row counts sum to %d, want %d", sum, n)
+	}
+	starts := make([]int, len(rows)+1)
+	for j, v := range rows {
+		starts[j+1] = starts[j] + v
+	}
+	return checkCoalitions(f, len(rows), t, DataSubspace(f, m, r), func(j int) *matrix.Dense[E] {
+		return matrix.RowSlice(b, starts[j], starts[j+1])
+	})
+}
+
+// checkCoalitions enumerates every coalition of 1..t of the n devices and
+// checks that the pooled coefficient block blockOf(j₁)‖…‖blockOf(jₛ)
+// intersects lambda trivially. It is the shared security walk behind the
+// collusion and polynomial-masking verifiers (and CheckSecurityT); each
+// scheme supplies only its per-device coefficient representation.
+func checkCoalitions[E comparable](f field.Field[E], n, t int, lambda *matrix.Dense[E], blockOf func(j int) *matrix.Dense[E]) error {
+	coalition := make([]int, 0, t)
+	var walk func(start int) error
+	walk = func(start int) error {
+		if len(coalition) > 0 {
+			blocks := make([]*matrix.Dense[E], 0, len(coalition))
+			for _, j := range coalition {
+				blocks = append(blocks, blockOf(j))
+			}
+			pooled := matrix.VStack(blocks...)
+			if dim := matrix.SpanIntersectionDim(f, pooled, lambda); dim != 0 {
+				return fmt.Errorf("%w: coalition %v leaks a %d-dimensional data subspace", ErrNotSecure, append([]int(nil), coalition...), dim)
+			}
+		}
+		if len(coalition) == t {
+			return nil
+		}
+		for j := start; j < n; j++ {
+			coalition = append(coalition, j)
+			if err := walk(j + 1); err != nil {
+				return err
+			}
+			coalition = coalition[:len(coalition)-1]
+		}
+		return nil
+	}
+	return walk(0)
+}
+
 // Verify runs both Theorem 3 checks on the structured scheme: it
 // materializes B from Eq. (8) over f and confirms availability and
 // per-device security. The construction guarantees both (Theorem 3); this

@@ -73,12 +73,12 @@ type Options struct {
 // counts dispatches per backend, coalesces concurrent vector queries, and
 // decodes results. It is safe for concurrent use.
 type Query[E comparable] struct {
-	f      field.Field[E]
-	scheme *coding.Scheme
-	exec   Executor[E]
-	cols   int
-	reg    *obs.Registry
-	trc    *trace.Tracer
+	f    field.Field[E]
+	code coding.Code[E]
+	exec Executor[E]
+	cols int
+	reg  *obs.Registry
+	trc  *trace.Tracer
 
 	vec *obs.Counter
 	mat *obs.Counter
@@ -88,10 +88,12 @@ type Query[E comparable] struct {
 	closeErr  error
 }
 
-// New builds a Query over an executor bound to enc's scheme shape.
+// New builds a Query over an executor bound to enc's code shape. Any
+// coding.Code works — the structured Eq. (8) scheme and the t-collusion
+// design decode through the same seam.
 func New[E comparable](f field.Field[E], enc *coding.Encoding[E], exec Executor[E], opts Options) (*Query[E], error) {
-	if enc == nil || enc.Scheme == nil {
-		return nil, errors.New("engine: encoding has no structured scheme attached")
+	if enc == nil || enc.Code == nil {
+		return nil, errors.New("engine: encoding has no code attached")
 	}
 	if len(enc.Blocks) == 0 {
 		return nil, errors.New("engine: encoding has no coded blocks")
@@ -102,14 +104,14 @@ func New[E comparable](f field.Field[E], enc *coding.Encoding[E], exec Executor[
 	}
 	backend := obs.L("backend", exec.Name())
 	q := &Query[E]{
-		f:      f,
-		scheme: enc.Scheme,
-		exec:   exec,
-		cols:   enc.Blocks[0].Cols(),
-		reg:    reg,
-		trc:    opts.Tracer,
-		vec:    reg.Counter(obs.MetricEngineDispatchTotal, dispatchHelp, backend, obs.L("kind", "vec")),
-		mat:    reg.Counter(obs.MetricEngineDispatchTotal, dispatchHelp, backend, obs.L("kind", "mat")),
+		f:    f,
+		code: enc.Code,
+		exec: exec,
+		cols: enc.Blocks[0].Cols(),
+		reg:  reg,
+		trc:  opts.Tracer,
+		vec:  reg.Counter(obs.MetricEngineDispatchTotal, dispatchHelp, backend, obs.L("kind", "vec")),
+		mat:  reg.Counter(obs.MetricEngineDispatchTotal, dispatchHelp, backend, obs.L("kind", "mat")),
 	}
 	if opts.CoalesceWindow > 0 {
 		max := opts.CoalesceMaxBatch
@@ -201,13 +203,13 @@ func (q *Query[E]) startSpan(ctx context.Context, name string) (context.Context,
 }
 
 // roundExec is one round's coherent view of the execution substrate: the
-// executor it dispatches to and the scheme its results decode under. For a
+// executor it dispatches to and the code its results decode under. For a
 // fixed executor both come from the Query; over a Swappable they come from
 // whichever epoch the round joined, so a swap landing mid-round can never
-// make decode use a scheme the dispatch didn't.
+// make decode use a code the dispatch didn't.
 type roundExec[E comparable] struct {
 	exec    Executor[E]
-	scheme  *coding.Scheme
+	code    coding.Code[E]
 	release func()
 }
 
@@ -220,9 +222,9 @@ func (q *Query[E]) beginRound(ctx context.Context) (roundExec[E], error) {
 		if err != nil {
 			return roundExec[E]{}, err
 		}
-		return roundExec[E]{exec: ep.exec, scheme: ep.scheme, release: release}, nil
+		return roundExec[E]{exec: ep.exec, code: ep.code, release: release}, nil
 	}
-	return roundExec[E]{exec: q.exec, scheme: q.scheme, release: func() {}}, nil
+	return roundExec[E]{exec: q.exec, code: q.code, release: func() {}}, nil
 }
 
 // mulVecDirect runs one uncoalesced vector round: dispatch, then decode
@@ -241,7 +243,7 @@ func (q *Query[E]) mulVecDirect(ctx context.Context, x []E) ([]E, error) {
 	_, dsp := q.startSpan(ctx, trace.SpanDecode)
 	defer dsp.End()
 	defer obs.StartStage(q.reg, obs.StageDecode).End()
-	return coding.Decode(q.f, r.scheme, y)
+	return r.code.Decode(y)
 }
 
 // mulMatDirect runs one batch round: dispatch, then decode under a stage
@@ -260,7 +262,7 @@ func (q *Query[E]) mulMatDirect(ctx context.Context, x *matrix.Dense[E]) (*matri
 	_, dsp := q.startSpan(ctx, trace.SpanDecode)
 	defer dsp.End()
 	defer obs.StartStage(q.reg, obs.StageDecode).End()
-	return coding.DecodeBatch(q.f, r.scheme, y)
+	return r.code.DecodeBatch(y)
 }
 
 // Close flushes any pending coalesced batch and closes the executor. It is

@@ -32,8 +32,8 @@ type fleetExecutor[E comparable] struct {
 // NewFleet provisions a fleet session for the encoding and wraps it as an
 // Executor that owns (and will Close) the session.
 func NewFleet[E comparable](f field.Field[E], enc *coding.Encoding[E], cfg FleetConfig) (Executor[E], error) {
-	if enc == nil || enc.Scheme == nil {
-		return nil, errors.New("engine: encoding has no structured scheme attached")
+	if enc == nil || enc.Code == nil {
+		return nil, errors.New("engine: encoding has no code attached")
 	}
 	if cfg.Provision != nil {
 		replicas, standbys, err := cfg.Provision(len(enc.Blocks))
@@ -43,7 +43,7 @@ func NewFleet[E comparable](f field.Field[E], enc *coding.Encoding[E], cfg Fleet
 		cfg.Session.Replicas = replicas
 		cfg.Session.Standbys = standbys
 	}
-	s, err := fleet.Serve(f, enc.Scheme, enc, cfg.Session)
+	s, err := fleet.Serve(f, enc, cfg.Session)
 	if err != nil {
 		return nil, err
 	}

@@ -48,8 +48,8 @@ type SimExecutor[E comparable] struct {
 
 // NewSim builds a simulator executor over an encoding.
 func NewSim[E comparable](f field.Field[E], enc *coding.Encoding[E], cfg SimConfig) (*SimExecutor[E], error) {
-	if enc == nil || enc.Scheme == nil {
-		return nil, errors.New("engine: encoding has no structured scheme attached")
+	if enc == nil || enc.Code == nil {
+		return nil, errors.New("engine: encoding has no code attached")
 	}
 	profile := cfg.Profile
 	if profile == nil {
@@ -104,12 +104,12 @@ func (e *SimExecutor[E]) ComputeBatch(ctx context.Context, x *matrix.Dense[E]) (
 }
 
 // retain stores the run's report. On success it folds the virtual decode
-// cost in (m subtractions per result column priced at the user's compute
+// cost in (the code's per-column decode work priced at the user's compute
 // rate), matching sim.Run's accounting; the wall-clock decode itself
 // happens in the Query layer.
 func (e *SimExecutor[E]) retain(rep sim.Report, err error, n int) {
 	if err == nil {
-		rep.DecodeOps = int64(e.enc.Scheme.M()) * int64(n)
+		rep.DecodeOps = sim.DecodeOps(e.enc) * int64(n)
 		rep.CompletionTime += time.Duration(float64(rep.DecodeOps) / e.ucr * float64(time.Second))
 	}
 	e.mu.Lock()

@@ -17,14 +17,14 @@ var ErrSwapInProgress = errors.New("engine: executor swap already in progress")
 // errSwappableClosed is returned to queries that arrive after Close.
 var errSwappableClosed = errors.New("engine: swappable executor is closed")
 
-// epoch is one immutable (executor, scheme) generation of a Swappable. A
+// epoch is one immutable (executor, code) generation of a Swappable. A
 // round joins exactly one epoch for its whole lifetime — dispatch and decode
-// see the same scheme even if a swap lands mid-round — and the epoch's
+// see the same code even if a swap lands mid-round — and the epoch's
 // WaitGroup lets a swap drain the rounds still inside it.
 type epoch[E comparable] struct {
-	exec   Executor[E]
-	scheme *coding.Scheme
-	wg     sync.WaitGroup
+	exec Executor[E]
+	code coding.Code[E]
+	wg   sync.WaitGroup
 }
 
 // Swappable is an Executor whose substrate can be replaced while queries are
@@ -38,12 +38,12 @@ type epoch[E comparable] struct {
 //   - Swap installs the next epoch immediately and lets rounds already
 //     inside the old epoch finish against the old substrate in the
 //     background — correct when old and new substrates can serve
-//     concurrently (same scheme, disjoint or superset device sets).
+//     concurrently (same code, disjoint or superset device sets).
 //   - SwapDrained parks new rounds (they wait, they never fail), drains the
 //     rounds in flight, builds the replacement while the world is quiet,
 //     installs it, and releases the parked rounds into the new epoch —
-//     required when the scheme changes, since a round decoded under the old
-//     scheme must never race a device re-provisioned under the new one.
+//     required when the code changes, since a round decoded under the old
+//     code must never race a device re-provisioned under the new one.
 type Swappable[E comparable] struct {
 	mu     sync.Mutex
 	cur    *epoch[E]
@@ -58,11 +58,11 @@ type Swappable[E comparable] struct {
 // NewSwappable wraps exec as the first epoch. The Swappable owns exec (and
 // every successor installed by a swap): closing the Swappable closes the
 // current substrate, and a completed swap closes the one it replaced.
-func NewSwappable[E comparable](exec Executor[E], scheme *coding.Scheme) (*Swappable[E], error) {
-	if exec == nil || scheme == nil {
-		return nil, errors.New("engine: swappable executor needs a substrate and a scheme")
+func NewSwappable[E comparable](exec Executor[E], code coding.Code[E]) (*Swappable[E], error) {
+	if exec == nil || code == nil {
+		return nil, errors.New("engine: swappable executor needs a substrate and a code")
 	}
-	return &Swappable[E]{cur: &epoch[E]{exec: exec, scheme: scheme}}, nil
+	return &Swappable[E]{cur: &epoch[E]{exec: exec, code: code}}, nil
 }
 
 // Name identifies the backend for metric labels. The substrate underneath
@@ -97,11 +97,11 @@ func (s *Swappable[E]) acquire(ctx context.Context) (*epoch[E], func(), error) {
 	}
 }
 
-// Current returns the live (substrate, scheme) pair, for introspection.
-func (s *Swappable[E]) Current() (Executor[E], *coding.Scheme) {
+// Current returns the live (substrate, code) pair, for introspection.
+func (s *Swappable[E]) Current() (Executor[E], coding.Code[E]) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.cur.exec, s.cur.scheme
+	return s.cur.exec, s.cur.code
 }
 
 // Compute runs one vector round against whichever epoch is current when the
@@ -128,10 +128,10 @@ func (s *Swappable[E]) ComputeBatch(ctx context.Context, x *matrix.Dense[E]) (*m
 // Swap installs next as the new epoch immediately. Rounds already inside the
 // old epoch finish against the old substrate, which is closed in the
 // background once they drain; new rounds dispatch to next without waiting.
-// The scheme must be unchanged — a scheme change needs SwapDrained.
-func (s *Swappable[E]) Swap(next Executor[E], scheme *coding.Scheme) error {
-	if next == nil || scheme == nil {
-		return errors.New("engine: swap needs a substrate and a scheme")
+// The code must be unchanged — a code change needs SwapDrained.
+func (s *Swappable[E]) Swap(next Executor[E], code coding.Code[E]) error {
+	if next == nil || code == nil {
+		return errors.New("engine: swap needs a substrate and a code")
 	}
 	s.mu.Lock()
 	if s.closed {
@@ -139,7 +139,7 @@ func (s *Swappable[E]) Swap(next Executor[E], scheme *coding.Scheme) error {
 		return errSwappableClosed
 	}
 	old := s.cur
-	s.cur = &epoch[E]{exec: next, scheme: scheme}
+	s.cur = &epoch[E]{exec: next, code: code}
 	s.bg.Add(1)
 	s.mu.Unlock()
 	go func() {
@@ -156,7 +156,7 @@ func (s *Swappable[E]) Swap(next Executor[E], scheme *coding.Scheme) error {
 // release into the new epoch. On any failure — drain deadline, build error —
 // the old epoch stays installed and the parked rounds resume against it, so
 // a failed migration degrades to a pause, never to dropped requests.
-func (s *Swappable[E]) SwapDrained(ctx context.Context, build func(context.Context) (Executor[E], *coding.Scheme, error)) error {
+func (s *Swappable[E]) SwapDrained(ctx context.Context, build func(context.Context) (Executor[E], coding.Code[E], error)) error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -191,7 +191,7 @@ func (s *Swappable[E]) SwapDrained(ctx context.Context, build func(context.Conte
 		return ctx.Err()
 	}
 
-	next, scheme, err := build(ctx)
+	next, code, err := build(ctx)
 	if err != nil {
 		release()
 		return err
@@ -203,7 +203,7 @@ func (s *Swappable[E]) SwapDrained(ctx context.Context, build func(context.Conte
 		_ = next.Close()
 		return errSwappableClosed
 	}
-	s.cur = &epoch[E]{exec: next, scheme: scheme}
+	s.cur = &epoch[E]{exec: next, code: code}
 	s.mu.Unlock()
 	release()
 	return old.exec.Close()

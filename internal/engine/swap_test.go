@@ -16,7 +16,7 @@ import (
 
 // reencode re-encodes the test case's matrix at a new r, modelling what the
 // adaptive control plane does on a reshape.
-func reencode(t *testing.T, tc *testCase[uint64], r int) (*coding.Encoding[uint64], *coding.Scheme) {
+func reencode(t *testing.T, tc *testCase[uint64], r int) (*coding.Encoding[uint64], coding.Code[uint64]) {
 	t.Helper()
 	scheme, err := coding.New(tc.a.Rows(), r)
 	if err != nil {
@@ -26,12 +26,12 @@ func reencode(t *testing.T, tc *testCase[uint64], r int) (*coding.Encoding[uint6
 	if err != nil {
 		t.Fatal(err)
 	}
-	return enc, scheme
+	return enc, enc.Code
 }
 
 func newSwappableQuery(t *testing.T, tc *testCase[uint64]) (*Swappable[uint64], *Query[uint64]) {
 	t.Helper()
-	sw, err := NewSwappable[uint64](NewLocal(tc.f, tc.enc, obs.New()), tc.enc.Scheme)
+	sw, err := NewSwappable[uint64](NewLocal(tc.f, tc.enc, obs.New()), tc.enc.Code)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,16 +62,16 @@ func TestSwappableServesAcrossDrainedSwap(t *testing.T) {
 	check()
 
 	// Swap to a different coding parameter behind the drain gate: the new
-	// epoch has a different scheme, and queries keep decoding correctly.
-	enc2, scheme2 := reencode(t, tc, 3)
-	err := sw.SwapDrained(context.Background(), func(context.Context) (Executor[uint64], *coding.Scheme, error) {
-		return NewLocal(tc.f, enc2, obs.New()), scheme2, nil
+	// epoch has a different code, and queries keep decoding correctly.
+	enc2, code2 := reencode(t, tc, 3)
+	err := sw.SwapDrained(context.Background(), func(context.Context) (Executor[uint64], coding.Code[uint64], error) {
+		return NewLocal(tc.f, enc2, obs.New()), code2, nil
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, s := sw.Current(); s != scheme2 {
-		t.Fatal("swap did not install the new scheme")
+	if _, c := sw.Current(); c != code2 {
+		t.Fatal("swap did not install the new code")
 	}
 	check()
 }
@@ -111,15 +111,15 @@ func TestSwappableZeroFailuresUnderConcurrentSwaps(t *testing.T) {
 	// back swaps would starve the workers, so yield between them). Every
 	// round must land wholly inside one epoch — dispatch and decode on the
 	// same scheme — and none may fail.
-	encA, schemeA := reencode(t, tc, 3)
-	encB, schemeB := reencode(t, tc, 4)
+	encA, codeA := reencode(t, tc, 3)
+	encB, codeB := reencode(t, tc, 4)
 	for i := 0; i < 12; i++ {
-		enc, scheme := encA, schemeA
+		enc, code := encA, codeA
 		if i%2 == 1 {
-			enc, scheme = encB, schemeB
+			enc, code = encB, codeB
 		}
-		err := sw.SwapDrained(context.Background(), func(context.Context) (Executor[uint64], *coding.Scheme, error) {
-			return NewLocal(tc.f, enc, obs.New()), scheme, nil
+		err := sw.SwapDrained(context.Background(), func(context.Context) (Executor[uint64], coding.Code[uint64], error) {
+			return NewLocal(tc.f, enc, obs.New()), code, nil
 		})
 		if err != nil {
 			t.Fatalf("swap %d: %v", i, err)
@@ -142,7 +142,7 @@ func TestSwappableImmediateSwap(t *testing.T) {
 	sw, q := newSwappableQuery(t, tc)
 
 	// Same scheme, new substrate: the non-draining swap path.
-	if err := sw.Swap(NewLocal(tc.f, tc.enc, obs.New()), tc.enc.Scheme); err != nil {
+	if err := sw.Swap(NewLocal(tc.f, tc.enc, obs.New()), tc.enc.Code); err != nil {
 		t.Fatal(err)
 	}
 	got, err := q.MulVec(tc.x)
@@ -162,7 +162,7 @@ func TestSwappableBuildFailureKeepsOldEpoch(t *testing.T) {
 	sw, q := newSwappableQuery(t, tc)
 
 	boom := errors.New("provisioning failed")
-	err := sw.SwapDrained(context.Background(), func(context.Context) (Executor[uint64], *coding.Scheme, error) {
+	err := sw.SwapDrained(context.Background(), func(context.Context) (Executor[uint64], coding.Code[uint64], error) {
 		return nil, nil, boom
 	})
 	if !errors.Is(err, boom) {
@@ -194,7 +194,7 @@ func TestSwappableDrainDeadline(t *testing.T) {
 	_ = ep
 	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
 	defer cancel()
-	err = sw.SwapDrained(ctx, func(context.Context) (Executor[uint64], *coding.Scheme, error) {
+	err = sw.SwapDrained(ctx, func(context.Context) (Executor[uint64], coding.Code[uint64], error) {
 		t.Error("build ran despite the drain never completing")
 		return nil, nil, nil
 	})
@@ -204,9 +204,9 @@ func TestSwappableDrainDeadline(t *testing.T) {
 	release()
 
 	// The gate must be fully released: a later swap succeeds.
-	enc2, scheme2 := reencode(t, tc, 3)
-	if err := sw.SwapDrained(context.Background(), func(context.Context) (Executor[uint64], *coding.Scheme, error) {
-		return NewLocal(tc.f, enc2, obs.New()), scheme2, nil
+	enc2, code2 := reencode(t, tc, 3)
+	if err := sw.SwapDrained(context.Background(), func(context.Context) (Executor[uint64], coding.Code[uint64], error) {
+		return NewLocal(tc.f, enc2, obs.New()), code2, nil
 	}); err != nil {
 		t.Fatal(err)
 	}

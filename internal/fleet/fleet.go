@@ -190,13 +190,13 @@ type blockState[E comparable] struct {
 
 // Session is a live fleet runtime serving queries for one deployment.
 type Session[E comparable] struct {
-	f      field.Field[E]
-	scheme *coding.Scheme
-	cfg    Config
-	reg    *obs.Registry
-	trc    *trace.Tracer
-	strag  *trace.Stragglers
-	cols   int
+	f     field.Field[E]
+	code  coding.Code[E]
+	cfg   Config
+	reg   *obs.Registry
+	trc   *trace.Tracer
+	strag *trace.Stragglers
+	cols  int
 
 	client transport.Client[E]
 	probe  transport.Client[E]
@@ -228,12 +228,13 @@ type Session[E comparable] struct {
 // Session is ready to serve queries. Provisioning is strict — any failed
 // push aborts Serve — because at provisioning time every configured device
 // is expected alive; tolerance of faults begins with the first query.
-func Serve[E comparable](f field.Field[E], scheme *coding.Scheme, enc *coding.Encoding[E], cfg Config) (*Session[E], error) {
-	if scheme == nil || enc == nil {
-		return nil, errors.New("fleet: nil scheme or encoding")
+func Serve[E comparable](f field.Field[E], enc *coding.Encoding[E], cfg Config) (*Session[E], error) {
+	if enc == nil || enc.Code == nil {
+		return nil, errors.New("fleet: encoding has no code attached")
 	}
-	if len(enc.Blocks) != scheme.Devices() {
-		return nil, fmt.Errorf("fleet: encoding has %d blocks, scheme has %d devices", len(enc.Blocks), scheme.Devices())
+	code := enc.Code
+	if len(enc.Blocks) != code.Devices() {
+		return nil, fmt.Errorf("fleet: encoding has %d blocks, code has %d devices", len(enc.Blocks), code.Devices())
 	}
 	if len(cfg.Replicas) != len(enc.Blocks) {
 		return nil, fmt.Errorf("fleet: %d replica sets for %d coded blocks", len(cfg.Replicas), len(enc.Blocks))
@@ -264,11 +265,11 @@ func Serve[E comparable](f field.Field[E], scheme *coding.Scheme, enc *coding.En
 
 	s := &Session[E]{
 		f:       f,
-		scheme:  scheme,
+		code:    code,
 		cfg:     cfg,
 		reg:     reg,
 		cols:    enc.Blocks[0].Cols(),
-		client:  transport.Client[E]{F: f, Scheme: scheme, Timeout: cfg.RPCTimeout, Metrics: reg, Proto: cfg.Proto},
+		client:  transport.Client[E]{F: f, Code: code, Timeout: cfg.RPCTimeout, Metrics: reg, Proto: cfg.Proto},
 		probe:   transport.Client[E]{F: f, Timeout: cfg.ProbeTimeout, Metrics: reg, Proto: cfg.Proto},
 		cloud:   transport.Cloud[E]{Timeout: cfg.RPCTimeout, Metrics: reg, Proto: cfg.Proto},
 		devices: make(map[string]*device),
@@ -290,7 +291,7 @@ func Serve[E comparable](f field.Field[E], scheme *coding.Scheme, enc *coding.En
 		b := &blockState[E]{
 			index:  j,
 			rows:   enc.Blocks[j],
-			want:   scheme.RowsOn(j),
+			want:   code.RowsOn(j),
 			target: len(group),
 		}
 		for _, addr := range group {
@@ -362,9 +363,9 @@ func (s *Session[E]) provision(enc *coding.Encoding[E]) error {
 	return errors.Join(errs...)
 }
 
-// Devices returns the number of logical coded blocks (the scheme's device
+// Devices returns the number of logical coded blocks (the code's device
 // count); the physical fleet is larger by replication and standbys.
-func (s *Session[E]) Devices() int { return s.scheme.Devices() }
+func (s *Session[E]) Devices() int { return s.code.Devices() }
 
 // Close stops the prober and any in-flight repairs, cancels outstanding
 // queries, and waits for the runtime's goroutines. It is idempotent and

@@ -113,7 +113,7 @@ func (e *testEnv) mulVec(x []uint64) []uint64 {
 
 func (e *testEnv) serve(t *testing.T) *Session[uint64] {
 	t.Helper()
-	s, err := Serve[uint64](e.f, e.scheme, e.enc, e.cfg)
+	s, err := Serve[uint64](e.f, e.enc, e.cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -392,34 +392,34 @@ func TestServeValidation(t *testing.T) {
 
 	cfg := base
 	cfg.Replicas = cfg.Replicas[:len(cfg.Replicas)-1]
-	if _, err := Serve[uint64](env.f, env.scheme, env.enc, cfg); err == nil {
+	if _, err := Serve[uint64](env.f, env.enc, cfg); err == nil {
 		t.Fatal("Serve accepted fewer replica sets than coded blocks")
 	}
 
 	cfg = base
 	cfg.Replicas = append([][]string{}, base.Replicas...)
 	cfg.Replicas[1] = nil
-	if _, err := Serve[uint64](env.f, env.scheme, env.enc, cfg); err == nil {
+	if _, err := Serve[uint64](env.f, env.enc, cfg); err == nil {
 		t.Fatal("Serve accepted an empty replica set")
 	}
 
 	cfg = base
 	cfg.Replicas = append([][]string{}, base.Replicas...)
 	cfg.Replicas[1] = []string{base.Replicas[0][0]}
-	if _, err := Serve[uint64](env.f, env.scheme, env.enc, cfg); err == nil {
+	if _, err := Serve[uint64](env.f, env.enc, cfg); err == nil {
 		t.Fatal("Serve accepted one address hosting two blocks")
 	}
 
 	cfg = base
 	cfg.Standbys = []string{base.Replicas[0][0]}
-	if _, err := Serve[uint64](env.f, env.scheme, env.enc, cfg); err == nil {
+	if _, err := Serve[uint64](env.f, env.enc, cfg); err == nil {
 		t.Fatal("Serve accepted a standby that already hosts a block")
 	}
 
 	cfg = base
 	cfg.Replicas = append([][]string{}, base.Replicas...)
 	cfg.Replicas[2] = []string{"127.0.0.1:1"} // nothing listens there
-	if _, err := Serve[uint64](env.f, env.scheme, env.enc, cfg); err == nil {
+	if _, err := Serve[uint64](env.f, env.enc, cfg); err == nil {
 		t.Fatal("Serve accepted a fleet it could not provision")
 	}
 

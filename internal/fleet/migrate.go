@@ -27,12 +27,12 @@ import (
 // Changing r is not a rehost — that reshapes every block and swaps the whole
 // session through engine.Swappable; see internal/adapt.
 
-// Scheme exposes the session's coding scheme (the adaptive planner needs
-// the per-block row counts it implies).
-func (s *Session[E]) Scheme() *coding.Scheme { return s.scheme }
+// Code exposes the session's coding code (the adaptive planner needs the
+// per-block row counts it implies).
+func (s *Session[E]) Code() coding.Code[E] { return s.code }
 
 // BlockHosts snapshots the current replica addresses of every logical
-// block, in scheme order.
+// block, in code device order.
 func (s *Session[E]) BlockHosts() [][]string {
 	hosts := make([][]string, len(s.blocks))
 	for j, b := range s.blocks {

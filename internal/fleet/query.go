@@ -9,7 +9,6 @@ import (
 	"sync"
 	"time"
 
-	"github.com/scec/scec/internal/coding"
 	"github.com/scec/scec/internal/matrix"
 	"github.com/scec/scec/internal/obs"
 	"github.com/scec/scec/internal/obs/trace"
@@ -17,10 +16,10 @@ import (
 
 // MulVec computes A·x through the replicated fleet: every logical block is
 // fetched from its replica set concurrently (racing, hedging, and retrying
-// as needed), the intermediate results are concatenated in scheme device
-// order, and the result decodes with m subtractions — bit-identical to the
-// unreplicated pipeline, since every replica of block j returns the same
-// B_j·T·x.
+// as needed), the intermediate results are concatenated in code device
+// order, and the result decodes through the session's code — bit-identical
+// to the unreplicated pipeline, since every replica of block j returns the
+// same B_j·T·x.
 func (s *Session[E]) MulVec(x []E) ([]E, error) {
 	return s.MulVecContext(context.Background(), x)
 }
@@ -35,7 +34,7 @@ func (s *Session[E]) MulVecContext(ctx context.Context, x []E) ([]E, error) {
 	_, dsp := s.startSpan(ctx, trace.SpanDecode, trace.A(trace.AttrKind, kindVec))
 	defer dsp.End()
 	defer obs.StartStage(s.reg, obs.StageDecode).End()
-	return coding.Decode(s.f, s.scheme, y)
+	return s.code.Decode(y)
 }
 
 // MulMat computes A·X for an l×n input matrix through the fleet — the batch
@@ -54,7 +53,7 @@ func (s *Session[E]) MulMatContext(ctx context.Context, x *matrix.Dense[E]) (*ma
 	_, dsp := s.startSpan(ctx, trace.SpanDecode, trace.A(trace.AttrKind, kindMat))
 	defer dsp.End()
 	defer obs.StartStage(s.reg, obs.StageDecode).End()
-	return coding.DecodeBatch(s.f, s.scheme, y)
+	return s.code.DecodeBatch(y)
 }
 
 // Gather fetches the full intermediate result B·T·x from the fleet without
@@ -106,7 +105,7 @@ func (s *Session[E]) GatherContext(ctx context.Context, x []E) ([]E, error) {
 			return nil, err
 		}
 	}
-	y := make([]E, 0, s.scheme.M()+s.scheme.R())
+	y := make([]E, 0, s.code.M()+s.code.R())
 	for _, p := range parts {
 		y = append(y, p...)
 	}

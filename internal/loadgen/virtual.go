@@ -23,6 +23,12 @@ type VirtualOptions struct {
 	// Devices is the fleet size; RowsPerDevice the coded rows each holds;
 	// Cols the input-vector length. All must be positive.
 	Devices, RowsPerDevice, Cols int
+	// DeviceRows, when non-empty, gives each device its own coded row count
+	// (e.g. an allocation plan's per-device assignment, such as a t-collusion
+	// layout): device j serves DeviceRows[j] rows and the slowest device still
+	// bounds each round. Its length must equal Devices (or Devices may be left
+	// zero to adopt it), and RowsPerDevice is ignored.
+	DeviceRows []int
 	// Concurrency is how many rounds the user drives in parallel (the
 	// service capacity of the queueing model). Zero means 16.
 	Concurrency int
@@ -67,7 +73,22 @@ type VirtualStats struct {
 }
 
 func (o *VirtualOptions) validate() error {
-	if o.Devices <= 0 || o.RowsPerDevice <= 0 || o.Cols <= 0 {
+	if len(o.DeviceRows) > 0 {
+		if o.Devices == 0 {
+			o.Devices = len(o.DeviceRows)
+		}
+		if o.Devices != len(o.DeviceRows) {
+			return fmt.Errorf("loadgen: DeviceRows lists %d devices but Devices = %d", len(o.DeviceRows), o.Devices)
+		}
+		for j, rows := range o.DeviceRows {
+			if rows <= 0 {
+				return fmt.Errorf("loadgen: DeviceRows[%d] = %d; every device needs at least one coded row", j, rows)
+			}
+		}
+		if o.Cols <= 0 {
+			return fmt.Errorf("loadgen: virtual scenario needs positive cols (%d)", o.Cols)
+		}
+	} else if o.Devices <= 0 || o.RowsPerDevice <= 0 || o.Cols <= 0 {
 		return fmt.Errorf("loadgen: virtual scenario needs positive devices (%d), rows (%d), and cols (%d)",
 			o.Devices, o.RowsPerDevice, o.Cols)
 	}
@@ -86,6 +107,14 @@ func (o *VirtualOptions) profile() sim.DeviceProfile {
 		return sim.DefaultProfile()
 	}
 	return o.Profile
+}
+
+// rowsOn returns device j's coded row count under either layout.
+func (o *VirtualOptions) rowsOn(j int) int {
+	if len(o.DeviceRows) > 0 {
+		return o.DeviceRows[j]
+	}
+	return o.RowsPerDevice
 }
 
 // deviceState is one virtual device's current perturbation.
@@ -152,13 +181,23 @@ func (o *VirtualOptions) runStep(rate float64, arrival Arrival, seed uint64, sta
 	servers := make(serverHeap, concurrency)
 	heap.Init(&servers)
 
-	// nominal is the unperturbed per-device round time; healthy devices
-	// share it, so pricing a round over thousands of devices is a cheap
-	// scan with repricing only for the perturbed few.
-	nominal := sim.DeviceRoundTime(o.RowsPerDevice, o.Cols, 1, base)
-	// reprovision prices an outage: the replacement device receives the
-	// coded block over its uplink before it can serve.
-	reprovision := base.Latency + time.Duration(float64(o.RowsPerDevice*o.Cols)/base.UplinkRate*float64(time.Second))
+	// nominals holds each device's unperturbed round time (they differ only
+	// under a DeviceRows layout); nominal is the slowest of them, the healthy
+	// round bound, so pricing a round over thousands of devices remains a
+	// cheap scan with repricing only for the perturbed few.
+	// reprovisions price an outage per device: the replacement receives that
+	// device's coded block over its uplink before it can serve.
+	nominals := make([]time.Duration, o.Devices)
+	reprovisions := make([]time.Duration, o.Devices)
+	var nominal time.Duration
+	for j := range nominals {
+		rows := o.rowsOn(j)
+		nominals[j] = sim.DeviceRoundTime(rows, o.Cols, 1, base)
+		reprovisions[j] = base.Latency + time.Duration(float64(rows*o.Cols)/base.UplinkRate*float64(time.Second))
+		if nominals[j] > nominal {
+			nominal = nominals[j]
+		}
+	}
 	outageFrac := o.OutageFrac
 	if outageFrac <= 0 {
 		outageFrac = 0.25
@@ -204,7 +243,7 @@ func (o *VirtualOptions) runStep(rate float64, arrival Arrival, seed uint64, sta
 			stats.ChurnEvents++
 			if churnRNG.Float64() < outageFrac {
 				stats.Outages++
-				if end := at + reprovision; end > states[j].outageUntil {
+				if end := at + reprovisions[j]; end > states[j].outageUntil {
 					states[j].outageUntil = end
 				}
 			} else {
@@ -224,7 +263,7 @@ func (o *VirtualOptions) runStep(rate float64, arrival Arrival, seed uint64, sta
 			if st.outageUntil <= t && st.slowUntil <= t && st.replayFactor <= 1 {
 				continue
 			}
-			d := nominal
+			d := nominals[j]
 			factor := 1.0
 			if st.slowUntil > t && st.slowFactor > 1 {
 				factor = st.slowFactor
@@ -235,7 +274,7 @@ func (o *VirtualOptions) runStep(rate float64, arrival Arrival, seed uint64, sta
 			if factor > 1 {
 				p := base
 				p.StragglerFactor = base.StragglerFactor * factor
-				d = sim.DeviceRoundTime(o.RowsPerDevice, o.Cols, 1, p)
+				d = sim.DeviceRoundTime(o.rowsOn(j), o.Cols, 1, p)
 			}
 			if st.outageUntil > t {
 				d += st.outageUntil - t

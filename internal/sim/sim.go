@@ -149,13 +149,12 @@ func Run[E comparable](f field.Field[E], enc *coding.Encoding[E], x []E, cfg Con
 	if err != nil {
 		return nil, rep, err
 	}
-	s := enc.Scheme
 	reg := cfg.registry()
-	ax, err := coding.Decode(f, s, y)
+	ax, err := enc.Code.Decode(y)
 	if err != nil {
 		return nil, rep, fmt.Errorf("sim: decode: %w", err)
 	}
-	rep.DecodeOps = int64(s.M())
+	rep.DecodeOps = DecodeOps(enc)
 	decode := seconds(float64(rep.DecodeOps) / cfg.UserComputeRate)
 	rep.CompletionTime += decode
 	obs.ObserveStage(reg, obs.StageDecode, decode)
@@ -179,8 +178,7 @@ func GatherContext[E comparable](ctx context.Context, f field.Field[E], enc *cod
 	if err := checkRun(enc, l, cfg); err != nil {
 		return nil, Report{}, err
 	}
-	s := enc.Scheme
-	y := make([]E, 0, s.M()+s.R())
+	y := make([]E, 0, enc.Code.M()+enc.Code.R())
 	rep, err := gatherCore(ctx, enc, l, 1, cfg, func(j int) {
 		y = append(y, enc.ComputeDevice(f, j, x)...)
 	})
@@ -217,8 +215,8 @@ func GatherBatchContext[E comparable](ctx context.Context, f field.Field[E], enc
 // checkRun validates the configuration against the encoding and the input
 // width (the vector length, or the batch matrix's row count).
 func checkRun[E comparable](enc *coding.Encoding[E], l int, cfg Config) error {
-	if enc.Scheme == nil {
-		return errors.New("sim: encoding has no structured scheme attached")
+	if enc.Code == nil {
+		return errors.New("sim: encoding has no code attached")
 	}
 	if len(cfg.Profiles) != len(enc.Blocks) {
 		return fmt.Errorf("sim: %d profiles for %d devices", len(cfg.Profiles), len(enc.Blocks))
@@ -243,6 +241,18 @@ func (cfg Config) registry() *obs.Registry {
 		return cfg.Metrics
 	}
 	return obs.Default()
+}
+
+// DecodeOps prices the user-side decode of one result column under the
+// encoding's code: m subtractions for the structured Eq. (8) scheme,
+// (m+r)² operations for codes that solve against a factored coefficient
+// matrix (e.g. the t-collusion Cauchy design).
+func DecodeOps[E comparable](enc *coding.Encoding[E]) int64 {
+	if enc.Scheme != nil {
+		return int64(enc.Scheme.M())
+	}
+	n := int64(enc.Code.M() + enc.Code.R())
+	return n * n
 }
 
 // DeviceRoundTime prices one device's full round trip for a width-n query
@@ -276,7 +286,7 @@ func deviceTimeline(j, rows, l, n int, p DeviceProfile) (DeviceReport, time.Dura
 // ErrDeviceFailed with the partial report's Failed flags set.
 func gatherCore[E comparable](ctx context.Context, enc *coding.Encoding[E], l, n int, cfg Config, emit func(j int)) (Report, error) {
 	reg := cfg.registry()
-	rng := rand.New(rand.NewPCG(cfg.Seed, 0x5cec^uint64(enc.Scheme.M())))
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0x5cec^uint64(enc.Code.M())))
 	rep := Report{Devices: make([]DeviceReport, len(enc.Blocks))}
 	failed := false
 

@@ -29,7 +29,7 @@ func TestMulMatEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	client := Client[uint64]{F: f, Scheme: s}
+	client := Client[uint64]{F: f, Code: coding.BindScheme(f, s)}
 	x := matrix.Random[uint64](f, rng, l, n)
 	got, err := client.MulMat(t.Context(), addrs, x)
 	if err != nil {
@@ -57,7 +57,7 @@ func TestMulMatRemoteValidation(t *testing.T) {
 	if err := (Cloud[uint64]{}).Distribute(t.Context(), addrs, enc); err != nil {
 		t.Fatal(err)
 	}
-	client := Client[uint64]{F: f, Scheme: s}
+	client := Client[uint64]{F: f, Code: coding.BindScheme(f, s)}
 	// Wrong X row count (needs l = 5 rows).
 	if _, err := client.MulMat(t.Context(), addrs, matrix.New[uint64](3, 2)); !errors.Is(err, ErrRemote) {
 		t.Fatalf("err = %v, want ErrRemote", err)
@@ -75,7 +75,7 @@ func TestMulMatBeforeStore(t *testing.T) {
 		t.Fatal(err)
 	}
 	addrs, _ := startFleet[uint64](t, f, s.Devices())
-	client := Client[uint64]{F: f, Scheme: s}
+	client := Client[uint64]{F: f, Code: coding.BindScheme(f, s)}
 	if _, err := client.MulMat(t.Context(), addrs, matrix.New[uint64](5, 2)); !errors.Is(err, ErrRemote) {
 		t.Fatalf("err = %v, want ErrRemote", err)
 	}
@@ -140,7 +140,7 @@ func TestDeviceStats(t *testing.T) {
 	if err := (Cloud[uint64]{}).Distribute(t.Context(), addrs, enc); err != nil {
 		t.Fatal(err)
 	}
-	client := Client[uint64]{F: f, Scheme: s}
+	client := Client[uint64]{F: f, Code: coding.BindScheme(f, s)}
 	x := matrix.RandomVec[uint64](f, rng, 3)
 	if _, err := client.MulVec(t.Context(), addrs, x); err != nil {
 		t.Fatal(err)

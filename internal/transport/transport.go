@@ -744,8 +744,9 @@ func (c Cloud[E]) store(ctx context.Context, addr string, block *matrix.Dense[E]
 type Client[E comparable] struct {
 	// F is the arithmetic field shared with the fleet.
 	F field.Field[E]
-	// Scheme is the coding design the fleet was provisioned with.
-	Scheme *coding.Scheme
+	// Code is the coding design the fleet was provisioned with — the
+	// structured Eq. (8) scheme or any other coding.Code (t-collusion).
+	Code coding.Code[E]
 	// Timeout bounds each device round trip; zero means DefaultTimeout.
 	Timeout time.Duration
 	// Metrics receives RPC and gather/decode-stage telemetry; nil means
@@ -836,10 +837,10 @@ func (c Client[E]) Gather(ctx context.Context, addrs []string, rowsOn []int, x [
 
 // MulVec computes Ax through the fleet: it sends x to every device
 // concurrently, concatenates the intermediate results in device order, and
-// decodes with m subtractions. addrs must list the fleet in scheme device
-// order.
+// decodes through the client's code. addrs must list the fleet in code
+// device order.
 func (c Client[E]) MulVec(ctx context.Context, addrs []string, x []E) ([]E, error) {
-	rowsOn, err := c.schemeRows(addrs)
+	rowsOn, err := c.codeRows(addrs)
 	if err != nil {
 		return nil, err
 	}
@@ -848,7 +849,7 @@ func (c Client[E]) MulVec(ctx context.Context, addrs []string, x []E) ([]E, erro
 		return nil, err
 	}
 	defer obs.StartStage(c.Metrics, obs.StageDecode).End()
-	return coding.Decode(c.F, c.Scheme, y)
+	return c.Code.Decode(y)
 }
 
 // Compute sends x to one device and returns its intermediate result B_j·T·x
@@ -896,7 +897,7 @@ func (c Client[E]) Ping(ctx context.Context, addr string) error {
 // generalization (§II-A): each device returns its V(B_j)×n block and the
 // user decodes with m·n subtractions.
 func (c Client[E]) MulMat(ctx context.Context, addrs []string, x *matrix.Dense[E]) (*matrix.Dense[E], error) {
-	rowsOn, err := c.schemeRows(addrs)
+	rowsOn, err := c.codeRows(addrs)
 	if err != nil {
 		return nil, err
 	}
@@ -944,21 +945,21 @@ func (c Client[E]) MulMat(ctx context.Context, addrs []string, x *matrix.Dense[E
 	}
 	y := matrix.VStack(parts...)
 	defer obs.StartStage(reg, obs.StageDecode).End()
-	return coding.DecodeBatch(c.F, c.Scheme, y)
+	return c.Code.DecodeBatch(y)
 }
 
-// schemeRows validates the client configuration and returns per-device
+// codeRows validates the client configuration and returns per-device
 // expected row counts.
-func (c Client[E]) schemeRows(addrs []string) ([]int, error) {
-	if c.Scheme == nil {
-		return nil, errors.New("transport: client has no coding scheme")
+func (c Client[E]) codeRows(addrs []string) ([]int, error) {
+	if c.Code == nil {
+		return nil, errors.New("transport: client has no coding code")
 	}
-	if len(addrs) != c.Scheme.Devices() {
-		return nil, fmt.Errorf("transport: %d addresses for %d devices", len(addrs), c.Scheme.Devices())
+	if len(addrs) != c.Code.Devices() {
+		return nil, fmt.Errorf("transport: %d addresses for %d devices", len(addrs), c.Code.Devices())
 	}
 	rowsOn := make([]int, len(addrs))
 	for j := range rowsOn {
-		rowsOn[j] = c.Scheme.RowsOn(j)
+		rowsOn[j] = c.Code.RowsOn(j)
 	}
 	return rowsOn, nil
 }

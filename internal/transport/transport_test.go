@@ -60,7 +60,7 @@ func TestEndToEndPrime(t *testing.T) {
 		}
 	}
 
-	client := Client[uint64]{F: f, Scheme: s}
+	client := Client[uint64]{F: f, Code: coding.BindScheme(f, s)}
 	x := matrix.RandomVec[uint64](f, rng, l)
 	got, err := client.MulVec(t.Context(), addrs, x)
 	if err != nil {
@@ -89,7 +89,7 @@ func TestEndToEndReal(t *testing.T) {
 	if err := (Cloud[float64]{}).Distribute(t.Context(), addrs, enc); err != nil {
 		t.Fatal(err)
 	}
-	client := Client[float64]{F: f, Scheme: s}
+	client := Client[float64]{F: f, Code: coding.BindScheme(f, s)}
 	x := matrix.RandomVec[float64](f, rng, l)
 	got, err := client.MulVec(t.Context(), addrs, x)
 	if err != nil {
@@ -107,7 +107,7 @@ func TestComputeBeforeStoreFails(t *testing.T) {
 		t.Fatal(err)
 	}
 	addrs, _ := startFleet[uint64](t, f, s.Devices())
-	client := Client[uint64]{F: f, Scheme: s}
+	client := Client[uint64]{F: f, Code: coding.BindScheme(f, s)}
 	if _, err := client.MulVec(t.Context(), addrs, make([]uint64, 3)); !errors.Is(err, ErrRemote) {
 		t.Fatalf("err = %v, want ErrRemote (no block stored)", err)
 	}
@@ -129,7 +129,7 @@ func TestWrongInputLengthRejectedRemotely(t *testing.T) {
 	if err := (Cloud[uint64]{}).Distribute(t.Context(), addrs, enc); err != nil {
 		t.Fatal(err)
 	}
-	client := Client[uint64]{F: f, Scheme: s}
+	client := Client[uint64]{F: f, Code: coding.BindScheme(f, s)}
 	if _, err := client.MulVec(t.Context(), addrs, make([]uint64, 2)); !errors.Is(err, ErrRemote) {
 		t.Fatalf("err = %v, want ErrRemote (bad x length)", err)
 	}
@@ -141,7 +141,7 @@ func TestUnreachableDevice(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	client := Client[uint64]{F: f, Scheme: s, Timeout: 500 * time.Millisecond}
+	client := Client[uint64]{F: f, Code: coding.BindScheme(f, s), Timeout: 500 * time.Millisecond}
 	// Reserve ports that nothing is listening on by binding and closing.
 	addrs, servers := startFleet[uint64](t, f, s.Devices())
 	for _, srv := range servers {
@@ -175,13 +175,13 @@ func TestClientValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c := Client[uint64]{F: f, Scheme: s}
+	c := Client[uint64]{F: f, Code: coding.BindScheme(f, s)}
 	if _, err := c.MulVec(t.Context(), []string{"127.0.0.1:1"}, make([]uint64, 3)); err == nil {
 		t.Fatal("address count mismatch should error")
 	}
-	c.Scheme = nil
+	c.Code = nil
 	if _, err := c.MulVec(t.Context(), nil, nil); err == nil {
-		t.Fatal("missing scheme should error")
+		t.Fatal("missing code should error")
 	}
 }
 
@@ -235,7 +235,7 @@ func TestConcurrentClients(t *testing.T) {
 	if err := (Cloud[uint64]{}).Distribute(t.Context(), addrs, enc); err != nil {
 		t.Fatal(err)
 	}
-	client := Client[uint64]{F: f, Scheme: s}
+	client := Client[uint64]{F: f, Code: coding.BindScheme(f, s)}
 
 	const parallel = 8
 	xs := make([][]uint64, parallel)

@@ -254,7 +254,7 @@ func diffProtocols[E comparable](t *testing.T, f field.Field[E]) {
 		if err := cloud.Distribute(t.Context(), addrs, enc); err != nil {
 			t.Fatalf("%v distribute: %v", proto, err)
 		}
-		client := Client[E]{F: f, Scheme: s, Timeout: 2 * time.Second, Proto: proto, Pool: pool}
+		client := Client[E]{F: f, Code: coding.BindScheme(f, s), Timeout: 2 * time.Second, Proto: proto, Pool: pool}
 		if vecs[i], err = client.MulVec(t.Context(), addrs, x); err != nil {
 			t.Fatalf("%v MulVec: %v", proto, err)
 		}

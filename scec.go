@@ -68,6 +68,14 @@ type Assignment = alloc.Assignment
 // (Theorem 3) and decoding costs m subtractions.
 type Scheme = coding.Scheme
 
+// Code is the scheme-agnostic coding contract every engine-selectable
+// design satisfies: encode/decode (vector and batch), the per-device row
+// layout, the recoverability threshold K, and the security level T. The
+// Eq. (8) scheme (T = 1) and the Cauchy collusion design (arbitrary T)
+// both implement it; Deploy selects between them via WithCollusion, and
+// WithCode accepts any implementation.
+type Code[E comparable] = coding.Code[E]
+
 // Encoding holds the per-device coded blocks B_j·T produced by Encode.
 type Encoding[E comparable] = coding.Encoding[E]
 
@@ -174,10 +182,25 @@ func VerifyScheme[E comparable](f Field[E], s *Scheme) error {
 
 // NewCollusionScheme builds the t-collusion-resistant extension for the
 // given per-device row counts (rows must sum to m+r and any t devices may
-// hold at most r rows combined). See coding.UniformCollusionRows for a
-// feasible allocation helper.
+// hold at most r rows combined). The result is a Code: pass it to Deploy
+// via WithCode, or let Deploy solve the row layout itself via
+// WithCollusion. See CollusionRows for a feasible uniform layout helper.
 func NewCollusionScheme[E comparable](f Field[E], m, r, t int, rows []int) (*CollusionScheme[E], error) {
 	return coding.NewCollusion(f, m, r, t, rows)
+}
+
+// NewStructuredCode binds the Eq. (8) scheme for (m, r) to a concrete field
+// as a Code — the same design Deploy uses by default, in the form WithCode
+// and the engine layers accept.
+func NewStructuredCode[E comparable](f Field[E], m, r int) (Code[E], error) {
+	return coding.NewStructured(f, m, r)
+}
+
+// CollusionRows returns a feasible uniform per-device row layout for the
+// collusion design: w rows per device with r = t·w, so any t devices hold
+// at most r rows. It returns the per-device counts and r.
+func CollusionRows(m, t, w int) (rows []int, r int, err error) {
+	return coding.UniformCollusionRows(m, t, w)
 }
 
 // PolyMaskScheme is the polynomial-masking (Shamir-style) comparison design
@@ -198,4 +221,10 @@ func NewPolyMaskScheme[E comparable](f Field[E], m, t, n int) (*PolyMaskScheme[E
 // means information-theoretically blind.
 func AuditDevice[E comparable](f Field[E], s *Scheme, j int) int {
 	return attack.Leakage(f, coding.DeviceMatrix(f, s, j), s.M())
+}
+
+// AuditCode is AuditDevice for any Code (structured or collusion): the leak
+// dimension of the j-th device's coefficient block.
+func AuditCode[E comparable](f Field[E], c Code[E], j int) int {
+	return attack.Leakage(f, c.DeviceCoefficients(j), c.M())
 }

@@ -88,7 +88,7 @@ func Serve[E comparable](dep *Deployment[E], cfg FleetConfig, opts ...DeployOpti
 		cfg.Tracer = c.opts.Tracer
 	}
 	if c.adaptive == nil {
-		s, err := fleet.Serve(dep.F, dep.Scheme, dep.Encoding, cfg)
+		s, err := fleet.Serve(dep.F, dep.Encoding, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -129,11 +129,11 @@ func serveAdaptive[E comparable](dep *Deployment[E], cfg FleetConfig, c deployCo
 		}
 	}
 
-	s, err := fleet.Serve(dep.F, dep.Scheme, dep.Encoding, cfg)
+	s, err := fleet.Serve(dep.F, dep.Encoding, cfg)
 	if err != nil {
 		return nil, err
 	}
-	sw, err := engine.NewSwappable[E](engine.WrapSession(s, true), dep.Scheme)
+	sw, err := engine.NewSwappable[E](engine.WrapSession(s, true), dep.Code)
 	if err != nil {
 		_ = s.Close()
 		return nil, err
