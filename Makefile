@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short test-fault trace-demo bench bench-json bench-check bench-transport load-check adapt-check collusion-check fuzz reproduce examples clean
+.PHONY: all build vet lint test test-short test-fault trace-demo incident-demo bench bench-json bench-check bench-transport load-check adapt-check collusion-check fuzz reproduce examples clean
 
 all: build vet lint test
 
@@ -44,6 +44,25 @@ trace-demo:
 	$(GO) run ./cmd/scecnet fleet -m 40 -l 16 -k 6 -replicas 2 -standbys 1 \
 		-inject-faults -queries 6 -coalesce-window 5ms \
 		-trace-export results/trace.json
+
+# Anomaly-triggered incident capture, end to end: a 3-device loopback fleet
+# (2 coded blocks, one replica each, one warm standby) with self-repair
+# disabled loses every replica of block 0 mid-stream; the adaptive control
+# plane replans and rehosts the block onto the standby, and the flight-
+# recorder watchdog — armed on the replan-adopt journal event — captures an
+# incident bundle (goroutine + heap profiles, metrics snapshot with
+# exemplars, trace rings, journal tail, adapt history) under
+# results/incidents/. The committed results/incident-demo.json validates
+# the bundle: the profiles parse, the journal carries the breaker-open →
+# replan-adopt → rehost-ok arc, and a retained trace shows the failing
+# device's span. Exits non-zero if any check fails.
+incident-demo:
+	$(GO) run ./cmd/scecnet fleet -m 40 -l 16 -k 2 -replicas 1 -standbys 1 \
+		-queries 12 -timeout 500ms -max-retries 2 -seed 2 \
+		-adaptive -replan-every 100ms -no-repair -inject-one \
+		-incident-dir results/incidents \
+		-watch "journal:replan-adopt>=1/60s" \
+		-incident-summary results/incident-demo.json
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -14,6 +15,7 @@ import (
 	"github.com/scec/scec"
 	"github.com/scec/scec/internal/fleet"
 	"github.com/scec/scec/internal/obs"
+	"github.com/scec/scec/internal/obs/flight"
 	"github.com/scec/scec/internal/obs/trace"
 	"github.com/scec/scec/internal/transport"
 	"github.com/scec/scec/internal/workload"
@@ -45,6 +47,11 @@ func runFleet(args []string, out io.Writer) error {
 		traceFile    = fs.String("trace-export", "", "record a distributed trace per query and write the JSON export here on completion")
 		adaptive     = fs.Bool("adaptive", false, "run the closed-loop adaptive control plane: learn per-device costs from live traffic, re-plan with TA2, and migrate blocks without dropping queries")
 		replanEvery  = fs.Duration("replan-every", 500*time.Millisecond, "adaptive control period (with -adaptive)")
+		incidentDir  = fs.String("incident-dir", "", "arm the flight-recorder watchdog: evaluate -watch rules against the event journal and write incident bundles under this directory (implies tracing)")
+		watchRules   = fs.String("watch", "journal:breaker-open>=1/30s", "comma-separated watchdog trigger rules (with -incident-dir)")
+		incidentSum  = fs.String("incident-summary", "", "validate the captured incident bundle and write a JSON summary to this file; non-zero exit when the bundle is incomplete (with -incident-dir)")
+		injectOne    = fs.Bool("inject-one", false, "kill every replica of coded block 0 mid-stream: a full single-block outage only a rehost can cure")
+		noRepair     = fs.Bool("no-repair", false, "disable standby self-repair, so outage recovery must come from the adaptive control plane")
 		protoName    = protoFlag(fs)
 	)
 	if err := fs.Parse(args); err != nil {
@@ -69,18 +76,32 @@ func runFleet(args []string, out io.Writer) error {
 		if *injectFaults {
 			return fmt.Errorf("-inject-faults needs -backend fleet (the local engine has no replicas to kill)")
 		}
+		if *injectOne {
+			return fmt.Errorf("-inject-one needs -backend fleet (the local engine has no replicas to kill)")
+		}
 		if *adaptive {
 			return fmt.Errorf("-adaptive needs -backend fleet (the local engine has no devices to migrate)")
 		}
 	default:
 		return fmt.Errorf("unknown -backend %q (want fleet or local)", *backend)
 	}
+	if *injectOne && *injectFaults {
+		return fmt.Errorf("-inject-one and -inject-faults are mutually exclusive")
+	}
+	if *injectOne && *coalesceWin > 0 {
+		return fmt.Errorf("-inject-one needs the sequential query stream (drop -coalesce-window)")
+	}
+	if *incidentSum != "" && *incidentDir == "" {
+		return fmt.Errorf("-incident-summary needs -incident-dir")
+	}
 	var engineOpts []scec.DeployOption[uint64]
 	if *coalesceWin > 0 {
 		engineOpts = append(engineOpts, scec.WithCoalescing[uint64](*coalesceWin, *coalesceMax))
 	}
 	var tr, devTr *trace.Tracer
-	if *traceFile != "" {
+	if *traceFile != "" || *incidentDir != "" {
+		// An armed flight recorder needs live traces for its bundles even
+		// without -trace-export.
 		tr = trace.New(trace.Options{Service: "scecnet-fleet"})
 		// Devices trace into their own buffer; the session adopts their
 		// compute spans from the response frames, as over a real network.
@@ -114,6 +135,7 @@ func runFleet(args []string, out io.Writer) error {
 	query := dep.MulVec
 	injectNow := func() {}
 	var served *scec.Served[uint64]
+	var outageAddrs []string
 	if *backend == "fleet" {
 		// Physical fleet: replicas per block plus the standby pool, every
 		// device behind a fault proxy so -inject-faults can kill replicas on
@@ -143,6 +165,7 @@ func runFleet(args []string, out io.Writer) error {
 			ProbeInterval:    150 * time.Millisecond,
 			BreakerThreshold: 2,
 			BreakerCooldown:  time.Minute,
+			DisableRepair:    *noRepair,
 		}
 		for j := range proxies {
 			for range *replicas {
@@ -180,19 +203,71 @@ func runFleet(args []string, out io.Writer) error {
 		defer s.Close()
 		served = s
 		query = s.MulVec
-		injectNow = func() {
-			for j := range proxies {
-				proxies[j][0].SetMode(fleet.FaultDrop)
+		if *injectOne {
+			// A full outage of one block: every replica of block 0 dies, so
+			// no failover target remains and recovery needs a rehost (standby
+			// self-repair, or the adaptive control plane with -no-repair).
+			outageAddrs = append(outageAddrs, cfg.Replicas[0]...)
+			injectNow = func() {
+				for _, p := range proxies[0] {
+					p.SetMode(fleet.FaultDrop)
+				}
+				fmt.Fprintf(out, "injected outage: killed all %d replica(s) of block 0\n", len(proxies[0]))
 			}
-			fmt.Fprintf(out, "injected faults: killed the first replica of all %d blocks\n", dep.Devices())
+		} else {
+			injectNow = func() {
+				for j := range proxies {
+					proxies[j][0].SetMode(fleet.FaultDrop)
+				}
+				fmt.Fprintf(out, "injected faults: killed the first replica of all %d blocks\n", dep.Devices())
+			}
 		}
 	} else {
 		fmt.Fprintf(out, "backend local: queries run on the in-process engine (no devices launched)\n")
 	}
 
+	// An armed flight recorder evaluates the -watch rules against the event
+	// journal and captures incident bundles while queries flow.
+	var wd *flight.Watchdog
+	if *incidentDir != "" {
+		rules, err := flight.ParseRules(*watchRules)
+		if err != nil {
+			return err
+		}
+		wcfg := flight.Config{
+			Dir:   *incidentDir,
+			Rules: rules,
+			// Let the recovery events (replan, rehost, repair) land in the
+			// journal before the bundle freezes its tail.
+			CaptureDelay: 250 * time.Millisecond,
+		}
+		if tr != nil {
+			wcfg.Tracers = append(wcfg.Tracers, tr)
+		}
+		if devTr != nil {
+			wcfg.Tracers = append(wcfg.Tracers, devTr)
+		}
+		if served != nil && *adaptive {
+			ctrl := served.Adaptive()
+			wcfg.Extra = map[string]func() ([]byte, error){
+				"adapt.json": func() ([]byte, error) {
+					return json.MarshalIndent(ctrl.Debug(), "", "  ")
+				},
+			}
+		}
+		wd, err = flight.NewWatchdog(wcfg)
+		if err != nil {
+			return err
+		}
+		wd.Start()
+		defer wd.Stop()
+		fmt.Fprintf(out, "flight recorder armed: rules %s, bundles under %s\n", *watchRules, *incidentDir)
+	}
+
 	// Telemetry + live introspection: /debug/engine and (fleet backend)
 	// /debug/fleet join /metrics and /debug/pprof on one mux; the tracer
-	// adds /debug/traces when -trace-export is on.
+	// adds /debug/traces when -trace-export is on, and the flight recorder
+	// adds /debug/journal (+ /debug/incidents when armed).
 	var routes []obs.Route
 	if tr != nil {
 		var an *trace.Stragglers
@@ -203,14 +278,15 @@ func runFleet(args []string, out io.Writer) error {
 	}
 	if served != nil {
 		routes = append(routes,
-			obs.Route{Pattern: "/debug/fleet", Handler: served.FleetDebugHandler()},
-			obs.Route{Pattern: "/debug/engine", Handler: served.EngineDebugHandler()})
+			obs.Route{Pattern: "/debug/fleet", Handler: served.FleetDebugHandler(), Desc: "fleet session snapshot: blocks, replicas, breakers, standbys"},
+			obs.Route{Pattern: "/debug/engine", Handler: served.EngineDebugHandler(), Desc: "engine dispatch and coalescer snapshot"})
 		if *adaptive {
-			routes = append(routes, obs.Route{Pattern: "/debug/adapt", Handler: served.AdaptDebugHandler()})
+			routes = append(routes, obs.Route{Pattern: "/debug/adapt", Handler: served.AdaptDebugHandler(), Desc: "adaptive control plane: learned factors, decisions, migrations"})
 		}
 	} else {
-		routes = append(routes, obs.Route{Pattern: "/debug/engine", Handler: dep.EngineDebugHandler()})
+		routes = append(routes, obs.Route{Pattern: "/debug/engine", Handler: dep.EngineDebugHandler(), Desc: "engine dispatch and coalescer snapshot"})
 	}
+	routes = append(routes, flight.Routes(flight.Default(), *incidentDir)...)
 	ms, err := startMetrics(out, *metricsAddr, routes...)
 	if err != nil {
 		return err
@@ -227,6 +303,7 @@ func runFleet(args []string, out io.Writer) error {
 		xs[q] = scec.RandomVector(f, rng, *l)
 		wants[q] = scec.MulVec(f, a, xs[q])
 	}
+	outageFailures := 0
 	checkOne := func(q int, got []uint64, err error) error {
 		if err != nil {
 			if errors.Is(err, scec.ErrBlockUnavailable) {
@@ -266,16 +343,49 @@ func runFleet(args []string, out io.Writer) error {
 	} else {
 		faultAt := *queries / 2
 		for q := 0; q < *queries; q++ {
-			if *injectFaults && q == faultAt {
+			if (*injectFaults || *injectOne) && q == faultAt {
 				injectNow()
 			}
 			got, err := query(xs[q])
+			if err != nil && *injectOne && q >= faultAt {
+				// Block 0 has no live replica until a rehost lands; these
+				// failures are the incident under demonstration.
+				outageFailures++
+				continue
+			}
 			if err := checkOne(q, got, err); err != nil {
 				return err
 			}
 		}
 	}
-	fmt.Fprintf(out, "served %d queries; every decoded A·x verified exactly\n", *queries)
+	if *injectOne && served != nil {
+		// Recovery proof: keep retrying one query until the fleet heals
+		// (standby self-repair, or an adaptive rehost with -no-repair).
+		deadline := time.Now().Add(20 * time.Second)
+		var got []uint64
+		var qerr error
+		for {
+			got, qerr = query(xs[0])
+			if qerr == nil || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+		if qerr != nil {
+			return fmt.Errorf("block 0 never recovered from the injected outage: %w", qerr)
+		}
+		for i := range got {
+			if got[i] != wants[0][i] {
+				return fmt.Errorf("post-recovery verification failed at entry %d", i)
+			}
+		}
+		fmt.Fprintf(out, "block 0 recovered: post-outage query verified exactly\n")
+	}
+	if outageFailures > 0 {
+		fmt.Fprintf(out, "served %d queries; %d failed during the block-0 outage, all others verified exactly\n", *queries, outageFailures)
+	} else {
+		fmt.Fprintf(out, "served %d queries; every decoded A·x verified exactly\n", *queries)
+	}
 
 	if served != nil && *injectFaults && *replicas > 1 && *standbys > 0 {
 		// Give the prober a moment to open the dead replicas' breakers and
@@ -296,6 +406,24 @@ func runFleet(args []string, out io.Writer) error {
 	if *adaptive && served != nil {
 		replans, adopts, moved := served.Adaptive().Stats()
 		fmt.Fprintf(out, "adaptive summary: replans=%d adopts=%d blocksMoved=%d\n", replans, adopts, moved)
+	}
+	if wd != nil {
+		// The trigger rule may only now be satisfied (recovery events land
+		// late); force checks until a bundle exists or clearly never will.
+		deadline := time.Now().Add(10 * time.Second)
+		for len(wd.Incidents()) == 0 && time.Now().Before(deadline) {
+			if _, err := wd.CheckNow(); err != nil {
+				return err
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+		incidents := wd.Incidents()
+		fmt.Fprintf(out, "flight recorder: %d incident bundle(s) under %s\n", len(incidents), *incidentDir)
+		if *incidentSum != "" {
+			if err := writeIncidentSummary(out, *incidentSum, *incidentDir, incidents, outageAddrs, *adaptive); err != nil {
+				return err
+			}
+		}
 	}
 	if err := writeEngineSummary(out); err != nil {
 		return err

@@ -115,9 +115,9 @@ func runLoad(args []string, out io.Writer) error {
 		max(*replicas, 1), *m, *l, dep.Plan.R)
 
 	routes := []obs.Route{
-		{Pattern: "/debug/slo", Handler: col.DebugHandler()},
-		{Pattern: "/debug/engine", Handler: served.EngineDebugHandler()},
-		{Pattern: "/debug/fleet", Handler: served.FleetDebugHandler()},
+		{Pattern: "/debug/slo", Handler: col.DebugHandler(), Desc: "live SLO snapshot of the current load step, with histogram exemplars"},
+		{Pattern: "/debug/engine", Handler: served.EngineDebugHandler(), Desc: "engine dispatch and coalescer snapshot"},
+		{Pattern: "/debug/fleet", Handler: served.FleetDebugHandler(), Desc: "fleet session snapshot: blocks, replicas, breakers, standbys"},
 	}
 	ms, err := startMetrics(out, *metricsAddr, routes...)
 	if err != nil {

@@ -17,6 +17,11 @@
 //	    fault-tolerant session, and (optionally) kill one replica of every
 //	    coded block mid-stream to watch failover and self-repair
 //
+//	scecnet debug snapshot -addr 127.0.0.1:9090 -out DIR
+//	    pull every debug/metrics route a running scecnet process serves
+//	    (discovered from its /debug index) into a local directory for
+//	    offline triage — metrics, journal, traces, incidents, goroutines
+//
 //	scecnet load -rates 50,100,200 -slo p99<=250ms@100
 //	    heavy-traffic SLO harness: open-loop, coordinated-omission-safe
 //	    offered-load sweeps against a 3-device real-socket fleet and a
@@ -67,7 +72,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: scecnet <device|drive|demo|fleet|load> [flags]")
+		return fmt.Errorf("usage: scecnet <device|drive|demo|fleet|load|debug> [flags]")
 	}
 	switch args[0] {
 	case "device":
@@ -80,8 +85,10 @@ func run(args []string, out io.Writer) error {
 		return runFleet(args[1:], out)
 	case "load":
 		return runLoad(args[1:], out)
+	case "debug":
+		return runDebug(args[1:], out)
 	default:
-		return fmt.Errorf("unknown role %q (want device, drive, demo, fleet, or load)", args[0])
+		return fmt.Errorf("unknown role %q (want device, drive, demo, fleet, load, or debug)", args[0])
 	}
 }
 
@@ -104,8 +111,8 @@ func startMetrics(out io.Writer, addr string, extra ...obs.Route) (io.Closer, er
 func traceRoutes(t *trace.Tracer, an *trace.Stragglers) []obs.Route {
 	h := trace.DebugHandler(t, an)
 	return []obs.Route{
-		{Pattern: "/debug/traces", Handler: h},
-		{Pattern: "/debug/traces/{id}", Handler: h},
+		{Pattern: "/debug/traces", Handler: h, Desc: "retained distributed traces, most recent first"},
+		{Pattern: "/debug/traces/{id}", Handler: h, Desc: "one trace's span waterfall by trace ID"},
 	}
 }
 

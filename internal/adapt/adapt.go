@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"github.com/scec/scec/internal/obs"
+	"github.com/scec/scec/internal/obs/flight"
 	"github.com/scec/scec/internal/obs/trace"
 )
 
@@ -93,6 +94,9 @@ type Config struct {
 	// Tracer, when non-nil, records one adapt.replan span per control cycle
 	// and one adapt.migrate span per executed migration.
 	Tracer *trace.Tracer
+	// Journal receives the controller's flight-recorder events (replan
+	// adopt/hold, reshape outcomes); nil means flight.Default().
+	Journal *flight.Journal
 }
 
 // withDefaults resolves zero values.
@@ -126,6 +130,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Metrics == nil {
 		c.Metrics = obs.Default()
+	}
+	if c.Journal == nil {
+		c.Journal = flight.Default()
 	}
 	return c
 }

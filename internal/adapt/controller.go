@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/scec/scec/internal/obs"
+	"github.com/scec/scec/internal/obs/flight"
 	"github.com/scec/scec/internal/obs/trace"
 )
 
@@ -239,6 +240,7 @@ func (c *Controller) Step(ctx context.Context, now time.Duration) (Decision, err
 
 	if d.Adopt {
 		reg.Counter(obs.MetricAdaptReplansTotal, replansHelp, obs.L("outcome", "adopted")).Inc()
+		c.cfg.Journal.PublishDetail(flight.KindReplanAdopt, adoptKind(d), d.Reason, int64(d.R), int64(len(d.Moves)))
 		if span != nil {
 			span.AddEvent(trace.EventAdopt, trace.A(trace.AttrKind, adoptKind(d)))
 		}
@@ -247,6 +249,7 @@ func (c *Controller) Step(ctx context.Context, now time.Duration) (Decision, err
 		c.execute(ctx, now, d)
 	} else {
 		reg.Counter(obs.MetricAdaptReplansTotal, replansHelp, obs.L("outcome", "held")).Inc()
+		c.cfg.Journal.PublishDetail(flight.KindReplanHold, "", d.Reason, int64(d.R), 0)
 		if span != nil {
 			span.AddEvent(trace.EventHold, trace.A(trace.AttrKind, d.Reason))
 		}
@@ -285,6 +288,9 @@ func (c *Controller) execute(ctx context.Context, now time.Duration, d Decision)
 		if err != nil {
 			ev.Err = err.Error()
 			outcome = "failed"
+			c.cfg.Journal.PublishDetail(flight.KindReshapeFailed, "", err.Error(), int64(d.R), 0)
+		} else {
+			c.cfg.Journal.Publish(flight.KindReshapeOK, "", int64(d.R), int64(len(d.Target)))
 		}
 		reg.Counter(obs.MetricAdaptMigrationsTotal, migrationsHelp, obs.L("kind", "reshape"), obs.L("outcome", outcome)).Inc()
 		if err == nil {

@@ -3,6 +3,8 @@ package adapt
 import (
 	"encoding/json"
 	"net/http"
+
+	"github.com/scec/scec/internal/obs"
 )
 
 // DebugInfo is the control plane's live snapshot, served as JSON at
@@ -45,7 +47,7 @@ func (c *Controller) Debug() DebugInfo {
 // DebugHandler serves Debug() as JSON; mount it as /debug/adapt.
 func (c *Controller) DebugHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
+		obs.JSONHeaders(w)
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(c.Debug())

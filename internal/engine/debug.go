@@ -65,7 +65,7 @@ func (q *Query[E]) Debug() DebugInfo {
 // /debug/engine via the obs handler's extra-route hook.
 func (q *Query[E]) DebugHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
+		obs.JSONHeaders(w)
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(q.Debug())

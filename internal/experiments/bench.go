@@ -13,6 +13,8 @@ import (
 	"github.com/scec/scec/internal/coding"
 	"github.com/scec/scec/internal/field"
 	"github.com/scec/scec/internal/matrix"
+	"github.com/scec/scec/internal/obs"
+	"github.com/scec/scec/internal/obs/flight"
 	"github.com/scec/scec/internal/workload"
 )
 
@@ -151,8 +153,22 @@ func Bench(cfg Config) (BenchReport, error) {
 	rep.Results = append(rep.Results, benchCase("decode/batch/m=1000,n=8", 100, func() {
 		_, _ = coding.DecodeBatch[uint64](f, scheme, ym)
 	}))
+
+	// The flight-recorder journal sits on every hot path (breaker flips,
+	// hedge wins, retries), so its publish cost is tracked — and bounded by
+	// CheckBench — like a coding kernel.
+	jr := flight.New(flight.Options{Metrics: obs.New()})
+	rep.Results = append(rep.Results, benchCase("journal/publish", 1_000_000, func() {
+		jr.Publish(flight.KindRetry, "bench", 1, 2)
+	}))
 	return rep, nil
 }
+
+// maxJournalPublishNs bounds the journal's per-event publish cost. The
+// budget is an always-on tracing primitive's: a clock read, an atomic slot
+// claim, and a short critical section — if a change pushes past 100ns the
+// journal has stopped being free enough to leave on everywhere.
+const maxJournalPublishNs = 100
 
 // CheckBench validates a report for CI consumption: every case must have
 // run and produced finite, non-zero throughput. It is the guard behind
@@ -171,6 +187,10 @@ func CheckBench(rep BenchReport) error {
 		}
 		if math.IsNaN(r.OpsPerS) || math.IsInf(r.OpsPerS, 0) || r.OpsPerS <= 0 {
 			return fmt.Errorf("bench: %s ops/s = %g, want finite > 0", r.Name, r.OpsPerS)
+		}
+		if r.Name == "journal/publish" && r.NsPerOp > maxJournalPublishNs {
+			return fmt.Errorf("bench: %s took %.1f ns/op, budget %d ns (the journal must stay cheap enough to leave on everywhere)",
+				r.Name, r.NsPerOp, maxJournalPublishNs)
 		}
 	}
 	return nil

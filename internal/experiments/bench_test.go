@@ -13,10 +13,11 @@ func TestBench(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Results) != 9 {
-		t.Fatalf("want 9 benchmark cases, got %d", len(rep.Results))
+	if len(rep.Results) != 10 {
+		t.Fatalf("want 10 benchmark cases, got %d", len(rep.Results))
 	}
 	for _, want := range []string{
+		"journal/publish",
 		"allocate/ta1/m=1000,k=25",
 		"encode/m=1000,l=64",
 		"encode/m=1000,l=64/generic-serial",
@@ -57,6 +58,12 @@ func TestBench(t *testing.T) {
 	bad.Results[0].OpsPerS = 0
 	if err := CheckBench(bad); err == nil {
 		t.Error("CheckBench accepted zero throughput")
+	}
+	slow := BenchReport{Results: []BenchResult{
+		{Name: "journal/publish", Iters: 1, NsPerOp: maxJournalPublishNs + 1, OpsPerS: 1},
+	}}
+	if err := CheckBench(slow); err == nil {
+		t.Error("CheckBench accepted a journal publish over budget")
 	}
 	var b strings.Builder
 	if err := WriteBenchJSON(&b, rep); err != nil {

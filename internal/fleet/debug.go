@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"time"
 
+	"github.com/scec/scec/internal/obs"
 	"github.com/scec/scec/internal/obs/trace"
 	"github.com/scec/scec/internal/transport"
 )
@@ -102,7 +103,7 @@ func (s *Session[E]) Stragglers() *trace.Stragglers { return s.strag }
 // via the obs handler's extra-route hook.
 func (s *Session[E]) DebugHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
+		obs.JSONHeaders(w)
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(s.Debug())

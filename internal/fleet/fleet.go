@@ -41,6 +41,7 @@ import (
 	"github.com/scec/scec/internal/field"
 	"github.com/scec/scec/internal/matrix"
 	"github.com/scec/scec/internal/obs"
+	"github.com/scec/scec/internal/obs/flight"
 	"github.com/scec/scec/internal/obs/trace"
 	"github.com/scec/scec/internal/transport"
 )
@@ -141,6 +142,10 @@ type Config struct {
 	// adaptive control plane's cost estimator feeds from it without needing
 	// a tracer. The callback runs on the query path and must be fast.
 	OnWin func(device string, block int, latency time.Duration)
+	// Journal receives the session's flight-recorder events (breaker
+	// transitions, hedge wins, retries, repairs, rehosts); nil means
+	// flight.Default().
+	Journal *flight.Journal
 }
 
 // withDefaults resolves zero values.
@@ -215,6 +220,7 @@ type Session[E comparable] struct {
 
 	lat *latencyRing
 	met sessionMetrics
+	jr  *flight.Journal
 
 	ctx       context.Context
 	cancel    context.CancelFunc
@@ -262,6 +268,10 @@ func Serve[E comparable](f field.Field[E], enc *coding.Encoding[E], cfg Config) 
 	if reg == nil {
 		reg = obs.Default()
 	}
+	jr := cfg.Journal
+	if jr == nil {
+		jr = flight.Default()
+	}
 
 	s := &Session[E]{
 		f:       f,
@@ -275,6 +285,7 @@ func Serve[E comparable](f field.Field[E], enc *coding.Encoding[E], cfg Config) 
 		devices: make(map[string]*device),
 		lat:     newLatencyRing(),
 		trc:     cfg.Tracer,
+		jr:      jr,
 	}
 	s.ctx, s.cancel = context.WithCancel(context.Background())
 	s.met.init(reg)
@@ -327,6 +338,10 @@ func (s *Session[E]) newDevice(addr string) *device {
 	d := &device{
 		addr:  addr,
 		gauge: s.reg.Gauge(obs.MetricFleetBreakerState, breakerHelp, obs.L("device", addr)),
+		rtt: s.reg.Gauge(obs.MetricTransportHeartbeatRTT,
+			"Most recent heartbeat round-trip time per device in seconds (transport.Client.LastRTT).",
+			obs.L("device", addr)),
+		jr: s.jr,
 	}
 	d.gauge.Set(float64(BreakerClosed))
 	s.devices[addr] = d

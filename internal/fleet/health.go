@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/scec/scec/internal/obs"
+	"github.com/scec/scec/internal/obs/flight"
 )
 
 // BreakerState is a device circuit breaker's position. The gauge
@@ -40,6 +41,10 @@ const breakerHelp = "Per-device circuit breaker state: 0 closed, 1 half-open, 2 
 type device struct {
 	addr  string
 	gauge *obs.Gauge
+	// rtt is the per-device heartbeat round-trip gauge the prober refreshes.
+	rtt *obs.Gauge
+	// jr receives breaker-transition events (nil-safe).
+	jr *flight.Journal
 
 	mu       sync.Mutex
 	state    BreakerState
@@ -70,10 +75,14 @@ func (d *device) vacatedWithin(now time.Time, window time.Duration) bool {
 // recordSuccess closes the breaker.
 func (d *device) recordSuccess() {
 	d.mu.Lock()
+	reopened := d.state != BreakerClosed
 	d.state = BreakerClosed
 	d.fails = 0
 	d.gauge.Set(float64(BreakerClosed))
 	d.mu.Unlock()
+	if reopened {
+		d.jr.Publish(flight.KindBreakerClose, d.addr, 0, 0)
+	}
 }
 
 // recordFailure counts a consecutive failure and opens the breaker at the
@@ -81,30 +90,42 @@ func (d *device) recordSuccess() {
 func (d *device) recordFailure(threshold int) {
 	d.mu.Lock()
 	d.fails++
+	opened := false
 	if d.state == BreakerHalfOpen || (d.state == BreakerClosed && d.fails >= threshold) {
 		d.state = BreakerOpen
 		d.openedAt = time.Now()
 		d.gauge.Set(float64(BreakerOpen))
+		opened = true
 	}
+	fails := d.fails
 	d.mu.Unlock()
+	if opened {
+		d.jr.Publish(flight.KindBreakerOpen, d.addr, int64(fails), 0)
+	}
 }
 
 // admissible reports whether a request may route to the device now. An open
 // breaker past its cooldown transitions to half-open and admits a trial.
 func (d *device) admissible(now time.Time, cooldown time.Duration) bool {
 	d.mu.Lock()
-	defer d.mu.Unlock()
+	halfOpened := false
+	admit := true
 	switch d.state {
 	case BreakerClosed, BreakerHalfOpen:
-		return true
 	default: // BreakerOpen
 		if now.Sub(d.openedAt) < cooldown {
-			return false
+			admit = false
+			break
 		}
 		d.state = BreakerHalfOpen
 		d.gauge.Set(float64(BreakerHalfOpen))
-		return true
+		halfOpened = true
 	}
+	d.mu.Unlock()
+	if halfOpened {
+		d.jr.Publish(flight.KindBreakerHalfOpen, d.addr, 0, 0)
+	}
+	return admit
 }
 
 // healthy reports whether the breaker is fully closed. Half-open devices are
@@ -179,6 +200,12 @@ func (s *Session[E]) probeOnce() {
 			// heard from within the probe period (a response or heartbeat
 			// frame on its pooled v3 connection) is demonstrably alive, so
 			// skip the explicit ping RPC.
+			// Export the multiplexed connection's latest heartbeat RTT so
+			// /metrics carries the same per-device signal the adaptive
+			// estimator consumes.
+			if rtt, ok := s.client.LastRTT(d.addr); ok {
+				d.rtt.Set(rtt.Seconds())
+			}
 			if t, ok := s.client.LastContact(d.addr); ok && time.Since(t) < s.cfg.ProbeInterval {
 				d.recordSuccess()
 				return

@@ -7,6 +7,7 @@ import (
 
 	"github.com/scec/scec/internal/coding"
 	"github.com/scec/scec/internal/obs"
+	"github.com/scec/scec/internal/obs/flight"
 )
 
 // The fleet side of live block migration. The adaptive control plane
@@ -119,6 +120,7 @@ func (s *Session[E]) Rehost(ctx context.Context, block int, from, to string) err
 	sp.End()
 	if err != nil {
 		s.reg.Counter(obs.MetricFleetRehostsTotal, rehostHelp, obs.L("outcome", outcomeFailed)).Inc()
+		s.jr.PublishDetail(flight.KindRehostFailed, to, err.Error(), int64(block), 0)
 		if s.ctx.Err() == nil {
 			dest.recordFailure(s.cfg.BreakerThreshold)
 		}
@@ -143,6 +145,7 @@ func (s *Session[E]) Rehost(ctx context.Context, block int, from, to string) err
 		s.returnStandby(vacated)
 	}
 	s.reg.Counter(obs.MetricFleetRehostsTotal, rehostHelp, obs.L("outcome", outcomeOK)).Inc()
+	s.jr.PublishDetail(flight.KindRehostOK, to, from, int64(block), 0)
 	return nil
 }
 

@@ -11,8 +11,18 @@ import (
 
 	"github.com/scec/scec/internal/matrix"
 	"github.com/scec/scec/internal/obs"
+	"github.com/scec/scec/internal/obs/flight"
 	"github.com/scec/scec/internal/obs/trace"
 )
+
+// traceIDOf renders a span's trace ID for exemplar attribution ("" when
+// untraced, which keeps the exemplar device-only).
+func traceIDOf(sp *trace.Span) string {
+	if c := sp.Context(); !c.TraceID.IsZero() {
+		return c.TraceID.String()
+	}
+	return ""
+}
 
 // MulVec computes A·x through the replicated fleet: every logical block is
 // fetched from its replica set concurrently (racing, hedging, and retrying
@@ -101,6 +111,7 @@ func (s *Session[E]) GatherContext(ctx context.Context, x []E) ([]E, error) {
 	for _, err := range errs {
 		if err != nil {
 			s.met.queryErrors(kindVec).Inc()
+			s.jr.PublishDetail(flight.KindQueryError, "", err.Error(), 0, 0)
 			gsp.SetError(err)
 			return nil, err
 		}
@@ -164,6 +175,7 @@ func (s *Session[E]) GatherBatchContext(ctx context.Context, x *matrix.Dense[E])
 	for _, err := range errs {
 		if err != nil {
 			s.met.queryErrors(kindMat).Inc()
+			s.jr.PublishDetail(flight.KindQueryError, "", err.Error(), 0, 0)
 			gsp.SetError(err)
 			return nil, err
 		}
@@ -230,6 +242,7 @@ func fetchBlock[E comparable, T any](s *Session[E], ctx context.Context, b *bloc
 			return zero, &BlockUnavailableError{Block: b.index, Attempts: round + 1, Err: lastErr}
 		}
 		s.met.retries.Inc()
+		s.jr.Publish(flight.KindRetry, "", int64(b.index), int64(round+1))
 		bsp.AddEvent(trace.EventRetry, trace.A(trace.AttrRound, strconv.Itoa(round+1)))
 		if !sleepCtx(ctx, jitter(backoff)) {
 			return zero, &BlockUnavailableError{Block: b.index, Attempts: round + 1, Err: ctx.Err()}
@@ -256,6 +269,9 @@ type attempt[T any] struct {
 	sp *trace.Span
 	// d is the replica the attempt ran against.
 	d *device
+	// hedged marks a speculative attempt (launched by the hedge timer, not
+	// as the leader or a failover), so a winning hedge can be journaled.
+	hedged bool
 }
 
 // raceReplicas runs one first-winner round over the candidate replicas:
@@ -288,11 +304,14 @@ func raceReplicas[E comparable, T any](s *Session[E], ctx context.Context, b *bl
 			default:
 				d.recordFailure(s.cfg.BreakerThreshold)
 				asp.SetError(err)
+				if errors.Is(err, context.DeadlineExceeded) {
+					s.jr.Publish(flight.KindTimeout, d.addr, int64(b.index), 0)
+				}
 			}
 			if err != nil {
 				asp.End()
 			}
-			results <- attempt[T]{v, err, asp, d}
+			results <- attempt[T]{v, err, asp, d, hedged}
 		}()
 	}
 	next := 0
@@ -310,9 +329,15 @@ func raceReplicas[E comparable, T any](s *Session[E], ctx context.Context, b *bl
 			if r.err == nil {
 				d := time.Since(start)
 				s.lat.observe(d)
-				s.met.winner(b.index).ObserveDuration(d)
+				// The winner histogram keeps the trace ID + device as its
+				// bucket exemplar, so a tail bucket on /metrics.json links
+				// straight to /debug/traces/{id}.
+				s.met.winner(b.index).ObserveDurationExemplar(d, traceIDOf(bsp), r.d.addr)
 				if s.cfg.OnWin != nil {
 					s.cfg.OnWin(r.d.addr, b.index, d)
+				}
+				if r.hedged {
+					s.jr.Publish(flight.KindHedgeWin, r.d.addr, int64(b.index), 0)
 				}
 				r.sp.SetAttr(trace.AttrWin, "true")
 				r.sp.End()
@@ -321,6 +346,7 @@ func raceReplicas[E comparable, T any](s *Session[E], ctx context.Context, b *bl
 			lastErr = r.err
 			if next < len(cands) {
 				s.met.retries.Inc()
+				s.jr.Publish(flight.KindFailover, r.d.addr, int64(b.index), 0)
 				bsp.AddEvent(trace.EventFailover, trace.A(trace.AttrDevice, cands[next].addr))
 				launch(cands[next], false)
 				next++

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/scec/scec/internal/obs"
+	"github.com/scec/scec/internal/obs/flight"
 )
 
 // checkRepairs scans every block after a probe round and starts a background
@@ -60,6 +61,7 @@ func (s *Session[E]) repair(b *blockState[E], sb *device) {
 	b.mu.Unlock()
 	if err != nil {
 		s.met.repairs(outcomeFailed).Inc()
+		s.jr.PublishDetail(flight.KindRepairFailed, sb.addr, err.Error(), int64(b.index), 0)
 		if s.ctx.Err() == nil {
 			sb.recordFailure(s.cfg.BreakerThreshold)
 		}
@@ -68,6 +70,7 @@ func (s *Session[E]) repair(b *blockState[E], sb *device) {
 	}
 	sb.recordSuccess()
 	s.met.repairs(outcomeOK).Inc()
+	s.jr.Publish(flight.KindRepairOK, sb.addr, int64(b.index), 0)
 }
 
 // takeStandby pops the first healthy standby outside the post-vacate

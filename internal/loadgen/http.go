@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"net/http"
 	"sync"
+
+	"github.com/scec/scec/internal/obs"
 )
 
 // Collector accumulates a harness run's live state for the /debug/slo
@@ -11,9 +13,10 @@ import (
 // in flight. All methods are safe for concurrent use and nil-safe, so the
 // sweep code can thread an optional collector without guarding every call.
 type Collector struct {
-	mu      sync.Mutex
-	report  Report
-	current *liveScenario
+	mu        sync.Mutex
+	report    Report
+	current   *liveScenario
+	exemplars func() []obs.SeriesExemplars
 }
 
 // liveScenario is the scenario being swept right now.
@@ -88,17 +91,33 @@ func (c *Collector) Report() Report {
 	return out
 }
 
+// SetExemplarSource attaches a tail-exemplar producer to the collector's
+// /debug/slo body — typically a closure over obs.Registry.ExemplarsOf for
+// the per-block winner-latency family, so a p99 step in the report links
+// straight to the trace and device behind it.
+func (c *Collector) SetExemplarSource(fn func() []obs.SeriesExemplars) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.exemplars = fn
+}
+
 // sloDebug is the /debug/slo JSON body.
 type sloDebug struct {
 	Report  Report        `json:"report"`
 	Current *liveScenario `json:"current,omitempty"`
+	// Exemplars links latency tail buckets to the trace ID + device that
+	// last landed in them (see Collector.SetExemplarSource).
+	Exemplars []obs.SeriesExemplars `json:"exemplars,omitempty"`
 }
 
 // DebugHandler serves the collector's live snapshot as JSON — mount it as
 // /debug/slo via the obs handler's extra-route hook.
 func (c *Collector) DebugHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
+		obs.JSONHeaders(w)
 		var body sloDebug
 		if c != nil {
 			c.mu.Lock()
@@ -109,7 +128,11 @@ func (c *Collector) DebugHandler() http.Handler {
 				cur.Scenario.Steps = append([]StepResult(nil), c.current.Scenario.Steps...)
 				body.Current = &cur
 			}
+			source := c.exemplars
 			c.mu.Unlock()
+			if source != nil {
+				body.Exemplars = source()
+			}
 		}
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/scec/scec/internal/obs"
+	"github.com/scec/scec/internal/obs/flight"
 )
 
 // Target is the system under test: one request. The generator calls it from
@@ -144,6 +145,7 @@ pace:
 			rec.Record(time.Since(intended))
 			shed.Add(1)
 			shedCount.Inc()
+			flight.Default().Publish(flight.KindShed, "", int64(issued), 0)
 			continue
 		}
 		wg.Add(1)

@@ -8,6 +8,8 @@ import (
 	"os"
 	"strings"
 	"time"
+
+	"github.com/scec/scec/internal/obs/flight"
 )
 
 // ReportVersion identifies the results/load.json schema. Bump it when a
@@ -52,6 +54,7 @@ func (s *Scenario) CheckSLOs(slos []SLO) error {
 		s.SLOs = append(s.SLOs, res)
 		if !res.OK {
 			bad = append(bad, fmt.Sprintf("%s: measured %v at %g QPS", slo, res.Measured, res.MeasuredAtQPS))
+			flight.Default().PublishDetail(flight.KindSLOBreach, s.Name, slo.String(), int64(res.MeasuredAtQPS), 0)
 		}
 	}
 	if len(bad) > 0 {

@@ -109,6 +109,11 @@ type SeriesSnapshot struct {
 	// Quantiles holds the interpolated p50/p95/p99 tail summary of a
 	// non-empty histogram series (see Histogram.Quantile); nil otherwise.
 	Quantiles *Tails `json:"quantiles,omitempty"`
+	// Exemplars holds the per-bucket trace/device exemplars a histogram
+	// series has retained (see Histogram.ObserveExemplar); nil otherwise.
+	// Exemplars appear only in the JSON snapshot — the Prometheus text
+	// exposition stays plain 0.0.4 format, which has no exemplar syntax.
+	Exemplars []BucketExemplar `json:"exemplars,omitempty"`
 }
 
 // FamilySnapshot is one named metric with all its series.
@@ -161,6 +166,7 @@ func (r *Registry) Snapshot() Snapshot {
 			if tails, ok := h.Tails(); ok {
 				ss.Quantiles = &tails
 			}
+			ss.Exemplars = h.Exemplars()
 		}
 		snap.Metrics[i].Series = append(snap.Metrics[i].Series, ss)
 	})
@@ -172,4 +178,37 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(r.Snapshot())
+}
+
+// SeriesExemplars is one histogram series' retained exemplars, keyed by its
+// label set — the shape ExemplarsOf returns for tail-to-trace links in
+// /debug/slo.
+type SeriesExemplars struct {
+	Labels    map[string]string `json:"labels,omitempty"`
+	Exemplars []BucketExemplar  `json:"exemplars"`
+}
+
+// ExemplarsOf collects the retained exemplars of every series in the named
+// histogram family, in registration order; series without exemplars are
+// omitted. Returns nil for unknown or non-histogram families.
+func (r *Registry) ExemplarsOf(name string) []SeriesExemplars {
+	var out []SeriesExemplars
+	r.visit(func(f *family, s *series) {
+		if f.name != name || s.hist == nil {
+			return
+		}
+		ex := s.hist.Exemplars()
+		if len(ex) == 0 {
+			return
+		}
+		se := SeriesExemplars{Exemplars: ex}
+		if len(s.labels) > 0 {
+			se.Labels = make(map[string]string, len(s.labels))
+			for _, l := range s.labels {
+				se.Labels[l.Key] = l.Value
+			}
+		}
+		out = append(out, se)
+	})
+	return out
 }

@@ -10,6 +10,7 @@ import (
 	"net/http/pprof"
 	"runtime"
 	"runtime/debug"
+	"sort"
 	"sync"
 	"time"
 )
@@ -60,21 +61,55 @@ type Route struct {
 	Pattern string
 	// Handler serves it.
 	Handler http.Handler
+	// Desc is the one-line description the /debug index lists for the route.
+	Desc string
 }
 
-// builtinPatterns are the mux patterns Handler always registers. Extra
-// routes are audited against them (and each other) so a typo'd pattern
-// cannot silently shadow /debug/pprof/ or double-register.
-var builtinPatterns = []string{
-	"/metrics",
-	"/metrics.json",
-	"/healthz",
-	"/debug/vars",
-	"/debug/pprof/",
-	"/debug/pprof/cmdline",
-	"/debug/pprof/profile",
-	"/debug/pprof/symbol",
-	"/debug/pprof/trace",
+// JSONHeaders stamps the response headers every JSON debug/metrics endpoint
+// in the repo uses: the JSON content type plus no-store caching, so a proxy
+// or browser never serves a stale introspection snapshot.
+func JSONHeaders(w http.ResponseWriter) {
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	h.Set("Cache-Control", "no-store")
+}
+
+// builtinRoutes describe the endpoints Handler always registers, for the
+// /debug index. Extra routes are audited against these patterns (and each
+// other) so a typo'd pattern cannot silently shadow /debug/pprof/ or
+// double-register.
+var builtinRoutes = []Route{
+	{Pattern: "/debug", Desc: "this index: every mounted debug/metrics route"},
+	{Pattern: "/metrics", Desc: "Prometheus text exposition (?format=json for a snapshot)"},
+	{Pattern: "/metrics.json", Desc: "JSON metrics snapshot with quantiles and exemplars"},
+	{Pattern: "/healthz", Desc: "liveness probe: status, uptime, build identity"},
+	{Pattern: "/debug/vars", Desc: "expvar: Go runtime memstats and cmdline"},
+	{Pattern: "/debug/pprof/", Desc: "pprof profile index"},
+	{Pattern: "/debug/pprof/cmdline", Desc: "pprof: process command line"},
+	{Pattern: "/debug/pprof/profile", Desc: "pprof: CPU profile (?seconds=N)"},
+	{Pattern: "/debug/pprof/symbol", Desc: "pprof: symbol lookup"},
+	{Pattern: "/debug/pprof/trace", Desc: "pprof: execution trace (?seconds=N)"},
+}
+
+// RouteInfo is one /debug index entry.
+type RouteInfo struct {
+	Pattern string `json:"pattern"`
+	Desc    string `json:"desc,omitempty"`
+}
+
+// debugIndex serves the route catalogue as JSON, sorted by pattern.
+func debugIndex(routes []RouteInfo) http.Handler {
+	sorted := make([]RouteInfo, len(routes))
+	copy(sorted, routes)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Pattern < sorted[j].Pattern })
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		JSONHeaders(w)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(struct {
+			Routes []RouteInfo `json:"routes"`
+		}{Routes: sorted})
+	})
 }
 
 // Handler returns the runtime-introspection handler bundle:
@@ -82,6 +117,7 @@ var builtinPatterns = []string{
 //	/metrics        Prometheus text exposition (?format=json for a snapshot)
 //	/metrics.json   JSON snapshot
 //	/healthz        liveness probe: JSON status, uptime, and build identity
+//	/debug          JSON index of every mounted debug/metrics route
 //	/debug/vars     expvar (Go runtime memstats and cmdline)
 //	/debug/pprof/*  CPU/heap/goroutine/trace profiling
 //
@@ -100,35 +136,43 @@ func (r *Registry) Handler(extra ...Route) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		if req.URL.Query().Get("format") == "json" {
-			w.Header().Set("Content-Type", "application/json")
+			JSONHeaders(w)
 			_ = r.WriteJSON(w)
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Header().Set("Cache-Control", "no-store")
 		_ = r.WritePrometheus(w)
 	})
 	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, req *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
+		JSONHeaders(w)
 		_ = r.WriteJSON(w)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
+		JSONHeaders(w)
 		_ = json.NewEncoder(w).Encode(healthBody{
 			Status:        "ok",
 			UptimeSeconds: r.Uptime().Seconds(),
 			buildInfo:     bi,
 		})
 	})
-	mux.Handle("/debug/vars", expvar.Handler())
+	mux.Handle("/debug/vars", http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		// expvar.Handler sets the content type but not the cache policy;
+		// every JSON debug route serves with the same headers.
+		w.Header().Set("Cache-Control", "no-store")
+		expvar.Handler().ServeHTTP(w, req)
+	}))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 
-	seen := make(map[string]bool, len(builtinPatterns)+len(extra))
-	for _, p := range builtinPatterns {
-		seen[p] = true
+	index := make([]RouteInfo, 0, len(builtinRoutes)+len(extra))
+	seen := make(map[string]bool, len(builtinRoutes)+len(extra))
+	for _, rt := range builtinRoutes {
+		seen[rt.Pattern] = true
+		index = append(index, RouteInfo{Pattern: rt.Pattern, Desc: rt.Desc})
 	}
 	for _, rt := range extra {
 		if rt.Handler == nil || rt.Pattern == "" {
@@ -138,8 +182,10 @@ func (r *Registry) Handler(extra ...Route) http.Handler {
 			panic(fmt.Sprintf("obs: debug route %q collides with an already registered pattern", rt.Pattern))
 		}
 		seen[rt.Pattern] = true
+		index = append(index, RouteInfo{Pattern: rt.Pattern, Desc: rt.Desc})
 		mux.Handle(rt.Pattern, rt.Handler)
 	}
+	mux.Handle("/debug", debugIndex(index))
 	return mux
 }
 

@@ -170,6 +170,21 @@ const (
 	// MetricTransportHeartbeats counts piggybacked heartbeat pings sent on
 	// idle multiplexed connections, labelled outcome=ok|failed.
 	MetricTransportHeartbeats = "scec_transport_heartbeats_total"
+	// MetricTransportHeartbeatRTT is a per-device gauge (label device=<addr>)
+	// of the most recent heartbeat round-trip time in seconds, as measured by
+	// the fleet prober via transport.Client.LastRTT — the same signal the
+	// adaptive control plane blends into its learned cost factors.
+	MetricTransportHeartbeatRTT = "scec_transport_heartbeat_rtt_seconds"
+
+	// Flight-recorder (internal/obs/flight) metrics. The kind label ranges
+	// over the fixed event-kind enumeration, so cardinality is bounded.
+
+	// MetricFlightEventsTotal counts events published to the flight-recorder
+	// journal, labelled kind=<event kind wire name>.
+	MetricFlightEventsTotal = "scec_flight_events_total"
+	// MetricFlightIncidentsTotal counts incident bundles captured by the
+	// flight-recorder watchdog.
+	MetricFlightIncidentsTotal = "scec_flight_incidents_total"
 )
 
 // Pipeline stage names, the values of the stage label on

@@ -81,6 +81,7 @@ func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 type Histogram struct {
 	bounds  []float64      // ascending upper bounds, +Inf implicit
 	counts  []atomic.Int64 // len(bounds)+1; last is the +Inf overflow
+	ex      []atomic.Pointer[Exemplar]
 	total   atomic.Int64
 	sumBits atomic.Uint64
 }
@@ -89,7 +90,69 @@ func newHistogram(bounds []float64) *Histogram {
 	b := make([]float64, len(bounds))
 	copy(b, bounds)
 	sort.Float64s(b)
-	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+	return &Histogram{
+		bounds: b,
+		counts: make([]atomic.Int64, len(b)+1),
+		ex:     make([]atomic.Pointer[Exemplar], len(b)+1),
+	}
+}
+
+// Exemplar links one histogram bucket to the concrete request that last
+// landed in it: the trace ID to pull from /debug/traces/{id} and the device
+// that served it. Each bucket retains only its most recent exemplar, so a
+// p99 spike always points at a live, representative trace.
+type Exemplar struct {
+	// Value is the observed value in the histogram's unit.
+	Value float64 `json:"value"`
+	// TraceID is the W3C trace identifier of the observation, if traced.
+	TraceID string `json:"trace_id,omitempty"`
+	// Device is the serving device address, if attributable.
+	Device string `json:"device,omitempty"`
+	// AtUnixNano is the wall-clock capture time.
+	AtUnixNano int64 `json:"at_ns"`
+}
+
+// BucketExemplar is one bucket's retained exemplar in an export, tagged
+// with the bucket's upper bound (same LE rendering as BucketCount).
+type BucketExemplar struct {
+	LE string `json:"le"`
+	Exemplar
+}
+
+// ObserveExemplar is Observe plus exemplar retention: the observation's
+// bucket keeps this trace ID + device as its most recent exemplar.
+// Observations with neither a trace ID nor a device degrade to plain
+// Observe so untraced traffic never evicts an attributable exemplar.
+func (h *Histogram) ObserveExemplar(v float64, traceID, device string) {
+	h.Observe(v)
+	if traceID == "" && device == "" {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.ex[i].Store(&Exemplar{Value: v, TraceID: traceID, Device: device, AtUnixNano: time.Now().UnixNano()})
+}
+
+// ObserveDurationExemplar records a duration in seconds with an exemplar.
+func (h *Histogram) ObserveDurationExemplar(d time.Duration, traceID, device string) {
+	h.ObserveExemplar(d.Seconds(), traceID, device)
+}
+
+// Exemplars returns the buckets that have retained an exemplar, in bound
+// order (the +Inf overflow bucket renders as "+Inf").
+func (h *Histogram) Exemplars() []BucketExemplar {
+	var out []BucketExemplar
+	for i := range h.ex {
+		e := h.ex[i].Load()
+		if e == nil {
+			continue
+		}
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = formatFloat(h.bounds[i])
+		}
+		out = append(out, BucketExemplar{LE: le, Exemplar: *e})
+	}
+	return out
 }
 
 // Observe records one value.

@@ -66,7 +66,11 @@ func DebugHandler(t *Tracer, an *Stragglers) http.Handler {
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
+	// Mirrors obs.JSONHeaders (not imported here to keep trace free of an
+	// obs dependency): JSON content type + no-store, the repo-wide debug
+	// endpoint contract.
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Cache-Control", "no-store")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v)

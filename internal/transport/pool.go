@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"github.com/scec/scec/internal/obs"
+	"github.com/scec/scec/internal/obs/flight"
 	"github.com/scec/scec/internal/obs/trace"
 )
 
@@ -307,6 +308,14 @@ func (p *Pool[E]) dialMux(ctx context.Context, addr string, timeout time.Duratio
 	outcome := "error"
 	defer func() {
 		reg.Counter(obs.MetricTransportNegotiations, "v3 protocol negotiations, by outcome (legacy = gob-only peer, fallback engaged).", obs.L("outcome", outcome)).Inc()
+		kind := flight.KindNegotiateError
+		switch outcome {
+		case "v3":
+			kind = flight.KindNegotiateV3
+		case "legacy":
+			kind = flight.KindNegotiateLegacy
+		}
+		flight.Default().Publish(kind, addr, 0, 0)
 	}()
 	h := clientHello(cod.code)
 	helloStart := time.Now()
